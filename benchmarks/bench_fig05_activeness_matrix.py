@@ -1,0 +1,64 @@
+"""Fig. 5 -- the user-activeness matrix at 7/30/60/90-day period lengths.
+
+Paper (13,813 users): both-active 0.4-0.9 %, operation-active-only rising
+1.1 % -> 3.5 % with period length, outcome-active-only falling
+3.4 % -> 2.9 %, both-inactive 92.7-95 %.
+
+The bench evaluates every user's (Phi_op, Phi_oc) at the end of the replay
+year for each period length and prints the quadrant percentages.  Expected
+shape at our scale: both-inactive dominates (>90 %), and the active share
+grows with the period length (the paper's op-active trend).  The 7-day
+point undershoots the paper because our synthetic newcomer influx is
+thinner than Titan's real account churn (see EXPERIMENTS.md).
+
+The benchmark times one full-population activeness evaluation.
+"""
+
+from repro.analysis import format_table, percent
+from repro.core import (
+    ActivenessEvaluator,
+    ActivenessParams,
+    UserClass,
+    classify_all,
+    group_counts,
+)
+
+from conftest import write_result
+
+PERIODS = (7, 30, 60, 90)
+
+
+def test_fig5_activeness_matrix(benchmark, dataset, ledger):
+    t_c = dataset.config.replay_end - 1
+    clipped = ledger.until(t_c)
+    known = [u.uid for u in dataset.users]
+
+    evaluator90 = ActivenessEvaluator(ActivenessParams(period_days=90))
+    benchmark(evaluator90.evaluate, clipped, t_c, known)
+
+    rows = []
+    share = {}
+    for period in PERIODS:
+        evaluator = ActivenessEvaluator(ActivenessParams(period_days=period))
+        activeness = evaluator.evaluate(clipped, t_c, known_uids=known)
+        counts = group_counts(classify_all(activeness))
+        total = sum(counts.values())
+        share[period] = {cls: counts[cls] / total for cls in UserClass}
+        rows.append([f"{period} days"]
+                    + [f"{counts[cls]} ({percent(share[period][cls], 1)})"
+                       for cls in (UserClass.BOTH_ACTIVE,
+                                   UserClass.OPERATION_ACTIVE_ONLY,
+                                   UserClass.OUTCOME_ACTIVE_ONLY,
+                                   UserClass.BOTH_INACTIVE)])
+    write_result("fig05_activeness_matrix", format_table(
+        ["period", "G(1) both active", "G(2) op only", "G(3) oc only",
+         "G(4) both inactive"],
+        rows,
+        title=("Fig. 5 -- activeness matrix (paper: 0.4-0.9% / 1.1-3.5% / "
+               "2.9-3.4% / 92.7-95%)")))
+
+    for period in PERIODS:
+        assert share[period][UserClass.BOTH_INACTIVE] > 0.80
+    active = lambda p: (share[p][UserClass.BOTH_ACTIVE]
+                        + share[p][UserClass.OPERATION_ACTIVE_ONLY])
+    assert active(90) >= active(7)  # paper's op-active growth trend

@@ -1,0 +1,47 @@
+"""Fig. 7 -- per-group monthly file-miss series, FLT vs ActiveDR.
+
+Paper: misses trend upward over the replay year for both policies (the
+snapshot starts fresh, then attrition accumulates); the FLT-ActiveDR gap
+widens over time; ActiveDR never exceeds FLT in the long run for any of
+the four groups.
+
+The bench prints the four per-group monthly series and checks the trend
+and the per-group totals.  The benchmark times the series folding.
+"""
+
+from repro.analysis import format_table
+from repro.core import UserClass
+from repro.emulation import ACTIVEDR, FLT
+
+from conftest import write_result
+
+
+def test_fig7_group_miss_series(benchmark, comparison):
+    flt_m, adr_m = comparison[FLT].metrics, comparison[ACTIVEDR].metrics
+
+    def fold_all():
+        return {g: (flt_m.monthly_group_misses(g),
+                    adr_m.monthly_group_misses(g)) for g in UserClass}
+
+    series = benchmark(fold_all)
+
+    blocks = []
+    for group in UserClass:
+        flt_series, adr_series = series[group]
+        rows = [[month + 1, int(f), int(a)]
+                for month, (f, a) in enumerate(zip(flt_series, adr_series))]
+        blocks.append(format_table(
+            ["month", "FLT misses", "ActiveDR misses"], rows,
+            title=f"Fig. 7 -- {group.label}"))
+    write_result("fig07_group_miss_series", "\n\n".join(blocks))
+
+    # Rising trend: the second half of the year out-misses the first (FLT).
+    total = flt_m.misses
+    half = len(total) // 2
+    assert total[half:].sum() >= total[:half].sum()
+
+    # ActiveDR totals never exceed FLT by more than noise in any group.
+    for group in UserClass:
+        flt_total = flt_m.total_group_misses(group)
+        adr_total = adr_m.total_group_misses(group)
+        assert adr_total <= max(flt_total * 1.10, flt_total + 50), group

@@ -1,0 +1,53 @@
+"""Fig. 11 -- number of users affected by file purge, per group.
+
+Paper: across all lifetimes, far fewer active users lose files under
+ActiveDR; e.g. at 7-day periods fewer than 60 both-active users are
+affected vs over 700 under FLT, and "up to 95 % of active users are
+exempt" from purge-induced misses.
+
+The bench prints affected-user counts per group and lifetime for both
+policies (same-snapshot, same-target runs) and checks that ActiveDR
+touches no more active users than FLT.  The benchmark times the
+affected-user aggregation.
+"""
+
+from repro.analysis import format_table
+from repro.core import UserClass
+from repro.emulation import ACTIVEDR, FLT
+
+from conftest import SWEEP_LIFETIMES, write_result
+
+GROUPS = (UserClass.BOTH_ACTIVE, UserClass.OPERATION_ACTIVE_ONLY,
+          UserClass.OUTCOME_ACTIVE_ONLY, UserClass.BOTH_INACTIVE)
+
+
+def test_fig11_affected_users(benchmark, snapshot_reports):
+    def aggregate():
+        out = {}
+        for lifetime in SWEEP_LIFETIMES:
+            reports = snapshot_reports[lifetime]
+            out[lifetime] = {
+                policy: {g: reports[policy].affected_users(g)
+                         for g in GROUPS}
+                for policy in (FLT, ACTIVEDR)}
+        return out
+
+    table = benchmark(aggregate)
+
+    rows = []
+    for lifetime in SWEEP_LIFETIMES:
+        for group in GROUPS:
+            rows.append([f"{lifetime:.0f}d", group.label,
+                         table[lifetime][FLT][group],
+                         table[lifetime][ACTIVEDR][group]])
+    write_result("fig11_affected_users", format_table(
+        ["lifetime", "group", "FLT users affected",
+         "ActiveDR users affected"],
+        rows,
+        title="Fig. 11 -- users affected by purge (paper: ActiveDR "
+              "protects nearly all active users)"))
+
+    for lifetime in SWEEP_LIFETIMES:
+        for group in GROUPS[:3]:
+            assert (table[lifetime][ACTIVEDR][group]
+                    <= table[lifetime][FLT][group]), (lifetime, group)

@@ -1,0 +1,45 @@
+"""Table 1 -- FLT retention settings at four HPC facilities.
+
+Paper: NCAR purges any 120-day-old file, OLCF 90, TACC 30, NERSC 12 weeks.
+The bench applies every preset to the same snapshot and reports how much
+each facility's rule would purge -- the practical content of Table 1.
+The benchmark times one full FLT scan of the snapshot.
+"""
+
+from repro.analysis import format_bytes, format_table, percent
+from repro.core import FACILITY_PRESETS, FixedLifetimePolicy
+
+from conftest import write_result
+
+
+def test_table1_presets(benchmark, dataset):
+    t_c = dataset.config.replay_start
+
+    def flt_scan():
+        fs = dataset.fresh_filesystem()
+        return FixedLifetimePolicy(FACILITY_PRESETS["OLCF"]).run(fs, t_c)
+
+    benchmark.pedantic(flt_scan, rounds=3, iterations=1)
+
+    rows = []
+    for facility in ("NCAR", "OLCF", "NERSC", "TACC"):
+        config = FACILITY_PRESETS[facility]
+        fs = dataset.fresh_filesystem()
+        before = fs.total_bytes
+        report = FixedLifetimePolicy(config).run(fs, t_c)
+        rows.append([
+            facility,
+            f"{config.lifetime_days:.0f} days",
+            report.purged_files_total,
+            format_bytes(report.purged_bytes_total),
+            percent(report.purged_bytes_total / before),
+        ])
+    write_result("table1_facility_presets", format_table(
+        ["facility", "lifetime", "files purged", "bytes purged",
+         "of snapshot"],
+        rows,
+        title="Table 1 -- facility FLT presets applied to one snapshot"))
+
+    # Shorter lifetimes purge at least as much.
+    purged = {row[0]: row[2] for row in rows}
+    assert purged["TACC"] >= purged["OLCF"] >= purged["NCAR"]

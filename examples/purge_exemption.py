@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Purge-exemption workflow: the reservation contract of section 3.4.
+
+A project keeps irreplaceable observational inputs on scratch.  The
+administrator reserves the input directory and two specific result files,
+then runs an aggressive retention pass.  The script shows that reserved
+paths survive even when the purge target forces ActiveDR through every
+retrospective pass -- and that moving a reserved file silently cancels
+its reservation.
+
+Run:  python examples/purge_exemption.py
+"""
+
+from repro.core import (
+    ActiveDRPolicy,
+    ExemptionList,
+    RetentionConfig,
+    UserActiveness,
+)
+from repro.vfs import DAY_SECONDS, FileMeta, VirtualFileSystem
+
+NOW = 1_467_331_200  # 2016-07-01
+
+
+def build_scratch() -> VirtualFileSystem:
+    fs = VirtualFileSystem()
+    layout = {
+        "/scratch/astro/inputs/survey-a.fits": 400,
+        "/scratch/astro/inputs/survey-b.fits": 400,
+        "/scratch/astro/runs/run1.out": 300,
+        "/scratch/astro/runs/run2.out": 300,
+        "/scratch/astro/results/final.h5": 200,
+        "/scratch/astro/results/draft.h5": 200,
+    }
+    for path, age_days in layout.items():
+        atime = NOW - age_days * DAY_SECONDS
+        fs.add_file(path, FileMeta(size=1 << 30, atime=atime, mtime=atime,
+                                   ctime=atime, uid=101))
+    fs.freeze_capacity()
+    return fs
+
+
+def main() -> None:
+    fs = build_scratch()
+    print(f"Scratch before retention: {fs.file_count} files")
+
+    exemptions = ExemptionList()
+    exemptions.reserve_directory("/scratch/astro/inputs")
+    exemptions.reserve_file("/scratch/astro/results/final.h5")
+    # The user renamed draft.h5 after reserving it -- per the section 3.4
+    # contract, the reservation lapses with the old path.
+    exemptions.reserve_file("/scratch/astro/results/draft-v1.h5")
+
+    config = RetentionConfig(lifetime_days=90,
+                             purge_target_utilization=0.10)
+    inactive_owner = {101: UserActiveness(101)}  # no history: initial rank
+    report = ActiveDRPolicy(config).run(fs, NOW, activeness=inactive_owner,
+                                        exemptions=exemptions)
+
+    print(f"Purged {report.purged_files_total} files "
+          f"({report.purged_bytes_total >> 30} GiB); "
+          f"target met: {report.target_met}")
+    print("\nSurvivors:")
+    for path, _ in fs.iter_files():
+        marker = "reserved" if path in exemptions else "fresh enough"
+        print(f"  {path}  [{marker}]")
+
+    assert "/scratch/astro/inputs/survey-a.fits" in fs
+    assert "/scratch/astro/inputs/survey-b.fits" in fs
+    assert "/scratch/astro/results/final.h5" in fs
+    assert "/scratch/astro/results/draft.h5" not in fs, \
+        "renamed file lost its reservation and was purged"
+    print("\nReserved inputs and final.h5 survived; the renamed draft "
+          "(whose reservation lapsed) was purged.")
+
+
+if __name__ == "__main__":
+    main()

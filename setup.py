@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; this shim lets ``pip install -e .`` use
+the legacy setuptools develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("ActiveDR: activeness-based data retention for HPC scratch "
+                 "storage (SC'21 reproduction)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["activedr=repro.cli.main:main"]},
+)

@@ -1,0 +1,35 @@
+"""repro -- a from-scratch reproduction of ActiveDR (SC'21).
+
+*Exploiting User Activeness for Data Retention in HPC Systems*,
+Zhang et al., SC '21, DOI 10.1145/3458817.3476201.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: user-activeness evaluation (Eqs. 1-6), the
+    2x2 user classification, the Eq. 7 lifetime adjustment, the ActiveDR
+    retention engine with retrospective passes, and the FLT baseline.
+``repro.vfs``
+    Virtual parallel file system substrate: compact prefix tree, file
+    metadata with stripe-synthesized sizes, Spider-style metadata
+    snapshots.
+``repro.traces``
+    Job-scheduler / application / user / publication trace schemas & I/O.
+``repro.synth``
+    Synthetic Titan-scale workload generation (the proprietary OLCF traces
+    are substituted by calibrated generators; see DESIGN.md).
+``repro.parallel``
+    MPI-style communicator abstraction with serial and multiprocessing
+    backends, shard-parallel scanning, time/memory probes.
+``repro.emulation``
+    The trace-replay emulator and FLT-vs-ActiveDR comparison runner.
+``repro.analysis``
+    Miss-ratio histograms, box statistics, and paper-style table output.
+"""
+
+from . import analysis, cli, core, emulation, parallel, synth, traces, vfs
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "vfs", "traces", "synth", "parallel", "emulation",
+           "analysis", "cli", "__version__"]

@@ -1,0 +1,21 @@
+"""Analysis helpers: miss-ratio histograms, box statistics, table output."""
+
+from .histogram import MISS_RATIO_RANGES, days_above, days_per_range, range_labels
+from .reportgen import render_emulation_summary, render_retention_report
+from .stats import BoxStats, box_stats
+from .tables import format_bytes, format_table, percent, series_block
+
+__all__ = [
+    "MISS_RATIO_RANGES",
+    "days_above",
+    "days_per_range",
+    "range_labels",
+    "BoxStats",
+    "box_stats",
+    "format_bytes",
+    "format_table",
+    "percent",
+    "series_block",
+    "render_emulation_summary",
+    "render_retention_report",
+]

@@ -1,0 +1,53 @@
+"""Miss-ratio range histograms (Figs. 1 and 6).
+
+The paper bins daily file-miss ratios into eleven ranges -- 1-5 %, 5-10 %,
+10-20 %, then decade-wide bins up to 100 % -- and reports the number of
+days falling in each.  Days under 1 % (including zero-miss days) fall
+outside every bin, exactly as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MISS_RATIO_RANGES", "range_labels", "days_per_range",
+           "days_above"]
+
+#: The Fig. 1 / Fig. 6 bin edges, as (low, high] fractions.
+MISS_RATIO_RANGES: tuple[tuple[float, float], ...] = (
+    (0.01, 0.05), (0.05, 0.10), (0.10, 0.20), (0.20, 0.30), (0.30, 0.40),
+    (0.40, 0.50), (0.50, 0.60), (0.60, 0.70), (0.70, 0.80), (0.80, 0.90),
+    (0.90, 1.00),
+)
+
+
+def range_labels() -> list[str]:
+    """Human-readable bin labels: '1%-5%', '5%-10%', ..."""
+    return [f"{int(lo * 100)}%-{int(hi * 100)}%" for lo, hi in
+            MISS_RATIO_RANGES]
+
+
+def days_per_range(daily_miss_ratios: np.ndarray) -> list[int]:
+    """Number of days whose miss ratio falls in each paper bin.
+
+    Bins are half-open ``(low, high]`` except the first, which includes
+    its lower edge (a day at exactly 1 % counts as 1-5 %).
+    """
+    ratios = np.asarray(daily_miss_ratios, dtype=np.float64)
+    counts = []
+    for i, (lo, hi) in enumerate(MISS_RATIO_RANGES):
+        if i == 0:
+            mask = (ratios >= lo) & (ratios <= hi)
+        else:
+            mask = (ratios > lo) & (ratios <= hi)
+        counts.append(int(mask.sum()))
+    return counts
+
+
+def days_above(daily_miss_ratios: np.ndarray, threshold: float) -> int:
+    """Days with a miss ratio strictly above ``threshold``.
+
+    The paper's headline "days with more than 5 % file misses" statistic.
+    """
+    ratios = np.asarray(daily_miss_ratios, dtype=np.float64)
+    return int((ratios > threshold).sum())

@@ -1,0 +1,74 @@
+"""Rendering retention and replay results as operator-facing text reports.
+
+Used by the command-line tools and handy for cron-mail style summaries:
+one call turns a :class:`~repro.core.report.RetentionReport` or an
+:class:`~repro.emulation.emulator.EmulationResult` into a readable block.
+"""
+
+from __future__ import annotations
+
+from ..core.classification import UserClass
+from ..core.report import RetentionReport
+from .histogram import days_above, days_per_range, range_labels
+from .tables import format_bytes, format_table, percent
+
+__all__ = ["render_retention_report", "render_emulation_summary"]
+
+
+def render_retention_report(report: RetentionReport) -> str:
+    """A complete text rendering of one retention run."""
+    header = [
+        f"policy: {report.policy}",
+        f"evaluated at: t={report.t_c}",
+        f"file lifetime: {report.lifetime_days:g} days",
+    ]
+    if report.target_bytes > 0:
+        status = "met" if report.target_met else "NOT MET"
+        header.append(
+            f"purge target: {format_bytes(report.target_bytes)} -- {status} "
+            f"(purged {format_bytes(report.purged_bytes_total)}, "
+            f"{report.passes_used} pass(es))")
+    else:
+        header.append(
+            f"purge target: none (purged "
+            f"{format_bytes(report.purged_bytes_total)})")
+
+    rows = []
+    for cls in UserClass:
+        tally = report.tally(cls)
+        rows.append([cls.label, tally.purged_files,
+                     format_bytes(tally.purged_bytes),
+                     tally.retained_files,
+                     format_bytes(tally.retained_bytes),
+                     tally.affected_users])
+    table = format_table(
+        ["group", "purged files", "purged bytes", "retained files",
+         "retained bytes", "users affected"], rows)
+    return "\n".join(header) + "\n\n" + table
+
+
+def render_emulation_summary(result) -> str:
+    """Summary of one replay (:class:`EmulationResult`)."""
+    metrics = result.metrics
+    ratios = metrics.miss_ratio()
+    lines = [
+        f"policy: {result.policy}  (lifetime {result.lifetime_days:g} days)",
+        f"accesses replayed: {metrics.total_accesses}",
+        f"file misses: {metrics.total_misses} "
+        f"({percent(metrics.total_misses / metrics.total_accesses)})"
+        if metrics.total_accesses else "file misses: 0",
+        f"days with >5% misses: {days_above(ratios, 0.05)} of {metrics.n_days}",
+        f"retention runs: {len(result.reports)} "
+        f"({sum(1 for r in result.reports if not r.target_met)} unmet targets)",
+        f"final state: {result.final_file_count} files, "
+        f"{format_bytes(result.final_total_bytes)}",
+        "",
+        format_table(["miss-ratio range", "days"],
+                     list(zip(range_labels(), days_per_range(ratios)))),
+        "",
+        format_table(
+            ["group", "misses"],
+            [[cls.label, metrics.total_group_misses(cls)]
+             for cls in UserClass]),
+    ]
+    return "\n".join(lines)

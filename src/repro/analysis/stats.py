@@ -1,0 +1,36 @@
+"""Summary statistics: the box-plot numbers behind Fig. 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoxStats:
+    """Five-number summary plus the mean (the green triangle in Fig. 8)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    def row(self) -> tuple[float, float, float, float, float, float]:
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum,
+                self.mean)
+
+
+def box_stats(values) -> BoxStats:
+    """Box statistics of a sample; empty samples give all-zero stats."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return BoxStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxStats(float(arr.min()), float(q1), float(med), float(q3),
+                    float(arr.max()), float(arr.mean()), int(arr.size))

@@ -1,0 +1,64 @@
+"""Paper-style table and series formatting shared by the benchmarks.
+
+Every benchmark regenerates its figure/table as plain text rows; these
+helpers keep the output format consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_bytes", "percent", "series_block"]
+
+_UNITS = ("B", "KiB", "MiB", "GiB", "TiB", "PiB")
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count ('3.42 TiB')."""
+    value = float(n)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    for unit in _UNITS:
+        if value < 1024.0 or unit == _UNITS[-1]:
+            return f"{sign}{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{sign}{value:.2f} {_UNITS[-1]}"
+
+
+def percent(fraction: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{fraction * 100.0:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_block(title: str, labels: Sequence[object],
+                 values: Sequence[object]) -> str:
+    """A labelled series as 'label: value' lines under a title."""
+    lines = [title, "-" * len(title)]
+    for label, value in zip(labels, values):
+        lines.append(f"{label}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Command-line interface: ``activedr`` / ``python -m repro``."""
+
+from .main import build_parser, main
+from .workspace import Workspace, load_workspace, save_workspace
+
+__all__ = ["build_parser", "main", "Workspace", "load_workspace",
+           "save_workspace"]

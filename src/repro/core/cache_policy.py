@@ -1,0 +1,117 @@
+"""The scratch-as-a-cache retention baseline (related work, section 2).
+
+Monti et al. treat the scratch space as a cache for running jobs: "a data
+file can only stay in a given scratch space if an application is using
+it".  The paper excludes the approach for its heavy staging traffic, but
+it is the natural aggressive endpoint of the retention spectrum, so the
+library implements it for comparison.
+
+The policy is driven by the job trace: a user's files are *resident*
+while the user has a job running (or within a configurable grace window
+around job execution, modelling stage-in/stage-out); everything else is
+evicted.  An interval index over job (start, end) times answers the
+residency query in O(log n) per user.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Mapping
+
+from ..traces.schema import JobRecord
+from ..vfs.file_meta import DAY_SECONDS
+from ..vfs.filesystem import VirtualFileSystem
+from .activeness import UserActiveness
+from .classification import UserClass, classify
+from .config import RetentionConfig
+from .exemption import ExemptionList
+from .policy import RetentionPolicy, purge_target_bytes
+from .report import RetentionReport
+
+__all__ = ["JobResidencyIndex", "ScratchAsCachePolicy"]
+
+
+class JobResidencyIndex:
+    """Per-user merged job-execution intervals with a grace window.
+
+    ``grace_seconds`` extends each job's interval on both sides --
+    stage-in before the job starts, stage-out after it ends.
+    """
+
+    def __init__(self, jobs: Iterable[JobRecord],
+                 grace_seconds: int = DAY_SECONDS) -> None:
+        if grace_seconds < 0:
+            raise ValueError("grace_seconds must be >= 0")
+        self.grace_seconds = grace_seconds
+        raw: dict[int, list[tuple[int, int]]] = {}
+        for job in jobs:
+            raw.setdefault(job.uid, []).append(
+                (job.start_ts - grace_seconds, job.end_ts + grace_seconds))
+        # Merge overlaps so residency queries are a single bisect.
+        self._starts: dict[int, list[int]] = {}
+        self._ends: dict[int, list[int]] = {}
+        for uid, intervals in raw.items():
+            intervals.sort()
+            merged: list[tuple[int, int]] = []
+            for lo, hi in intervals:
+                if merged and lo <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+                else:
+                    merged.append((lo, hi))
+            self._starts[uid] = [lo for lo, _ in merged]
+            self._ends[uid] = [hi for _, hi in merged]
+
+    def is_resident(self, uid: int, t: int) -> bool:
+        """Whether ``uid`` has a job (plus grace) covering instant ``t``."""
+        starts = self._starts.get(uid)
+        if not starts:
+            return False
+        i = bisect.bisect_right(starts, t) - 1
+        return i >= 0 and t <= self._ends[uid][i]
+
+    def users(self) -> list[int]:
+        return list(self._starts)
+
+
+class ScratchAsCachePolicy(RetentionPolicy):
+    """Evict every file whose owner has no job in execution at ``t_c``."""
+
+    name = "ScratchAsCache"
+
+    def __init__(self, config: RetentionConfig | None = None, *,
+                 residency: JobResidencyIndex) -> None:
+        super().__init__(config)
+        self.residency = residency
+
+    def run(self, fs: VirtualFileSystem, t_c: int, *,
+            activeness: Mapping[int, UserActiveness] | None = None,
+            exemptions: ExemptionList | None = None) -> RetentionReport:
+        report = RetentionReport(policy=self.name, t_c=t_c,
+                                 lifetime_days=self.config.lifetime_days,
+                                 target_bytes=purge_target_bytes(fs,
+                                                                 self.config))
+
+        def group_of(uid: int) -> UserClass:
+            if activeness is None:
+                return UserClass.BOTH_INACTIVE
+            ua = activeness.get(uid)
+            return classify(ua) if ua is not None else UserClass.BOTH_INACTIVE
+
+        to_purge: list[tuple[str, int, int]] = []
+        for uid in fs.uids():
+            if self.residency.is_resident(uid, t_c):
+                continue
+            for path, meta in fs.iter_user_files(uid):
+                if exemptions is not None and path in exemptions:
+                    continue
+                to_purge.append((path, uid, meta.size))
+
+        for path, uid, size in to_purge:
+            fs.remove_file(path)
+            report.record_purge(group_of(uid), uid, size)
+        for path, meta in fs.iter_files():
+            report.record_retain(group_of(meta.uid), meta.uid, meta.size)
+        # The cache policy ignores utilization targets entirely; what it
+        # purges is dictated by residency alone.
+        report.target_met = True
+        return report

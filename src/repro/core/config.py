@@ -1,0 +1,84 @@
+"""Retention configuration and the Table 1 facility presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .activeness import ActivenessParams
+
+__all__ = ["RetentionConfig", "FACILITY_PRESETS", "facility_preset"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetentionConfig:
+    """Administrator-facing configuration of a retention run.
+
+    Attributes
+    ----------
+    lifetime_days:
+        The initial file lifetime ``d`` of Eq. (7); applied verbatim by
+        FLT, scaled by user activeness under ActiveDR.  New users and
+        both-inactive users follow this initial lifetime on their first
+        scan (section 3.4).
+    purge_trigger_days:
+        Interval between purge triggers (7 days at OLCF).
+    purge_target_utilization:
+        Target utilization of capacity after a purge run; the paper sets
+        0.5 ("50 % of the total storage capacity").  ActiveDR stops the
+        scan the moment usage drops to the target.
+    retrospective_passes:
+        How many extra passes over a group ActiveDR performs when the
+        target is not yet met ("currently five times in our
+        implementation").
+    rank_decay:
+        Fraction by which the user activeness rank decays on each
+        retrospective pass ("currently 20%").
+    activeness:
+        Parameters of the activeness evaluation (period length etc.).
+    zero_rank_as_initial:
+        Whether a rank that collapsed to exactly 0 falls back to the
+        initial rank 1.0 for lifetime adjustment (see
+        :meth:`repro.core.activeness.UserActiveness.log_lifetime_multiplier`).
+    """
+
+    lifetime_days: float = 90.0
+    purge_trigger_days: int = 7
+    purge_target_utilization: float = 0.5
+    retrospective_passes: int = 5
+    rank_decay: float = 0.2
+    activeness: ActivenessParams = field(default_factory=ActivenessParams)
+    zero_rank_as_initial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lifetime_days <= 0:
+            raise ValueError("lifetime_days must be positive")
+        if self.purge_trigger_days < 1:
+            raise ValueError("purge_trigger_days must be >= 1")
+        if not (0.0 <= self.purge_target_utilization <= 1.0):
+            raise ValueError("purge_target_utilization must lie in [0, 1]")
+        if self.retrospective_passes < 0:
+            raise ValueError("retrospective_passes must be >= 0")
+        if not (0.0 <= self.rank_decay < 1.0):
+            raise ValueError("rank_decay must lie in [0, 1)")
+
+    def with_lifetime(self, lifetime_days: float) -> "RetentionConfig":
+        """A copy with a different initial lifetime (sweep helper)."""
+        return replace(self, lifetime_days=lifetime_days)
+
+
+#: Table 1 of the paper: fixed-lifetime settings at four HPC facilities.
+FACILITY_PRESETS: dict[str, RetentionConfig] = {
+    "NCAR": RetentionConfig(lifetime_days=120.0),
+    "OLCF": RetentionConfig(lifetime_days=90.0),
+    "TACC": RetentionConfig(lifetime_days=30.0),
+    "NERSC": RetentionConfig(lifetime_days=84.0),  # "12-week old"
+}
+
+
+def facility_preset(name: str) -> RetentionConfig:
+    """Look up a Table 1 facility preset by name (case-insensitive)."""
+    try:
+        return FACILITY_PRESETS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(FACILITY_PRESETS))
+        raise KeyError(f"unknown facility {name!r}; known: {known}") from None

@@ -1,0 +1,88 @@
+"""Purge exemption: the administrator's file-reservation list.
+
+Section 3.4: the administrator may specify a list of reserved files;
+ActiveDR loads the paths into a compact prefix tree and skips reserved
+files during the retention scan.  The reservation is a *contract on paths*:
+if a user moves a reserved file, the reservation silently lapses (the new
+path is not on the list).
+
+Beyond the paper's exact-file reservations this implementation also accepts
+directory reservations (a reserved directory covers every file below it),
+which is how sites express "never purge /scratch/projX/inputs".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..vfs.path_trie import PathTrie
+
+__all__ = ["ExemptionList"]
+
+
+class ExemptionList:
+    """Reserved paths indexed in a compact prefix tree."""
+
+    def __init__(self, paths: Iterable[str] = (),
+                 directories: Iterable[str] = ()) -> None:
+        self._files = PathTrie()
+        self._dirs = PathTrie()
+        for p in paths:
+            self.reserve_file(p)
+        for d in directories:
+            self.reserve_directory(d)
+
+    # ------------------------------------------------------------------
+
+    def reserve_file(self, path: str) -> None:
+        """Reserve one exact file path."""
+        self._files.insert(path, True)
+
+    def reserve_directory(self, path: str) -> None:
+        """Reserve every current and future file under ``path``."""
+        self._dirs.insert(path, True)
+
+    def cancel(self, path: str) -> bool:
+        """Drop a reservation (file or directory); True if one existed."""
+        return self._files.delete(path) or self._dirs.delete(path)
+
+    # ------------------------------------------------------------------
+
+    def is_exempt(self, path: str) -> bool:
+        """Whether the retention scan must skip ``path``."""
+        if path in self._files:
+            return True
+        return self._dirs.covering_prefix(path) is not None
+
+    def __contains__(self, path: str) -> bool:
+        return self.is_exempt(path)
+
+    def __len__(self) -> int:
+        return len(self._files) + len(self._dirs)
+
+    def reserved_files(self) -> Iterator[str]:
+        for path, _ in self._files.items():
+            yield path
+
+    def reserved_directories(self) -> Iterator[str]:
+        for path, _ in self._dirs.items():
+            yield path
+
+    @classmethod
+    def from_file(cls, list_path: str) -> "ExemptionList":
+        """Load a reservation list: one path per line.
+
+        Lines ending in ``/`` reserve a directory; blank lines and lines
+        starting with ``#`` are ignored.
+        """
+        exemptions = cls()
+        with open(list_path) as f:
+            for raw in f:
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if line.endswith("/"):
+                    exemptions.reserve_directory(line.rstrip("/"))
+                else:
+                    exemptions.reserve_file(line)
+        return exemptions

@@ -1,0 +1,200 @@
+"""Columnar activity storage for rapid repeated activeness evaluation.
+
+The paper's preparation procedure re-evaluates every user's activeness at
+each purge trigger ("finishes rapidly, within one second").  The plain
+:class:`~repro.core.activeness.ActivenessEvaluator` walks Python
+``Activity`` objects to build NumPy arrays on every call -- fine for one
+shot, wasteful when a year-long replay triggers 52 evaluations over a
+mostly-append-only history.
+
+:class:`ColumnarActivityStore` keeps activities as per-type *column
+chunks* (uid / timestamp / impact arrays).  Appends are O(1) amortized;
+evaluation consolidates each type's chunks at most once between appends
+and feeds the cached columns straight into the vectorized evaluator.
+Semantically it matches ``ActivenessEvaluator.evaluate`` over an
+equivalent ledger exactly (pinned by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..traces.schema import JobRecord, PublicationRecord
+from .activeness import ActivenessParams, UserActiveness, evaluate_type_bulk
+from .activity import (
+    Activity,
+    ActivityCategory,
+    ActivityType,
+    JOB_SUBMISSION,
+    PUBLICATION,
+)
+
+__all__ = ["ColumnarActivityStore"]
+
+
+class _TypeColumns:
+    """Append-optimized (uids, ts, impacts) columns for one activity type."""
+
+    __slots__ = ("_chunks", "_cache")
+
+    def __init__(self) -> None:
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def append_arrays(self, uids: np.ndarray, ts: np.ndarray,
+                      impacts: np.ndarray) -> None:
+        if not (uids.shape == ts.shape == impacts.shape):
+            raise ValueError("columns must be parallel arrays")
+        if uids.size == 0:
+            return
+        if impacts.min() < 0:
+            raise ValueError("activity impact must be non-negative")
+        self._chunks.append((uids.astype(np.int64, copy=True),
+                             ts.astype(np.int64, copy=True),
+                             impacts.astype(np.float64, copy=True)))
+        self._cache = None
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._cache is None:
+            if not self._chunks:
+                empty_i = np.empty(0, dtype=np.int64)
+                self._cache = (empty_i, empty_i.copy(),
+                               np.empty(0, dtype=np.float64))
+            elif len(self._chunks) == 1:
+                self._cache = self._chunks[0]
+            else:
+                self._cache = tuple(  # type: ignore[assignment]
+                    np.concatenate([c[i] for c in self._chunks])
+                    for i in range(3))
+                self._chunks = [self._cache]
+        return self._cache
+
+    def __len__(self) -> int:
+        return sum(c[0].size for c in self._chunks)
+
+
+class ColumnarActivityStore:
+    """Append-only activity history with cached per-type columns."""
+
+    def __init__(self) -> None:
+        self._types: dict[ActivityType, _TypeColumns] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+
+    def _columns_for(self, activity_type: ActivityType) -> _TypeColumns:
+        cols = self._types.get(activity_type)
+        if cols is None:
+            cols = self._types[activity_type] = _TypeColumns()
+        return cols
+
+    def append(self, activity_type: ActivityType, uid: int, ts: int,
+               impact: float) -> None:
+        """Append a single activity."""
+        self._columns_for(activity_type).append_arrays(
+            np.asarray([uid]), np.asarray([ts]), np.asarray([impact]))
+
+    def extend(self, activity_type: ActivityType,
+               activities: Iterable[Activity]) -> int:
+        """Append a batch of :class:`Activity` records; returns the count."""
+        acts = list(activities)
+        if not acts:
+            return 0
+        self._columns_for(activity_type).append_arrays(
+            np.fromiter((a.uid for a in acts), np.int64, len(acts)),
+            np.fromiter((a.ts for a in acts), np.int64, len(acts)),
+            np.fromiter((a.impact for a in acts), np.float64, len(acts)))
+        return len(acts)
+
+    def ingest_jobs(self, jobs: Iterable[JobRecord],
+                    activity_type: ActivityType = JOB_SUBMISSION) -> int:
+        """Columnar fast path for job traces (impact = core hours)."""
+        jobs = list(jobs)
+        if not jobs:
+            return 0
+        n = len(jobs)
+        self._columns_for(activity_type).append_arrays(
+            np.fromiter((j.uid for j in jobs), np.int64, n),
+            np.fromiter((j.submit_ts for j in jobs), np.int64, n),
+            np.fromiter((j.core_hours() * activity_type.weight
+                         for j in jobs), np.float64, n))
+        return n
+
+    def ingest_publications(self, pubs: Iterable[PublicationRecord],
+                            activity_type: ActivityType = PUBLICATION) -> int:
+        """Columnar fast path for publications (Eq. 8 per author)."""
+        uids: list[int] = []
+        ts: list[int] = []
+        impacts: list[float] = []
+        for pub in pubs:
+            for uid in pub.author_uids:
+                uids.append(uid)
+                ts.append(pub.ts)
+                impacts.append(pub.author_score(uid) * activity_type.weight)
+        if not uids:
+            return 0
+        self._columns_for(activity_type).append_arrays(
+            np.asarray(uids), np.asarray(ts), np.asarray(impacts))
+        return len(uids)
+
+    # ------------------------------------------------------------------
+    # inspection
+
+    def types(self) -> list[ActivityType]:
+        return [t for t, c in self._types.items() if len(c)]
+
+    def total_activities(self) -> int:
+        return sum(len(c) for c in self._types.values())
+
+    # ------------------------------------------------------------------
+    # evaluation
+
+    def evaluate(self, t_c: int, params: ActivenessParams | None = None,
+                 known_uids: Iterable[int] = (),
+                 ) -> dict[int, UserActiveness]:
+        """Every user's activeness at ``t_c`` -- identical semantics to
+        :meth:`repro.core.activeness.ActivenessEvaluator.evaluate` over an
+        equivalent ledger.
+
+        Activities after ``t_c`` are excluded (the store may legitimately
+        hold future history; the replay clips per trigger).
+        """
+        params = params or ActivenessParams()
+        results: dict[int, UserActiveness] = {
+            int(uid): UserActiveness(int(uid)) for uid in known_uids
+        }
+
+        for atype, cols in self._types.items():
+            uids, ts, imp = cols.columns()
+            if uids.size == 0:
+                continue
+            visible = ts <= t_c
+            if not visible.all():
+                uids, ts, imp = uids[visible], ts[visible], imp[visible]
+            if uids.size == 0:
+                continue
+            got_uids, log_ranks = evaluate_type_bulk(uids, ts, imp, t_c,
+                                                     params)
+            order = np.argsort(uids, kind="stable")
+            _, starts = np.unique(uids[order], return_index=True)
+            last_ts = np.maximum.reduceat(ts[order], starts)
+            impact_sums = np.add.reduceat(imp[order], starts)
+
+            is_op = atype.category is ActivityCategory.OPERATION
+            for i, (uid, log_rank) in enumerate(zip(got_uids.tolist(),
+                                                    log_ranks.tolist())):
+                ua = results.get(int(uid))
+                if ua is None:
+                    ua = UserActiveness(int(uid))
+                    results[int(uid)] = ua
+                if is_op:
+                    ua.log_op = ua.log_op + log_rank if ua.has_op else log_rank
+                    ua.has_op = True
+                else:
+                    ua.log_oc = ua.log_oc + log_rank if ua.has_oc else log_rank
+                    ua.has_oc = True
+                ua.last_ts = max(ua.last_ts, int(last_ts[i]))
+                ua.total_impact += float(impact_sums[i])
+        return results

@@ -1,0 +1,99 @@
+"""Administrator notification (section 3.4's reporting mechanism).
+
+"If the purge target is still not reached after all activeness groups are
+tried, ActiveDR will stop and report to the administrator via specified
+reporting mechanism."  The mechanism is site-specific, so the library
+exposes a small protocol with three stock implementations:
+
+* :class:`CollectingNotifier` -- in-memory, what tests and the emulator
+  inspect;
+* :class:`LoggingNotifier` -- standard-library logging;
+* :class:`FileNotifier` -- append-only text log, the classic cron-mail
+  substitute.
+
+Attach one to :class:`~repro.core.retention.ActiveDRPolicy` via the
+``notifier`` keyword; it fires once per retention run that ends with the
+target unmet.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Protocol
+
+from .report import RetentionReport
+
+__all__ = ["Notification", "Notifier", "CollectingNotifier",
+           "LoggingNotifier", "FileNotifier", "render_notification"]
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """An unmet-target event."""
+
+    t_c: int
+    policy: str
+    target_bytes: int
+    purged_bytes: int
+    passes_used: int
+
+    @property
+    def shortfall_bytes(self) -> int:
+        return max(self.target_bytes - self.purged_bytes, 0)
+
+
+def render_notification(note: Notification) -> str:
+    """One-line human-readable rendering."""
+    return (f"{note.policy} purge target unmet at t={note.t_c}: "
+            f"purged {note.purged_bytes} of {note.target_bytes} bytes "
+            f"({note.shortfall_bytes} short) after {note.passes_used} "
+            f"pass(es); administrator action required")
+
+
+class Notifier(Protocol):
+    """The site-specific reporting mechanism."""
+
+    def notify(self, note: Notification) -> None: ...
+
+
+class CollectingNotifier:
+    """Collects notifications in memory."""
+
+    def __init__(self) -> None:
+        self.notifications: list[Notification] = []
+
+    def notify(self, note: Notification) -> None:
+        self.notifications.append(note)
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+
+class LoggingNotifier:
+    """Emits a warning through the standard logging machinery."""
+
+    def __init__(self, logger: logging.Logger | None = None) -> None:
+        self._logger = logger or logging.getLogger("repro.retention")
+
+    def notify(self, note: Notification) -> None:
+        self._logger.warning("%s", render_notification(note))
+
+
+class FileNotifier:
+    """Appends one line per event to a text file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def notify(self, note: Notification) -> None:
+        with open(self.path, "a") as f:
+            f.write(render_notification(note) + "\n")
+
+
+def notification_from_report(report: RetentionReport) -> Notification:
+    """Build the event payload from an unmet-target report."""
+    return Notification(t_c=report.t_c, policy=report.policy,
+                        target_bytes=report.target_bytes,
+                        purged_bytes=report.purged_bytes_total,
+                        passes_used=report.passes_used)

@@ -1,0 +1,54 @@
+"""Common retention-policy interface.
+
+Both the FLT baseline and ActiveDR expose ``run(fs, t_c, ...)`` returning a
+:class:`repro.core.report.RetentionReport`; the emulator drives them
+through this interface.  Shared helpers for target computation live here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+from ..vfs.filesystem import VirtualFileSystem
+from .activeness import UserActiveness
+from .config import RetentionConfig
+from .exemption import ExemptionList
+from .report import RetentionReport
+
+__all__ = ["RetentionPolicy", "purge_target_bytes"]
+
+
+def purge_target_bytes(fs: VirtualFileSystem, config: RetentionConfig) -> int:
+    """Bytes that must be purged to reach the configured utilization.
+
+    The paper sets the purge target as a fraction of total capacity
+    (section 4.1.3: "50% of the total storage capacity").  When the file
+    system has no declared capacity the target is 0 (nothing *must* go;
+    FLT still purges stale files, ActiveDR stops immediately).
+    """
+    if fs.capacity_bytes <= 0:
+        return 0
+    allowed = int(config.purge_target_utilization * fs.capacity_bytes)
+    return max(0, fs.total_bytes - allowed)
+
+
+class RetentionPolicy(abc.ABC):
+    """A data-retention policy driving purge decisions over a VFS."""
+
+    #: Human-readable policy name used in reports and benchmark output.
+    name: str = "abstract"
+
+    def __init__(self, config: RetentionConfig | None = None) -> None:
+        self.config = config or RetentionConfig()
+
+    @abc.abstractmethod
+    def run(self, fs: VirtualFileSystem, t_c: int, *,
+            activeness: Mapping[int, UserActiveness] | None = None,
+            exemptions: ExemptionList | None = None) -> RetentionReport:
+        """Execute one retention pass at time ``t_c``, mutating ``fs``.
+
+        ``activeness`` is the user-activeness evaluation as of ``t_c``
+        (required by ActiveDR; used by FLT only to label report groups so
+        the two policies are comparable per user class).
+        """

@@ -1,0 +1,119 @@
+"""Retention run reports: the counters behind Figs. 9-11 / Tables 4-6.
+
+The paper's emulation keeps, per parallel process, "a series of counters to
+record the number of purged/retained files, the total size of the
+purged/retained files, and the number of users whose files are
+purged/retained".  ``RetentionReport`` is the merged form of those
+counters, broken down by user activeness group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .classification import UserClass
+
+__all__ = ["GroupTally", "RetentionReport"]
+
+
+@dataclass(slots=True)
+class GroupTally:
+    """Purge/retain counters for one user-activeness group."""
+
+    purged_files: int = 0
+    purged_bytes: int = 0
+    retained_files: int = 0
+    retained_bytes: int = 0
+    users_purged: set[int] = field(default_factory=set)
+    users_scanned: set[int] = field(default_factory=set)
+
+    @property
+    def affected_users(self) -> int:
+        """Users that lost at least one file (the Fig. 11 measure)."""
+        return len(self.users_purged)
+
+    def merge(self, other: "GroupTally") -> None:
+        self.purged_files += other.purged_files
+        self.purged_bytes += other.purged_bytes
+        self.retained_files += other.retained_files
+        self.retained_bytes += other.retained_bytes
+        self.users_purged |= other.users_purged
+        self.users_scanned |= other.users_scanned
+
+
+@dataclass(slots=True)
+class RetentionReport:
+    """Outcome of one retention run.
+
+    ``target_bytes`` is how much the run had to purge; ``target_met``
+    records whether it got there (ActiveDR reports unmet targets to the
+    administrator, section 3.4).
+    """
+
+    policy: str
+    t_c: int
+    lifetime_days: float
+    target_bytes: int = 0
+    purged_bytes_total: int = 0
+    target_met: bool = True
+    passes_used: int = 1
+    groups: dict[UserClass, GroupTally] = field(
+        default_factory=lambda: {cls: GroupTally() for cls in UserClass})
+
+    # ------------------------------------------------------------------
+
+    def tally(self, group: UserClass) -> GroupTally:
+        return self.groups[group]
+
+    def record_purge(self, group: UserClass, uid: int, size: int) -> None:
+        t = self.groups[group]
+        t.purged_files += 1
+        t.purged_bytes += size
+        t.users_purged.add(uid)
+        self.purged_bytes_total += size
+
+    def record_retain(self, group: UserClass, uid: int, size: int) -> None:
+        t = self.groups[group]
+        t.retained_files += 1
+        t.retained_bytes += size
+        t.users_scanned.add(uid)
+
+    # ------------------------------------------------------------------
+    # aggregate views
+
+    @property
+    def purged_files_total(self) -> int:
+        return sum(t.purged_files for t in self.groups.values())
+
+    @property
+    def retained_bytes_total(self) -> int:
+        return sum(t.retained_bytes for t in self.groups.values())
+
+    @property
+    def retained_files_total(self) -> int:
+        return sum(t.retained_files for t in self.groups.values())
+
+    def purged_bytes(self, group: UserClass) -> int:
+        return self.groups[group].purged_bytes
+
+    def retained_bytes(self, group: UserClass) -> int:
+        return self.groups[group].retained_bytes
+
+    def affected_users(self, group: UserClass) -> int:
+        return self.groups[group].affected_users
+
+    def merge(self, other: "RetentionReport") -> None:
+        """Fold in a report from another shard (parallel scan reduction)."""
+        self.purged_bytes_total += other.purged_bytes_total
+        self.target_met = self.target_met and other.target_met
+        self.passes_used = max(self.passes_used, other.passes_used)
+        for cls, tally in other.groups.items():
+            self.groups[cls].merge(tally)
+
+    def summary_rows(self) -> list[tuple[str, int, int, int, int, int]]:
+        """Per-group rows: (label, purged files, purged bytes, retained
+        files, retained bytes, affected users)."""
+        return [(cls.label, t.purged_files, t.purged_bytes, t.retained_files,
+                 t.retained_bytes, t.affected_users)
+                for cls, t in self.groups.items()]

@@ -1,0 +1,172 @@
+"""The ActiveDR retention engine (section 3.4).
+
+The procedure, faithful to the paper:
+
+1. Users are classified into the four activeness groups and visited in
+   :data:`repro.core.classification.GROUP_SCAN_ORDER` -- both-inactive
+   first, both-active last -- with users inside each group ascending by
+   activeness rank.  Least-protected files face the purge first.
+2. For each non-reserved file of a user, the lifetime is *adjusted* by the
+   user's activeness (Eq. 7)::
+
+       epsilon_f = d * Phi_op * Phi_oc
+
+   and the file is purged when ``t_c - atime_f > epsilon_f``.  Both-inactive
+   and history-less users fall back to the initial lifetime ``d`` on their
+   first scan (the section 3.4 new-user rule).
+3. The moment the purge target is reached the whole procedure stops.
+4. When a group finishes and the target is still unmet, ActiveDR
+   *retrospectively* re-scans that group up to ``retrospective_passes``
+   times (5 in the paper), decaying the user activeness rank by
+   ``rank_decay`` (20 %) on each pass -- i.e. pass ``i`` uses
+   ``epsilon_f * (1 - rank_decay)^i``.
+5. If the target is still unmet after every group is tried, the run ends
+   with ``target_met=False`` so the administrator can be alerted.
+
+All rank arithmetic is in log space (ranks can exceed 1e300 for extremely
+active users; the adjusted lifetime saturates at "never purge").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..vfs.file_meta import DAY_SECONDS
+from ..vfs.filesystem import VirtualFileSystem
+from .activeness import UserActiveness
+from .classification import UserClass, classify, scan_ordered_uids
+from .config import RetentionConfig
+from .exemption import ExemptionList
+from .policy import RetentionPolicy, purge_target_bytes
+from .report import RetentionReport
+
+__all__ = ["ActiveDRPolicy", "adjusted_lifetime_seconds"]
+
+
+def adjusted_lifetime_seconds(config: RetentionConfig, ua: UserActiveness,
+                              group: UserClass, decay_factor: float = 1.0,
+                              ) -> float:
+    """Eq. (7): the activeness-adjusted lifetime of a user's files.
+
+    ``decay_factor`` is ``(1 - rank_decay)^pass`` during retrospective
+    passes.  Both-inactive users are floored at the initial lifetime
+    (before decay), implementing the first-scan protection of section 3.4.
+    Returns ``inf`` when the rank is large enough that the file can never
+    age out.
+    """
+    log_mult = ua.log_lifetime_multiplier(
+        zero_rank_as_initial=config.zero_rank_as_initial)
+    if group is UserClass.BOTH_INACTIVE:
+        log_mult = max(log_mult, 0.0)
+    base_seconds = config.lifetime_days * DAY_SECONDS
+    log_lifetime = math.log(base_seconds) + log_mult
+    if decay_factor < 1.0:
+        log_lifetime += math.log(decay_factor)
+    if log_lifetime > 700.0:  # exp overflow guard: effectively "never purge"
+        return math.inf
+    return math.exp(log_lifetime)
+
+
+class _TargetReached(Exception):
+    """Internal control flow: the purge target was hit mid-scan."""
+
+
+class ActiveDRPolicy(RetentionPolicy):
+    """Activeness-based data retention.
+
+    ``notifier`` is the section 3.4 administrator-reporting mechanism
+    (see :mod:`repro.core.notify`); it fires whenever a run ends with the
+    purge target unmet.
+    """
+
+    name = "ActiveDR"
+
+    def __init__(self, config: RetentionConfig | None = None, *,
+                 notifier=None) -> None:
+        super().__init__(config)
+        self.notifier = notifier
+
+    def run(self, fs: VirtualFileSystem, t_c: int, *,
+            activeness: Mapping[int, UserActiveness] | None = None,
+            exemptions: ExemptionList | None = None) -> RetentionReport:
+        if activeness is None:
+            raise ValueError("ActiveDR requires a user-activeness evaluation")
+
+        target = purge_target_bytes(fs, self.config)
+        report = RetentionReport(policy=self.name, t_c=t_c,
+                                 lifetime_days=self.config.lifetime_days,
+                                 target_bytes=target)
+
+        # Owners present on disk but absent from the evaluation are new
+        # users: initial rank, classified both-inactive.
+        full = dict(activeness)
+        for uid in fs.uids():
+            full.setdefault(uid, UserActiveness(uid))
+
+        groups = scan_ordered_uids(full)
+        self._classes = {uid: cls for cls, uids in groups for uid in uids}
+
+        if target <= 0:
+            # Already at or below the target utilization: stop immediately
+            # (section 3.4 -- the procedure halts the moment the target is
+            # reached, and here it is reached before any purge).
+            self._record_survivors(fs, report, full)
+            return report
+
+        try:
+            for group, uids in groups:
+                self._scan_group(fs, t_c, report, full, group, uids,
+                                 exemptions, target, decay_factor=1.0)
+                for retro in range(1, self.config.retrospective_passes + 1):
+                    if report.purged_bytes_total >= target:
+                        break
+                    decay = (1.0 - self.config.rank_decay) ** retro
+                    report.passes_used = max(report.passes_used, retro + 1)
+                    self._scan_group(fs, t_c, report, full, group, uids,
+                                     exemptions, target, decay_factor=decay)
+        except _TargetReached:
+            pass
+
+        report.target_met = report.purged_bytes_total >= target
+        self._record_survivors(fs, report, full)
+        if not report.target_met and self.notifier is not None:
+            from .notify import notification_from_report
+            self.notifier.notify(notification_from_report(report))
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _scan_group(self, fs: VirtualFileSystem, t_c: int,
+                    report: RetentionReport,
+                    activeness: Mapping[int, UserActiveness],
+                    group: UserClass, uids: list[int],
+                    exemptions: ExemptionList | None,
+                    target: int, decay_factor: float) -> None:
+        for uid in uids:
+            ua = activeness[uid]
+            lifetime = adjusted_lifetime_seconds(self.config, ua, group,
+                                                 decay_factor)
+            if math.isinf(lifetime):
+                continue
+            stale: list[tuple[str, int]] = []
+            for path, meta in fs.iter_user_files(uid):
+                if exemptions is not None and path in exemptions:
+                    continue
+                if t_c - meta.atime > lifetime:
+                    stale.append((path, meta.size))
+            for path, size in stale:
+                fs.remove_file(path)
+                report.record_purge(group, uid, size)
+                if report.purged_bytes_total >= target:
+                    raise _TargetReached
+
+    def _record_survivors(self, fs: VirtualFileSystem,
+                          report: RetentionReport,
+                          activeness: Mapping[int, UserActiveness]) -> None:
+        for path, meta in fs.iter_files():
+            cls = self._classes.get(meta.uid)
+            if cls is None:
+                ua = activeness.get(meta.uid)
+                cls = classify(ua) if ua else UserClass.BOTH_INACTIVE
+            report.record_retain(cls, meta.uid, meta.size)

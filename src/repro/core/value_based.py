@@ -1,0 +1,127 @@
+"""The value-based retention baseline (related work, section 2).
+
+Value-based approaches score each *file* by a combination of attributes
+-- age, size, type, access frequency -- and purge the lowest-value files
+first.  The paper excludes them from its evaluation because "there is no
+consensus on the definition of data value"; precisely for that reason the
+implementation here makes the value function pluggable, with the
+composite weighted form the literature converges on as the default:
+
+    value(f) = w_recency * recency(f) + w_size * smallness(f)
+             + w_type * type_weight(ext(f))
+
+where recency decays exponentially with the file's age and smallness
+favours cheap-to-keep files.  The policy ranks all files ascending by
+value and purges until the target utilization is reached (or, without a
+target, purges every file whose value falls below a threshold).
+
+This baseline is *file-centric*: like FLT it knows nothing about users,
+which is exactly the contrast ActiveDR draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..vfs.file_meta import FileMeta
+from ..vfs.filesystem import VirtualFileSystem
+from .activeness import UserActiveness
+from .classification import UserClass, classify
+from .config import RetentionConfig
+from .exemption import ExemptionList
+from .policy import RetentionPolicy, purge_target_bytes
+from .report import RetentionReport
+
+__all__ = ["ValueFunction", "CompositeValueFunction", "ValueBasedPolicy"]
+
+#: A value function maps (path, metadata, now) to a non-negative score.
+ValueFunction = Callable[[str, FileMeta, int], float]
+
+#: Default per-extension keep weights: checkpoints and logs are cheap to
+#: regenerate; curated datasets are not.
+_DEFAULT_TYPE_WEIGHTS = {
+    "h5": 1.0, "nc": 1.0, "dat": 0.8, "bin": 0.7,
+    "out": 0.4, "chk": 0.2, "log": 0.1,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeValueFunction:
+    """The weighted-attribute value definition most variants share."""
+
+    w_recency: float = 1.0
+    w_size: float = 0.3
+    w_type: float = 0.3
+    recency_halflife_days: float = 30.0
+    type_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_TYPE_WEIGHTS))
+    default_type_weight: float = 0.5
+
+    def __call__(self, path: str, meta: FileMeta, now: int) -> float:
+        age_days = max(meta.age_days(now), 0.0)
+        recency = 0.5 ** (age_days / self.recency_halflife_days)
+        # Smallness in (0, 1]: a 4 KiB file scores ~1, a 1 TiB file ~0.06.
+        smallness = 1.0 / (1.0 + math.log2(max(meta.size, 1) / 4096.0) / 10.0
+                           ) if meta.size > 4096 else 1.0
+        ext = path.rsplit(".", 1)[-1] if "." in path else ""
+        type_weight = self.type_weights.get(ext, self.default_type_weight)
+        return (self.w_recency * recency + self.w_size * smallness
+                + self.w_type * type_weight)
+
+
+class ValueBasedPolicy(RetentionPolicy):
+    """Purge lowest-value files first, up to the purge target.
+
+    Without a positive purge target the policy purges every file whose
+    value is below ``value_threshold`` (the "information lifecycle"
+    formulation).
+    """
+
+    name = "ValueBased"
+
+    def __init__(self, config: RetentionConfig | None = None, *,
+                 value_function: ValueFunction | None = None,
+                 value_threshold: float = 0.1) -> None:
+        super().__init__(config)
+        self.value_function = value_function or CompositeValueFunction()
+        self.value_threshold = value_threshold
+
+    def run(self, fs: VirtualFileSystem, t_c: int, *,
+            activeness: Mapping[int, UserActiveness] | None = None,
+            exemptions: ExemptionList | None = None) -> RetentionReport:
+        target = purge_target_bytes(fs, self.config)
+        report = RetentionReport(policy=self.name, t_c=t_c,
+                                 lifetime_days=self.config.lifetime_days,
+                                 target_bytes=target)
+
+        def group_of(uid: int) -> UserClass:
+            if activeness is None:
+                return UserClass.BOTH_INACTIVE
+            ua = activeness.get(uid)
+            return classify(ua) if ua is not None else UserClass.BOTH_INACTIVE
+
+        scored: list[tuple[float, str, FileMeta]] = []
+        for path, meta in fs.iter_files():
+            if exemptions is not None and path in exemptions:
+                continue
+            scored.append((self.value_function(path, meta, t_c), path, meta))
+        scored.sort(key=lambda item: (item[0], item[1]))
+
+        purged = 0
+        for value, path, meta in scored:
+            if target > 0:
+                if purged >= target:
+                    break
+            elif value >= self.value_threshold:
+                break  # ascending order: everything further is valuable
+            fs.remove_file(path)
+            report.record_purge(group_of(meta.uid), meta.uid, meta.size)
+            purged += meta.size
+
+        for path, meta in fs.iter_files():
+            report.record_retain(group_of(meta.uid), meta.uid, meta.size)
+        if target > 0:
+            report.target_met = purged >= target
+        return report

@@ -1,0 +1,34 @@
+"""Trace-replay emulation: the day-granular replay loop, miss metrics,
+and the FLT-vs-ActiveDR comparison runner."""
+
+from .emulator import (
+    EmulationResult,
+    Emulator,
+    EmulatorConfig,
+    advance_filesystem,
+    deterministic_file_size,
+)
+from .metrics import DailyMetrics
+from .runner import (
+    ACTIVEDR,
+    FLT,
+    ComparisonResult,
+    ComparisonRunner,
+    run_lifetime_sweep,
+    single_snapshot_comparison,
+)
+
+__all__ = [
+    "EmulationResult",
+    "Emulator",
+    "EmulatorConfig",
+    "advance_filesystem",
+    "deterministic_file_size",
+    "DailyMetrics",
+    "ACTIVEDR",
+    "FLT",
+    "ComparisonResult",
+    "ComparisonRunner",
+    "run_lifetime_sweep",
+    "single_snapshot_comparison",
+]

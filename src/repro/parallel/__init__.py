@@ -1,0 +1,34 @@
+"""Parallel execution substrate: MPI-style communicators, partitioners,
+shard-parallel scanning, and the time/memory probes behind Fig. 12."""
+
+from .comm import Communicator, PipeComm, SerialComm, run_spmd
+from .partition import block_partition, block_ranges, cyclic_partition
+from .probes import ProbeLog, Timer, rss_bytes, rss_mib
+from .retention import (
+    RankDecisions,
+    apply_purge_decisions,
+    parallel_purge_decisions,
+    user_shard_payload,
+)
+from .scan import RankScanResult, parallel_shard_scan, scan_rank
+
+__all__ = [
+    "Communicator",
+    "PipeComm",
+    "SerialComm",
+    "run_spmd",
+    "block_partition",
+    "block_ranges",
+    "cyclic_partition",
+    "ProbeLog",
+    "Timer",
+    "rss_bytes",
+    "rss_mib",
+    "RankScanResult",
+    "parallel_shard_scan",
+    "scan_rank",
+    "RankDecisions",
+    "apply_purge_decisions",
+    "parallel_purge_decisions",
+    "user_shard_payload",
+]

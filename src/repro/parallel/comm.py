@@ -1,0 +1,210 @@
+"""MPI-style communicator abstraction.
+
+The paper's prototype uses mpi4py to shard the snapshot scan across ranks.
+mpi4py cannot be installed in this environment, so this module reproduces
+the communication pattern the prototype needs -- rank/size identity plus
+the small set of collectives (bcast / scatter / gather / allgather /
+reduce / allreduce / barrier) -- over two backends:
+
+* :class:`SerialComm` -- a single-rank communicator whose collectives are
+  identities; tests and small runs use it, and any SPMD function written
+  against the interface runs unchanged.
+* :func:`run_spmd` -- true multi-process SPMD execution: ``size`` OS
+  processes each receive a :class:`PipeComm` wired in a star topology to
+  rank 0, mirroring mpi4py's ``COMM_WORLD`` usage in the paper.
+
+As in MPI, collectives must be called by *all* ranks in the same order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable, Protocol, Sequence
+
+__all__ = ["Communicator", "SerialComm", "PipeComm", "run_spmd"]
+
+
+class Communicator(Protocol):
+    """The subset of MPI semantics the scanners rely on."""
+
+    rank: int
+    size: int
+
+    def bcast(self, obj: Any, root: int = 0) -> Any: ...
+    def scatter(self, items: Sequence[Any] | None, root: int = 0) -> Any: ...
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None: ...
+    def allgather(self, obj: Any) -> list[Any]: ...
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any | None: ...
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any: ...
+    def barrier(self) -> None: ...
+
+
+class SerialComm:
+    """Single-rank communicator: every collective is the identity."""
+
+    rank = 0
+    size = 1
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return obj
+
+    def scatter(self, items: Sequence[Any] | None, root: int = 0) -> Any:
+        if items is None or len(items) != 1:
+            raise ValueError("serial scatter needs exactly one item")
+        return items[0]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        return [obj]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return [obj]
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any | None:
+        return obj
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return obj
+
+    def barrier(self) -> None:
+        return None
+
+
+class PipeComm:
+    """Star-topology communicator used inside :func:`run_spmd` workers.
+
+    Rank 0 holds one pipe per peer and coordinates every collective; other
+    ranks hold a single pipe to rank 0.  This is not a performance-optimal
+    MPI (no tree algorithms) but preserves the semantics and the
+    per-rank measurement points of the paper's parallel scans.
+    """
+
+    def __init__(self, rank: int, size: int,
+                 root_conns: list[Any] | None, my_conn: Any | None) -> None:
+        self.rank = rank
+        self.size = size
+        self._root_conns = root_conns  # rank 0 only: conns to ranks 1..size-1
+        self._my_conn = my_conn        # non-root only: conn to rank 0
+
+    # -- point-to-point through the star ---------------------------------
+
+    def _send_to(self, peer: int, obj: Any) -> None:
+        if self.rank != 0:
+            raise RuntimeError("only rank 0 routes messages")
+        self._root_conns[peer - 1].send(obj)
+
+    def _recv_from(self, peer: int) -> Any:
+        if self.rank != 0:
+            raise RuntimeError("only rank 0 routes messages")
+        return self._root_conns[peer - 1].recv()
+
+    # -- collectives ------------------------------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if root != 0:
+            raise NotImplementedError("star topology broadcasts from rank 0")
+        if self.size == 1:
+            return obj
+        if self.rank == 0:
+            for peer in range(1, self.size):
+                self._send_to(peer, obj)
+            return obj
+        return self._my_conn.recv()
+
+    def scatter(self, items: Sequence[Any] | None, root: int = 0) -> Any:
+        if root != 0:
+            raise NotImplementedError("star topology scatters from rank 0")
+        if self.rank == 0:
+            if items is None or len(items) != self.size:
+                raise ValueError("scatter needs exactly one item per rank")
+            for peer in range(1, self.size):
+                self._send_to(peer, items[peer])
+            return items[0]
+        return self._my_conn.recv()
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        if root != 0:
+            raise NotImplementedError("star topology gathers to rank 0")
+        if self.rank == 0:
+            out = [obj]
+            for peer in range(1, self.size):
+                out.append(self._recv_from(peer))
+            return out
+        self._my_conn.send(obj)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        gathered = self.gather(obj)
+        return self.bcast(gathered)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any | None:
+        gathered = self.gather(obj, root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return self.bcast(self.reduce(obj, op))
+
+    def barrier(self) -> None:
+        self.gather(None)
+        self.bcast(None)
+
+
+def _spmd_worker(rank: int, size: int, root_conns: list[Any] | None,
+                 my_conn: Any | None, fn: Callable[..., Any], payload: Any,
+                 result_queue: mp.Queue) -> None:
+    comm = PipeComm(rank, size, root_conns, my_conn)
+    try:
+        result = fn(comm, payload)
+        result_queue.put((rank, result, None))
+    except Exception as exc:  # surface worker failures to the parent
+        result_queue.put((rank, None, repr(exc)))
+
+
+def run_spmd(fn: Callable[[Communicator, Any], Any], size: int,
+             payload: Any = None) -> list[Any]:
+    """Run ``fn(comm, payload)`` on ``size`` ranks; return per-rank results.
+
+    ``fn`` and ``payload`` must be picklable (module-level functions).
+    Raises ``RuntimeError`` if any rank raised, with the rank's exception
+    repr attached.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if size == 1:
+        return [fn(SerialComm(), payload)]
+
+    ctx = mp.get_context("fork")
+    pipes = [ctx.Pipe() for _ in range(size - 1)]
+    root_conns = [parent for parent, _child in pipes]
+    result_queue: mp.Queue = ctx.Queue()
+
+    procs = []
+    procs.append(ctx.Process(target=_spmd_worker,
+                             args=(0, size, root_conns, None, fn, payload,
+                                   result_queue)))
+    for rank in range(1, size):
+        procs.append(ctx.Process(
+            target=_spmd_worker,
+            args=(rank, size, None, pipes[rank - 1][1], fn, payload,
+                  result_queue)))
+    for p in procs:
+        p.start()
+    results: dict[int, Any] = {}
+    errors: dict[int, str] = {}
+    for _ in range(size):
+        rank, result, error = result_queue.get()
+        if error is not None:
+            errors[rank] = error
+        results[rank] = result
+    for p in procs:
+        p.join()
+    if errors:
+        raise RuntimeError(f"SPMD ranks failed: {errors}")
+    return [results[r] for r in range(size)]

@@ -1,0 +1,42 @@
+"""Work partitioners for shard-parallel scanning."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["block_ranges", "block_partition", "cyclic_partition"]
+
+T = TypeVar("T")
+
+
+def block_ranges(n_items: int, n_parts: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges, sizes differing by at most 1.
+
+    The first ``n_items % n_parts`` parts get the extra element, matching
+    MPI block-distribution conventions.  Empty parts are allowed when
+    ``n_parts > n_items``.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    base, extra = divmod(n_items, n_parts)
+    ranges = []
+    start = 0
+    for part in range(n_parts):
+        size = base + (1 if part < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def block_partition(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Split ``items`` into contiguous blocks."""
+    return [list(items[lo:hi]) for lo, hi in block_ranges(len(items), n_parts)]
+
+
+def cyclic_partition(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Deal ``items`` round-robin (balances heterogeneous shard costs)."""
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    return [list(items[part::n_parts]) for part in range(n_parts)]

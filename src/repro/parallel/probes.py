@@ -1,0 +1,97 @@
+"""Time and memory probes.
+
+The paper instruments its runs with "multiple probes to monitor the
+running time and the memory consumption of the program" (section 4.1.3);
+Fig. 12 reports the numbers.  These are the equivalents: a wall-clock
+timer context manager and an RSS reader, plus a record type the Fig. 12
+bench aggregates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "rss_bytes", "rss_mib", "ProbeLog"]
+
+
+class Timer:
+    """Wall-clock context manager.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def rss_bytes() -> int:
+    """Resident-set size of this process, from ``/proc`` (0 if unreadable)."""
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
+
+
+def rss_mib() -> float:
+    """RSS in MiB."""
+    return rss_bytes() / (1024.0 * 1024.0)
+
+
+@dataclass(slots=True)
+class ProbeLog:
+    """Named (seconds, delta-RSS) measurements accumulated during a run."""
+
+    timings: dict[str, float] = field(default_factory=dict)
+    memory_mib: dict[str, float] = field(default_factory=dict)
+
+    def measure(self, name: str):
+        """Context manager recording wall time and RSS growth under ``name``.
+
+        >>> log = ProbeLog()
+        >>> with log.measure("load"):
+        ...     data = list(range(10))
+        >>> "load" in log.timings
+        True
+        """
+        return _Measurement(self, name)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def record_memory(self, name: str, mib: float) -> None:
+        self.memory_mib[name] = self.memory_mib.get(name, 0.0) + mib
+
+
+class _Measurement:
+    def __init__(self, log: ProbeLog, name: str) -> None:
+        self._log = log
+        self._name = name
+        self._timer = Timer()
+        self._rss0 = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._rss0 = rss_mib()
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.__exit__(*exc)
+        self._log.record_time(self._name, self._timer.elapsed)
+        self._log.record_memory(self._name, max(rss_mib() - self._rss0, 0.0))

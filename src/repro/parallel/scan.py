@@ -1,0 +1,67 @@
+"""Shard-parallel snapshot scanning.
+
+The paper scans the weekly metadata snapshot -- stored as a series of
+gzipped text files -- with multiple parallel processes, each timing its
+shards (Fig. 12c/d).  ``parallel_shard_scan`` reproduces that pattern:
+shards are block-partitioned across ranks, every rank maps ``shard_fn``
+over its block and times each shard, and rank results are gathered.
+
+The worker function must be a module-level (picklable) callable.  With
+``n_ranks=1`` everything runs serially in-process, which is what the unit
+tests exercise; the Fig. 12 bench uses real processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .comm import Communicator, SerialComm, run_spmd
+from .partition import block_partition
+from .probes import Timer
+
+__all__ = ["RankScanResult", "parallel_shard_scan", "scan_rank"]
+
+
+@dataclass(slots=True)
+class RankScanResult:
+    """What one rank produced: per-shard timings and per-shard values."""
+
+    rank: int
+    shard_paths: list[str] = field(default_factory=list)
+    shard_seconds: list[float] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.shard_seconds)
+
+
+def scan_rank(comm: Communicator, payload: tuple[list[list[str]],
+                                                 Callable[[str], Any]],
+              ) -> RankScanResult:
+    """SPMD body: scan this rank's shard block (also usable standalone)."""
+    blocks, shard_fn = payload
+    result = RankScanResult(rank=comm.rank)
+    for shard in blocks[comm.rank]:
+        with Timer() as t:
+            value = shard_fn(shard)
+        result.shard_paths.append(shard)
+        result.shard_seconds.append(t.elapsed)
+        result.values.append(value)
+    return result
+
+
+def parallel_shard_scan(shards: list[str], shard_fn: Callable[[str], Any],
+                        n_ranks: int = 1) -> list[RankScanResult]:
+    """Scan ``shards`` with ``shard_fn`` across ``n_ranks`` processes.
+
+    Returns one :class:`RankScanResult` per rank, rank order.  ``shard_fn``
+    must be picklable when ``n_ranks > 1``.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    blocks = block_partition(shards, n_ranks)
+    if n_ranks == 1:
+        return [scan_rank(SerialComm(), (blocks, shard_fn))]
+    return run_spmd(scan_rank, n_ranks, (blocks, shard_fn))

@@ -1,0 +1,52 @@
+"""Synthetic Titan/Spider workload generation.
+
+Substitutes the proprietary OLCF traces with calibrated, seeded
+generators; see DESIGN.md section 1 for the substitution rationale.
+"""
+
+from .apps import AccessTraceConfig, generate_accesses
+from .calibration import CalibrationStats, calibrate, render_calibration
+from .distributions import (
+    bounded_pareto,
+    lognormal_int,
+    poisson_burst_times,
+    spawn_rng,
+    weighted_choice,
+    zipf_bounded,
+)
+from .files import FileTreeConfig, UserFiles, build_filesystem, generate_file_trees
+from .jobs import JobTraceConfig, generate_jobs, user_session_anchors
+from .pubs import PublicationConfig, generate_publications
+from .titan import TitanConfig, TitanDataset, generate_dataset, ts_utc
+from .users import ARCHETYPES, Archetype, UserProfile, generate_users
+
+__all__ = [
+    "AccessTraceConfig",
+    "generate_accesses",
+    "CalibrationStats",
+    "calibrate",
+    "render_calibration",
+    "bounded_pareto",
+    "lognormal_int",
+    "poisson_burst_times",
+    "spawn_rng",
+    "weighted_choice",
+    "zipf_bounded",
+    "FileTreeConfig",
+    "UserFiles",
+    "build_filesystem",
+    "generate_file_trees",
+    "JobTraceConfig",
+    "generate_jobs",
+    "user_session_anchors",
+    "PublicationConfig",
+    "generate_publications",
+    "TitanConfig",
+    "TitanDataset",
+    "generate_dataset",
+    "ts_utc",
+    "ARCHETYPES",
+    "Archetype",
+    "UserProfile",
+    "generate_users",
+]

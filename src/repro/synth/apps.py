@@ -1,0 +1,177 @@
+"""Synthetic application (file-access) traces for the replay year.
+
+The application log is what the emulator replays: each record is a file
+path touched by some user's application at some time.  File misses happen
+exactly when a replayed path was purged earlier, so the generator's job is
+to produce realistic *re-access* structure:
+
+* access sessions cluster around the user's job campaigns;
+* each session works on one project directory, mixing fresh files with
+  re-visits of older ones (``reaccess_bias``);
+* **hiatus** users issue a broad "return session" right after their break,
+  re-reading files that sat untouched longer than the file lifetime --
+  the paper's central FLT failure mode;
+* **toucher** users sweep all their files on a fixed cadence while doing
+  almost no real work -- the FLT-gaming behaviour ActiveDR is designed to
+  stop rewarding;
+* sessions optionally *create* files, growing the scratch space over the
+  year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.schema import AppAccessRecord
+from ..vfs.file_meta import DAY_SECONDS
+from .distributions import spawn_rng
+from .files import UserFiles
+from .users import UserProfile
+
+__all__ = ["AccessTraceConfig", "generate_accesses"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessTraceConfig:
+    """Knobs of the access-trace generator."""
+
+    replay_start: int = 0
+    replay_end: int = 0
+    accesses_per_session_mean: float = 25.0
+    working_set_fraction: float = 0.3
+    create_probability: float = 0.04   # per-access chance of a new file
+    touch_cadence_days: float = 60.0   # toucher sweep interval
+    return_session_fraction: float = 0.6  # of a hiatus user's files revisited
+    #: Files untouched for this long at snapshot time start in the "cold"
+    #: pool that deep revisits draw from.
+    recent_horizon_days: float = 30.0
+    #: Base probability that a session is a *deep revisit* into cold files
+    #: instead of ongoing work on the warm set (scaled by the archetype's
+    #: ``reaccess_bias``).
+    deep_revisit_base: float = 0.05
+
+
+def generate_accesses(profiles: list[UserProfile], trees: list[UserFiles],
+                      config: AccessTraceConfig,
+                      seed: int) -> list[AppAccessRecord]:
+    """The full replay-year access log, time-sorted."""
+    if config.replay_end <= config.replay_start:
+        raise ValueError("replay_end must exceed replay_start")
+    trees_by_uid = {t.uid: t for t in trees}
+    records: list[AppAccessRecord] = []
+    for profile in profiles:
+        rng = spawn_rng(seed, "apps", profile.uid)
+        tree = trees_by_uid.get(profile.uid)
+        if tree is None or not tree.paths:
+            continue
+        records.extend(_user_accesses(profile, tree, config, rng))
+    records.sort(key=lambda r: r.ts)
+    return records
+
+
+def _user_accesses(profile: UserProfile, tree: UserFiles,
+                   config: AccessTraceConfig,
+                   rng: np.random.Generator) -> list[AppAccessRecord]:
+    out: list[AppAccessRecord] = []
+    arche = profile.archetype
+
+    # Warm/cold split at snapshot time.  The warm pool is the user's live
+    # working set and evolves as sessions run; the cold pool holds files
+    # untouched for ``recent_horizon_days`` -- deep revisits draw from it
+    # *without replacement* (a user digs an old dataset out once; after a
+    # miss they restore or abandon it, they do not re-open it weekly).
+    horizon = config.recent_horizon_days * DAY_SECONDS
+    snapshot_ts = min(config.replay_start,
+                      max((m.atime for m in tree.metas), default=0))
+    warm: list[str] = []
+    cold: list[str] = []
+    for path, meta in zip(tree.paths, tree.metas):
+        if snapshot_ts - meta.atime <= horizon:
+            warm.append(path)
+        else:
+            cold.append(path)
+    if not warm:
+        warm = tree.paths[-1:]
+    rng.shuffle(cold)
+
+    # --- regular work sessions -------------------------------------------
+    span = config.replay_end - config.replay_start
+    years = span / (365.0 * DAY_SECONDS)
+    n_sessions = int(rng.poisson(
+        max(arche.sessions_per_year * profile.intensity * years, 0.05)))
+    start = config.replay_start
+    if profile.onset_ts is not None:
+        start = max(start, min(profile.onset_ts, config.replay_end - 1))
+    anchors = (rng.integers(start, config.replay_end, size=n_sessions)
+               if n_sessions else np.empty(0, dtype=np.int64))
+    if profile.hiatus_window is not None:
+        lo, hi = profile.hiatus_window
+        anchors = anchors[(anchors < lo) | (anchors >= hi)]
+
+    deep_prob = min(config.deep_revisit_base + 0.3 * arche.reaccess_bias, 0.9)
+    created_serial = 0
+    proj_names = list(tree.project_paths)
+    for anchor in np.sort(anchors):
+        session_span = int(arche.session_span_days * DAY_SECONDS)
+        n_acc = max(int(rng.poisson(config.accesses_per_session_mean
+                                    * arche.access_scale)), 1)
+
+        if cold and rng.uniform() < deep_prob:
+            # Deep revisit: dig a batch of cold files out and work on it
+            # for the whole session (reviving an old dataset is a real
+            # campaign, not a single open).
+            take = min(max(int(rng.integers(1, 12)), 1), len(cold))
+            working_set = [cold.pop() for _ in range(take)]
+            warm.extend(working_set)
+        else:
+            ws_size = max(int(len(warm) * config.working_set_fraction), 1)
+            working_set = warm[-ws_size:]
+
+        proj = proj_names[int(rng.integers(0, len(proj_names)))]
+        for _ in range(n_acc):
+            ts = int(anchor + rng.integers(0, max(session_span, 1)))
+            if ts >= config.replay_end:
+                continue
+            if rng.uniform() < config.create_probability:
+                created_serial += 1
+                path = f"{proj}/runs/new{created_serial:05d}.out"
+                warm.append(path)
+                out.append(AppAccessRecord(ts, profile.uid, path, "create"))
+            else:
+                path = working_set[int(rng.integers(0, len(working_set)))]
+                out.append(AppAccessRecord(ts, profile.uid, path, "access"))
+        # The warm pool stays bounded: oldest entries cool off.
+        if len(warm) > 4 * max(int(len(tree.paths)
+                                   * config.working_set_fraction), 8):
+            warm = warm[len(warm) // 2:]
+
+    # --- hiatus return session -------------------------------------------
+    if profile.hiatus_window is not None:
+        _, hiatus_end = profile.hiatus_window
+        if hiatus_end < config.replay_end:
+            ts0 = hiatus_end + int(rng.integers(0, 3 * DAY_SECONDS))
+            # The user resumes the project: re-opens what is left of their
+            # pre-hiatus working set plus a chunk of cold archives.
+            n_cold = int(len(cold) * config.return_session_fraction)
+            revisit = list(warm) + [cold.pop() for _ in range(n_cold)]
+            for path in revisit:
+                ts = ts0 + int(rng.integers(0, 2 * DAY_SECONDS))
+                if ts < config.replay_end:
+                    out.append(AppAccessRecord(ts, profile.uid, path,
+                                               "access"))
+
+    # --- toucher cadence sweeps ------------------------------------------
+    if arche.toucher:
+        cadence = int(config.touch_cadence_days * DAY_SECONDS)
+        t = config.replay_start + int(rng.integers(0, cadence))
+        while t < config.replay_end:
+            # `touch` sweeps renew atimes of surviving files but cannot
+            # miss -- a find-based sweep only visits files still on disk.
+            for path in tree.paths:
+                out.append(AppAccessRecord(int(t), profile.uid, path,
+                                           "touch"))
+            t += cadence
+
+    return out

@@ -1,0 +1,126 @@
+"""Dataset calibration statistics.
+
+The synthetic generators stand in for proprietary traces, so users tuning
+:class:`TitanConfig` need to *see* what a configuration produces before
+spending a replay on it.  ``calibrate`` computes the statistics the
+retention dynamics actually depend on:
+
+* population mix by archetype and the byte mass each archetype owns;
+* per-user job-count quantiles (the activity skew);
+* snapshot staleness: what fraction of bytes exceeds the nominal
+  lifetime (the "dead mass" a purge target consumes);
+* replay-year growth: created bytes relative to capacity (the pressure
+  that keeps ActiveDR purging after the first target hit);
+* access-trace composition (accesses / creates / touches).
+
+``render_calibration`` formats the result; the values mirror the
+calibration grid in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..emulation.emulator import deterministic_file_size
+from ..vfs.file_meta import DAY_SECONDS
+from .titan import TitanDataset
+
+__all__ = ["CalibrationStats", "calibrate", "render_calibration"]
+
+
+@dataclass(slots=True)
+class CalibrationStats:
+    """Everything :func:`calibrate` measures."""
+
+    n_users: int
+    n_files: int
+    capacity_bytes: int
+    users_by_archetype: dict[str, int] = field(default_factory=dict)
+    bytes_by_archetype: dict[str, int] = field(default_factory=dict)
+    job_count_quantiles: tuple[float, float, float, float, float] = (
+        0.0, 0.0, 0.0, 0.0, 0.0)  # min/q1/median/q3/max jobs per user
+    stale_byte_fraction: float = 0.0     # bytes older than the lifetime
+    created_bytes: int = 0
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def growth_fraction(self) -> float:
+        """Replay-year created bytes relative to snapshot capacity."""
+        if self.capacity_bytes <= 0:
+            return 0.0
+        return self.created_bytes / self.capacity_bytes
+
+
+def calibrate(dataset: TitanDataset,
+              lifetime_days: float = 90.0) -> CalibrationStats:
+    """Measure ``dataset``'s retention-relevant statistics."""
+    fs = dataset.filesystem
+    stats = CalibrationStats(n_users=len(dataset.users),
+                             n_files=fs.file_count,
+                             capacity_bytes=fs.capacity_bytes)
+
+    arch_of = {p.uid: p.archetype.name for p in dataset.profiles}
+    for profile in dataset.profiles:
+        name = profile.archetype.name
+        stats.users_by_archetype[name] = \
+            stats.users_by_archetype.get(name, 0) + 1
+    for _path, meta in fs.iter_files():
+        name = arch_of.get(meta.uid, "?")
+        stats.bytes_by_archetype[name] = \
+            stats.bytes_by_archetype.get(name, 0) + meta.size
+
+    jobs_per_user = np.zeros(len(dataset.users), dtype=np.int64)
+    for job in dataset.jobs:
+        jobs_per_user[job.uid] += 1
+    if jobs_per_user.size:
+        q = np.percentile(jobs_per_user, [0, 25, 50, 75, 100])
+        stats.job_count_quantiles = tuple(float(x) for x in q)
+
+    cutoff = dataset.config.replay_start - lifetime_days * DAY_SECONDS
+    stale = sum(meta.size for _p, meta in fs.iter_files()
+                if meta.atime < cutoff)
+    stats.stale_byte_fraction = (stale / fs.total_bytes
+                                 if fs.total_bytes else 0.0)
+
+    created_paths: set[str] = set()
+    for rec in dataset.accesses:
+        stats.op_counts[rec.op] = stats.op_counts.get(rec.op, 0) + 1
+        if rec.op == "create":
+            created_paths.add(rec.path)
+    stats.created_bytes = sum(deterministic_file_size(p)
+                              for p in created_paths)
+    return stats
+
+
+def render_calibration(stats: CalibrationStats,
+                       lifetime_days: float = 90.0) -> str:
+    """Operator-facing text rendering of the calibration report."""
+    from ..analysis.tables import format_bytes, format_table, percent
+
+    lines = [
+        f"users: {stats.n_users}   files: {stats.n_files}   "
+        f"capacity: {format_bytes(stats.capacity_bytes)}",
+        f"bytes older than {lifetime_days:g} days at replay start: "
+        f"{percent(stats.stale_byte_fraction)} "
+        f"(the dead mass a purge target consumes first)",
+        f"replay-year created volume: {format_bytes(stats.created_bytes)} "
+        f"= {percent(stats.growth_fraction)} of capacity",
+        "per-user job counts (min/q1/median/q3/max): "
+        + "/".join(f"{q:g}" for q in stats.job_count_quantiles),
+        "access-trace ops: " + ", ".join(
+            f"{op}={n}" for op, n in sorted(stats.op_counts.items())),
+        "",
+    ]
+    total_bytes = sum(stats.bytes_by_archetype.values()) or 1
+    rows = []
+    for name in sorted(stats.users_by_archetype):
+        byte_share = stats.bytes_by_archetype.get(name, 0) / total_bytes
+        rows.append([name, stats.users_by_archetype[name],
+                     format_bytes(stats.bytes_by_archetype.get(name, 0)),
+                     percent(byte_share, 1)])
+    lines.append(format_table(
+        ["archetype", "users", "bytes owned", "byte share"], rows,
+        title="Population mix"))
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Synthetic scratch-space file trees.
+
+Generates each user's directory tree under ``/lustre/scratch`` as it stood
+in the last weekly metadata snapshot of the base year.  Shapes follow
+scratch-space folklore the paper leans on:
+
+* per-user file counts are heavy-tailed (archetype mean x lognormal
+  intensity);
+* files live under a handful of project directories with ``runs``/
+  ``data``/``logs`` subtrees, so the prefix tree gets realistic sharing;
+* sizes are bounded-Pareto (most files small, a thin tail of huge ones),
+  with Lustre stripe counts assigned per OLCF best practice;
+* access times at snapshot capture reflect a system that has *already*
+  been running 90-day FLT (the paper's snapshot is itself a retention
+  result): no file is older than ``max_age_days`` since last access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vfs.file_meta import DAY_SECONDS, FileMeta
+from ..vfs.filesystem import VirtualFileSystem
+from ..vfs.striping import best_practice_stripe_count
+from .distributions import bounded_pareto, lognormal_int, spawn_rng
+from .users import UserProfile
+
+__all__ = ["FileTreeConfig", "UserFiles", "generate_file_trees",
+           "build_filesystem"]
+
+_SUBDIRS = ("runs", "data", "logs")
+_EXTENSIONS = ("h5", "nc", "dat", "chk", "log", "out", "bin")
+
+
+@dataclass(frozen=True, slots=True)
+class FileTreeConfig:
+    """Knobs of the file-tree generator."""
+
+    root: str = "/lustre/scratch"
+    snapshot_ts: int = 0            # capture time of the snapshot
+    #: Fresh files (the nominally FLT-compliant population) are younger
+    #: than this (90-day lifetime + 7-day trigger).
+    fresh_age_days: float = 95.0
+    #: The old tail: production purge enforcement is full of gaps and
+    #: exemptions, so real Spider snapshots carry files far older than the
+    #: nominal lifetime.  This dead mass is what a 50 % purge target
+    #: consumes first.
+    max_age_days: float = 420.0
+    size_alpha: float = 0.65        # bounded-Pareto shape for file sizes
+    min_size_bytes: int = 16 << 10  # 16 KiB floor
+    max_size_bytes: int = 16 << 30  # 16 GiB tail cap: a ~4 MiB mean, big
+    #                                 enough that yearly growth stays a
+    #                                 modest fraction of capacity yet no
+    #                                 single file dominates the purge
+    #                                 target at laptop scale
+    max_projects: int = 4
+    max_files_per_user: int = 5_000
+
+
+@dataclass(slots=True)
+class UserFiles:
+    """One user's generated files: parallel path/metadata lists."""
+
+    uid: int
+    paths: list[str]
+    metas: list[FileMeta]
+
+    #: Paths grouped by project directory -- the access generator draws
+    #: working sets project by project.
+    project_paths: dict[str, list[str]]
+
+
+def generate_file_trees(profiles: list[UserProfile], config: FileTreeConfig,
+                        seed: int) -> list[UserFiles]:
+    """Generate every user's tree as of ``config.snapshot_ts``."""
+    if config.snapshot_ts <= 0:
+        raise ValueError("config.snapshot_ts must be set")
+    out: list[UserFiles] = []
+    for profile in profiles:
+        rng = spawn_rng(seed, "files", profile.uid)
+        out.append(_one_user(profile, config, rng))
+    return out
+
+
+def _one_user(profile: UserProfile, config: FileTreeConfig,
+              rng: np.random.Generator) -> UserFiles:
+    mean_files = max(profile.archetype.files_mean * profile.intensity, 2.0)
+    n_files = int(lognormal_int(rng, mean_files, 0.9, 1,
+                                config.max_files_per_user))
+    n_projects = int(rng.integers(1, config.max_projects + 1))
+    user_root = f"{config.root}/{profile.record.name}"
+
+    sizes = bounded_pareto(rng, config.size_alpha,
+                           float(config.min_size_bytes),
+                           float(config.max_size_bytes), size=n_files)
+    ages = _snapshot_ages(profile, config, rng, n_files)
+
+    paths: list[str] = []
+    metas: list[FileMeta] = []
+    project_paths: dict[str, list[str]] = {}
+    project_ids = rng.integers(0, n_projects, size=n_files)
+    for i in range(n_files):
+        proj = f"{user_root}/proj{int(project_ids[i]):02d}"
+        sub = _SUBDIRS[int(rng.integers(0, len(_SUBDIRS)))]
+        ext = _EXTENSIONS[int(rng.integers(0, len(_EXTENSIONS)))]
+        path = f"{proj}/{sub}/f{i:05d}.{ext}"
+        size = int(sizes[i])
+        atime = int(config.snapshot_ts - ages[i])
+        # Creation precedes last access by up to a year of project history.
+        ctime = atime - int(rng.integers(0, 365 * DAY_SECONDS))
+        meta = FileMeta(size=size, atime=atime, mtime=atime, ctime=ctime,
+                        uid=profile.uid,
+                        stripe_count=best_practice_stripe_count(size))
+        paths.append(path)
+        metas.append(meta)
+        project_paths.setdefault(proj, []).append(path)
+    return UserFiles(profile.uid, paths, metas, project_paths)
+
+
+#: Per-archetype probability that a file belongs to the old
+#: (enforcement-gap) tail rather than the fresh population.
+_OLD_TAIL_FRACTION = {
+    "power": 0.22, "regular": 0.30, "sporadic": 0.55,
+    "hiatus": 0.45, "toucher": 0.0, "dormant": 0.85,
+}
+
+
+def _snapshot_ages(profile: UserProfile, config: FileTreeConfig,
+                   rng: np.random.Generator, n_files: int) -> np.ndarray:
+    """Seconds since last access, per file, at snapshot time.
+
+    Bimodal: a *fresh* population within ``fresh_age_days`` (recently
+    active archetypes concentrate near zero) plus an *old tail* between
+    ``fresh_age_days`` and ``max_age_days`` -- data that outlived the
+    nominal lifetime through purge-enforcement gaps.  Touchers have no old
+    tail: their cadence sweeps keep everything nominally fresh.
+    """
+    fresh_age = config.fresh_age_days * DAY_SECONDS
+    max_age = config.max_age_days * DAY_SECONDS
+    arche = profile.archetype.name
+    if arche in ("power", "regular"):
+        frac = rng.beta(1.0, 6.0, size=n_files)     # mostly fresh
+    elif arche == "toucher":
+        # Everything touched within the sweep cadence (at most ~60 days).
+        frac = rng.uniform(0.0, min(60 * DAY_SECONDS / fresh_age, 1.0),
+                           size=n_files)
+    else:
+        frac = rng.beta(1.6, 1.6, size=n_files)     # spread out
+    ages = (frac * fresh_age).astype(np.int64)
+
+    old_frac = _OLD_TAIL_FRACTION.get(arche, 0.4)
+    if old_frac > 0.0 and max_age > fresh_age:
+        is_old = rng.uniform(size=n_files) < old_frac
+        n_old = int(is_old.sum())
+        if n_old:
+            ages[is_old] = rng.integers(int(fresh_age), int(max_age),
+                                        size=n_old)
+    return ages
+
+
+def build_filesystem(trees: list[UserFiles],
+                     capacity_bytes: int | None = None) -> VirtualFileSystem:
+    """Materialize the generated trees into a virtual file system.
+
+    With ``capacity_bytes=None`` the loaded usage becomes the nominal
+    capacity, matching the paper's setup (capacity = total synthesized
+    size of the last 2015 snapshot).
+    """
+    fs = VirtualFileSystem()
+    for tree in trees:
+        for path, meta in zip(tree.paths, tree.metas):
+            fs.add_file(path, meta.copy())
+    if capacity_bytes is None:
+        fs.freeze_capacity()
+    else:
+        fs.capacity_bytes = capacity_bytes
+    return fs

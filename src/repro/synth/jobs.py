@@ -1,0 +1,95 @@
+"""Synthetic job-scheduler traces.
+
+Jobs are the paper's operation-activity source.  Per-user submissions come
+from a burst (campaign) process: session anchors spread over the trace
+window, a handful of jobs per session, durations lognormal, node counts
+Zipf -- the canonical shape of leadership-class scheduler logs.  Hiatus
+users submit nothing inside their break window, then resume, which is what
+drives their activeness rank down right when FLT would purge their files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.schema import JobRecord
+from ..vfs.file_meta import DAY_SECONDS
+from .distributions import spawn_rng, zipf_bounded
+from .users import UserProfile
+
+__all__ = ["JobTraceConfig", "generate_jobs", "user_session_anchors"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobTraceConfig:
+    """Knobs of the job-trace generator."""
+
+    trace_start: int = 0            # scheduler logs begin (paper: 2013)
+    trace_end: int = 0              # end of replay (exclusive)
+    cores_per_node: int = 16        # Titan: 16 CPU cores per node
+    max_nodes: int = 512
+    mean_duration_hours: float = 2.5
+    max_duration_hours: float = 24.0
+
+
+def user_session_anchors(profile: UserProfile, config: JobTraceConfig,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Campaign anchor times for one user, respecting the hiatus window."""
+    span = config.trace_end - config.trace_start
+    years = span / (365.0 * DAY_SECONDS)
+    mean_sessions = profile.archetype.sessions_per_year * profile.intensity * years
+    n_sessions = int(rng.poisson(max(mean_sessions, 0.05)))
+    if n_sessions == 0:
+        return np.empty(0, dtype=np.int64)
+    start = config.trace_start
+    if profile.onset_ts is not None:
+        start = max(start, profile.onset_ts)
+        # A newcomer's session budget concentrates after the onset.
+        span_after = config.trace_end - start
+        n_sessions = int(rng.poisson(max(
+            profile.archetype.sessions_per_year * profile.intensity
+            * span_after / (365.0 * DAY_SECONDS), 0.05)))
+        if n_sessions == 0:
+            return np.empty(0, dtype=np.int64)
+    anchors = rng.integers(start, config.trace_end, size=n_sessions)
+    if profile.hiatus_window is not None:
+        lo, hi = profile.hiatus_window
+        anchors = anchors[(anchors < lo) | (anchors >= hi)]
+    anchors.sort()
+    return anchors.astype(np.int64)
+
+
+def generate_jobs(profiles: list[UserProfile], config: JobTraceConfig,
+                  seed: int) -> list[JobRecord]:
+    """All job submissions across the population, time-sorted."""
+    if config.trace_end <= config.trace_start:
+        raise ValueError("trace_end must exceed trace_start")
+    jobs: list[JobRecord] = []
+    job_id = 0
+    max_dur = int(config.max_duration_hours * 3600)
+    for profile in profiles:
+        rng = spawn_rng(seed, "jobs", profile.uid)
+        anchors = user_session_anchors(profile, config, rng)
+        span_seconds = int(profile.archetype.session_span_days * DAY_SECONDS)
+        for anchor in anchors:
+            n_jobs = max(int(rng.poisson(profile.archetype.jobs_per_session)), 1)
+            offsets = rng.integers(0, max(span_seconds, 1), size=n_jobs)
+            for off in np.sort(offsets):
+                submit = int(anchor + off)
+                if submit >= config.trace_end:
+                    continue
+                queue_wait = int(rng.exponential(1_800))
+                start = submit + queue_wait
+                duration = int(min(
+                    rng.lognormal(np.log(config.mean_duration_hours * 3600), 1.0),
+                    max_dur))
+                duration = max(duration, 60)
+                nodes = int(zipf_bounded(rng, 1.6, config.max_nodes))
+                jobs.append(JobRecord(job_id, profile.uid, submit, start,
+                                      start + duration, nodes,
+                                      config.cores_per_node))
+                job_id += 1
+    jobs.sort(key=lambda j: j.submit_ts)
+    return jobs

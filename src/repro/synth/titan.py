@@ -1,0 +1,142 @@
+"""One-call synthetic Titan/Spider dataset builder.
+
+``generate_dataset(TitanConfig(...))`` produces everything the paper's
+evaluation consumes, at a configurable scale:
+
+* the user list,
+* the job-scheduler log (operations source, spanning the two years before
+  the replay like the paper's 2013-2016 logs feeding a 2016 replay),
+* the publication list (outcomes source),
+* the replay-year application log, and
+* the virtual file system as of the last weekly snapshot before the
+  replay (capacity frozen at its loaded size, per the paper's setup).
+
+The calendar matches the paper: history accrues through the base years,
+the snapshot is captured in late December, and the replay covers the
+following full year with a 7-day purge trigger.
+"""
+
+from __future__ import annotations
+
+import calendar
+from dataclasses import dataclass, field
+
+from ..traces.schema import (AppAccessRecord, JobRecord, PublicationRecord,
+                             UserRecord)
+from ..vfs.file_meta import DAY_SECONDS
+from ..vfs.filesystem import VirtualFileSystem
+from .apps import AccessTraceConfig, generate_accesses
+from .files import FileTreeConfig, UserFiles, build_filesystem, generate_file_trees
+from .jobs import JobTraceConfig, generate_jobs
+from .pubs import PublicationConfig, generate_publications
+from .users import UserProfile, generate_users
+
+__all__ = ["TitanConfig", "TitanDataset", "generate_dataset", "ts_utc"]
+
+
+def ts_utc(year: int, month: int = 1, day: int = 1) -> int:
+    """Epoch seconds of a UTC calendar date (emulation clock helper)."""
+    return calendar.timegm((year, month, day, 0, 0, 0))
+
+
+@dataclass(frozen=True, slots=True)
+class TitanConfig:
+    """Scale and calendar of one synthetic dataset.
+
+    Defaults give a laptop-scale dataset (hundreds of users, tens of
+    thousands of files) with the paper's calendar shape: job history from
+    ``history_start_year``, snapshot at the end of ``base_year``, replay
+    over the following year.
+    """
+
+    n_users: int = 500
+    seed: int = 2021
+    history_start_year: int = 2014
+    base_year: int = 2015
+    files: FileTreeConfig | None = None
+    jobs: JobTraceConfig | None = None
+    pubs: PublicationConfig | None = None
+    accesses: AccessTraceConfig | None = None
+
+    @property
+    def history_start(self) -> int:
+        return ts_utc(self.history_start_year)
+
+    @property
+    def snapshot_ts(self) -> int:
+        """Last weekly snapshot of the base year (Dec 28)."""
+        return ts_utc(self.base_year, 12, 28)
+
+    @property
+    def replay_start(self) -> int:
+        return ts_utc(self.base_year + 1)
+
+    @property
+    def replay_end(self) -> int:
+        return ts_utc(self.base_year + 2)
+
+
+@dataclass(slots=True)
+class TitanDataset:
+    """Everything one evaluation run consumes."""
+
+    config: TitanConfig
+    profiles: list[UserProfile]
+    users: list[UserRecord]
+    jobs: list[JobRecord]
+    publications: list[PublicationRecord]
+    accesses: list[AppAccessRecord]
+    trees: list[UserFiles]
+    #: The pristine snapshot file system; callers replicate it per policy.
+    filesystem: VirtualFileSystem
+
+    def fresh_filesystem(self) -> VirtualFileSystem:
+        """An independent copy of the snapshot FS (one per policy run)."""
+        return self.filesystem.replicate()
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "users": len(self.users),
+            "jobs": len(self.jobs),
+            "publications": len(self.publications),
+            "accesses": len(self.accesses),
+            "files": self.filesystem.file_count,
+            "bytes": self.filesystem.total_bytes,
+        }
+
+
+def generate_dataset(config: TitanConfig | None = None) -> TitanDataset:
+    """Build the full synthetic dataset for ``config``."""
+    cfg = config or TitanConfig()
+
+    profiles = generate_users(cfg.n_users, cfg.seed,
+                              created_ts=cfg.history_start,
+                              replay_start=cfg.replay_start,
+                              replay_end=cfg.replay_end)
+
+    file_cfg = cfg.files or FileTreeConfig(snapshot_ts=cfg.snapshot_ts)
+    trees = generate_file_trees(profiles, file_cfg, cfg.seed)
+    fs = build_filesystem(trees)
+
+    job_cfg = cfg.jobs or JobTraceConfig(trace_start=cfg.history_start,
+                                         trace_end=cfg.replay_end)
+    jobs = generate_jobs(profiles, job_cfg, cfg.seed)
+
+    pub_cfg = cfg.pubs or PublicationConfig(pub_start=cfg.history_start,
+                                            pub_end=cfg.replay_end)
+    pubs = generate_publications(profiles, pub_cfg, cfg.seed)
+
+    acc_cfg = cfg.accesses or AccessTraceConfig(replay_start=cfg.replay_start,
+                                                replay_end=cfg.replay_end)
+    accesses = generate_accesses(profiles, trees, acc_cfg, cfg.seed)
+
+    return TitanDataset(
+        config=cfg,
+        profiles=profiles,
+        users=[p.record for p in profiles],
+        jobs=jobs,
+        publications=pubs,
+        accesses=accesses,
+        trees=trees,
+        filesystem=fs,
+    )

@@ -1,0 +1,42 @@
+"""Trace schemas and log I/O for the four OLCF trace families."""
+
+from .io import (
+    read_app_log,
+    read_jobs,
+    read_publications,
+    read_users,
+    write_app_log,
+    write_jobs,
+    write_publications,
+    write_users,
+)
+from .schema import AppAccessRecord, JobRecord, PublicationRecord, UserRecord
+from .validate import (
+    Issue,
+    validate_app_log,
+    validate_dataset,
+    validate_jobs,
+    validate_publications,
+    validate_users,
+)
+
+__all__ = [
+    "AppAccessRecord",
+    "JobRecord",
+    "PublicationRecord",
+    "UserRecord",
+    "read_app_log",
+    "read_jobs",
+    "read_publications",
+    "read_users",
+    "write_app_log",
+    "write_jobs",
+    "write_publications",
+    "write_users",
+    "Issue",
+    "validate_app_log",
+    "validate_dataset",
+    "validate_jobs",
+    "validate_publications",
+    "validate_users",
+]

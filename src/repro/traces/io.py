@@ -1,0 +1,118 @@
+"""Line-oriented readers/writers for trace files.
+
+Each trace family serializes to a plain-text format, optionally gzipped
+(files ending in ``.gz`` are compressed transparently), one record per
+line, fields separated by ``|``.  The formats are deliberately simple --
+the original OLCF logs are flat text too -- so that loading scales linearly
+and the Fig. 12 loading-cost experiment measures realistic work.
+
+Formats::
+
+    users:  uid|name|created_ts
+    jobs:   job_id|uid|submit_ts|start_ts|end_ts|num_nodes|cores_per_node
+    apps:   ts|uid|op|path
+    pubs:   pub_id|ts|citations|uid0,uid1,...
+"""
+
+from __future__ import annotations
+
+import gzip
+from typing import IO, Callable, Iterable, Iterator, TypeVar
+
+from .schema import AppAccessRecord, JobRecord, PublicationRecord, UserRecord
+
+__all__ = [
+    "write_users", "read_users",
+    "write_jobs", "read_jobs",
+    "write_app_log", "read_app_log",
+    "write_publications", "read_publications",
+]
+
+T = TypeVar("T")
+
+
+def _open_write(path: str) -> IO[str]:
+    return gzip.open(path, "wt") if path.endswith(".gz") else open(path, "w")
+
+
+def _open_read(path: str) -> IO[str]:
+    return gzip.open(path, "rt") if path.endswith(".gz") else open(path)
+
+
+def _write(path: str, records: Iterable[T], fmt: Callable[[T], str]) -> int:
+    n = 0
+    with _open_write(path) as f:
+        for rec in records:
+            f.write(fmt(rec))
+            n += 1
+    return n
+
+
+def _read(path: str, parse: Callable[[str], T]) -> Iterator[T]:
+    with _open_read(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line:
+                yield parse(line)
+
+
+# ---------------------------------------------------------------- users
+
+def write_users(path: str, users: Iterable[UserRecord]) -> int:
+    return _write(path, users,
+                  lambda u: f"{u.uid}|{u.name}|{u.created_ts}\n")
+
+
+def read_users(path: str) -> Iterator[UserRecord]:
+    def parse(line: str) -> UserRecord:
+        uid, name, created = line.split("|")
+        return UserRecord(int(uid), name, int(created))
+    return _read(path, parse)
+
+
+# ---------------------------------------------------------------- jobs
+
+def write_jobs(path: str, jobs: Iterable[JobRecord]) -> int:
+    return _write(
+        path, jobs,
+        lambda j: (f"{j.job_id}|{j.uid}|{j.submit_ts}|{j.start_ts}"
+                   f"|{j.end_ts}|{j.num_nodes}|{j.cores_per_node}\n"))
+
+
+def read_jobs(path: str) -> Iterator[JobRecord]:
+    def parse(line: str) -> JobRecord:
+        jid, uid, sub, start, end, nodes, cpn = line.split("|")
+        return JobRecord(int(jid), int(uid), int(sub), int(start), int(end),
+                         int(nodes), int(cpn))
+    return _read(path, parse)
+
+
+# ---------------------------------------------------------------- app log
+
+def write_app_log(path: str, accesses: Iterable[AppAccessRecord]) -> int:
+    return _write(path, accesses,
+                  lambda a: f"{a.ts}|{a.uid}|{a.op}|{a.path}\n")
+
+
+def read_app_log(path: str) -> Iterator[AppAccessRecord]:
+    def parse(line: str) -> AppAccessRecord:
+        ts, uid, op, file_path = line.split("|", 3)
+        return AppAccessRecord(int(ts), int(uid), file_path, op)
+    return _read(path, parse)
+
+
+# ---------------------------------------------------------------- pubs
+
+def write_publications(path: str, pubs: Iterable[PublicationRecord]) -> int:
+    return _write(
+        path, pubs,
+        lambda p: (f"{p.pub_id}|{p.ts}|{p.citations}|"
+                   f"{','.join(str(u) for u in p.author_uids)}\n"))
+
+
+def read_publications(path: str) -> Iterator[PublicationRecord]:
+    def parse(line: str) -> PublicationRecord:
+        pid, ts, cites, authors = line.split("|")
+        uids = [int(u) for u in authors.split(",")] if authors else []
+        return PublicationRecord(int(pid), int(ts), uids, int(cites))
+    return _read(path, parse)

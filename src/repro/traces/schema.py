@@ -1,0 +1,125 @@
+"""Trace record schemas.
+
+The paper's dataset comprises four trace families (section 4.1.1):
+
+* the **job scheduler log** (1.37 M submissions, 2013--2016),
+* the **application log** (file paths touched per application execution),
+* the **user list** (13 813 anonymized users), and
+* the **publication list** (1 151 publications with author lists).
+
+These dataclasses are the in-memory form of those records; the sibling
+``io`` module handles the on-disk line formats.  All timestamps are integer
+epoch seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["UserRecord", "JobRecord", "AppAccessRecord", "PublicationRecord"]
+
+
+@dataclass(slots=True)
+class UserRecord:
+    """One system user (anonymized)."""
+
+    uid: int
+    name: str
+    created_ts: int
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise ValueError("uid must be non-negative")
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One job-scheduler submission.
+
+    The paper scores each job's impact as its *core hours*: number of CPU
+    cores multiplied by the job duration.
+    """
+
+    job_id: int
+    uid: int
+    submit_ts: int
+    start_ts: int
+    end_ts: int
+    num_nodes: int
+    cores_per_node: int = 16
+
+    def __post_init__(self) -> None:
+        if self.end_ts < self.start_ts:
+            raise ValueError(f"job {self.job_id}: end_ts precedes start_ts")
+        if self.start_ts < self.submit_ts:
+            raise ValueError(f"job {self.job_id}: start_ts precedes submit_ts")
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError(f"job {self.job_id}: node/core counts must be >= 1")
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def duration_seconds(self) -> int:
+        return self.end_ts - self.start_ts
+
+    def core_hours(self) -> float:
+        """The operation-activity impact used throughout the evaluation."""
+        return self.num_cores * self.duration_seconds / 3600.0
+
+
+@dataclass(slots=True)
+class AppAccessRecord:
+    """One file access extracted from the application log.
+
+    ``op`` distinguishes three record kinds:
+
+    * ``access`` -- an application opens the path; counts as a file miss
+      when the path is gone (the paper's replay semantics);
+    * ``create`` -- the application writes a new file, growing the scratch
+      space (optional in the emulator);
+    * ``touch`` -- an atime-refresh sweep (``find ... -exec touch``), the
+      FLT-gaming behaviour: it renews lifetimes of *existing* files but can
+      never miss, because the sweep only visits files still on disk.
+    """
+
+    ts: int
+    uid: int
+    path: str
+    op: str = "access"  # "access" | "create" | "touch"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("access", "create", "touch"):
+            raise ValueError(f"unknown op {self.op!r}")
+
+
+@dataclass(slots=True)
+class PublicationRecord:
+    """One publication, the paper's outcome-activity source.
+
+    The activeness score of a publication for the author at index ``i``
+    (0-based) of an ``n``-author list with citation count ``c`` is
+    ``(c + 1) * (n - i + 1)``  -- Eq. (8) with 1-based author rank.
+    """
+
+    pub_id: int
+    ts: int
+    author_uids: list[int] = field(default_factory=list)
+    citations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.citations < 0:
+            raise ValueError("citations must be non-negative")
+        if len(set(self.author_uids)) != len(self.author_uids):
+            raise ValueError(f"publication {self.pub_id}: duplicate authors")
+
+    def author_score(self, uid: int) -> float:
+        """Eq. (8) impact of this publication for author ``uid``.
+
+        Raises ``ValueError`` when ``uid`` is not an author.
+        """
+        n = len(self.author_uids)
+        i = self.author_uids.index(uid)  # 0-based index
+        # Eq. (8) uses 1-based author index: theta = n - i + 1 for i in 1..n.
+        return float((self.citations + 1) * (n - (i + 1) + 1))

@@ -1,0 +1,132 @@
+"""Trace validation.
+
+Production trace pipelines are messy: clock skew between log sources,
+truncated exports, users missing from the anonymized list.  These
+validators run the referential and temporal checks an operator should do
+before feeding traces to the activeness evaluation, returning structured
+issues instead of raising -- a broken line in a two-year log should be
+reported, not fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .schema import AppAccessRecord, JobRecord, PublicationRecord, UserRecord
+
+__all__ = ["Issue", "validate_users", "validate_jobs", "validate_app_log",
+           "validate_publications", "validate_dataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str   # "error" | "warning"
+    trace: str      # which trace family
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.trace}: {self.message}"
+
+
+def _known_uid_set(users: Sequence[UserRecord]) -> set[int]:
+    return {u.uid for u in users}
+
+
+def validate_users(users: Sequence[UserRecord]) -> list[Issue]:
+    """Duplicate uids and duplicate names."""
+    issues: list[Issue] = []
+    seen_uids: set[int] = set()
+    seen_names: set[str] = set()
+    for user in users:
+        if user.uid in seen_uids:
+            issues.append(Issue("error", "users",
+                                f"duplicate uid {user.uid}"))
+        seen_uids.add(user.uid)
+        if user.name in seen_names:
+            issues.append(Issue("warning", "users",
+                                f"duplicate name {user.name!r}"))
+        seen_names.add(user.name)
+    return issues
+
+
+def validate_jobs(jobs: Sequence[JobRecord],
+                  users: Sequence[UserRecord] | None = None,
+                  *, require_sorted: bool = True) -> list[Issue]:
+    """Unknown owners, duplicate ids, submission-order violations."""
+    issues: list[Issue] = []
+    known = _known_uid_set(users) if users is not None else None
+    seen_ids: set[int] = set()
+    prev_ts: int | None = None
+    for job in jobs:
+        if job.job_id in seen_ids:
+            issues.append(Issue("error", "jobs",
+                                f"duplicate job_id {job.job_id}"))
+        seen_ids.add(job.job_id)
+        if known is not None and job.uid not in known:
+            issues.append(Issue("error", "jobs",
+                                f"job {job.job_id}: unknown uid {job.uid}"))
+        if require_sorted and prev_ts is not None and job.submit_ts < prev_ts:
+            issues.append(Issue("warning", "jobs",
+                                f"job {job.job_id}: submit_ts out of order"))
+        prev_ts = job.submit_ts
+    return issues
+
+
+def validate_app_log(accesses: Sequence[AppAccessRecord],
+                     users: Sequence[UserRecord] | None = None,
+                     *, require_sorted: bool = True) -> list[Issue]:
+    """Unknown owners, relative paths, time-order violations."""
+    issues: list[Issue] = []
+    known = _known_uid_set(users) if users is not None else None
+    prev_ts: int | None = None
+    for i, rec in enumerate(accesses):
+        if not rec.path.startswith("/"):
+            issues.append(Issue("error", "app_log",
+                                f"record {i}: relative path {rec.path!r}"))
+        if known is not None and rec.uid not in known:
+            issues.append(Issue("error", "app_log",
+                                f"record {i}: unknown uid {rec.uid}"))
+        if require_sorted and prev_ts is not None and rec.ts < prev_ts:
+            issues.append(Issue("warning", "app_log",
+                                f"record {i}: timestamp out of order"))
+        prev_ts = rec.ts
+    return issues
+
+
+def validate_publications(pubs: Sequence[PublicationRecord],
+                          users: Sequence[UserRecord] | None = None,
+                          ) -> list[Issue]:
+    """Empty author lists, unknown authors, duplicate ids."""
+    issues: list[Issue] = []
+    known = _known_uid_set(users) if users is not None else None
+    seen_ids: set[int] = set()
+    for pub in pubs:
+        if pub.pub_id in seen_ids:
+            issues.append(Issue("error", "publications",
+                                f"duplicate pub_id {pub.pub_id}"))
+        seen_ids.add(pub.pub_id)
+        if not pub.author_uids:
+            issues.append(Issue("error", "publications",
+                                f"publication {pub.pub_id}: no authors"))
+        elif known is not None:
+            for uid in pub.author_uids:
+                if uid not in known:
+                    issues.append(Issue(
+                        "error", "publications",
+                        f"publication {pub.pub_id}: unknown author {uid}"))
+    return issues
+
+
+def validate_dataset(users: Sequence[UserRecord],
+                     jobs: Sequence[JobRecord],
+                     accesses: Sequence[AppAccessRecord],
+                     pubs: Sequence[PublicationRecord]) -> list[Issue]:
+    """All four trace families, cross-referenced against the user list."""
+    issues = validate_users(users)
+    issues += validate_jobs(jobs, users)
+    issues += validate_app_log(accesses, users)
+    issues += validate_publications(pubs, users)
+    return issues

@@ -1,0 +1,61 @@
+"""Virtual parallel file system substrate.
+
+Reproduces the storage-side machinery the paper's emulation rests on: a
+compact prefix tree over paths, per-file metadata with synthesized sizes,
+capacity accounting, and the Spider-style sharded metadata snapshots.
+"""
+
+from .file_meta import DAY_SECONDS, FileMeta
+from .filesystem import VirtualFileSystem
+from .path_trie import PathTrie, join_path, split_path
+from .snapshot import (
+    SnapshotRecord,
+    SnapshotWriter,
+    iter_snapshot,
+    load_filesystem,
+    read_shard,
+    shard_paths,
+    write_snapshot,
+)
+from .walker import (
+    DirEntry,
+    find_stale,
+    list_dir,
+    subtree_usage,
+    usage_report,
+)
+from .striping import (
+    MAX_STRIPE_COUNT,
+    MIN_FILE_BYTES,
+    STRIPE_CAPACITY_BYTES,
+    best_practice_stripe_count,
+    synthesize_size,
+    synthesize_sizes,
+)
+
+__all__ = [
+    "DAY_SECONDS",
+    "FileMeta",
+    "VirtualFileSystem",
+    "PathTrie",
+    "join_path",
+    "split_path",
+    "SnapshotRecord",
+    "SnapshotWriter",
+    "iter_snapshot",
+    "load_filesystem",
+    "read_shard",
+    "shard_paths",
+    "write_snapshot",
+    "MAX_STRIPE_COUNT",
+    "MIN_FILE_BYTES",
+    "STRIPE_CAPACITY_BYTES",
+    "best_practice_stripe_count",
+    "synthesize_size",
+    "synthesize_sizes",
+    "DirEntry",
+    "find_stale",
+    "list_dir",
+    "subtree_usage",
+    "usage_report",
+]

@@ -1,0 +1,60 @@
+"""Per-file metadata records for the virtual file system.
+
+The Spider II metadata snapshots used by the paper expose, per file: the
+path, owner uid, timestamps, and the Lustre stripe count (the file size is
+*not* recorded -- the paper synthesizes it from the stripe count, see
+:mod:`repro.vfs.striping`).  ``FileMeta`` mirrors that record with the
+synthesized size attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FileMeta", "DAY_SECONDS"]
+
+#: Seconds per day; the emulation clock is integer epoch seconds.
+DAY_SECONDS = 86_400
+
+
+@dataclass(slots=True)
+class FileMeta:
+    """Metadata of one file in the virtual file system.
+
+    Attributes
+    ----------
+    size:
+        File size in bytes (synthesized from ``stripe_count`` when loaded
+        from a metadata snapshot).
+    atime / mtime / ctime:
+        Access / modification / change timestamps, epoch seconds.
+    uid:
+        Owner user id.
+    stripe_count:
+        Lustre stripe count recorded in the snapshot.
+    """
+
+    size: int
+    atime: int
+    mtime: int
+    ctime: int
+    uid: int
+    stripe_count: int = 1
+
+    def age_seconds(self, now: int) -> int:
+        """Seconds since last access (the FLT staleness measure)."""
+        return now - self.atime
+
+    def age_days(self, now: int) -> float:
+        """Days since last access."""
+        return (now - self.atime) / DAY_SECONDS
+
+    def touch(self, now: int) -> None:
+        """Record an access at time ``now`` (atime only, like ``open``)."""
+        if now > self.atime:
+            self.atime = now
+
+    def copy(self) -> "FileMeta":
+        """An independent copy (used when replicating file systems)."""
+        return FileMeta(self.size, self.atime, self.mtime, self.ctime,
+                        self.uid, self.stripe_count)

@@ -1,0 +1,164 @@
+"""The virtual parallel file system used by the retention emulation.
+
+The paper formulates a *virtual file system* from snapshot paths indexed in
+a compact prefix tree (section 4.1.3); retention policies then operate on
+that structure.  ``VirtualFileSystem`` provides:
+
+* path-existence tests and metadata lookup (trie-backed, shared-prefix
+  compressed);
+* per-owner file indexes, so the ActiveDR retention procedure can "scan the
+  user's directory" in O(files of that user);
+* capacity accounting (total bytes, per-user bytes) maintained
+  incrementally on every insert / purge;
+* atime updates when the emulator replays file accesses.
+
+The object is deliberately not thread-safe: the parallel scan substrate
+shards files *across* file-system replicas rather than sharing one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .file_meta import FileMeta
+from .path_trie import PathTrie
+
+__all__ = ["VirtualFileSystem"]
+
+
+class VirtualFileSystem:
+    """In-memory file system over a compact prefix tree.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Nominal capacity of the scratch space.  The paper pins the purge
+        target to a fraction of "the total synthesized size of all files in
+        the last weekly metadata snapshot of 2015"; pass that figure here
+        (or leave 0 and call :meth:`freeze_capacity` after loading).
+    """
+
+    def __init__(self, capacity_bytes: int = 0) -> None:
+        self._trie = PathTrie()
+        self._by_uid: dict[int, dict[str, FileMeta]] = {}
+        self._total_bytes = 0
+        self.capacity_bytes = capacity_bytes
+
+    # ------------------------------------------------------------------
+    # capacity / accounting
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently stored."""
+        return self._total_bytes
+
+    @property
+    def file_count(self) -> int:
+        return len(self._trie)
+
+    def utilization(self) -> float:
+        """Used fraction of capacity (0 when capacity is unset)."""
+        if self.capacity_bytes <= 0:
+            return 0.0
+        return self._total_bytes / self.capacity_bytes
+
+    def freeze_capacity(self) -> None:
+        """Declare current usage to be the nominal capacity (paper setup)."""
+        self.capacity_bytes = self._total_bytes
+
+    def user_bytes(self, uid: int) -> int:
+        """Bytes owned by ``uid``."""
+        return sum(m.size for m in self._by_uid.get(uid, {}).values())
+
+    def user_file_count(self, uid: int) -> int:
+        return len(self._by_uid.get(uid, {}))
+
+    def uids(self) -> list[int]:
+        """Owners that currently hold at least one file."""
+        return [uid for uid, files in self._by_uid.items() if files]
+
+    # ------------------------------------------------------------------
+    # mutation
+
+    def add_file(self, path: str, meta: FileMeta) -> None:
+        """Insert (or replace) ``path``.
+
+        Replacement removes the old accounting entry first so the byte
+        totals stay exact.
+        """
+        old = self._trie.lookup(path)
+        if old is not None:
+            self._remove_accounting(path, old)
+        self._trie.insert(path, meta)
+        self._by_uid.setdefault(meta.uid, {})[path] = meta
+        self._total_bytes += meta.size
+
+    def remove_file(self, path: str) -> FileMeta | None:
+        """Delete ``path``; returns its metadata or ``None`` if absent."""
+        meta = self._trie.lookup(path)
+        if meta is None:
+            return None
+        self._trie.delete(path)
+        self._remove_accounting(path, meta)
+        return meta
+
+    def _remove_accounting(self, path: str, meta: FileMeta) -> None:
+        self._total_bytes -= meta.size
+        user_files = self._by_uid.get(meta.uid)
+        if user_files is not None:
+            user_files.pop(path, None)
+
+    def touch(self, path: str, now: int) -> bool:
+        """Update atime of ``path``; ``False`` when the path is missing.
+
+        This is the emulator's file-access primitive: a ``False`` return is
+        exactly a *file miss* in the paper's accounting.
+        """
+        meta = self._trie.lookup(path)
+        if meta is None:
+            return False
+        meta.touch(now)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._trie
+
+    def stat(self, path: str) -> FileMeta | None:
+        return self._trie.lookup(path)
+
+    def iter_files(self) -> Iterator[tuple[str, FileMeta]]:
+        """All files in deterministic path order (FLT system-scan order)."""
+        return self._trie.items()
+
+    def iter_user_files(self, uid: int) -> Iterator[tuple[str, FileMeta]]:
+        """Files of one user in deterministic path order."""
+        files = self._by_uid.get(uid, {})
+        for path in sorted(files):
+            yield path, files[path]
+
+    def iter_prefix(self, prefix: str) -> Iterator[tuple[str, FileMeta]]:
+        return self._trie.iter_prefix(prefix)
+
+    def count_prefix(self, prefix: str) -> int:
+        return self._trie.count_prefix(prefix)
+
+    # ------------------------------------------------------------------
+    # bulk construction / replication
+
+    def add_files(self, entries: Iterable[tuple[str, FileMeta]]) -> int:
+        """Bulk insert; returns the number of entries added."""
+        n = 0
+        for path, meta in entries:
+            self.add_file(path, meta)
+            n += 1
+        return n
+
+    def replicate(self) -> "VirtualFileSystem":
+        """Deep copy, used to run two policies on identical initial state."""
+        clone = VirtualFileSystem(self.capacity_bytes)
+        for path, meta in self.iter_files():
+            clone.add_file(path, meta.copy())
+        return clone

@@ -1,0 +1,317 @@
+"""Compact prefix tree (radix tree) over file-system paths.
+
+ActiveDR (SC'21, section 3.4 and 4.1.3) uses a *compact prefix tree* for two
+purposes:
+
+1. as the **virtual file system** of the trace-replay emulation -- testing
+   whether an accessed path exists, and retrieving per-file metadata; and
+2. as the **purge-exemption index** -- the administrator's reservation list
+   is loaded into a compact prefix tree so that each scanned file can be
+   checked against the reservation contract in O(depth).
+
+This module implements that structure from scratch.  Keys are slash-separated
+paths; internal edges are *compressed* (an edge may carry several path
+components), so long chains such as ``/lustre/atlas1/csc108/scratch`` cost a
+single node until they branch.
+
+The tree supports exact-match payload storage (a "file"), prefix queries
+(a "directory"), deletion with automatic re-compression, and subtree
+iteration.  Each node maintains the number of payload-bearing entries in its
+subtree so that ``count_prefix`` is O(depth).
+
+Example
+-------
+>>> t = PathTrie()
+>>> t.insert("/scratch/u1/run1/out.h5", 42)
+True
+>>> t.lookup("/scratch/u1/run1/out.h5")
+42
+>>> t.count_prefix("/scratch/u1")
+1
+>>> sorted(p for p, _ in t.iter_prefix("/scratch"))
+['/scratch/u1/run1/out.h5']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["PathTrie", "split_path", "join_path"]
+
+
+def split_path(path: str) -> tuple[str, ...]:
+    """Split ``path`` into its non-empty components.
+
+    Accepts absolute or relative paths; repeated slashes are collapsed.
+    The root path ``"/"`` maps to the empty tuple.
+    """
+    return tuple(part for part in path.split("/") if part)
+
+
+def join_path(components: Iterable[str]) -> str:
+    """Inverse of :func:`split_path` for absolute paths."""
+    return "/" + "/".join(components)
+
+
+class _Node:
+    """One radix-tree node.
+
+    ``label`` is the (possibly multi-component) edge label leading *into*
+    this node.  ``children`` maps the first component of each child's label
+    to the child node.  ``has_payload`` distinguishes "a file lives exactly
+    here" from "this is only an interior directory node".
+    """
+
+    __slots__ = ("label", "children", "payload", "has_payload", "n_entries")
+
+    def __init__(self, label: tuple[str, ...]) -> None:
+        self.label = label
+        self.children: dict[str, _Node] = {}
+        self.payload: Any = None
+        self.has_payload = False
+        self.n_entries = 0  # payload-bearing nodes in this subtree (incl. self)
+
+
+def _common_prefix_len(a: tuple[str, ...], b: tuple[str, ...]) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class PathTrie:
+    """A compressed path trie mapping exact paths to payloads.
+
+    The payload is arbitrary; the virtual file system stores
+    :class:`repro.vfs.file_meta.FileMeta` records, while the exemption list
+    stores ``True`` markers.
+    """
+
+    def __init__(self) -> None:
+        self._root = _Node(())
+
+    # ------------------------------------------------------------------
+    # basic properties
+
+    def __len__(self) -> int:
+        return self._root.n_entries
+
+    def __bool__(self) -> bool:
+        # An empty trie is falsy, mirroring dict semantics.
+        return self._root.n_entries > 0
+
+    def __contains__(self, path: str) -> bool:
+        return self._find(split_path(path)) is not None
+
+    # ------------------------------------------------------------------
+    # mutation
+
+    def insert(self, path: str, payload: Any = True) -> bool:
+        """Insert ``path`` with ``payload``.
+
+        Returns ``True`` if the path is new, ``False`` if an existing
+        payload was overwritten.  Inserting the root path is rejected
+        because a file cannot be the file-system root.
+        """
+        components = split_path(path)
+        if not components:
+            raise ValueError("cannot insert the root path as a file")
+        new = self._insert(self._root, components, payload)
+        return new
+
+    def _insert(self, node: _Node, rest: tuple[str, ...], payload: Any) -> bool:
+        if not rest:
+            fresh = not node.has_payload
+            node.payload = payload
+            node.has_payload = True
+            if fresh:
+                node.n_entries += 1
+            return fresh
+
+        child = node.children.get(rest[0])
+        if child is None:
+            leaf = _Node(rest)
+            leaf.payload = payload
+            leaf.has_payload = True
+            leaf.n_entries = 1
+            node.children[rest[0]] = leaf
+            node.n_entries += 1
+            return True
+
+        k = _common_prefix_len(rest, child.label)
+        if k == len(child.label):
+            # Descend past the whole edge label.
+            new = self._insert(child, rest[k:], payload)
+            if new:
+                node.n_entries += 1
+            return new
+
+        # Split the edge: child keeps its suffix under a new interior node.
+        interior = _Node(child.label[:k])
+        child.label = child.label[k:]
+        interior.children[child.label[0]] = child
+        interior.n_entries = child.n_entries
+        node.children[interior.label[0]] = interior
+
+        new = self._insert(interior, rest[k:], payload)
+        if new:
+            node.n_entries += 1
+        return new
+
+    def delete(self, path: str) -> bool:
+        """Remove ``path``; returns ``True`` if it was present."""
+        components = split_path(path)
+        if not components:
+            return False
+        return self._delete(self._root, components)
+
+    def _delete(self, node: _Node, rest: tuple[str, ...]) -> bool:
+        child = node.children.get(rest[0]) if rest else None
+        if not rest:
+            if not node.has_payload:
+                return False
+            node.has_payload = False
+            node.payload = None
+            node.n_entries -= 1
+            return True
+        if child is None:
+            return False
+        k = _common_prefix_len(rest, child.label)
+        if k != len(child.label):
+            return False
+        removed = self._delete(child, rest[k:])
+        if removed:
+            node.n_entries -= 1
+            if child.n_entries == 0:
+                del node.children[rest[0]]
+            elif not child.has_payload and len(child.children) == 1:
+                # Re-compress: splice the single grandchild into child's edge.
+                (grand,) = child.children.values()
+                grand.label = child.label + grand.label
+                node.children[rest[0]] = grand
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._root = _Node(())
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def _find(self, components: tuple[str, ...]) -> _Node | None:
+        node = self._root
+        rest = components
+        while rest:
+            child = node.children.get(rest[0])
+            if child is None:
+                return None
+            k = _common_prefix_len(rest, child.label)
+            if k != len(child.label):
+                return None
+            node = child
+            rest = rest[k:]
+        return node if node.has_payload else None
+
+    def lookup(self, path: str, default: Any = None) -> Any:
+        """Return the payload stored at ``path``, or ``default``."""
+        node = self._find(split_path(path))
+        return node.payload if node is not None else default
+
+    def _locate_prefix(self, components: tuple[str, ...]) -> tuple[_Node, tuple[str, ...]] | None:
+        """Find the node whose subtree holds all entries under ``components``.
+
+        Returns ``(node, residual)`` where ``residual`` is the portion of the
+        node's edge label that extends *beyond* the requested prefix (the
+        prefix may end mid-edge), or ``None`` when nothing matches.
+        """
+        node = self._root
+        rest = components
+        while rest:
+            child = node.children.get(rest[0])
+            if child is None:
+                return None
+            k = _common_prefix_len(rest, child.label)
+            if k == len(rest):
+                return child, child.label[k:]
+            if k != len(child.label):
+                return None
+            node = child
+            rest = rest[k:]
+        return node, ()
+
+    def count_prefix(self, prefix: str) -> int:
+        """Number of stored paths at or below ``prefix`` -- O(depth)."""
+        located = self._locate_prefix(split_path(prefix))
+        return located[0].n_entries if located is not None else 0
+
+    def has_prefix(self, prefix: str) -> bool:
+        """Whether any stored path lives at or below ``prefix``."""
+        return self.count_prefix(prefix) > 0
+
+    def covering_prefix(self, path: str) -> str | None:
+        """Return the shortest stored path that is a prefix of ``path``.
+
+        Used by exemption lists configured with directory-level
+        reservations: a file is exempt when any reserved path covers it.
+        """
+        node = self._root
+        rest = split_path(path)
+        walked: list[str] = []
+        if node.has_payload:
+            return join_path(walked)
+        while rest:
+            child = node.children.get(rest[0])
+            if child is None:
+                return None
+            k = _common_prefix_len(rest, child.label)
+            if k != len(child.label):
+                return None
+            walked.extend(child.label)
+            rest = rest[k:]
+            node = child
+            if node.has_payload:
+                return join_path(walked)
+        return None
+
+    # ------------------------------------------------------------------
+    # iteration
+
+    def iter_prefix(self, prefix: str = "/") -> Iterator[tuple[str, Any]]:
+        """Yield ``(path, payload)`` for every entry under ``prefix``.
+
+        Paths are yielded in lexicographic component order, which gives the
+        deterministic "system scan order" used by the FLT baseline.
+        """
+        located = self._locate_prefix(split_path(prefix))
+        if located is None:
+            return
+        node, residual = located
+        base = list(split_path(prefix)) + list(residual)
+        yield from self._iter_node(node, base)
+
+    def _iter_node(self, node: _Node, components: list[str]) -> Iterator[tuple[str, Any]]:
+        if node.has_payload:
+            yield join_path(components), node.payload
+        for first in sorted(node.children):
+            child = node.children[first]
+            components.extend(child.label)
+            yield from self._iter_node(child, components)
+            del components[len(components) - len(child.label):]
+
+    def __iter__(self) -> Iterator[str]:
+        for path, _ in self.iter_prefix("/"):
+            yield path
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """All ``(path, payload)`` pairs in scan order."""
+        return self.iter_prefix("/")
+
+    # ------------------------------------------------------------------
+    # diagnostics
+
+    def node_count(self) -> int:
+        """Total number of radix nodes (compression diagnostic)."""
+        def count(node: _Node) -> int:
+            return 1 + sum(count(c) for c in node.children.values())
+        return count(self._root)

@@ -1,0 +1,97 @@
+"""Synthesizing file sizes from Lustre stripe counts.
+
+The Spider II metadata snapshots record the *stripe count* of each file but
+not its size.  Following the paper (section 4.1.1), we synthesize a size for
+each file "according to the best striping practice of the Spider file
+system": the OLCF best-practice guide recommends striping so that each
+stripe (OST object) holds on the order of one gigabyte, with small files on
+a single stripe and very large files fanned out across many OSTs.
+
+The inverse mapping implemented here:
+
+* ``stripe_count == 1`` -- the file is at most one stripe-capacity unit;
+  sizes are drawn log-uniformly between 4 KiB and the per-stripe capacity,
+  reproducing the heavy small-file population of HPC scratch spaces.
+* ``stripe_count == s > 1`` -- the file occupies ``s`` stripes under best
+  practice, so its size lies in ``((s - 1) * C, s * C]`` where ``C`` is the
+  per-stripe capacity; we draw uniformly within that band.
+
+The forward mapping (:func:`best_practice_stripe_count`) is used by the
+synthetic snapshot generator so that generated (size, stripe) pairs are
+self-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "STRIPE_CAPACITY_BYTES",
+    "MIN_FILE_BYTES",
+    "MAX_STRIPE_COUNT",
+    "best_practice_stripe_count",
+    "synthesize_size",
+    "synthesize_sizes",
+]
+
+#: Best-practice per-stripe capacity (1 GiB per OST object).
+STRIPE_CAPACITY_BYTES = 1 << 30
+
+#: Smallest synthesized file (a 4 KiB block).
+MIN_FILE_BYTES = 4 << 10
+
+#: Spider II had 1 008 OSTs; best practice caps stripe counts well below.
+MAX_STRIPE_COUNT = 512
+
+
+def best_practice_stripe_count(size_bytes: int) -> int:
+    """Stripe count the OLCF best-practice guide assigns to ``size_bytes``."""
+    if size_bytes <= STRIPE_CAPACITY_BYTES:
+        return 1
+    count = -(-size_bytes // STRIPE_CAPACITY_BYTES)  # ceil division
+    return int(min(count, MAX_STRIPE_COUNT))
+
+
+def synthesize_size(stripe_count: int, rng: np.random.Generator) -> int:
+    """Draw one synthesized file size consistent with ``stripe_count``."""
+    return int(synthesize_sizes(np.asarray([stripe_count]), rng)[0])
+
+
+def synthesize_sizes(stripe_counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Vectorized size synthesis for an array of stripe counts.
+
+    Parameters
+    ----------
+    stripe_counts:
+        Integer array of per-file stripe counts (values < 1 are treated
+        as 1, as Lustre reports unstriped metadata oddities).
+    rng:
+        Seeded NumPy generator; the synthesis is deterministic given the
+        generator state, which keeps snapshot loading reproducible.
+
+    Returns
+    -------
+    ``int64`` array of sizes in bytes, elementwise consistent with
+    :func:`best_practice_stripe_count`.
+    """
+    counts = np.maximum(np.asarray(stripe_counts, dtype=np.int64), 1)
+    n = counts.shape[0]
+    sizes = np.empty(n, dtype=np.int64)
+
+    single = counts == 1
+    n_single = int(single.sum())
+    if n_single:
+        # Log-uniform between 4 KiB and 1 GiB: most scratch files are small.
+        lo, hi = np.log(MIN_FILE_BYTES), np.log(STRIPE_CAPACITY_BYTES)
+        draws = np.exp(rng.uniform(lo, hi, size=n_single))
+        sizes[single] = draws.astype(np.int64)
+
+    multi = ~single
+    n_multi = int(multi.sum())
+    if n_multi:
+        c = counts[multi]
+        low = (c - 1) * STRIPE_CAPACITY_BYTES
+        span = rng.uniform(0.0, 1.0, size=n_multi)
+        sizes[multi] = low + 1 + (span * (STRIPE_CAPACITY_BYTES - 1)).astype(np.int64)
+
+    return sizes

@@ -1,0 +1,110 @@
+"""Directory-walk API over the virtual file system.
+
+Production purge daemons are directory walkers: they enumerate user
+roots, descend subtrees, and apply per-file predicates ("ActiveDR scans
+each file in the user's directory", section 3.4).  The trie already holds
+the namespace; this module exposes the hierarchical view:
+
+* :func:`list_dir` -- immediate children of a directory, split into
+  subdirectories and files;
+* :func:`subtree_usage` -- ``du``-style (file count, bytes) for a prefix;
+* :func:`find_stale` -- the classic purge-candidate walk;
+* :func:`usage_report` -- per-child usage rows for capacity dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .file_meta import DAY_SECONDS, FileMeta
+from .filesystem import VirtualFileSystem
+from .path_trie import split_path
+
+__all__ = ["DirEntry", "list_dir", "subtree_usage", "find_stale",
+           "usage_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class DirEntry:
+    """One child of a directory."""
+
+    name: str
+    path: str
+    is_dir: bool
+    #: For files: the size; for directories: total bytes below.
+    size: int
+    #: Files at or below this entry (1 for a plain file).
+    file_count: int
+
+
+def list_dir(fs: VirtualFileSystem, directory: str) -> list[DirEntry]:
+    """Immediate children of ``directory``, sorted by name.
+
+    A name can be both a file and a directory (a payload node with
+    children); it then appears once, as a directory whose stats include
+    the file stored at the directory path itself.
+    """
+    prefix_parts = split_path(directory)
+    depth = len(prefix_parts)
+    base = "/" + "/".join(prefix_parts)
+    if base == "/":
+        base = ""
+
+    children: dict[str, dict] = {}
+    for path, meta in fs.iter_prefix(directory or "/"):
+        parts = split_path(path)
+        if len(parts) <= depth:
+            continue  # the directory path itself holds a file; skip here
+        name = parts[depth]
+        info = children.setdefault(name, {"bytes": 0, "files": 0,
+                                          "is_dir": False})
+        info["bytes"] += meta.size
+        info["files"] += 1
+        if len(parts) > depth + 1:
+            info["is_dir"] = True
+
+    out = []
+    for name in sorted(children):
+        info = children[name]
+        out.append(DirEntry(name=name, path=f"{base}/{name}",
+                            is_dir=info["is_dir"], size=info["bytes"],
+                            file_count=info["files"]))
+    return out
+
+
+def subtree_usage(fs: VirtualFileSystem, prefix: str) -> tuple[int, int]:
+    """``du``: (file count, total bytes) at or below ``prefix``."""
+    files = 0
+    total = 0
+    for _path, meta in fs.iter_prefix(prefix):
+        files += 1
+        total += meta.size
+    return files, total
+
+
+def find_stale(fs: VirtualFileSystem, prefix: str, now: int,
+               lifetime_days: float) -> Iterator[tuple[str, FileMeta]]:
+    """Purge candidates under ``prefix``: files idle beyond the lifetime.
+
+    This is the inner loop of every fixed-lifetime purge daemon; yielded
+    in deterministic path order.
+    """
+    cutoff = lifetime_days * DAY_SECONDS
+    for path, meta in fs.iter_prefix(prefix):
+        if now - meta.atime > cutoff:
+            yield path, meta
+
+
+def usage_report(fs: VirtualFileSystem, directory: str,
+                 ) -> list[tuple[str, int, int, float]]:
+    """Per-child rows ``(name, files, bytes, share-of-directory)``.
+
+    The capacity-dashboard view administrators sort by to find the heavy
+    subtrees before a purge campaign.
+    """
+    entries = list_dir(fs, directory)
+    total = sum(e.size for e in entries) or 1
+    rows = [(e.name, e.file_count, e.size, e.size / total) for e in entries]
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows

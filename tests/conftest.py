@@ -1,0 +1,42 @@
+"""Shared fixtures: tiny deterministic datasets and file-system builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActivenessParams, RetentionConfig
+from repro.synth import TitanConfig, generate_dataset
+from repro.vfs import DAY_SECONDS, FileMeta, VirtualFileSystem
+
+#: A fixed "now" for unit tests: 2016-07-01 UTC.
+NOW = 1_467_331_200
+
+
+def make_fs(entries, capacity=None):
+    """Build a VirtualFileSystem from (path, uid, size, age_days) tuples."""
+    fs = VirtualFileSystem()
+    for path, uid, size, age_days in entries:
+        atime = NOW - int(age_days * DAY_SECONDS)
+        fs.add_file(path, FileMeta(size=size, atime=atime, mtime=atime,
+                                   ctime=atime - DAY_SECONDS, uid=uid))
+    if capacity is None:
+        fs.freeze_capacity()
+    else:
+        fs.capacity_bytes = capacity
+    return fs
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but structurally complete synthetic Titan dataset."""
+    return generate_dataset(TitanConfig(n_users=60, seed=11))
+
+
+@pytest.fixture()
+def default_config():
+    return RetentionConfig()
+
+
+@pytest.fixture()
+def weekly_params():
+    return ActivenessParams(period_days=7)

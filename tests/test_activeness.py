@@ -1,0 +1,375 @@
+"""Tests for the activeness evaluation (Eqs. 1-6).
+
+The scalar cases are hand-computed from the paper's equations; the
+property tests pin the vectorized bulk evaluator to the scalar reference.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActivenessEvaluator,
+    ActivenessParams,
+    Activity,
+    ActivityLedger,
+    JOB_SUBMISSION,
+    PUBLICATION,
+    SHELL_LOGIN,
+    UserActiveness,
+    evaluate_type_bulk,
+    safe_exp,
+    type_log_rank,
+)
+from repro.vfs import DAY_SECONDS
+
+P7 = ActivenessParams(period_days=7)
+L = P7.period_seconds
+T_C = 1_000 * DAY_SECONDS  # an arbitrary "now" on a day boundary
+
+
+# ---------------------------------------------------------------- params
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ActivenessParams(period_days=0)
+    with pytest.raises(ValueError):
+        ActivenessParams(empty_period="maybe")
+    with pytest.raises(ValueError):
+        ActivenessParams(epsilon=2.0)
+
+
+def test_period_seconds():
+    assert ActivenessParams(period_days=7).period_seconds == 7 * 86_400
+    assert ActivenessParams(period_days=0.5).period_seconds == 43_200
+
+
+def test_safe_exp():
+    assert safe_exp(0.0) == 1.0
+    assert safe_exp(-math.inf) == 0.0
+    assert safe_exp(10_000.0) == math.inf
+
+
+# ---------------------------------------------------------------- Eq. 1-5 hand cases
+
+def test_no_activities_is_initial_rank():
+    assert type_log_rank([], [], T_C, P7) == 0.0  # rank 1.0
+
+
+def test_single_recent_activity_is_active():
+    # One activity in the last period: m=1, avg=D, b=1 -> Phi=1 (log 0).
+    ts = T_C - L // 2
+    assert type_log_rank([ts], [5.0], T_C, P7) == pytest.approx(0.0)
+
+
+def test_single_old_activity_is_inactive():
+    # One activity two periods back: m=1 but e = 1 - 2 + 1 = 0 -> dropped;
+    # the single in-window period is empty -> rank 0 under "zero".
+    ts = T_C - L - L // 2
+    assert type_log_rank([ts], [5.0], T_C, P7) == -math.inf
+
+
+def test_span_of_one_period_gives_m_equals_one():
+    # Eq. (1): span exactly L -> m = 1; the older activity's period index
+    # is e = 1 - 2 + 1 = 0, outside the window, so only the recent one
+    # counts: avg = 8/1, D_1 = 6 -> b = 0.75.
+    ts_old, ts_new = T_C - L - 10, T_C - 10
+    got = type_log_rank([ts_old, ts_new], [2.0, 6.0], T_C, P7)
+    assert got == pytest.approx(math.log(6.0 / 8.0))
+
+
+def test_two_periods_hand_computed():
+    # Span 2L - 20 -> m = 2 (Eq. 1).  Old activity: q = ceil((2L-10)/L) = 2
+    # -> e = 1; new activity: q = 1 -> e = 2 (Eq. 4).
+    # avg = (2+6)/2 = 4; b_1 = 0.5, b_2 = 1.5 (Eqs. 2-3).
+    # log Phi = 1*ln(0.5) + 2*ln(1.5) (Eq. 5).
+    ts_old = T_C - 2 * L + 10
+    ts_new = T_C - 10
+    expected = math.log(0.5) + 2 * math.log(1.5)
+    got = type_log_rank([ts_old, ts_new], [2.0, 6.0], T_C, P7)
+    assert got == pytest.approx(expected)
+
+
+def test_rising_beats_falling():
+    """More recent weight -> rising activity outranks falling activity."""
+    ts_old, ts_new = T_C - 2 * L + 10, T_C - 10
+    rising = type_log_rank([ts_old, ts_new], [2.0, 6.0], T_C, P7)
+    falling = type_log_rank([ts_old, ts_new], [6.0, 2.0], T_C, P7)
+    assert rising > falling
+
+
+def test_uniform_activity_is_exactly_one():
+    # Same impact in every in-window period: every b_e = 1 -> Phi = 1.
+    # Span 3L - 20 -> m = 3, activities land at e = 3, 2, 1.
+    ts = [T_C - 10, T_C - 10 - L, T_C - 3 * L + 10]
+    got = type_log_rank(ts, [3.0] * 3, T_C, P7)
+    assert got == pytest.approx(0.0)
+
+
+def test_empty_period_zero_policy_collapses():
+    # Activities at e=3 and e=1 of a 3-period window; e=2 empty.
+    ts = [T_C - 10, T_C - 3 * L + 10]
+    assert type_log_rank(ts, [1.0, 1.0], T_C, P7) == -math.inf
+
+
+def test_empty_period_skip_policy():
+    params = ActivenessParams(period_days=7, empty_period="skip")
+    ts = [T_C - 10, T_C - 3 * L + 10]
+    # m=3, avg = 2/3; b_1 = b_3 = 1.5; log = (1+3)*ln(1.5).
+    assert type_log_rank(ts, [1.0, 1.0], T_C, params) == pytest.approx(
+        4 * math.log(1.5))
+
+
+def test_empty_period_epsilon_policy():
+    eps = 1e-6
+    params = ActivenessParams(period_days=7, empty_period="epsilon",
+                              epsilon=eps)
+    ts = [T_C - 10, T_C - 3 * L + 10]
+    expected = 4 * math.log(1.5) + 2 * math.log(eps)
+    assert type_log_rank(ts, [1.0, 1.0], T_C, params) == pytest.approx(expected)
+
+
+def test_all_zero_impacts_rank_zero():
+    ts = [T_C - 10, T_C - 20]
+    assert type_log_rank(ts, [0.0, 0.0], T_C, P7) == -math.inf
+
+
+def test_unsorted_input_accepted():
+    ts = [T_C - 10, T_C - L - 10]
+    a = type_log_rank(ts, [6.0, 2.0], T_C, P7)
+    b = type_log_rank(ts[::-1], [2.0, 6.0], T_C, P7)
+    assert a == pytest.approx(b)
+
+
+def test_future_activity_rejected():
+    with pytest.raises(ValueError):
+        type_log_rank([T_C + 1], [1.0], T_C, P7)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        type_log_rank([1, 2], [1.0], T_C, P7)
+
+
+def test_activity_at_tc_lands_in_last_period():
+    # ts == t_c: ceil(0) is clamped to 1, so e = m (Fig. 3 anchoring).
+    assert type_log_rank([T_C], [1.0], T_C, P7) == pytest.approx(0.0)
+
+
+def test_impact_scale_invariance_of_single_period():
+    # b ratios are scale-free: doubling all impacts leaves Phi unchanged.
+    ts = [T_C - 10, T_C - L - 10]
+    a = type_log_rank(ts, [2.0, 6.0], T_C, P7)
+    b = type_log_rank(ts, [4.0, 12.0], T_C, P7)
+    assert a == pytest.approx(b)
+
+
+def test_activeness_boundary_is_one():
+    """Phi >= 1 iff log >= 0: single-period users sit exactly on 1."""
+    got = type_log_rank([T_C - 5], [123.0], T_C, P7)
+    assert got >= 0.0
+
+
+# ---------------------------------------------------------------- bulk vs scalar
+
+@st.composite
+def _activity_set(draw):
+    n = draw(st.integers(1, 30))
+    ts = draw(st.lists(st.integers(T_C - 40 * L, T_C), min_size=n, max_size=n))
+    imp = draw(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=n,
+                        max_size=n))
+    return ts, imp
+
+
+@settings(max_examples=80, deadline=None)
+@given(_activity_set(),
+       st.sampled_from(["zero", "skip", "epsilon"]))
+def test_bulk_matches_scalar_single_user(acts, policy):
+    ts, imp = acts
+    params = ActivenessParams(period_days=7, empty_period=policy)
+    expected = type_log_rank(ts, imp, T_C, params)
+    uids, got = evaluate_type_bulk(np.zeros(len(ts), dtype=np.int64),
+                                   np.asarray(ts), np.asarray(imp),
+                                   T_C, params)
+    assert uids.tolist() == [0]
+    if math.isinf(expected):
+        assert math.isinf(got[0]) and got[0] < 0
+    else:
+        assert got[0] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5),
+                          st.integers(T_C - 30 * L, T_C),
+                          st.floats(0.01, 1e4)),
+                min_size=1, max_size=60))
+def test_bulk_matches_scalar_multi_user(rows):
+    params = ActivenessParams(period_days=7, empty_period="zero")
+    uids = np.asarray([r[0] for r in rows], dtype=np.int64)
+    ts = np.asarray([r[1] for r in rows], dtype=np.int64)
+    imp = np.asarray([r[2] for r in rows], dtype=np.float64)
+    got_uids, got = evaluate_type_bulk(uids, ts, imp, T_C, params)
+    for uid, log_rank in zip(got_uids.tolist(), got.tolist()):
+        mask = uids == uid
+        expected = type_log_rank(ts[mask].tolist(), imp[mask].tolist(),
+                                 T_C, params)
+        if math.isinf(expected):
+            assert math.isinf(log_rank) and log_rank < 0
+        else:
+            assert log_rank == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+def test_bulk_empty_input():
+    uids, ranks = evaluate_type_bulk(np.empty(0, dtype=np.int64),
+                                     np.empty(0, dtype=np.int64),
+                                     np.empty(0), T_C, P7)
+    assert uids.size == 0 and ranks.size == 0
+
+
+def test_bulk_rejects_future():
+    with pytest.raises(ValueError):
+        evaluate_type_bulk(np.asarray([1]), np.asarray([T_C + 5]),
+                           np.asarray([1.0]), T_C, P7)
+
+
+def test_bulk_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        evaluate_type_bulk(np.asarray([1, 2]), np.asarray([T_C]),
+                           np.asarray([1.0]), T_C, P7)
+
+
+# ---------------------------------------------------------------- evaluator / Eq. 6
+
+def _ledger(entries):
+    ledger = ActivityLedger()
+    for atype, uid, ts, impact in entries:
+        ledger.add(atype, Activity(uid, ts, impact))
+    return ledger
+
+
+def test_evaluator_combines_categories():
+    ledger = _ledger([
+        (JOB_SUBMISSION, 1, T_C - 5, 10.0),
+        (PUBLICATION, 1, T_C - 5, 3.0),
+    ])
+    result = ActivenessEvaluator(P7).evaluate(ledger, T_C)
+    ua = result[1]
+    assert ua.has_op and ua.has_oc
+    assert ua.op_active and ua.oc_active
+    assert ua.op_rank == pytest.approx(1.0)
+
+
+def test_evaluator_multiple_types_multiply():
+    # Two operation types, each log 0 -> combined log 0 (Eq. 6 product).
+    ledger = _ledger([
+        (JOB_SUBMISSION, 1, T_C - 5, 10.0),
+        (SHELL_LOGIN, 1, T_C - 7, 1.0),
+    ])
+    ua = ActivenessEvaluator(P7).evaluate(ledger, T_C)[1]
+    assert ua.log_op == pytest.approx(0.0)
+    assert not ua.has_oc
+
+
+def test_evaluator_known_uids_get_initial_rank():
+    result = ActivenessEvaluator(P7).evaluate(ActivityLedger(), T_C,
+                                              known_uids=[7, 8])
+    assert set(result) == {7, 8}
+    ua = result[7]
+    assert not ua.has_op and not ua.has_oc
+    assert not ua.op_active and not ua.oc_active
+    assert ua.op_rank == 0.0  # no history -> classified-inactive rank
+    assert ua.log_lifetime_multiplier() == 0.0  # but initial lifetime
+
+
+def test_evaluator_tracks_recency_and_impact():
+    ledger = _ledger([
+        (JOB_SUBMISSION, 1, T_C - 5 * L, 10.0),
+        (JOB_SUBMISSION, 1, T_C - 10, 30.0),
+        (PUBLICATION, 1, T_C - 3 * L, 2.0),
+    ])
+    ua = ActivenessEvaluator(P7).evaluate(ledger, T_C)[1]
+    assert ua.last_ts == T_C - 10
+    assert ua.total_impact == pytest.approx(42.0)
+
+
+# ---------------------------------------------------------------- lifetime multiplier
+
+def test_lifetime_multiplier_missing_category_is_initial():
+    ua = UserActiveness(1, log_op=math.log(4.0), has_op=True)
+    assert ua.log_lifetime_multiplier() == pytest.approx(math.log(4.0))
+
+
+def test_lifetime_multiplier_zero_rank_falls_back():
+    ua = UserActiveness(1, log_op=-math.inf, has_op=True,
+                        log_oc=math.log(2.0), has_oc=True)
+    assert ua.log_lifetime_multiplier() == pytest.approx(math.log(2.0))
+    assert ua.log_lifetime_multiplier(zero_rank_as_initial=False) == -math.inf
+
+
+def test_lifetime_multiplier_products():
+    ua = UserActiveness(1, log_op=math.log(3.0), has_op=True,
+                        log_oc=math.log(0.5), has_oc=True)
+    assert safe_exp(ua.log_lifetime_multiplier()) == pytest.approx(1.5)
+
+
+# ---------------------------------------------------------------- window cap
+
+def test_max_periods_validation():
+    with pytest.raises(ValueError):
+        ActivenessParams(max_periods=0)
+
+
+def test_max_periods_drops_old_history():
+    """A long stale history plus recent activity: uncapped, the span makes
+    nearly every period empty (rank 0); capped at the recent window, the
+    user is active again."""
+    ts = [T_C - 100 * L, T_C - 5]
+    imp = [1.0, 1.0]
+    uncapped = type_log_rank(ts, imp, T_C, P7)
+    assert uncapped == -math.inf
+    capped = type_log_rank(ts, imp, T_C,
+                           ActivenessParams(period_days=7, max_periods=1))
+    assert capped == pytest.approx(0.0)  # only the recent activity remains
+
+
+def test_max_periods_all_old_is_stale_not_new():
+    params = ActivenessParams(period_days=7, max_periods=2)
+    assert type_log_rank([T_C - 10 * L], [5.0], T_C, params) == -math.inf
+
+
+def test_max_periods_noop_when_window_covers_span():
+    params = ActivenessParams(period_days=7, max_periods=50)
+    ts = [T_C - 10, T_C - 2 * L + 10]
+    assert type_log_rank(ts, [2.0, 6.0], T_C, params) == pytest.approx(
+        type_log_rank(ts, [2.0, 6.0], T_C, P7))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_activity_set(), st.integers(1, 12))
+def test_bulk_matches_scalar_with_window_cap(acts, cap):
+    ts, imp = acts
+    params = ActivenessParams(period_days=7, empty_period="zero",
+                              max_periods=cap)
+    expected = type_log_rank(ts, imp, T_C, params)
+    uids, got = evaluate_type_bulk(np.zeros(len(ts), dtype=np.int64),
+                                   np.asarray(ts), np.asarray(imp),
+                                   T_C, params)
+    assert uids.tolist() == [0]
+    if math.isinf(expected):
+        assert math.isinf(got[0]) and got[0] < 0
+    else:
+        assert got[0] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+def test_bulk_window_cap_keeps_stale_users_in_output():
+    params = ActivenessParams(period_days=7, max_periods=1)
+    uids = np.asarray([1, 1, 2], dtype=np.int64)
+    ts = np.asarray([T_C - 5, T_C - 10, T_C - 50 * L], dtype=np.int64)
+    imp = np.asarray([1.0, 1.0, 9.0])
+    got_uids, got = evaluate_type_bulk(uids, ts, imp, T_C, params)
+    assert got_uids.tolist() == [1, 2]
+    assert got[0] == pytest.approx(0.0)   # user 1 active in the window
+    assert got[1] == -math.inf            # user 2 entirely stale

@@ -1,0 +1,80 @@
+"""Tests for the activity model and trace extractors."""
+
+import pytest
+
+from repro.core import (
+    Activity,
+    ActivityCategory,
+    ActivityLedger,
+    ActivityType,
+    JOB_SUBMISSION,
+    PUBLICATION,
+    SHELL_LOGIN,
+    activities_from_jobs,
+    activities_from_publications,
+)
+from repro.traces import JobRecord, PublicationRecord
+
+
+def test_activity_type_validation():
+    with pytest.raises(ValueError):
+        ActivityType("bad", ActivityCategory.OPERATION, weight=0.0)
+
+
+def test_activity_impact_validation():
+    with pytest.raises(ValueError):
+        Activity(1, 0, -1.0)
+
+
+def test_ledger_add_and_types():
+    ledger = ActivityLedger()
+    ledger.add(JOB_SUBMISSION, Activity(1, 10, 1.0))
+    ledger.add(PUBLICATION, Activity(1, 20, 2.0))
+    assert set(ledger.types()) == {JOB_SUBMISSION, PUBLICATION}
+    assert ledger.types_in(ActivityCategory.OPERATION) == [JOB_SUBMISSION]
+    assert ledger.types_in(ActivityCategory.OUTCOME) == [PUBLICATION]
+    assert ledger.total_activities() == 2
+    assert ledger.uids() == {1}
+
+
+def test_ledger_until_clips_future():
+    ledger = ActivityLedger()
+    ledger.extend(JOB_SUBMISSION, [Activity(1, t, 1.0) for t in (5, 10, 15)])
+    clipped = ledger.until(10)
+    assert [a.ts for a in clipped.activities(JOB_SUBMISSION)] == [5, 10]
+    # original untouched
+    assert len(ledger.activities(JOB_SUBMISSION)) == 3
+
+
+def test_ledger_unknown_type_empty():
+    assert ActivityLedger().activities(SHELL_LOGIN) == []
+
+
+def test_activities_from_jobs_core_hours():
+    job = JobRecord(1, 42, 1000, 1100, 1100 + 7200, num_nodes=2,
+                    cores_per_node=16)
+    (act,) = list(activities_from_jobs([job]))
+    assert act.uid == 42
+    assert act.ts == 1000  # submission time
+    assert act.impact == pytest.approx(32 * 2.0)  # 32 cores x 2 hours
+
+
+def test_activities_from_jobs_weighted():
+    weighted = ActivityType("job_submission", ActivityCategory.OPERATION,
+                            weight=0.5)
+    job = JobRecord(1, 1, 0, 0, 3600, 1, 16)
+    (act,) = list(activities_from_jobs([job], weighted))
+    assert act.impact == pytest.approx(8.0)
+
+
+def test_activities_from_publications_per_author():
+    pub = PublicationRecord(1, 777, [10, 20], citations=3)
+    acts = list(activities_from_publications([pub]))
+    assert [(a.uid, a.ts) for a in acts] == [(10, 777), (20, 777)]
+    # Eq. 8: (3+1)*(2-1+1)=8 for the lead, (3+1)*(2-2+1)=4 for the second.
+    assert [a.impact for a in acts] == [8.0, 4.0]
+
+
+def test_activities_from_empty_traces():
+    assert list(activities_from_jobs([])) == []
+    assert list(activities_from_publications([])) == []

@@ -1,0 +1,110 @@
+"""Tests for histograms, box stats, and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MISS_RATIO_RANGES,
+    BoxStats,
+    box_stats,
+    days_above,
+    days_per_range,
+    format_bytes,
+    format_table,
+    percent,
+    range_labels,
+    series_block,
+)
+
+
+# ---------------------------------------------------------------- histogram
+
+def test_ranges_match_paper_bins():
+    assert len(MISS_RATIO_RANGES) == 11
+    assert MISS_RATIO_RANGES[0] == (0.01, 0.05)
+    assert MISS_RATIO_RANGES[-1] == (0.90, 1.00)
+
+
+def test_range_labels():
+    labels = range_labels()
+    assert labels[0] == "1%-5%"
+    assert labels[2] == "10%-20%"
+    assert labels[-1] == "90%-100%"
+
+
+def test_days_per_range_binning():
+    ratios = np.asarray([0.0, 0.005, 0.01, 0.03, 0.05, 0.07, 0.5, 0.95, 1.0])
+    counts = days_per_range(ratios)
+    # 0.01, 0.03, 0.05 in the first bin (inclusive both edges for bin 0).
+    assert counts[0] == 3
+    assert counts[1] == 1          # 0.07
+    assert counts[5] == 1          # 0.5 in (40%, 50%]
+    assert counts[4] == 0
+    assert counts[-1] == 2         # 0.95 and 1.0
+    # Sub-1% days fall outside every bin.
+    assert sum(counts) == 7
+
+
+def test_days_per_range_half_open_edges():
+    # 0.05 belongs to 1-5%, not 5-10%; 0.10 belongs to 5-10%.
+    counts = days_per_range(np.asarray([0.05, 0.10]))
+    assert counts[0] == 1 and counts[1] == 1 and counts[2] == 0
+
+
+def test_days_above():
+    ratios = np.asarray([0.01, 0.05, 0.06, 0.5])
+    assert days_above(ratios, 0.05) == 2
+    assert days_above(ratios, 0.0) == 4
+
+
+# ---------------------------------------------------------------- box stats
+
+def test_box_stats_basic():
+    stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.minimum == 1.0 and stats.maximum == 5.0
+    assert stats.median == 3.0
+    assert stats.mean == 3.0
+    assert stats.q1 == 2.0 and stats.q3 == 4.0
+    assert stats.count == 5
+
+
+def test_box_stats_empty():
+    stats = box_stats([])
+    assert stats == BoxStats(0, 0, 0, 0, 0, 0, 0)
+
+
+def test_box_stats_accepts_generators():
+    stats = box_stats(x / 10 for x in range(11))
+    assert stats.median == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------- tables
+
+def test_format_bytes():
+    assert format_bytes(0) == "0.00 B"
+    assert format_bytes(1536) == "1.50 KiB"
+    assert format_bytes(1 << 50) == "1.00 PiB"
+    assert format_bytes(-(1 << 20)) == "-1.00 MiB"
+
+
+def test_percent():
+    assert percent(0.3742) == "37.42%"
+    assert percent(-0.05, digits=1) == "-5.0%"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+    assert "long-name" in lines[3]
+
+
+def test_format_table_title():
+    out = format_table(["a"], [[1]], title="Table 9")
+    assert out.splitlines()[0] == "Table 9"
+
+
+def test_series_block():
+    out = series_block("Misses", ["jan", "feb"], [3, 4])
+    assert "jan: 3" in out and "feb: 4" in out

@@ -1,0 +1,155 @@
+"""Tests for the related-work baselines: value-based and scratch-as-a-cache."""
+
+import pytest
+
+from repro.core import RetentionConfig, UserClass
+from repro.core.cache_policy import JobResidencyIndex, ScratchAsCachePolicy
+from repro.core.value_based import CompositeValueFunction, ValueBasedPolicy
+from repro.core.exemption import ExemptionList
+from repro.traces import JobRecord
+from repro.vfs import DAY_SECONDS
+
+from conftest import NOW, make_fs
+
+
+# ---------------------------------------------------------------- value fn
+
+def test_value_function_recency_dominates():
+    vf = CompositeValueFunction()
+    fs = make_fs([("/s/a.h5", 1, 1000, 1), ("/s/b.h5", 1, 1000, 300)])
+    fresh = vf("/s/a.h5", fs.stat("/s/a.h5"), NOW)
+    stale = vf("/s/b.h5", fs.stat("/s/b.h5"), NOW)
+    assert fresh > stale
+
+
+def test_value_function_small_beats_large():
+    vf = CompositeValueFunction(w_recency=0.0, w_type=0.0, w_size=1.0)
+    fs = make_fs([("/s/a.h5", 1, 4096, 10), ("/s/b.h5", 1, 1 << 40, 10)])
+    assert vf("/s/a.h5", fs.stat("/s/a.h5"), NOW) > \
+        vf("/s/b.h5", fs.stat("/s/b.h5"), NOW)
+
+
+def test_value_function_type_weights():
+    vf = CompositeValueFunction(w_recency=0.0, w_size=0.0, w_type=1.0)
+    fs = make_fs([("/s/a.h5", 1, 100, 10), ("/s/a.log", 1, 100, 10)])
+    assert vf("/s/a.h5", fs.stat("/s/a.h5"), NOW) > \
+        vf("/s/a.log", fs.stat("/s/a.log"), NOW)
+
+
+# ---------------------------------------------------------------- value policy
+
+def test_value_policy_purges_lowest_value_to_target():
+    # Equal sizes; ages decide value.  Capacity 400, target 50% -> 200 B.
+    fs = make_fs([("/s/old1.log", 1, 100, 300), ("/s/old2.log", 1, 100, 200),
+                  ("/s/mid.h5", 1, 100, 50), ("/s/new.h5", 1, 100, 1)])
+    cfg = RetentionConfig(purge_target_utilization=0.5)
+    report = ValueBasedPolicy(cfg).run(fs, NOW)
+    assert report.purged_bytes_total == 200
+    assert "/s/old1.log" not in fs and "/s/old2.log" not in fs
+    assert "/s/mid.h5" in fs and "/s/new.h5" in fs
+    assert report.target_met
+
+
+def test_value_policy_threshold_mode():
+    fs = make_fs([("/s/ancient.log", 1, 100, 1000), ("/s/new.h5", 1, 100, 1)],
+                 capacity=0)  # no capacity -> threshold mode
+    # ancient.log scores ~0.33 (no recency, small, log-typed); new.h5 ~1.6.
+    report = ValueBasedPolicy(RetentionConfig(),
+                              value_threshold=0.5).run(fs, NOW)
+    assert "/s/ancient.log" not in fs
+    assert "/s/new.h5" in fs
+    assert report.purged_files_total == 1
+
+
+def test_value_policy_respects_exemptions():
+    fs = make_fs([("/s/keep.log", 1, 100, 1000), ("/s/drop.log", 1, 100, 1000)])
+    cfg = RetentionConfig(purge_target_utilization=0.5)
+    report = ValueBasedPolicy(cfg).run(
+        fs, NOW, exemptions=ExemptionList(paths=["/s/keep.log"]))
+    assert "/s/keep.log" in fs
+    assert "/s/drop.log" not in fs
+
+
+def test_value_policy_is_file_centric():
+    """Unlike ActiveDR, a very active user's stale file still goes first."""
+    from repro.core import UserActiveness
+    fs = make_fs([("/s/vip/old.log", 1, 300, 300),
+                  ("/s/idle/new.h5", 2, 100, 1)])
+    cfg = RetentionConfig(purge_target_utilization=0.5)
+    activeness = {1: UserActiveness(1, log_op=50.0, log_oc=50.0,
+                                    has_op=True, has_oc=True)}
+    report = ValueBasedPolicy(cfg).run(fs, NOW, activeness=activeness)
+    assert "/s/vip/old.log" not in fs
+    assert report.purged_bytes(UserClass.BOTH_ACTIVE) == 300
+
+
+# ---------------------------------------------------------------- residency
+
+def _jobs():
+    return [
+        JobRecord(1, 1, NOW - 3 * DAY_SECONDS, NOW - 2 * DAY_SECONDS,
+                  NOW + DAY_SECONDS, 1),             # uid 1: running now
+        JobRecord(2, 2, NOW - 30 * DAY_SECONDS, NOW - 29 * DAY_SECONDS,
+                  NOW - 28 * DAY_SECONDS, 1),        # uid 2: long done
+    ]
+
+
+def test_residency_index_basic():
+    idx = JobResidencyIndex(_jobs(), grace_seconds=0)
+    assert idx.is_resident(1, NOW)
+    assert not idx.is_resident(2, NOW)
+    assert idx.is_resident(2, NOW - 28 * DAY_SECONDS - 100)
+    assert not idx.is_resident(99, NOW)
+    assert sorted(idx.users()) == [1, 2]
+
+
+def test_residency_grace_window():
+    idx = JobResidencyIndex(_jobs(), grace_seconds=2 * DAY_SECONDS)
+    assert idx.is_resident(2, NOW - 26 * DAY_SECONDS - 100)  # inside grace
+    assert not idx.is_resident(2, NOW)
+
+
+def test_residency_merges_overlaps():
+    jobs = [JobRecord(1, 1, 0, 0, 100, 1), JobRecord(2, 1, 50, 50, 200, 1)]
+    idx = JobResidencyIndex(jobs, grace_seconds=0)
+    assert idx.is_resident(1, 150)
+    assert not idx.is_resident(1, 201)
+
+
+def test_residency_rejects_negative_grace():
+    with pytest.raises(ValueError):
+        JobResidencyIndex([], grace_seconds=-1)
+
+
+# ---------------------------------------------------------------- cache policy
+
+def test_cache_policy_evicts_non_resident_users():
+    fs = make_fs([("/s/u1/a", 1, 100, 50), ("/s/u2/b", 2, 100, 1)])
+    idx = JobResidencyIndex(_jobs(), grace_seconds=0)
+    policy = ScratchAsCachePolicy(RetentionConfig(), residency=idx)
+    report = policy.run(fs, NOW)
+    assert "/s/u1/a" in fs       # uid 1 has a running job
+    assert "/s/u2/b" not in fs   # uid 2 idle -> evicted even though fresh
+    assert report.purged_bytes_total == 100
+
+
+def test_cache_policy_respects_exemptions():
+    fs = make_fs([("/s/u2/a", 2, 100, 1), ("/s/u2/b", 2, 100, 1)])
+    idx = JobResidencyIndex(_jobs(), grace_seconds=0)
+    policy = ScratchAsCachePolicy(RetentionConfig(), residency=idx)
+    policy.run(fs, NOW, exemptions=ExemptionList(paths=["/s/u2/a"]))
+    assert "/s/u2/a" in fs and "/s/u2/b" not in fs
+
+
+def test_cache_policy_is_most_aggressive():
+    """On idle users, the cache policy purges strictly more than FLT."""
+    from repro.core import FixedLifetimePolicy
+    entries = [(f"/s/u2/f{i}", 2, 100, age) for i, age in
+               enumerate((1, 30, 60, 120))]
+    fs_cache, fs_flt = make_fs(entries), make_fs(entries)
+    idx = JobResidencyIndex(_jobs(), grace_seconds=0)
+    cache_rep = ScratchAsCachePolicy(RetentionConfig(),
+                                     residency=idx).run(fs_cache, NOW)
+    flt_rep = FixedLifetimePolicy(RetentionConfig()).run(fs_flt, NOW)
+    assert cache_rep.purged_files_total > flt_rep.purged_files_total
+    assert fs_cache.file_count == 0

@@ -1,0 +1,52 @@
+"""Tests for the dataset calibration statistics."""
+
+import pytest
+
+from repro.synth import CalibrationStats, calibrate, render_calibration
+
+
+@pytest.fixture(scope="module")
+def stats(tiny_dataset):
+    return calibrate(tiny_dataset)
+
+
+def test_population_accounting(tiny_dataset, stats):
+    assert stats.n_users == len(tiny_dataset.users)
+    assert stats.n_files == tiny_dataset.filesystem.file_count
+    assert sum(stats.users_by_archetype.values()) == stats.n_users
+    assert (sum(stats.bytes_by_archetype.values())
+            == tiny_dataset.filesystem.total_bytes)
+
+
+def test_stale_fraction_in_unit_interval(stats):
+    assert 0.0 <= stats.stale_byte_fraction <= 1.0
+    # The generator's old tail guarantees some dead mass at 90 days.
+    assert stats.stale_byte_fraction > 0.1
+
+
+def test_growth_fraction(stats):
+    assert stats.created_bytes > 0
+    assert 0.0 < stats.growth_fraction < 1.0  # modest yearly growth
+
+
+def test_job_quantiles_monotone(stats):
+    q = stats.job_count_quantiles
+    assert list(q) == sorted(q)
+    assert q[-1] > 0
+
+
+def test_op_counts_cover_trace(tiny_dataset, stats):
+    assert sum(stats.op_counts.values()) == len(tiny_dataset.accesses)
+    assert "access" in stats.op_counts
+
+
+def test_render(stats):
+    text = render_calibration(stats)
+    assert "Population mix" in text
+    assert "dead mass" in text
+    assert "sporadic" in text or "dormant" in text
+
+
+def test_growth_fraction_zero_capacity():
+    stats = CalibrationStats(n_users=0, n_files=0, capacity_bytes=0)
+    assert stats.growth_fraction == 0.0

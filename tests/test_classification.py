@@ -1,0 +1,135 @@
+"""Tests for user classification and the retention scan order."""
+
+import math
+
+from repro.core import (
+    GROUP_SCAN_ORDER,
+    UserActiveness,
+    UserClass,
+    classify,
+    classify_all,
+    group_counts,
+    scan_ordered_uids,
+)
+
+
+def _ua(uid, op=None, oc=None, last_ts=-1, impact=0.0):
+    """op/oc: None = no history, else the log rank."""
+    return UserActiveness(
+        uid,
+        log_op=op if op is not None else 0.0,
+        log_oc=oc if oc is not None else 0.0,
+        has_op=op is not None,
+        has_oc=oc is not None,
+        last_ts=last_ts,
+        total_impact=impact,
+    )
+
+
+def test_classify_quadrants():
+    assert classify(_ua(1, op=0.5, oc=0.5)) is UserClass.BOTH_ACTIVE
+    assert classify(_ua(1, op=0.5, oc=-0.5)) is UserClass.OPERATION_ACTIVE_ONLY
+    assert classify(_ua(1, op=-0.5, oc=0.5)) is UserClass.OUTCOME_ACTIVE_ONLY
+    assert classify(_ua(1, op=-0.5, oc=-0.5)) is UserClass.BOTH_INACTIVE
+
+
+def test_classify_boundary_phi_equals_one_is_active():
+    assert classify(_ua(1, op=0.0, oc=0.0)) is UserClass.BOTH_ACTIVE
+
+
+def test_classify_no_history_is_inactive():
+    assert classify(_ua(1)) is UserClass.BOTH_INACTIVE
+    assert classify(_ua(1, op=5.0)) is UserClass.OPERATION_ACTIVE_ONLY
+    assert classify(_ua(1, oc=5.0)) is UserClass.OUTCOME_ACTIVE_ONLY
+
+
+def test_classify_collapsed_rank_is_inactive():
+    assert classify(_ua(1, op=-math.inf, oc=-math.inf)) is UserClass.BOTH_INACTIVE
+
+
+def test_classify_all_and_group_counts():
+    users = {
+        1: _ua(1, op=1.0, oc=1.0),
+        2: _ua(2, op=1.0, oc=-1.0),
+        3: _ua(3),
+        4: _ua(4),
+    }
+    classes = classify_all(users)
+    counts = group_counts(classes)
+    assert counts[UserClass.BOTH_ACTIVE] == 1
+    assert counts[UserClass.OPERATION_ACTIVE_ONLY] == 1
+    assert counts[UserClass.BOTH_INACTIVE] == 2
+    assert counts[UserClass.OUTCOME_ACTIVE_ONLY] == 0
+
+
+def test_scan_order_group_sequence():
+    assert GROUP_SCAN_ORDER == (UserClass.BOTH_INACTIVE,
+                                UserClass.OUTCOME_ACTIVE_ONLY,
+                                UserClass.OPERATION_ACTIVE_ONLY,
+                                UserClass.BOTH_ACTIVE)
+    users = {
+        1: _ua(1, op=1.0, oc=1.0),        # both active
+        2: _ua(2, op=1.0, oc=-1.0),       # op only
+        3: _ua(3, op=-1.0, oc=1.0),       # oc only
+        4: _ua(4),                        # both inactive
+    }
+    order = scan_ordered_uids(users)
+    assert [cls for cls, _ in order] == list(GROUP_SCAN_ORDER)
+    assert [uids for _, uids in order] == [[4], [3], [2], [1]]
+
+
+def test_scan_order_ascending_rank_within_inactive():
+    users = {
+        1: _ua(1, op=-0.1, oc=-1.0),
+        2: _ua(2, op=-2.0, oc=-1.0),
+        3: _ua(3, op=-1.0, oc=-1.0),
+    }
+    order = dict(scan_ordered_uids(users))
+    assert order[UserClass.BOTH_INACTIVE] == [2, 3, 1]
+
+
+def test_scan_order_active_groups_sort_by_outcome_first():
+    # Section 3.4: op-active-only and both-active ascend by outcome rank.
+    users = {
+        1: _ua(1, op=2.0, oc=3.0),
+        2: _ua(2, op=3.0, oc=1.0),
+        3: _ua(3, op=1.0, oc=2.0),
+    }
+    order = dict(scan_ordered_uids(users))
+    assert order[UserClass.BOTH_ACTIVE] == [2, 3, 1]
+
+
+def test_scan_order_staleness_tiebreak():
+    # All collapse to rank 0 -> older last activity is purged first.
+    users = {
+        1: _ua(1, op=-math.inf, last_ts=500),
+        2: _ua(2, op=-math.inf, last_ts=100),
+        3: _ua(3, op=-math.inf, last_ts=300),
+    }
+    order = dict(scan_ordered_uids(users))
+    assert order[UserClass.BOTH_INACTIVE] == [2, 3, 1]
+
+
+def test_scan_order_impact_tiebreak_then_uid():
+    users = {
+        5: _ua(5, op=-math.inf, last_ts=100, impact=10.0),
+        6: _ua(6, op=-math.inf, last_ts=100, impact=5.0),
+        7: _ua(7, op=-math.inf, last_ts=100, impact=5.0),
+    }
+    order = dict(scan_ordered_uids(users))
+    assert order[UserClass.BOTH_INACTIVE] == [6, 7, 5]
+
+
+def test_no_history_sorts_before_collapsed_history():
+    # has_op=False sorts as -inf rank with last_ts=-1: first to purge.
+    users = {
+        1: _ua(1, op=-math.inf, last_ts=100),
+        2: _ua(2),
+    }
+    order = dict(scan_ordered_uids(users))
+    assert order[UserClass.BOTH_INACTIVE] == [2, 1]
+
+
+def test_labels():
+    assert UserClass.BOTH_ACTIVE.label == "Both Active"
+    assert UserClass.BOTH_INACTIVE.label == "Both Inactive"

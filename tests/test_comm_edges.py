@@ -1,0 +1,84 @@
+"""Edge-path tests for the communicator and analysis helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import days_above, days_per_range
+from repro.parallel import PipeComm, run_spmd
+from repro.parallel.comm import SerialComm
+
+
+# ---------------------------------------------------------------- PipeComm
+
+def test_pipecomm_single_rank_bcast_identity():
+    comm = PipeComm(0, 1, [], None)
+    assert comm.bcast("x") == "x"
+
+
+def test_pipecomm_rejects_nonzero_root():
+    comm = PipeComm(0, 2, [None], None)
+    with pytest.raises(NotImplementedError):
+        comm.bcast("x", root=1)
+    with pytest.raises(NotImplementedError):
+        comm.scatter(["a", "b"], root=1)
+    with pytest.raises(NotImplementedError):
+        comm.gather("a", root=1)
+
+
+def test_pipecomm_scatter_validates_length():
+    comm = PipeComm(0, 2, [None], None)
+    with pytest.raises(ValueError):
+        comm.scatter(["only-one"])
+
+
+def _reduce_max(comm, payload):
+    return comm.reduce(comm.rank * 10 + payload, max)
+
+
+def test_spmd_reduce_root_only():
+    results = run_spmd(_reduce_max, 3, 1)
+    assert results[0] == 21
+    assert results[1] is None and results[2] is None
+
+
+def _barrier_then_rank(comm, _payload):
+    comm.barrier()
+    comm.barrier()
+    return comm.rank
+
+
+def test_spmd_repeated_barriers():
+    assert run_spmd(_barrier_then_rank, 4, None) == [0, 1, 2, 3]
+
+
+def _allgather_body(comm, _payload):
+    return comm.allgather(comm.rank ** 2)
+
+
+def test_spmd_allgather_everywhere():
+    results = run_spmd(_allgather_body, 3, None)
+    assert results == [[0, 1, 4]] * 3
+
+
+# ---------------------------------------------------------------- analysis
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0, allow_nan=False), max_size=200))
+def test_days_per_range_never_overcounts(ratios):
+    arr = np.asarray(ratios)
+    counts = days_per_range(arr)
+    assert sum(counts) <= arr.size
+    # Everything >= 1% is binned exactly once.
+    assert sum(counts) == int((arr >= 0.01).sum())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1,
+                max_size=100),
+       st.floats(0.0, 1.0))
+def test_days_above_monotone_in_threshold(ratios, threshold):
+    arr = np.asarray(ratios)
+    assert days_above(arr, threshold) >= days_above(arr, min(threshold + 0.1,
+                                                             1.0))

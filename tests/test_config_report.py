@@ -1,0 +1,106 @@
+"""Tests for RetentionConfig, facility presets, and RetentionReport."""
+
+import pytest
+
+from repro.core import (
+    FACILITY_PRESETS,
+    GroupTally,
+    RetentionConfig,
+    RetentionReport,
+    UserClass,
+    facility_preset,
+)
+
+
+# ---------------------------------------------------------------- config
+
+def test_config_defaults_match_paper():
+    cfg = RetentionConfig()
+    assert cfg.lifetime_days == 90.0
+    assert cfg.purge_trigger_days == 7
+    assert cfg.purge_target_utilization == 0.5
+    assert cfg.retrospective_passes == 5
+    assert cfg.rank_decay == 0.2
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"lifetime_days": 0},
+    {"purge_trigger_days": 0},
+    {"purge_target_utilization": 1.5},
+    {"purge_target_utilization": -0.1},
+    {"retrospective_passes": -1},
+    {"rank_decay": 1.0},
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetentionConfig(**kwargs)
+
+
+def test_with_lifetime():
+    cfg = RetentionConfig().with_lifetime(30)
+    assert cfg.lifetime_days == 30
+    assert cfg.purge_trigger_days == 7
+
+
+def test_facility_presets_table1():
+    assert FACILITY_PRESETS["NCAR"].lifetime_days == 120.0
+    assert FACILITY_PRESETS["OLCF"].lifetime_days == 90.0
+    assert FACILITY_PRESETS["TACC"].lifetime_days == 30.0
+    assert FACILITY_PRESETS["NERSC"].lifetime_days == 84.0
+
+
+def test_facility_preset_lookup():
+    assert facility_preset("olcf").lifetime_days == 90.0
+    with pytest.raises(KeyError):
+        facility_preset("SETI")
+
+
+# ---------------------------------------------------------------- report
+
+def test_report_record_and_totals():
+    rep = RetentionReport("X", t_c=0, lifetime_days=90)
+    rep.record_purge(UserClass.BOTH_INACTIVE, uid=1, size=100)
+    rep.record_purge(UserClass.BOTH_INACTIVE, uid=1, size=50)
+    rep.record_purge(UserClass.BOTH_ACTIVE, uid=2, size=10)
+    rep.record_retain(UserClass.BOTH_ACTIVE, uid=2, size=999)
+    assert rep.purged_bytes_total == 160
+    assert rep.purged_files_total == 3
+    assert rep.retained_bytes_total == 999
+    assert rep.retained_files_total == 1
+    assert rep.purged_bytes(UserClass.BOTH_INACTIVE) == 150
+    assert rep.affected_users(UserClass.BOTH_INACTIVE) == 1
+    assert rep.affected_users(UserClass.BOTH_ACTIVE) == 1
+    assert rep.affected_users(UserClass.OUTCOME_ACTIVE_ONLY) == 0
+
+
+def test_report_merge():
+    a = RetentionReport("X", 0, 90)
+    b = RetentionReport("X", 0, 90)
+    a.record_purge(UserClass.BOTH_INACTIVE, 1, 100)
+    b.record_purge(UserClass.BOTH_INACTIVE, 2, 60)
+    b.record_retain(UserClass.BOTH_ACTIVE, 3, 40)
+    b.target_met = False
+    b.passes_used = 3
+    a.merge(b)
+    assert a.purged_bytes_total == 160
+    assert a.affected_users(UserClass.BOTH_INACTIVE) == 2
+    assert a.retained_bytes(UserClass.BOTH_ACTIVE) == 40
+    assert a.target_met is False
+    assert a.passes_used == 3
+
+
+def test_group_tally_merge():
+    a, b = GroupTally(), GroupTally()
+    a.purged_files, a.purged_bytes = 2, 20
+    b.purged_files, b.purged_bytes = 3, 30
+    b.users_purged.add(9)
+    a.merge(b)
+    assert (a.purged_files, a.purged_bytes) == (5, 50)
+    assert a.affected_users == 1
+
+
+def test_summary_rows_covers_all_groups():
+    rep = RetentionReport("X", 0, 90)
+    rows = rep.summary_rows()
+    assert len(rows) == 4
+    assert {r[0] for r in rows} == {c.label for c in UserClass}

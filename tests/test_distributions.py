@@ -1,0 +1,93 @@
+"""Tests for the seeded distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    bounded_pareto,
+    lognormal_int,
+    poisson_burst_times,
+    spawn_rng,
+    weighted_choice,
+    zipf_bounded,
+)
+
+
+def test_spawn_rng_deterministic_and_stream_separated():
+    a = spawn_rng(1, "jobs", 5).integers(0, 1 << 30, 10)
+    b = spawn_rng(1, "jobs", 5).integers(0, 1 << 30, 10)
+    c = spawn_rng(1, "apps", 5).integers(0, 1 << 30, 10)
+    d = spawn_rng(2, "jobs", 5).integers(0, 1 << 30, 10)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert not np.array_equal(a, d)
+
+
+def test_zipf_bounded_support():
+    rng = spawn_rng(0, "z")
+    draws = zipf_bounded(rng, 1.5, 20, size=2000)
+    assert draws.min() >= 1 and draws.max() <= 20
+    # Rank 1 should dominate.
+    assert (draws == 1).sum() > (draws == 20).sum()
+
+
+def test_zipf_bounded_rejects_bad_high():
+    with pytest.raises(ValueError):
+        zipf_bounded(spawn_rng(0), 1.5, 0)
+
+
+def test_lognormal_int_bounds():
+    rng = spawn_rng(0, "l")
+    draws = lognormal_int(rng, mean=50, sigma=1.0, low=1, high=500, size=3000)
+    assert draws.min() >= 1 and draws.max() <= 500
+    assert 20 < draws.mean() < 120  # clipped mean near target
+
+
+def test_lognormal_int_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        lognormal_int(spawn_rng(0), 10, 1.0, 5, 1)
+
+
+def test_bounded_pareto_support():
+    rng = spawn_rng(0, "p")
+    draws = bounded_pareto(rng, 1.1, 10.0, 1000.0, size=3000)
+    assert draws.min() >= 10.0 and draws.max() <= 1000.0
+    assert np.median(draws) < draws.mean()  # right-skewed
+
+
+def test_bounded_pareto_validation():
+    with pytest.raises(ValueError):
+        bounded_pareto(spawn_rng(0), 1.0, 10.0, 5.0)
+    with pytest.raises(ValueError):
+        bounded_pareto(spawn_rng(0), 1.0, 0.0, 5.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.3, 3.0), st.floats(1.0, 100.0), st.floats(200.0, 1e6))
+def test_bounded_pareto_always_in_band(alpha, low, high):
+    draws = bounded_pareto(spawn_rng(7, "hb"), alpha, low, high, size=200)
+    assert (draws >= low).all() and (draws <= high).all()
+
+
+def test_poisson_burst_times_window_and_sorted():
+    rng = spawn_rng(0, "b")
+    times = poisson_burst_times(rng, 1000, 100_000, n_bursts=10,
+                                events_per_burst_mean=5.0,
+                                burst_span_seconds=500)
+    assert (times >= 1000).all() and (times < 100_000).all()
+    assert (np.diff(times) >= 0).all()
+
+
+def test_poisson_burst_times_empty_cases():
+    rng = spawn_rng(0, "b2")
+    assert poisson_burst_times(rng, 100, 100, 5, 3.0, 10).size == 0
+    assert poisson_burst_times(rng, 0, 100, 0, 3.0, 10).size == 0
+
+
+def test_weighted_choice():
+    rng = spawn_rng(0, "w")
+    picks = [weighted_choice(rng, ["a", "b"], [0.99, 0.01])
+             for _ in range(200)]
+    assert picks.count("a") > picks.count("b")

@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.tables
+import repro.parallel.probes
+import repro.vfs.path_trie
+
+DOC_MODULES = [
+    repro.vfs.path_trie,
+    repro.analysis.tables,
+    repro.parallel.probes,
+]
+
+
+@pytest.mark.parametrize("module", DOC_MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False).failed, \
+        doctest.testmod(module, verbose=False).attempted
+    assert tests > 0, f"{module.__name__} should carry doctests"
+    assert failures == 0

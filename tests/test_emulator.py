@@ -1,0 +1,204 @@
+"""Tests for the trace-replay emulator."""
+
+import pytest
+
+from repro.core import (
+    ActivenessParams,
+    FixedLifetimePolicy,
+    RetentionConfig,
+    UserClass,
+)
+from repro.emulation import (
+    Emulator,
+    EmulatorConfig,
+    deterministic_file_size,
+)
+from repro.traces import AppAccessRecord, JobRecord
+from repro.vfs import DAY_SECONDS
+
+from conftest import make_fs
+
+START = 1_460_000_000 - (1_460_000_000 % DAY_SECONDS)  # day-aligned
+END = START + 30 * DAY_SECONDS
+
+
+def _emulator(lifetime=90.0, trigger=7, emu_cfg=None):
+    cfg = RetentionConfig(lifetime_days=lifetime, purge_trigger_days=trigger,
+                          activeness=ActivenessParams(period_days=7))
+    return Emulator(FixedLifetimePolicy(cfg), cfg.activeness, emu_cfg)
+
+
+def _fs(entries):
+    fs = make_fs([])
+    from repro.vfs import FileMeta
+    for path, uid, size, age_days in entries:
+        atime = START - int(age_days * DAY_SECONDS)
+        fs.add_file(path, FileMeta(size, atime, atime, atime, uid))
+    fs.freeze_capacity()
+    return fs
+
+
+def test_rejects_bad_window():
+    em = _emulator()
+    with pytest.raises(ValueError):
+        em.run(_fs([]), [], [], [], START, START)
+
+
+def test_hit_refreshes_atime_and_counts_access():
+    fs = _fs([("/s/a", 1, 10, 5)])
+    accesses = [AppAccessRecord(START + DAY_SECONDS, 1, "/s/a", "access")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_accesses == 1
+    assert result.metrics.total_misses == 0
+    assert fs.stat("/s/a").atime == START + DAY_SECONDS
+
+
+def test_missing_path_counts_miss():
+    fs = _fs([])
+    accesses = [AppAccessRecord(START + 100, 1, "/s/ghost", "access")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 1
+    assert result.metrics.total_group_misses(UserClass.BOTH_INACTIVE) == 1
+
+
+def test_miss_not_restored_by_default():
+    fs = _fs([])
+    accesses = [AppAccessRecord(START + 100, 1, "/s/g", "access"),
+                AppAccessRecord(START + 200, 1, "/s/g", "access")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 2  # misses repeat, paper-faithful
+
+
+def test_restore_on_miss():
+    fs = _fs([])
+    accesses = [AppAccessRecord(START + 100, 1, "/s/g", "access"),
+                AppAccessRecord(START + 200, 1, "/s/g", "access")]
+    emu = _emulator(emu_cfg=EmulatorConfig(restore_on_miss=True))
+    result = emu.run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 1
+    assert "/s/g" in fs
+
+
+def test_create_adds_file_and_never_misses():
+    fs = _fs([])
+    accesses = [AppAccessRecord(START + 100, 1, "/s/new.out", "create")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 0
+    assert result.metrics.total_accesses == 0
+    meta = fs.stat("/s/new.out")
+    assert meta is not None
+    assert meta.size == deterministic_file_size("/s/new.out")
+    assert meta.uid == 1
+
+
+def test_create_on_existing_touches():
+    fs = _fs([("/s/a", 1, 10, 5)])
+    old_atime = fs.stat("/s/a").atime
+    accesses = [AppAccessRecord(START + 100, 1, "/s/a", "create")]
+    _emulator().run(fs, accesses, [], [], START, END)
+    assert fs.stat("/s/a").atime > old_atime
+
+
+def test_creates_can_be_disabled():
+    fs = _fs([])
+    accesses = [AppAccessRecord(START + 100, 1, "/s/new.out", "create")]
+    emu = _emulator(emu_cfg=EmulatorConfig(apply_creates=False))
+    emu.run(fs, accesses, [], [], START, END)
+    assert "/s/new.out" not in fs
+
+
+def test_touch_refreshes_but_never_misses():
+    fs = _fs([("/s/a", 1, 10, 5)])
+    accesses = [AppAccessRecord(START + 100, 1, "/s/a", "touch"),
+                AppAccessRecord(START + 100, 1, "/s/ghost", "touch")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 0
+    assert result.metrics.total_accesses == 0
+    assert fs.stat("/s/a").atime == START + 100
+
+
+def test_purge_trigger_cadence():
+    fs = _fs([("/s/a", 1, 10, 5)])
+    result = _emulator(trigger=7).run(fs, [], [], [], START, END)
+    # Days 7, 14, 21, 28 in a 30-day window.
+    assert len(result.reports) == 4
+    assert [r.t_c for r in result.reports] == [
+        START + 7 * DAY_SECONDS, START + 14 * DAY_SECONDS,
+        START + 21 * DAY_SECONDS, START + 28 * DAY_SECONDS]
+
+
+def test_purge_removes_then_access_misses():
+    # File is 88 days old at start; at the day-7 trigger it exceeds the
+    # 90-day lifetime and is purged; the later access misses.
+    fs = _fs([("/s/a", 1, 10, 88)])
+    accesses = [AppAccessRecord(START + 10 * DAY_SECONDS, 1, "/s/a",
+                                "access")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 1
+    assert "/s/a" not in fs
+
+
+def test_access_before_purge_saves_file():
+    fs = _fs([("/s/a", 1, 10, 88)])
+    accesses = [AppAccessRecord(START + 2 * DAY_SECONDS, 1, "/s/a", "access"),
+                AppAccessRecord(START + 20 * DAY_SECONDS, 1, "/s/a",
+                                "access")]
+    result = _emulator().run(fs, accesses, [], [], START, END)
+    assert result.metrics.total_misses == 0
+    assert "/s/a" in fs
+
+
+def test_activity_feed_incremental_and_classes_update():
+    # A user submitting jobs every day becomes operation-active at the
+    # first trigger evaluation; misses after that are attributed to the
+    # op-active group.
+    jobs = [JobRecord(i, 1, START + i * DAY_SECONDS,
+                      START + i * DAY_SECONDS + 10,
+                      START + i * DAY_SECONDS + 3610, 1, 16)
+            for i in range(8)]
+    fs = _fs([])
+    accesses = [AppAccessRecord(START + 9 * DAY_SECONDS, 1, "/s/ghost",
+                                "access")]
+    result = _emulator().run(fs, accesses, jobs, [], START, END,
+                             known_uids=[1])
+    assert result.metrics.total_group_misses(
+        UserClass.OPERATION_ACTIVE_ONLY) == 1
+    assert len(result.group_count_history) >= 2
+
+
+def test_final_state_recorded():
+    fs = _fs([("/s/a", 1, 10, 1)])
+    result = _emulator().run(fs, [], [], [], START, END, known_uids=[1])
+    assert result.final_total_bytes == 10
+    assert result.final_file_count == 1
+    assert result.final_classes[1] is UserClass.BOTH_INACTIVE
+
+
+def test_deterministic_file_size_stable_and_bounded():
+    a = deterministic_file_size("/s/x/y.out")
+    assert a == deterministic_file_size("/s/x/y.out")
+    assert 8 << 10 <= a <= 64 << 20
+    assert deterministic_file_size("/s/other") != a or True  # just bounded
+
+
+def test_emulator_respects_exemptions():
+    """A reserved stale file survives the replay's purge triggers."""
+    from repro.core import ExemptionList
+    fs = _fs([("/s/keep", 1, 10, 88), ("/s/drop", 1, 10, 88)])
+    em = _emulator()
+    em.exemptions = ExemptionList(paths=["/s/keep"])
+    em.run(fs, [], [], [], START, END)
+    assert "/s/keep" in fs
+    assert "/s/drop" not in fs
+
+
+def test_emulator_exemptions_via_constructor():
+    from repro.core import (ExemptionList, FixedLifetimePolicy,
+                            RetentionConfig)
+    from repro.emulation import Emulator
+    cfg = RetentionConfig()
+    em = Emulator(FixedLifetimePolicy(cfg), cfg.activeness,
+                  exemptions=ExemptionList(directories=["/s"]))
+    fs = _fs([("/s/a", 1, 10, 300)])
+    em.run(fs, [], [], [], START, END)
+    assert "/s/a" in fs

@@ -1,0 +1,118 @@
+"""Property-based invariants of the replay emulator.
+
+Random miniature workloads, checked against what any correct replay must
+satisfy: miss counts bounded by access counts, access counts independent
+of the policy, determinism, and miss-freeness when nothing can be purged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActiveDRPolicy,
+    ActivenessParams,
+    FixedLifetimePolicy,
+    RetentionConfig,
+)
+from repro.emulation import Emulator
+from repro.traces import AppAccessRecord, JobRecord
+from repro.vfs import DAY_SECONDS, FileMeta, VirtualFileSystem
+
+START = 1_460_000_000 - (1_460_000_000 % DAY_SECONDS)
+N_DAYS = 40
+END = START + N_DAYS * DAY_SECONDS
+
+
+@st.composite
+def _workload(draw):
+    """A tiny random workload: files, accesses, jobs over a 40-day window."""
+    n_files = draw(st.integers(1, 10))
+    fs = VirtualFileSystem()
+    paths = []
+    for i in range(n_files):
+        uid = draw(st.integers(1, 3))
+        age = draw(st.integers(0, 200))
+        atime = START - age * DAY_SECONDS
+        path = f"/s/u{uid}/f{i}"
+        fs.add_file(path, FileMeta(100, atime, atime, atime, uid))
+        paths.append(path)
+    fs.freeze_capacity()
+
+    n_acc = draw(st.integers(0, 40))
+    accesses = []
+    for _ in range(n_acc):
+        ts = draw(st.integers(START, END - 1))
+        uid = draw(st.integers(1, 3))
+        op = draw(st.sampled_from(["access", "access", "access", "create",
+                                   "touch"]))
+        if op == "create":
+            path = f"/s/u{uid}/new{draw(st.integers(0, 5))}.out"
+        else:
+            path = draw(st.sampled_from(paths))
+        accesses.append(AppAccessRecord(ts, uid, path, op))
+    accesses.sort(key=lambda r: r.ts)
+
+    jobs = []
+    for j in range(draw(st.integers(0, 6))):
+        submit = draw(st.integers(START - 100 * DAY_SECONDS, END - 1))
+        jobs.append(JobRecord(j, draw(st.integers(1, 3)), submit,
+                              submit + 10, submit + 3_610,
+                              draw(st.integers(1, 8))))
+    jobs.sort(key=lambda j: j.submit_ts)
+    return fs, accesses, jobs
+
+
+def _run(policy_cls, fs, accesses, jobs, **policy_kwargs):
+    config = RetentionConfig(lifetime_days=30,
+                             activeness=ActivenessParams(period_days=7))
+    policy = policy_cls(config, **policy_kwargs)
+    emulator = Emulator(policy, config.activeness)
+    return emulator.run(fs, accesses, jobs, [], START, END,
+                        known_uids=[1, 2, 3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(_workload())
+def test_misses_bounded_and_accesses_policy_independent(workload):
+    fs, accesses, jobs = workload
+    flt = _run(FixedLifetimePolicy, fs.replicate(), accesses, jobs)
+    adr = _run(ActiveDRPolicy, fs.replicate(), accesses, jobs)
+    for result in (flt, adr):
+        assert result.metrics.total_misses <= result.metrics.total_accesses
+        expected_accesses = sum(1 for r in accesses if r.op == "access")
+        assert result.metrics.total_accesses == expected_accesses
+        assert (result.metrics.misses.sum()
+                == sum(g.sum() for g in result.metrics.group_misses.values()))
+    assert flt.metrics.total_accesses == adr.metrics.total_accesses
+
+
+@settings(max_examples=15, deadline=None)
+@given(_workload())
+def test_replay_deterministic(workload):
+    fs, accesses, jobs = workload
+    a = _run(ActiveDRPolicy, fs.replicate(), accesses, jobs)
+    b = _run(ActiveDRPolicy, fs.replicate(), accesses, jobs)
+    assert a.metrics.total_misses == b.metrics.total_misses
+    assert a.final_total_bytes == b.final_total_bytes
+    assert [r.purged_bytes_total for r in a.reports] == \
+        [r.purged_bytes_total for r in b.reports]
+
+
+@settings(max_examples=15, deadline=None)
+@given(_workload())
+def test_fresh_files_never_miss_with_huge_lifetime(workload):
+    fs, accesses, jobs = workload
+    config = RetentionConfig(lifetime_days=100_000)
+    policy = FixedLifetimePolicy(config)
+    emulator = Emulator(policy, config.activeness)
+    result = emulator.run(fs.replicate(), accesses, jobs, [], START, END,
+                          known_uids=[1, 2, 3])
+    # Nothing is ever purged, so only never-existing paths can miss --
+    # and our accesses only name snapshot paths or created paths.
+    created = {r.path for r in accesses if r.op == "create"}
+    possible_miss = sum(
+        1 for r in accesses
+        if r.op == "access" and r.path in created)  # access-before-create
+    assert result.metrics.total_misses <= possible_miss

@@ -1,0 +1,61 @@
+"""Tests for the purge-exemption reservation list."""
+
+from repro.core import ExemptionList
+
+
+def test_empty_list_exempts_nothing():
+    ex = ExemptionList()
+    assert not ex.is_exempt("/any/path")
+    assert len(ex) == 0
+
+
+def test_exact_file_reservation():
+    ex = ExemptionList(paths=["/s/u1/keep.h5"])
+    assert ex.is_exempt("/s/u1/keep.h5")
+    assert "/s/u1/keep.h5" in ex
+    assert not ex.is_exempt("/s/u1/other.h5")
+    # A file reservation does not cover children.
+    assert not ex.is_exempt("/s/u1/keep.h5/sub")
+
+
+def test_directory_reservation_covers_subtree():
+    ex = ExemptionList(directories=["/s/proj/inputs"])
+    assert ex.is_exempt("/s/proj/inputs/a.dat")
+    assert ex.is_exempt("/s/proj/inputs/deep/b.dat")
+    assert ex.is_exempt("/s/proj/inputs")
+    assert not ex.is_exempt("/s/proj/outputs/a.dat")
+
+
+def test_moved_file_loses_reservation():
+    # Section 3.4: changing a reserved file's path cancels the contract.
+    ex = ExemptionList(paths=["/s/u1/data.h5"])
+    assert not ex.is_exempt("/s/u1/renamed.h5")
+
+
+def test_cancel():
+    ex = ExemptionList(paths=["/a"], directories=["/d"])
+    assert ex.cancel("/a")
+    assert not ex.is_exempt("/a")
+    assert ex.cancel("/d")
+    assert not ex.is_exempt("/d/x")
+    assert not ex.cancel("/never")
+
+
+def test_iteration():
+    ex = ExemptionList(paths=["/a", "/b"], directories=["/d"])
+    assert sorted(ex.reserved_files()) == ["/a", "/b"]
+    assert list(ex.reserved_directories()) == ["/d"]
+    assert len(ex) == 3
+
+
+def test_from_file(tmp_path):
+    listing = tmp_path / "reserved.txt"
+    listing.write_text(
+        "# comment line\n"
+        "\n"
+        "/s/u1/keep.h5\n"
+        "/s/proj/inputs/\n")
+    ex = ExemptionList.from_file(str(listing))
+    assert ex.is_exempt("/s/u1/keep.h5")
+    assert ex.is_exempt("/s/proj/inputs/x.dat")
+    assert not ex.is_exempt("/s/u1/other")

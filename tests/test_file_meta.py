@@ -1,0 +1,42 @@
+"""Tests for FileMeta."""
+
+from repro.vfs import DAY_SECONDS, FileMeta
+
+from conftest import NOW
+
+
+def _meta(age_days: float = 10.0) -> FileMeta:
+    atime = NOW - int(age_days * DAY_SECONDS)
+    return FileMeta(size=100, atime=atime, mtime=atime, ctime=atime, uid=1)
+
+
+def test_age_seconds():
+    m = _meta(10)
+    assert m.age_seconds(NOW) == 10 * DAY_SECONDS
+
+
+def test_age_days():
+    m = _meta(2.5)
+    assert abs(m.age_days(NOW) - 2.5) < 1e-9
+
+
+def test_touch_advances_atime():
+    m = _meta(10)
+    m.touch(NOW)
+    assert m.atime == NOW
+    assert m.age_seconds(NOW) == 0
+
+
+def test_touch_never_regresses():
+    m = _meta(0)
+    old = m.atime
+    m.touch(old - 100)
+    assert m.atime == old
+
+
+def test_copy_is_independent():
+    m = _meta(5)
+    c = m.copy()
+    c.touch(NOW)
+    assert m.atime != c.atime
+    assert (c.size, c.uid, c.stripe_count) == (m.size, m.uid, m.stripe_count)

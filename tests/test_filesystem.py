@@ -1,0 +1,114 @@
+"""Tests for the virtual file system."""
+
+from repro.vfs import DAY_SECONDS, FileMeta, VirtualFileSystem
+
+from conftest import NOW, make_fs
+
+
+def test_empty_fs():
+    fs = VirtualFileSystem()
+    assert fs.total_bytes == 0
+    assert fs.file_count == 0
+    assert fs.uids() == []
+    assert fs.utilization() == 0.0
+
+
+def test_add_and_stat():
+    fs = make_fs([("/s/u1/a", 1, 100, 5)])
+    assert fs.file_count == 1
+    assert fs.total_bytes == 100
+    meta = fs.stat("/s/u1/a")
+    assert meta is not None and meta.uid == 1 and meta.size == 100
+    assert "/s/u1/a" in fs
+
+
+def test_add_replace_updates_accounting():
+    fs = VirtualFileSystem()
+    fs.add_file("/f", FileMeta(100, NOW, NOW, NOW, 1))
+    fs.add_file("/f", FileMeta(250, NOW, NOW, NOW, 2))
+    assert fs.total_bytes == 250
+    assert fs.file_count == 1
+    assert fs.user_bytes(1) == 0
+    assert fs.user_bytes(2) == 250
+
+
+def test_remove_file():
+    fs = make_fs([("/s/a", 1, 100, 0), ("/s/b", 1, 50, 0)])
+    meta = fs.remove_file("/s/a")
+    assert meta is not None and meta.size == 100
+    assert fs.total_bytes == 50
+    assert fs.file_count == 1
+    assert fs.remove_file("/s/a") is None
+
+
+def test_touch_hit_and_miss():
+    fs = make_fs([("/s/a", 1, 100, 30)])
+    assert fs.touch("/s/a", NOW) is True
+    assert fs.stat("/s/a").atime == NOW
+    assert fs.touch("/s/zzz", NOW) is False
+
+
+def test_per_user_accounting():
+    fs = make_fs([("/s/u1/a", 1, 100, 0), ("/s/u1/b", 1, 60, 0),
+                  ("/s/u2/c", 2, 40, 0)])
+    assert fs.user_bytes(1) == 160
+    assert fs.user_file_count(1) == 2
+    assert fs.user_bytes(2) == 40
+    assert fs.user_bytes(99) == 0
+    assert sorted(fs.uids()) == [1, 2]
+
+
+def test_uids_drop_emptied_users():
+    fs = make_fs([("/s/u1/a", 1, 100, 0), ("/s/u2/b", 2, 50, 0)])
+    fs.remove_file("/s/u1/a")
+    assert fs.uids() == [2]
+
+
+def test_iter_user_files_sorted():
+    fs = make_fs([("/s/u1/b", 1, 1, 0), ("/s/u1/a", 1, 1, 0),
+                  ("/s/u2/c", 2, 1, 0)])
+    assert [p for p, _ in fs.iter_user_files(1)] == ["/s/u1/a", "/s/u1/b"]
+    assert list(fs.iter_user_files(42)) == []
+
+
+def test_iter_files_total():
+    entries = [(f"/s/u/f{i}", 1, 10, 0) for i in range(5)]
+    fs = make_fs(entries)
+    assert len(list(fs.iter_files())) == 5
+
+
+def test_capacity_and_utilization():
+    fs = make_fs([("/s/a", 1, 600, 0)], capacity=1000)
+    assert fs.utilization() == 0.6
+    fs.remove_file("/s/a")
+    assert fs.utilization() == 0.0
+
+
+def test_freeze_capacity():
+    fs = make_fs([("/s/a", 1, 100, 0)], capacity=0)
+    fs.freeze_capacity()
+    assert fs.capacity_bytes == 100
+    assert fs.utilization() == 1.0
+
+
+def test_replicate_independent():
+    fs = make_fs([("/s/a", 1, 100, 10)])
+    clone = fs.replicate()
+    clone.remove_file("/s/a")
+    assert "/s/a" in fs
+    assert clone.file_count == 0
+    assert clone.capacity_bytes == fs.capacity_bytes
+
+
+def test_replicate_deep_copies_meta():
+    fs = make_fs([("/s/a", 1, 100, 10)])
+    clone = fs.replicate()
+    clone.touch("/s/a", NOW + DAY_SECONDS)
+    assert fs.stat("/s/a").atime != clone.stat("/s/a").atime
+
+
+def test_prefix_queries():
+    fs = make_fs([("/s/u1/p/a", 1, 1, 0), ("/s/u1/p/b", 1, 1, 0),
+                  ("/s/u2/q/c", 2, 1, 0)])
+    assert fs.count_prefix("/s/u1") == 2
+    assert len(list(fs.iter_prefix("/s/u2"))) == 1

@@ -1,0 +1,132 @@
+"""Tests for the fixed-lifetime baseline policy."""
+
+import pytest
+
+from repro.core import (
+    ExemptionList,
+    FixedLifetimePolicy,
+    RetentionConfig,
+    UserActiveness,
+    UserClass,
+)
+
+from conftest import NOW, make_fs
+
+
+def _cfg(lifetime=90.0, target=0.5):
+    return RetentionConfig(lifetime_days=lifetime,
+                           purge_target_utilization=target)
+
+
+def test_purges_only_stale_files():
+    fs = make_fs([("/s/u1/old", 1, 100, 91),
+                  ("/s/u1/fresh", 1, 100, 89)])
+    report = FixedLifetimePolicy(_cfg()).run(fs, NOW)
+    assert "/s/u1/old" not in fs
+    assert "/s/u1/fresh" in fs
+    assert report.purged_files_total == 1
+    assert report.retained_files_total == 1
+
+
+def test_staleness_boundary_is_strict():
+    # Purge iff age > lifetime: exactly-90-day files are retained.
+    fs = make_fs([("/s/a", 1, 10, 90.0)])
+    FixedLifetimePolicy(_cfg(90)).run(fs, NOW)
+    assert "/s/a" in fs
+
+
+def test_lifetime_sweep_monotone():
+    ages = [5, 20, 45, 70, 100, 200]
+    purged = []
+    for lifetime in (7, 30, 60, 90):
+        fs = make_fs([(f"/s/f{i}", 1, 10, age) for i, age in enumerate(ages)])
+        rep = FixedLifetimePolicy(_cfg(lifetime)).run(fs, NOW)
+        purged.append(rep.purged_files_total)
+    assert purged == sorted(purged, reverse=True)
+    assert purged == [5, 4, 3, 2]
+
+
+def test_exempt_files_survive():
+    fs = make_fs([("/s/u1/old", 1, 100, 365),
+                  ("/s/u1/old2", 1, 100, 365)])
+    ex = ExemptionList(paths=["/s/u1/old"])
+    report = FixedLifetimePolicy(_cfg()).run(fs, NOW, exemptions=ex)
+    assert "/s/u1/old" in fs
+    assert "/s/u1/old2" not in fs
+    assert report.purged_files_total == 1
+
+
+def test_no_target_purges_everything_stale():
+    entries = [(f"/s/f{i}", 1, 100, 200) for i in range(10)]
+    fs = make_fs(entries)
+    report = FixedLifetimePolicy(_cfg()).run(fs, NOW)
+    assert fs.file_count == 0
+    assert report.target_met is True
+    assert report.target_bytes == 0
+
+
+def test_enforced_target_stops_early():
+    # 10 stale files x 100 B, capacity 1000, target 50 % -> purge 500 B.
+    entries = [(f"/s/f{i}", 1, 100, 200) for i in range(10)]
+    fs = make_fs(entries)
+    pol = FixedLifetimePolicy(_cfg(), enforce_target=True)
+    report = pol.run(fs, NOW)
+    assert report.purged_bytes_total == 500
+    assert fs.file_count == 5
+    assert report.target_met is True
+
+
+def test_enforced_target_can_fall_short():
+    # Only 100 B stale but 900 B must go -> FLT undershoots and reports it.
+    entries = [("/s/stale", 1, 100, 200)] + [
+        (f"/s/fresh{i}", 1, 100, 1) for i in range(9)]
+    fs = make_fs(entries, capacity=1000)
+    fs_total = fs.total_bytes
+    pol = FixedLifetimePolicy(_cfg(target=0.05), enforce_target=True)
+    report = pol.run(fs, NOW)
+    assert report.purged_bytes_total == 100
+    assert report.target_met is False
+    assert fs.total_bytes == fs_total - 100
+
+
+def test_scan_order_is_path_order():
+    # With a target of one file, the lexicographically first stale path goes.
+    entries = [("/s/b", 1, 100, 200), ("/s/a", 2, 100, 200),
+               ("/s/c", 3, 100, 200), ("/s/fresh", 4, 700, 1)]
+    fs = make_fs(entries)
+    pol = FixedLifetimePolicy(_cfg(target=0.9), enforce_target=True)
+    pol.run(fs, NOW)
+    assert "/s/a" not in fs
+    assert "/s/b" in fs and "/s/c" in fs
+
+
+def test_groups_attributed_from_activeness():
+    fs = make_fs([("/s/u1/f", 1, 100, 200), ("/s/u2/f", 2, 100, 200)])
+    activeness = {1: UserActiveness(1, log_op=1.0, log_oc=1.0,
+                                    has_op=True, has_oc=True)}
+    report = FixedLifetimePolicy(_cfg()).run(fs, NOW, activeness=activeness)
+    assert report.purged_bytes(UserClass.BOTH_ACTIVE) == 100
+    assert report.purged_bytes(UserClass.BOTH_INACTIVE) == 100
+
+
+def test_without_activeness_everything_is_both_inactive():
+    fs = make_fs([("/s/u1/f", 1, 100, 200)])
+    report = FixedLifetimePolicy(_cfg()).run(fs, NOW)
+    assert report.purged_bytes(UserClass.BOTH_INACTIVE) == 100
+
+
+def test_flt_ignores_user_activeness_for_decisions():
+    """FLT purges an active user's stale file -- the paper's core critique."""
+    fs = make_fs([("/s/vip/f", 1, 100, 120)])
+    activeness = {1: UserActiveness(1, log_op=50.0, log_oc=50.0,
+                                    has_op=True, has_oc=True)}
+    FixedLifetimePolicy(_cfg()).run(fs, NOW, activeness=activeness)
+    assert "/s/vip/f" not in fs
+
+
+def test_report_metadata():
+    fs = make_fs([("/s/a", 1, 10, 5)])
+    report = FixedLifetimePolicy(_cfg(30)).run(fs, NOW)
+    assert report.policy == "FLT"
+    assert report.t_c == NOW
+    assert report.lifetime_days == 30

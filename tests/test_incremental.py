@@ -1,0 +1,164 @@
+"""Tests for the columnar activity store."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActivenessEvaluator,
+    ActivenessParams,
+    Activity,
+    ActivityLedger,
+    JOB_SUBMISSION,
+    PUBLICATION,
+    SHELL_LOGIN,
+    activities_from_jobs,
+    activities_from_publications,
+)
+from repro.core.incremental import ColumnarActivityStore
+from repro.traces import JobRecord, PublicationRecord
+from repro.vfs import DAY_SECONDS
+
+T_C = 1_000 * DAY_SECONDS
+L = 7 * DAY_SECONDS
+
+
+def _assert_same(a, b):
+    assert set(a) == set(b)
+    for uid in a:
+        ua, ub = a[uid], b[uid]
+        assert ua.has_op == ub.has_op and ua.has_oc == ub.has_oc
+        for x, y in ((ua.log_op, ub.log_op), (ua.log_oc, ub.log_oc)):
+            if math.isinf(x) or math.isinf(y):
+                assert x == y
+            else:
+                assert x == pytest.approx(y, rel=1e-12, abs=1e-12)
+        assert ua.last_ts == ub.last_ts
+        assert ua.total_impact == pytest.approx(ub.total_impact)
+
+
+def test_empty_store():
+    store = ColumnarActivityStore()
+    assert store.total_activities() == 0
+    assert store.types() == []
+    result = store.evaluate(T_C, known_uids=[3])
+    assert list(result) == [3]
+    assert not result[3].has_op
+
+
+def test_append_and_extend_count():
+    store = ColumnarActivityStore()
+    store.append(JOB_SUBMISSION, 1, T_C - 5, 2.0)
+    assert store.extend(JOB_SUBMISSION,
+                        [Activity(1, T_C - 4, 1.0),
+                         Activity(2, T_C - 3, 1.0)]) == 2
+    assert store.extend(JOB_SUBMISSION, []) == 0
+    assert store.total_activities() == 3
+    assert store.types() == [JOB_SUBMISSION]
+
+
+def test_negative_impact_rejected():
+    store = ColumnarActivityStore()
+    with pytest.raises(ValueError):
+        store.append(JOB_SUBMISSION, 1, T_C, -1.0)
+
+
+def test_matches_ledger_evaluator_on_mixed_types():
+    ledger = ActivityLedger()
+    store = ColumnarActivityStore()
+    entries = [
+        (JOB_SUBMISSION, 1, T_C - 5, 10.0),
+        (JOB_SUBMISSION, 1, T_C - L - 20, 4.0),
+        (JOB_SUBMISSION, 2, T_C - 40 * L, 7.0),
+        (SHELL_LOGIN, 1, T_C - 3, 1.0),
+        (PUBLICATION, 2, T_C - 2 * L, 8.0),
+        (PUBLICATION, 3, T_C - 1, 6.0),
+    ]
+    for atype, uid, ts, impact in entries:
+        ledger.add(atype, Activity(uid, ts, impact))
+        store.append(atype, uid, ts, impact)
+    params = ActivenessParams(period_days=7)
+    expected = ActivenessEvaluator(params).evaluate(ledger, T_C,
+                                                    known_uids=[1, 2, 3, 4])
+    got = store.evaluate(T_C, params, known_uids=[1, 2, 3, 4])
+    _assert_same(expected, got)
+
+
+def test_clips_future_activities():
+    store = ColumnarActivityStore()
+    store.append(JOB_SUBMISSION, 1, T_C - 5, 1.0)
+    store.append(JOB_SUBMISSION, 1, T_C + 100, 99.0)  # future: invisible
+    result = store.evaluate(T_C)
+    assert result[1].total_impact == pytest.approx(1.0)
+    assert result[1].last_ts == T_C - 5
+    # At a later clock the future activity becomes visible.
+    later = store.evaluate(T_C + 200)
+    assert later[1].total_impact == pytest.approx(100.0)
+
+
+def test_ingest_jobs_matches_extractor():
+    jobs = [JobRecord(i, i % 3, T_C - i * 1000, T_C - i * 1000 + 10,
+                      T_C - i * 1000 + 3610, i + 1, 16) for i in range(12)]
+    ledger = ActivityLedger()
+    ledger.extend(JOB_SUBMISSION, activities_from_jobs(jobs))
+    store = ColumnarActivityStore()
+    assert store.ingest_jobs(jobs) == 12
+    params = ActivenessParams(period_days=7)
+    _assert_same(ActivenessEvaluator(params).evaluate(ledger, T_C),
+                 store.evaluate(T_C, params))
+
+
+def test_ingest_publications_matches_extractor():
+    pubs = [PublicationRecord(0, T_C - 50, [1, 2, 3], 7),
+            PublicationRecord(1, T_C - 2 * L, [2], 0)]
+    ledger = ActivityLedger()
+    ledger.extend(PUBLICATION, activities_from_publications(pubs))
+    store = ColumnarActivityStore()
+    assert store.ingest_publications(pubs) == 4
+    params = ActivenessParams(period_days=7)
+    _assert_same(ActivenessEvaluator(params).evaluate(ledger, T_C),
+                 store.evaluate(T_C, params))
+
+
+def test_incremental_appends_reach_same_state_as_bulk():
+    """Feeding the history in many small batches equals one big batch."""
+    acts = [Activity(uid, T_C - k * 3600, float(k % 5 + 1))
+            for k, uid in enumerate([1, 2, 1, 3, 2, 1, 4, 2] * 10)]
+    bulk = ColumnarActivityStore()
+    bulk.extend(JOB_SUBMISSION, acts)
+    incremental = ColumnarActivityStore()
+    for act in acts:
+        incremental.extend(JOB_SUBMISSION, [act])
+    params = ActivenessParams(period_days=7)
+    _assert_same(bulk.evaluate(T_C, params),
+                 incremental.evaluate(T_C, params))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4),
+                          st.integers(T_C - 20 * L, T_C),
+                          st.floats(0.01, 1e4)),
+                min_size=1, max_size=40))
+def test_property_store_equals_evaluator(rows):
+    ledger = ActivityLedger()
+    store = ColumnarActivityStore()
+    for uid, ts, impact in rows:
+        ledger.add(JOB_SUBMISSION, Activity(uid, ts, impact))
+        store.append(JOB_SUBMISSION, uid, ts, impact)
+    params = ActivenessParams(period_days=7)
+    _assert_same(ActivenessEvaluator(params).evaluate(ledger, T_C),
+                 store.evaluate(T_C, params))
+
+
+def test_reevaluation_after_append_is_consistent():
+    store = ColumnarActivityStore()
+    store.append(JOB_SUBMISSION, 1, T_C - 2 * L, 1.0)
+    first = store.evaluate(T_C)
+    assert first[1].has_op
+    store.append(JOB_SUBMISSION, 1, T_C - 5, 1.0)
+    second = store.evaluate(T_C)
+    # New recent activity can only improve recency.
+    assert second[1].last_ts > first[1].last_ts

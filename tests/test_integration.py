@@ -1,0 +1,140 @@
+"""End-to-end integration tests: the headline behaviours of the paper on a
+small synthetic dataset, plus cross-policy conservation invariants."""
+
+import pytest
+
+from repro.core import (
+    ActiveDRPolicy,
+    ActivenessEvaluator,
+    ActivenessParams,
+    ActivityLedger,
+    FixedLifetimePolicy,
+    JOB_SUBMISSION,
+    PUBLICATION,
+    RetentionConfig,
+    UserClass,
+    activities_from_jobs,
+    activities_from_publications,
+    classify_all,
+    group_counts,
+)
+from repro.emulation import ACTIVEDR, FLT, ComparisonRunner
+from repro.synth import TitanConfig, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def medium_dataset():
+    return generate_dataset(TitanConfig(n_users=250, seed=42))
+
+
+@pytest.fixture(scope="module")
+def comparison(medium_dataset):
+    return ComparisonRunner(medium_dataset).run()
+
+
+def test_activedr_reduces_total_misses(comparison):
+    """The headline result: same traces, same target, fewer misses."""
+    assert comparison.total_misses(ACTIVEDR) < comparison.total_misses(FLT)
+    assert comparison.miss_reduction() > 0.0
+
+
+def test_activedr_retains_more_data(comparison):
+    assert (comparison[ACTIVEDR].final_total_bytes
+            > comparison[FLT].final_total_bytes)
+
+
+def test_same_accesses_replayed(comparison):
+    assert (comparison[FLT].metrics.total_accesses
+            == comparison[ACTIVEDR].metrics.total_accesses)
+
+
+def test_weekly_triggers_both_policies(comparison):
+    assert len(comparison[FLT].reports) == 52
+    assert len(comparison[ACTIVEDR].reports) == 52
+
+
+def test_purge_plus_retain_accounts_every_file(comparison):
+    """Within each retention event, purged + retained = files at scan time."""
+    for report in comparison[ACTIVEDR].reports:
+        assert report.purged_files_total >= 0
+        assert report.retained_files_total >= 0
+    final = comparison[ACTIVEDR].final_report
+    assert final.retained_files_total <= comparison[ACTIVEDR].final_file_count
+
+
+def test_activeness_skew_matches_paper_shape(medium_dataset):
+    """The vast majority of users classify as both-inactive (Fig. 5)."""
+    ledger = ActivityLedger()
+    ledger.extend(JOB_SUBMISSION, activities_from_jobs(medium_dataset.jobs))
+    ledger.extend(PUBLICATION,
+                  activities_from_publications(medium_dataset.publications))
+    t_c = medium_dataset.config.replay_end - 1
+    clipped = ledger.until(t_c)
+    for period in (7, 30, 60, 90):
+        evaluator = ActivenessEvaluator(ActivenessParams(period_days=period))
+        activeness = evaluator.evaluate(
+            clipped, t_c, known_uids=[u.uid for u in medium_dataset.users])
+        counts = group_counts(classify_all(activeness))
+        total = sum(counts.values())
+        assert total == 250
+        inactive_share = counts[UserClass.BOTH_INACTIVE] / total
+        assert inactive_share > 0.80
+
+
+def test_active_share_grows_with_period(medium_dataset):
+    """Fig. 5 trend: a longer period length admits more active users."""
+    ledger = ActivityLedger()
+    ledger.extend(JOB_SUBMISSION, activities_from_jobs(medium_dataset.jobs))
+    t_c = medium_dataset.config.replay_end - 1
+    clipped = ledger.until(t_c)
+    uids = [u.uid for u in medium_dataset.users]
+
+    def active_count(period):
+        evaluator = ActivenessEvaluator(ActivenessParams(period_days=period))
+        activeness = evaluator.evaluate(clipped, t_c, known_uids=uids)
+        return sum(1 for ua in activeness.values() if ua.op_active)
+
+    assert active_count(90) >= active_count(7)
+
+
+def test_single_snapshot_same_target_retention(medium_dataset):
+    """On one snapshot with one shared purge target, ActiveDR spends the
+    purge budget on inactive users and spares active ones."""
+    cfg = RetentionConfig(purge_target_utilization=0.5)
+    t_c = medium_dataset.config.replay_start
+
+    ledger = ActivityLedger()
+    ledger.extend(JOB_SUBMISSION, activities_from_jobs(medium_dataset.jobs))
+    ledger.extend(PUBLICATION,
+                  activities_from_publications(medium_dataset.publications))
+    activeness = ActivenessEvaluator(cfg.activeness).evaluate(
+        ledger.until(t_c), t_c, known_uids=[u.uid for u in medium_dataset.users])
+
+    fs_flt = medium_dataset.fresh_filesystem()
+    fs_adr = medium_dataset.fresh_filesystem()
+    rep_flt = FixedLifetimePolicy(cfg, enforce_target=True).run(
+        fs_flt, t_c, activeness=activeness)
+    rep_adr = ActiveDRPolicy(cfg).run(fs_adr, t_c, activeness=activeness)
+
+    # Bytes conservation on both policies.
+    for fs, rep in ((fs_flt, rep_flt), (fs_adr, rep_adr)):
+        assert fs.total_bytes + rep.purged_bytes_total \
+            == medium_dataset.filesystem.total_bytes
+
+    # ActiveDR concentrates its purge on the both-inactive group at least
+    # as much as FLT does.
+    if rep_adr.purged_bytes_total > 0 and rep_flt.purged_bytes_total > 0:
+        adr_share = (rep_adr.purged_bytes(UserClass.BOTH_INACTIVE)
+                     / rep_adr.purged_bytes_total)
+        flt_share = (rep_flt.purged_bytes(UserClass.BOTH_INACTIVE)
+                     / rep_flt.purged_bytes_total)
+        assert adr_share >= flt_share - 1e-9
+
+
+def test_emulation_is_deterministic(medium_dataset):
+    a = ComparisonRunner(medium_dataset).run()
+    b = ComparisonRunner(medium_dataset).run()
+    for policy in (FLT, ACTIVEDR):
+        assert (a[policy].metrics.total_misses
+                == b[policy].metrics.total_misses)
+        assert a[policy].final_total_bytes == b[policy].final_total_bytes

@@ -1,0 +1,48 @@
+"""Tests for the daily replay metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import UserClass
+from repro.emulation import DailyMetrics
+
+
+def test_requires_positive_days():
+    with pytest.raises(ValueError):
+        DailyMetrics(0)
+
+
+def test_record_and_totals():
+    m = DailyMetrics(5)
+    m.record_access(0)
+    m.record_access(0)
+    m.record_miss(0, UserClass.BOTH_ACTIVE)
+    m.record_access(3)
+    m.record_miss(3, UserClass.BOTH_INACTIVE)
+    assert m.total_accesses == 3
+    assert m.total_misses == 2
+    assert m.total_group_misses(UserClass.BOTH_ACTIVE) == 1
+    assert m.total_group_misses(UserClass.OUTCOME_ACTIVE_ONLY) == 0
+
+
+def test_miss_ratio_handles_zero_access_days():
+    m = DailyMetrics(3)
+    m.record_access(1)
+    m.record_miss(1, UserClass.BOTH_INACTIVE)
+    ratios = m.miss_ratio()
+    np.testing.assert_allclose(ratios, [0.0, 1.0, 0.0])
+
+
+def test_monthly_group_misses_folding():
+    m = DailyMetrics(65)
+    for day in (0, 29, 30, 64):
+        m.record_miss(day, UserClass.BOTH_ACTIVE)
+    series = m.monthly_group_misses(UserClass.BOTH_ACTIVE, days_per_month=30)
+    assert series.tolist() == [2, 1, 1]
+
+
+def test_monthly_handles_partial_tail():
+    m = DailyMetrics(31)
+    m.record_miss(30, UserClass.BOTH_INACTIVE)
+    series = m.monthly_group_misses(UserClass.BOTH_INACTIVE, 30)
+    assert series.tolist() == [0, 1]

@@ -1,0 +1,188 @@
+"""Tests for the parallel substrate: communicators, partitioners, scans."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    ProbeLog,
+    RankScanResult,
+    SerialComm,
+    Timer,
+    block_partition,
+    block_ranges,
+    cyclic_partition,
+    parallel_shard_scan,
+    rss_bytes,
+    run_spmd,
+)
+
+
+# ---------------------------------------------------------------- partition
+
+def test_block_ranges_even():
+    assert block_ranges(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+
+def test_block_ranges_remainder_goes_first():
+    assert block_ranges(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+
+def test_block_ranges_more_parts_than_items():
+    ranges = block_ranges(2, 4)
+    assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+def test_block_ranges_validation():
+    with pytest.raises(ValueError):
+        block_ranges(5, 0)
+    with pytest.raises(ValueError):
+        block_ranges(-1, 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 32))
+def test_block_ranges_properties(n, parts):
+    ranges = block_ranges(n, parts)
+    assert len(ranges) == parts
+    assert ranges[0][0] == 0 and ranges[-1][1] == n
+    sizes = [hi - lo for lo, hi in ranges]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        assert b == c
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(), max_size=60), st.integers(1, 8))
+def test_partitions_preserve_items(items, parts):
+    flat_block = [x for part in block_partition(items, parts) for x in part]
+    assert flat_block == items
+    cyclic = cyclic_partition(items, parts)
+    assert sorted(x for part in cyclic for x in part) == sorted(items)
+
+
+def test_cyclic_partition_deals_round_robin():
+    assert cyclic_partition([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+
+# ---------------------------------------------------------------- serial comm
+
+def test_serial_comm_collectives():
+    comm = SerialComm()
+    assert comm.rank == 0 and comm.size == 1
+    assert comm.bcast("x") == "x"
+    assert comm.scatter(["only"]) == "only"
+    assert comm.gather(5) == [5]
+    assert comm.allgather(5) == [5]
+    assert comm.reduce(5, lambda a, b: a + b) == 5
+    assert comm.allreduce(5, lambda a, b: a + b) == 5
+    comm.barrier()
+
+
+def test_serial_scatter_validates():
+    with pytest.raises(ValueError):
+        SerialComm().scatter([1, 2])
+
+
+# ---------------------------------------------------------------- SPMD
+
+def _spmd_sum(comm, payload):
+    part = comm.scatter(payload if comm.rank == 0 else None)
+    total = comm.allreduce(sum(part), lambda a, b: a + b)
+    gathered = comm.gather(comm.rank)
+    comm.barrier()
+    return total, gathered, comm.bcast("hello" if comm.rank == 0 else None)
+
+
+def test_run_spmd_size_one_uses_serial():
+    (result,) = run_spmd(_spmd_sum, 1, [[1, 2, 3]])
+    total, gathered, greeting = result
+    assert total == 6 and gathered == [0] and greeting == "hello"
+
+
+def test_run_spmd_multi_rank():
+    results = run_spmd(_spmd_sum, 3, [[1], [2, 3], [4, 5, 6]])
+    totals = [r[0] for r in results]
+    assert totals == [21, 21, 21]  # allreduce agrees everywhere
+    assert results[0][1] == [0, 1, 2]  # gather at root
+    assert results[1][1] is None
+    assert all(r[2] == "hello" for r in results)
+
+
+def _spmd_fail(comm, payload):
+    if comm.rank == payload:
+        raise RuntimeError("boom")
+    return comm.rank
+
+
+def test_run_spmd_surfaces_worker_errors():
+    with pytest.raises(RuntimeError, match="boom"):
+        run_spmd(_spmd_fail, 1, 0)
+
+
+def test_run_spmd_validates_size():
+    with pytest.raises(ValueError):
+        run_spmd(_spmd_sum, 0, None)
+
+
+# ---------------------------------------------------------------- probes
+
+def test_timer_measures():
+    with Timer() as t:
+        sum(range(10_000))
+    assert t.elapsed > 0.0
+
+
+def test_rss_bytes_positive_on_linux():
+    assert rss_bytes() > 0
+
+
+def test_probe_log_measure():
+    log = ProbeLog()
+    with log.measure("work"):
+        _ = [0] * 1000
+    assert log.timings["work"] >= 0.0
+    assert "work" in log.memory_mib
+    log.record_time("work", 1.0)
+    assert log.timings["work"] >= 1.0
+
+
+# ---------------------------------------------------------------- shard scan
+
+def _line_count(path):
+    with open(path) as f:
+        return sum(1 for _ in f)
+
+
+def _make_shards(tmp_path, sizes):
+    shards = []
+    for i, n in enumerate(sizes):
+        p = tmp_path / f"shard{i}.txt"
+        p.write_text("x\n" * n)
+        shards.append(str(p))
+    return shards
+
+
+def test_parallel_shard_scan_serial(tmp_path):
+    shards = _make_shards(tmp_path, [3, 5, 2])
+    (result,) = parallel_shard_scan(shards, _line_count, n_ranks=1)
+    assert isinstance(result, RankScanResult)
+    assert result.values == [3, 5, 2]
+    assert len(result.shard_seconds) == 3
+    assert result.total_seconds >= 0.0
+
+
+def test_parallel_shard_scan_multirank(tmp_path):
+    shards = _make_shards(tmp_path, [1, 2, 3, 4])
+    results = parallel_shard_scan(shards, _line_count, n_ranks=2)
+    assert [r.rank for r in results] == [0, 1]
+    assert results[0].values == [1, 2]
+    assert results[1].values == [3, 4]
+
+
+def test_parallel_shard_scan_validates():
+    with pytest.raises(ValueError):
+        parallel_shard_scan([], _line_count, n_ranks=0)

@@ -1,0 +1,122 @@
+"""Tests for shard-parallel purge decisions."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FixedLifetimePolicy,
+    RetentionConfig,
+    UserActiveness,
+)
+from repro.parallel.retention import (
+    RankDecisions,
+    apply_purge_decisions,
+    parallel_purge_decisions,
+    user_shard_payload,
+)
+
+from conftest import NOW, make_fs
+
+
+def _fs():
+    return make_fs([
+        ("/s/u1/a", 1, 100, 200),   # stale
+        ("/s/u1/b", 1, 100, 10),    # fresh
+        ("/s/u2/c", 2, 100, 200),   # stale
+        ("/s/u3/d", 3, 100, 120),   # stale for inactive, not for active
+    ])
+
+
+def _activeness():
+    return {
+        1: UserActiveness(1),  # no history: initial lifetime
+        2: UserActiveness(2, log_op=-math.inf, log_oc=-math.inf,
+                          has_op=True, has_oc=True),
+        3: UserActiveness(3, log_op=math.log(2.0), log_oc=0.0,
+                          has_op=True, has_oc=True),  # lifetime 180 d
+    }
+
+
+def test_user_shard_payload_shape():
+    payload = user_shard_payload(_fs())
+    assert [uid for uid, _ in payload] == [1, 2, 3]
+    files = dict(payload)[1]
+    assert sorted(p for p, _, _ in files) == ["/s/u1/a", "/s/u1/b"]
+    for _, size, atime in files:
+        assert size == 100 and atime > 0
+
+
+def test_serial_decisions_match_staleness():
+    fs = _fs()
+    results = parallel_purge_decisions(fs, _activeness(),
+                                       RetentionConfig(), NOW, n_ranks=1)
+    (result,) = results
+    assert isinstance(result, RankDecisions)
+    purged_paths = {p for p, _, _ in result.decisions}
+    # u1 (initial 90d): /s/u1/a stale.  u2 (both-inactive floor -> 90d):
+    # /s/u2/c stale.  u3 (active, 180d): /s/u3/d at 120d survives.
+    assert purged_paths == {"/s/u1/a", "/s/u2/c"}
+    assert result.files_examined == 4
+    assert result.eval_seconds >= 0.0
+    assert result.decide_seconds >= 0.0
+
+
+def test_multirank_decisions_union_equals_serial():
+    fs = _fs()
+    serial = parallel_purge_decisions(fs, _activeness(), RetentionConfig(),
+                                      NOW, n_ranks=1)
+    parallel = parallel_purge_decisions(fs, _activeness(), RetentionConfig(),
+                                        NOW, n_ranks=3)
+    serial_set = {d for r in serial for d in r.decisions}
+    parallel_set = {d for r in parallel for d in r.decisions}
+    assert serial_set == parallel_set
+    assert sum(r.files_examined for r in parallel) == 4
+    # Rank 0 carries the evaluation; workers only receive the broadcast.
+    assert [r.rank for r in parallel] == [0, 1, 2]
+
+
+def test_decisions_agree_with_flt_for_initial_rank_users():
+    """With every user at the initial rank, parallel decisions equal the
+    plain FLT stale set."""
+    fs = _fs()
+    activeness = {uid: UserActiveness(uid) for uid in (1, 2, 3)}
+    (result,) = parallel_purge_decisions(fs, activeness, RetentionConfig(),
+                                         NOW, n_ranks=1)
+    flt_fs = _fs()
+    FixedLifetimePolicy(RetentionConfig()).run(flt_fs, NOW)
+    flt_purged = {p for p, _, _ in
+                  [(path, 0, 0) for path, _ in _fs().iter_files()
+                   if path not in flt_fs]}
+    assert {p for p, _, _ in result.decisions} == flt_purged
+
+
+def test_apply_decisions_full():
+    fs = _fs()
+    (result,) = parallel_purge_decisions(fs, _activeness(), RetentionConfig(),
+                                         NOW, n_ranks=1)
+    purged = apply_purge_decisions(fs, result.decisions)
+    assert purged == 200
+    assert "/s/u1/a" not in fs and "/s/u2/c" not in fs
+    assert fs.file_count == 2
+
+
+def test_apply_decisions_respects_target():
+    fs = _fs()
+    (result,) = parallel_purge_decisions(fs, _activeness(), RetentionConfig(),
+                                         NOW, n_ranks=1)
+    purged = apply_purge_decisions(fs, result.decisions, target_bytes=100)
+    assert purged == 100
+    assert fs.file_count == 3
+
+
+def test_apply_decisions_idempotent_on_missing():
+    fs = _fs()
+    decisions = [("/s/u1/a", 1, 100), ("/s/u1/a", 1, 100)]
+    assert apply_purge_decisions(fs, decisions) == 100
+
+
+def test_validates_rank_count():
+    with pytest.raises(ValueError):
+        parallel_purge_decisions(_fs(), _activeness(), RetentionConfig(),
+                                 NOW, n_ranks=0)

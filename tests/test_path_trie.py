@@ -1,0 +1,296 @@
+"""Unit and property tests for the compact prefix tree."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vfs import PathTrie, join_path, split_path
+
+
+# ---------------------------------------------------------------- helpers
+
+def _component() -> st.SearchStrategy[str]:
+    return st.text(alphabet=string.ascii_lowercase + string.digits + "._-",
+                   min_size=1, max_size=6)
+
+
+def _path() -> st.SearchStrategy[str]:
+    return st.lists(_component(), min_size=1, max_size=6).map(
+        lambda parts: "/" + "/".join(parts))
+
+
+# ---------------------------------------------------------------- split/join
+
+def test_split_path_basic():
+    assert split_path("/a/b/c") == ("a", "b", "c")
+
+
+def test_split_path_collapses_slashes():
+    assert split_path("//a///b/") == ("a", "b")
+
+
+def test_split_path_root():
+    assert split_path("/") == ()
+
+
+def test_join_path_inverse():
+    assert join_path(("a", "b")) == "/a/b"
+
+
+@given(_path())
+def test_split_join_roundtrip(path):
+    assert join_path(split_path(path)) == path
+
+
+# ---------------------------------------------------------------- basics
+
+def test_empty_trie():
+    t = PathTrie()
+    assert len(t) == 0
+    assert not t
+    assert "/a" not in t
+    assert t.lookup("/a") is None
+    assert t.lookup("/a", 7) == 7
+
+
+def test_insert_lookup():
+    t = PathTrie()
+    assert t.insert("/a/b/c", 1) is True
+    assert t.lookup("/a/b/c") == 1
+    assert "/a/b/c" in t
+    assert len(t) == 1
+
+
+def test_insert_overwrite_returns_false():
+    t = PathTrie()
+    assert t.insert("/x", 1)
+    assert t.insert("/x", 2) is False
+    assert t.lookup("/x") == 2
+    assert len(t) == 1
+
+
+def test_insert_root_rejected():
+    t = PathTrie()
+    with pytest.raises(ValueError):
+        t.insert("/")
+
+
+def test_prefix_is_not_member():
+    t = PathTrie()
+    t.insert("/a/b/c", 1)
+    assert "/a/b" not in t
+    assert "/a" not in t
+    assert t.lookup("/a/b") is None
+
+
+def test_extension_is_not_member():
+    t = PathTrie()
+    t.insert("/a/b", 1)
+    assert "/a/b/c" not in t
+
+
+def test_nested_paths_coexist():
+    t = PathTrie()
+    t.insert("/a/b", 1)
+    t.insert("/a/b/c", 2)
+    assert t.lookup("/a/b") == 1
+    assert t.lookup("/a/b/c") == 2
+    assert len(t) == 2
+
+
+def test_sibling_split():
+    t = PathTrie()
+    t.insert("/proj/run1/out.h5", 1)
+    t.insert("/proj/run2/out.h5", 2)
+    assert t.lookup("/proj/run1/out.h5") == 1
+    assert t.lookup("/proj/run2/out.h5") == 2
+    assert t.count_prefix("/proj") == 2
+
+
+# ---------------------------------------------------------------- deletion
+
+def test_delete_present():
+    t = PathTrie()
+    t.insert("/a/b", 1)
+    assert t.delete("/a/b") is True
+    assert "/a/b" not in t
+    assert len(t) == 0
+
+
+def test_delete_absent():
+    t = PathTrie()
+    t.insert("/a/b", 1)
+    assert t.delete("/a/c") is False
+    assert t.delete("/a") is False
+    assert t.delete("/a/b/c") is False
+    assert len(t) == 1
+
+
+def test_delete_root_noop():
+    t = PathTrie()
+    assert t.delete("/") is False
+
+
+def test_delete_keeps_sibling():
+    t = PathTrie()
+    t.insert("/a/b", 1)
+    t.insert("/a/c", 2)
+    t.delete("/a/b")
+    assert t.lookup("/a/c") == 2
+    assert len(t) == 1
+
+
+def test_delete_interior_keeps_descendant():
+    t = PathTrie()
+    t.insert("/a/b", 1)
+    t.insert("/a/b/c", 2)
+    assert t.delete("/a/b")
+    assert t.lookup("/a/b/c") == 2
+    assert "/a/b" not in t
+
+
+def test_delete_recompresses():
+    t = PathTrie()
+    t.insert("/a/b/c/d", 1)
+    t.insert("/a/b/x", 2)
+    nodes_before = t.node_count()
+    t.delete("/a/b/x")
+    assert t.node_count() < nodes_before
+    assert t.lookup("/a/b/c/d") == 1
+
+
+def test_clear():
+    t = PathTrie()
+    for i in range(10):
+        t.insert(f"/d/f{i}", i)
+    t.clear()
+    assert len(t) == 0
+    assert list(t.items()) == []
+
+
+# ---------------------------------------------------------------- prefixes
+
+def test_count_prefix():
+    t = PathTrie()
+    t.insert("/u/alice/a", 1)
+    t.insert("/u/alice/b", 1)
+    t.insert("/u/bob/a", 1)
+    assert t.count_prefix("/u") == 3
+    assert t.count_prefix("/u/alice") == 2
+    assert t.count_prefix("/u/bob") == 1
+    assert t.count_prefix("/u/carol") == 0
+    assert t.count_prefix("/") == 3
+
+
+def test_count_prefix_mid_edge():
+    # Prefix that ends inside a compressed edge still counts the subtree.
+    t = PathTrie()
+    t.insert("/a/b/c/d", 1)
+    assert t.count_prefix("/a/b") == 1
+
+
+def test_has_prefix():
+    t = PathTrie()
+    t.insert("/x/y/z", 1)
+    assert t.has_prefix("/x")
+    assert t.has_prefix("/x/y/z")
+    assert not t.has_prefix("/x/z")
+
+
+def test_covering_prefix():
+    t = PathTrie()
+    t.insert("/data/reserved", True)
+    assert t.covering_prefix("/data/reserved/f.h5") == "/data/reserved"
+    assert t.covering_prefix("/data/reserved") == "/data/reserved"
+    assert t.covering_prefix("/data/other/f.h5") is None
+    assert t.covering_prefix("/data") is None
+
+
+def test_covering_prefix_picks_shortest():
+    t = PathTrie()
+    t.insert("/a", 1)
+    t.insert("/a/b", 2)
+    assert t.covering_prefix("/a/b/c") == "/a"
+
+
+# ---------------------------------------------------------------- iteration
+
+def test_iteration_sorted():
+    t = PathTrie()
+    paths = ["/z", "/a/2", "/a/10", "/m/x/y"]
+    for p in paths:
+        t.insert(p, p)
+    assert [p for p, _ in t.items()] == sorted(paths, key=split_path)
+
+
+def test_iter_prefix_scopes():
+    t = PathTrie()
+    t.insert("/u/a/f1", 1)
+    t.insert("/u/a/f2", 2)
+    t.insert("/u/b/f3", 3)
+    got = dict(t.iter_prefix("/u/a"))
+    assert got == {"/u/a/f1": 1, "/u/a/f2": 2}
+
+
+def test_iter_prefix_absent():
+    t = PathTrie()
+    t.insert("/u/a", 1)
+    assert list(t.iter_prefix("/nope")) == []
+
+
+def test_dunder_iter_yields_paths():
+    t = PathTrie()
+    t.insert("/a", 1)
+    t.insert("/b", 2)
+    assert sorted(t) == ["/a", "/b"]
+
+
+# ---------------------------------------------------------------- properties
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(_path(), st.integers(), min_size=0, max_size=40))
+def test_trie_matches_dict(model):
+    t = PathTrie()
+    for path, value in model.items():
+        t.insert(path, value)
+    assert len(t) == len(model)
+    for path, value in model.items():
+        assert t.lookup(path) == value
+    assert dict(t.items()) == model
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_path(), min_size=1, max_size=40),
+       st.data())
+def test_trie_delete_matches_dict(paths, data):
+    model = {p: i for i, p in enumerate(paths)}
+    t = PathTrie()
+    for p, v in model.items():
+        t.insert(p, v)
+    to_delete = data.draw(st.lists(st.sampled_from(paths), max_size=20))
+    for p in to_delete:
+        expected = p in model
+        assert t.delete(p) == expected
+        model.pop(p, None)
+    assert dict(t.items()) == model
+    assert len(t) == len(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(_path(), st.integers(), min_size=1, max_size=30))
+def test_count_prefix_consistent_with_iteration(model):
+    t = PathTrie()
+    for p, v in model.items():
+        t.insert(p, v)
+    # Probe with every stored path's parent components.
+    for p in model:
+        parts = split_path(p)
+        for k in range(len(parts) + 1):
+            prefix = "/" + "/".join(parts[:k])
+            expected = sum(1 for q in model
+                           if split_path(q)[:k] == parts[:k])
+            assert t.count_prefix(prefix) == expected

@@ -1,0 +1,247 @@
+"""Tests for the ActiveDR retention engine (section 3.4 semantics)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ActiveDRPolicy,
+    ExemptionList,
+    RetentionConfig,
+    UserActiveness,
+    UserClass,
+    adjusted_lifetime_seconds,
+    purge_target_bytes,
+)
+from repro.vfs import DAY_SECONDS
+
+from conftest import NOW, make_fs
+
+
+def _cfg(**kw):
+    kw.setdefault("lifetime_days", 90.0)
+    kw.setdefault("purge_target_utilization", 0.5)
+    return RetentionConfig(**kw)
+
+
+def _active(uid, log_op=1.0, log_oc=1.0, last_ts=NOW):
+    return UserActiveness(uid, log_op=log_op, log_oc=log_oc,
+                          has_op=True, has_oc=True, last_ts=last_ts)
+
+
+def _inactive(uid, last_ts=0):
+    return UserActiveness(uid, log_op=-math.inf, log_oc=-math.inf,
+                          has_op=True, has_oc=True, last_ts=last_ts)
+
+
+# ---------------------------------------------------------------- Eq. 7
+
+def test_adjusted_lifetime_eq7():
+    cfg = _cfg(lifetime_days=90)
+    ua = UserActiveness(1, log_op=math.log(2.0), log_oc=math.log(3.0),
+                        has_op=True, has_oc=True)
+    got = adjusted_lifetime_seconds(cfg, ua, UserClass.BOTH_ACTIVE)
+    assert got == pytest.approx(90 * DAY_SECONDS * 6.0)
+
+
+def test_adjusted_lifetime_shrinks_for_sub_one_ranks():
+    cfg = _cfg()
+    ua = UserActiveness(1, log_op=math.log(2.0), log_oc=math.log(0.25),
+                        has_op=True, has_oc=True)
+    got = adjusted_lifetime_seconds(cfg, ua, UserClass.OPERATION_ACTIVE_ONLY)
+    assert got == pytest.approx(90 * DAY_SECONDS * 0.5)
+
+
+def test_adjusted_lifetime_both_inactive_floored_at_initial():
+    cfg = _cfg()
+    got = adjusted_lifetime_seconds(cfg, _inactive(1), UserClass.BOTH_INACTIVE)
+    assert got == pytest.approx(90 * DAY_SECONDS)
+
+
+def test_adjusted_lifetime_decay():
+    cfg = _cfg()
+    base = adjusted_lifetime_seconds(cfg, _inactive(1),
+                                     UserClass.BOTH_INACTIVE)
+    decayed = adjusted_lifetime_seconds(cfg, _inactive(1),
+                                        UserClass.BOTH_INACTIVE,
+                                        decay_factor=0.8)
+    assert decayed == pytest.approx(base * 0.8)
+
+
+def test_adjusted_lifetime_huge_rank_never_purges():
+    cfg = _cfg()
+    ua = UserActiveness(1, log_op=1e6, log_oc=0.0, has_op=True, has_oc=True)
+    assert math.isinf(adjusted_lifetime_seconds(cfg, ua,
+                                                UserClass.BOTH_ACTIVE))
+
+
+# ---------------------------------------------------------------- targets
+
+def test_purge_target_bytes():
+    fs = make_fs([("/s/a", 1, 800, 0)], capacity=1000)
+    assert purge_target_bytes(fs, _cfg()) == 300
+    fs2 = make_fs([("/s/a", 1, 400, 0)], capacity=1000)
+    assert purge_target_bytes(fs2, _cfg()) == 0
+    fs3 = make_fs([("/s/a", 1, 400, 0)], capacity=0)
+    assert purge_target_bytes(fs3, _cfg()) == 0
+
+
+def test_requires_activeness():
+    fs = make_fs([("/s/a", 1, 100, 0)])
+    with pytest.raises(ValueError):
+        ActiveDRPolicy(_cfg()).run(fs, NOW)
+
+
+def test_below_target_purges_nothing():
+    # Usage 40 % of capacity, target 50 %: the procedure stops immediately
+    # even though stale files exist.
+    fs = make_fs([("/s/a", 1, 400, 365)], capacity=1000)
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW,
+                                        activeness={1: _inactive(1)})
+    assert fs.file_count == 1
+    assert report.purged_files_total == 0
+    assert report.target_met is True
+    assert report.retained_files_total == 1
+
+
+def test_stops_the_moment_target_is_reached():
+    # Two inactive users, plenty of stale data; the target needs only one
+    # user's bytes, so the higher-ranked user keeps everything.
+    entries = ([(f"/s/u1/f{i}", 1, 100, 365) for i in range(5)]
+               + [(f"/s/u2/f{i}", 2, 100, 365) for i in range(5)])
+    fs = make_fs(entries)  # capacity 1000, target purge 500
+    activeness = {1: _inactive(1, last_ts=0), 2: _inactive(2, last_ts=NOW)}
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW, activeness=activeness)
+    assert report.purged_bytes_total == 500
+    assert fs.user_file_count(1) == 0      # stalest user purged first
+    assert fs.user_file_count(2) == 5      # fresher user untouched
+    assert report.target_met is True
+
+
+def test_active_users_protected_by_scan_order():
+    entries = ([(f"/s/idle/f{i}", 1, 100, 365) for i in range(5)]
+               + [(f"/s/vip/f{i}", 2, 100, 365) for i in range(5)])
+    fs = make_fs(entries)
+    activeness = {1: _inactive(1), 2: _active(2, log_op=0.1, log_oc=0.1)}
+    ActiveDRPolicy(_cfg()).run(fs, NOW, activeness=activeness)
+    assert fs.user_file_count(2) == 5
+    assert fs.user_file_count(1) == 0
+
+
+def test_rewards_extended_lifetime():
+    # An active user's 120-day-old file survives a purge run that would
+    # kill it under FLT, because Eq. 7 extends the lifetime.
+    fs = make_fs([("/s/vip/old", 1, 500, 120),
+                  ("/s/idle/old", 2, 500, 120)])
+    activeness = {1: _active(1, log_op=math.log(2.0), log_oc=0.0),
+                  2: _inactive(2)}
+    ActiveDRPolicy(_cfg()).run(fs, NOW, activeness=activeness)
+    assert "/s/vip/old" in fs        # lifetime 180 days
+    assert "/s/idle/old" not in fs   # lifetime 90 days (initial floor)
+
+
+def test_retrospective_passes_dig_deeper():
+    # One inactive user; files at 80 days need the first retro pass
+    # (90 * 0.8 = 72 < 80) to reach the target.
+    entries = [(f"/s/u/f{i}", 1, 100, 80) for i in range(10)]
+    fs = make_fs(entries)  # target 500
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW,
+                                        activeness={1: _inactive(1)})
+    assert report.purged_bytes_total == 500
+    assert report.passes_used == 2
+    assert report.target_met is True
+
+
+def test_retrospective_decay_bottoms_out():
+    # Files fresher than 90 * 0.8^5 ~ 29.5 days can never be purged; the
+    # run exhausts all passes and reports the unmet target.
+    entries = [(f"/s/u/f{i}", 1, 100, 20) for i in range(10)]
+    fs = make_fs(entries)
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW,
+                                        activeness={1: _inactive(1)})
+    assert report.purged_bytes_total == 0
+    assert report.target_met is False
+    assert report.passes_used == 6  # initial + 5 retrospective
+    assert fs.file_count == 10
+
+
+def test_retrospective_pass_count_configurable():
+    entries = [(f"/s/u/f{i}", 1, 100, 80) for i in range(10)]
+    fs = make_fs(entries)
+    cfg = _cfg(retrospective_passes=0)
+    report = ActiveDRPolicy(cfg).run(fs, NOW, activeness={1: _inactive(1)})
+    assert report.purged_bytes_total == 0
+    assert report.target_met is False
+
+
+def test_exemptions_respected_despite_target():
+    entries = [("/s/u/keep", 1, 500, 365), ("/s/u/drop", 1, 500, 365)]
+    fs = make_fs(entries)
+    ex = ExemptionList(paths=["/s/u/keep"])
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW,
+                                        activeness={1: _inactive(1)},
+                                        exemptions=ex)
+    assert "/s/u/keep" in fs
+    assert "/s/u/drop" not in fs
+    assert report.purged_bytes_total == 500
+
+
+def test_unknown_owners_treated_as_new_users():
+    # uid 9 has no activeness entry: initial lifetime, scanned as
+    # both-inactive, but 50-day-old files survive the first pass.
+    fs = make_fs([("/s/new/f", 9, 400, 50),
+                  ("/s/old/f", 1, 600, 365)], capacity=1000)
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW,
+                                        activeness={1: _inactive(1)})
+    assert "/s/new/f" in fs
+    assert "/s/old/f" not in fs
+    assert report.target_met is True
+
+
+def test_group_scan_order_end_to_end():
+    # Target forces purging through inactive AND oc-active users before
+    # op-active users are touched.
+    entries = [("/s/i/f", 1, 300, 365), ("/s/oc/f", 2, 300, 365),
+               ("/s/op/f", 3, 300, 365), ("/s/ba/f", 4, 300, 365)]
+    fs = make_fs(entries)  # capacity 1200, target 600
+    activeness = {
+        1: _inactive(1),
+        2: UserActiveness(2, log_op=-1.0, log_oc=1.0, has_op=True, has_oc=True),
+        3: UserActiveness(3, log_op=1.0, log_oc=-1.0, has_op=True, has_oc=True),
+        4: _active(4),
+    }
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW, activeness=activeness)
+    assert "/s/i/f" not in fs
+    assert "/s/oc/f" not in fs
+    assert "/s/op/f" in fs
+    assert "/s/ba/f" in fs
+    assert report.purged_bytes(UserClass.BOTH_INACTIVE) == 300
+    assert report.purged_bytes(UserClass.OUTCOME_ACTIVE_ONLY) == 300
+
+
+def test_survivors_recorded_per_group():
+    fs = make_fs([("/s/a/f", 1, 100, 1)], capacity=10_000)
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW, activeness={1: _active(1)})
+    assert report.retained_bytes(UserClass.BOTH_ACTIVE) == 100
+
+
+def test_zero_rank_as_initial_toggle():
+    # With the fallback disabled, a collapsed-rank op-active-only user has
+    # lifetime 0 and loses even fresh files once their group is reached.
+    fs = make_fs([("/s/u/f", 1, 1000, 5)], capacity=100)  # target: purge a lot
+    ua = UserActiveness(1, log_op=2.0, log_oc=-math.inf,
+                        has_op=True, has_oc=True)
+    cfg = _cfg(zero_rank_as_initial=False)
+    ActiveDRPolicy(cfg).run(fs, NOW, activeness={1: ua})
+    assert "/s/u/f" not in fs
+
+    fs2 = make_fs([("/s/u/f", 1, 1000, 5)], capacity=100)
+    ActiveDRPolicy(_cfg()).run(fs2, NOW, activeness={1: ua})
+    assert "/s/u/f" in fs2  # fallback: rank treated as initial 1.0
+
+
+def test_report_metadata():
+    fs = make_fs([("/s/a", 1, 10, 5)])
+    report = ActiveDRPolicy(_cfg()).run(fs, NOW, activeness={1: _inactive(1)})
+    assert report.policy == "ActiveDR"
+    assert report.t_c == NOW

@@ -1,0 +1,163 @@
+"""Property-based invariants of the retention policies.
+
+Random file systems and random user ranks, checked against the
+invariants every retention policy must preserve:
+
+* byte conservation: purged + remaining == initial, always;
+* exemption safety: reserved paths are never purged;
+* target safety: ActiveDR never purges (meaningfully) past the target;
+* monotonicity: a longer lifetime never purges more under FLT;
+* dominance: an active user never loses a file that a same-profile
+  inactive user keeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActiveDRPolicy,
+    ExemptionList,
+    FixedLifetimePolicy,
+    RetentionConfig,
+    UserActiveness,
+)
+from repro.vfs import DAY_SECONDS, FileMeta, VirtualFileSystem
+
+NOW = 1_467_331_200
+
+
+@st.composite
+def _filesystem(draw):
+    """A small random FS: up to 5 users x up to 8 files, varied ages."""
+    n_users = draw(st.integers(1, 5))
+    fs = VirtualFileSystem()
+    for uid in range(1, n_users + 1):
+        n_files = draw(st.integers(1, 8))
+        for i in range(n_files):
+            age_days = draw(st.integers(0, 400))
+            size = draw(st.integers(1, 10_000))
+            atime = NOW - age_days * DAY_SECONDS
+            fs.add_file(f"/s/u{uid}/f{i}",
+                        FileMeta(size, atime, atime, atime, uid))
+    fs.freeze_capacity()
+    return fs
+
+
+@st.composite
+def _activeness_for(draw, fs):
+    out = {}
+    for uid in fs.uids():
+        kind = draw(st.sampled_from(["none", "inactive", "active", "mixed"]))
+        if kind == "none":
+            out[uid] = UserActiveness(uid)
+        elif kind == "inactive":
+            out[uid] = UserActiveness(uid, log_op=-math.inf, log_oc=-math.inf,
+                                      has_op=True, has_oc=True,
+                                      last_ts=draw(st.integers(0, NOW)))
+        elif kind == "active":
+            out[uid] = UserActiveness(
+                uid, log_op=draw(st.floats(0.0, 5.0)),
+                log_oc=draw(st.floats(0.0, 5.0)),
+                has_op=True, has_oc=True, last_ts=NOW)
+        else:
+            out[uid] = UserActiveness(
+                uid, log_op=draw(st.floats(-3.0, 3.0)),
+                log_oc=draw(st.floats(-3.0, 3.0)),
+                has_op=True, has_oc=True, last_ts=draw(st.integers(0, NOW)))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_bytes_conserved_by_both_policies(data):
+    fs = data.draw(_filesystem())
+    activeness = data.draw(_activeness_for(fs))
+    initial = fs.total_bytes
+    for policy in (FixedLifetimePolicy(RetentionConfig()),
+                   ActiveDRPolicy(RetentionConfig())):
+        replica = fs.replicate()
+        report = policy.run(replica, NOW, activeness=activeness)
+        assert replica.total_bytes + report.purged_bytes_total == initial
+        assert report.retained_bytes_total == replica.total_bytes
+        assert report.retained_files_total == replica.file_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_exempt_paths_always_survive(data):
+    fs = data.draw(_filesystem())
+    activeness = data.draw(_activeness_for(fs))
+    paths = [p for p, _ in fs.iter_files()]
+    reserved = data.draw(st.lists(st.sampled_from(paths), min_size=1,
+                                  max_size=min(len(paths), 5), unique=True))
+    exemptions = ExemptionList(paths=reserved)
+    for policy in (FixedLifetimePolicy(RetentionConfig()),
+                   ActiveDRPolicy(RetentionConfig(
+                       purge_target_utilization=0.0))):
+        replica = fs.replicate()
+        policy.run(replica, NOW, activeness=activeness,
+                   exemptions=exemptions)
+        for path in reserved:
+            assert path in replica
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data(), st.floats(0.0, 1.0))
+def test_activedr_never_meaningfully_overshoots_target(data, target):
+    fs = data.draw(_filesystem())
+    activeness = data.draw(_activeness_for(fs))
+    config = RetentionConfig(purge_target_utilization=target)
+    replica = fs.replicate()
+    report = ActiveDRPolicy(config).run(replica, NOW, activeness=activeness)
+    # Overshoot is bounded by the last purged file: remove it from the
+    # account and the total must be under the target.
+    if report.purged_files_total > 0:
+        largest = max(t.purged_bytes for t in report.groups.values())
+        assert (report.purged_bytes_total - largest
+                <= max(report.target_bytes, 0) or report.purged_bytes_total
+                <= report.target_bytes + largest)
+    if report.target_bytes <= 0:
+        assert report.purged_files_total == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data(), st.integers(1, 120), st.integers(0, 200))
+def test_flt_lifetime_monotonicity(data, short_lifetime, extra_days):
+    fs = data.draw(_filesystem())
+    long_lifetime = short_lifetime + extra_days
+    a = fs.replicate()
+    b = fs.replicate()
+    rep_short = FixedLifetimePolicy(
+        RetentionConfig(lifetime_days=short_lifetime)).run(a, NOW)
+    rep_long = FixedLifetimePolicy(
+        RetentionConfig(lifetime_days=long_lifetime)).run(b, NOW)
+    assert rep_short.purged_files_total >= rep_long.purged_files_total
+    # Anything the long lifetime purged, the short one purged too.
+    for path, _ in fs.iter_files():
+        if path not in b:
+            assert path not in a
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 400), st.floats(0.5, 5.0))
+def test_active_user_keeps_what_inactive_loses(age_days, log_rank):
+    """Same file, same age: if the active user's copy is purged, the
+    inactive user's copy must be gone too (never the other way)."""
+    fs = VirtualFileSystem()
+    atime = NOW - age_days * DAY_SECONDS
+    fs.add_file("/s/active/f", FileMeta(100, atime, atime, atime, 1))
+    fs.add_file("/s/idle/f", FileMeta(100, atime, atime, atime, 2))
+    fs.capacity_bytes = 100  # force a real purge target
+    activeness = {
+        1: UserActiveness(1, log_op=log_rank, log_oc=0.0,
+                          has_op=True, has_oc=True, last_ts=NOW),
+        2: UserActiveness(2, log_op=-math.inf, log_oc=-math.inf,
+                          has_op=True, has_oc=True, last_ts=0),
+    }
+    ActiveDRPolicy(RetentionConfig()).run(fs, NOW, activeness=activeness)
+    if "/s/active/f" not in fs:
+        assert "/s/idle/f" not in fs

@@ -1,0 +1,121 @@
+"""Tests for the FLT-vs-ActiveDR comparison runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import RetentionConfig, UserClass
+from repro.emulation import (
+    ACTIVEDR,
+    FLT,
+    ComparisonResult,
+    ComparisonRunner,
+    DailyMetrics,
+    EmulationResult,
+    run_lifetime_sweep,
+)
+
+
+def _result_with_misses(policy, per_day):
+    metrics = DailyMetrics(len(per_day))
+    for day, n in enumerate(per_day):
+        for _ in range(n):
+            metrics.record_access(day)
+            metrics.record_miss(day, UserClass.BOTH_INACTIVE)
+    return EmulationResult(policy=policy, lifetime_days=90, metrics=metrics)
+
+
+def test_comparison_result_reduction():
+    cr = ComparisonResult(90.0)
+    cr.results[FLT] = _result_with_misses(FLT, [10, 10])
+    cr.results[ACTIVEDR] = _result_with_misses(ACTIVEDR, [5, 10])
+    assert cr.total_misses(FLT) == 20
+    assert cr.miss_reduction() == pytest.approx(0.25)
+    assert cr.group_miss_reduction(UserClass.BOTH_INACTIVE) == pytest.approx(0.25)
+    assert cr.group_miss_reduction(UserClass.BOTH_ACTIVE) == 0.0
+
+
+def test_comparison_result_zero_flt_misses():
+    cr = ComparisonResult(90.0)
+    cr.results[FLT] = _result_with_misses(FLT, [0])
+    cr.results[ACTIVEDR] = _result_with_misses(ACTIVEDR, [0])
+    assert cr.miss_reduction() == 0.0
+
+
+def test_daily_reduction_ratios_skip_zero_flt_days():
+    cr = ComparisonResult(90.0)
+    cr.results[FLT] = _result_with_misses(FLT, [10, 0, 4])
+    cr.results[ACTIVEDR] = _result_with_misses(ACTIVEDR, [5, 3, 4])
+    ratios = cr.daily_group_reduction_ratios(UserClass.BOTH_INACTIVE)
+    np.testing.assert_allclose(ratios, [0.5, 0.0])
+
+
+def test_runner_end_to_end(tiny_dataset):
+    runner = ComparisonRunner(tiny_dataset)
+    result = runner.run()
+    assert set(result.results) == {FLT, ACTIVEDR}
+    for policy in (FLT, ACTIVEDR):
+        r = result[policy]
+        assert r.metrics.total_accesses > 0
+        assert len(r.reports) == 52
+    # Identical traces -> identical access counts.
+    assert (result[FLT].metrics.total_accesses
+            == result[ACTIVEDR].metrics.total_accesses)
+
+
+def test_runner_policies_see_identical_initial_state(tiny_dataset):
+    fs1 = tiny_dataset.fresh_filesystem()
+    fs2 = tiny_dataset.fresh_filesystem()
+    assert fs1.total_bytes == fs2.total_bytes
+    assert fs1.file_count == fs2.file_count
+    fs1.remove_file(next(iter(fs1.iter_files()))[0])
+    assert fs1.file_count == fs2.file_count - 1
+
+
+def test_lifetime_sweep_structure(tiny_dataset):
+    sweep = run_lifetime_sweep(tiny_dataset, lifetimes=(30.0, 90.0))
+    assert set(sweep) == {30.0, 90.0}
+    for lifetime, cr in sweep.items():
+        assert cr.lifetime_days == lifetime
+        final = cr[ACTIVEDR].final_report
+        assert final is not None
+        assert final.lifetime_days == lifetime
+        # Activeness period follows the lifetime, as in the paper's sweep.
+        assert cr[ACTIVEDR].reports[0].policy == "ActiveDR"
+
+
+def test_sweep_respects_base_config(tiny_dataset):
+    base = RetentionConfig(purge_target_utilization=0.8)
+    sweep = run_lifetime_sweep(tiny_dataset, lifetimes=(60.0,),
+                               base_config=base)
+    final = sweep[60.0][ACTIVEDR].final_report
+    assert final is not None
+
+
+def test_runner_with_exemptions(tiny_dataset):
+    """Reserved directories survive the full paired replay."""
+    from repro.core import ExemptionList
+    some_user_dir = next(iter(tiny_dataset.filesystem.iter_files()))[0]
+    prefix = "/".join(some_user_dir.split("/")[:4])  # /lustre/scratch/<user>
+    runner = ComparisonRunner(tiny_dataset,
+                              exemptions=ExemptionList(
+                                  directories=[prefix]))
+    result = runner.run()
+    for policy in (FLT, ACTIVEDR):
+        # The reserved user's snapshot files all survive (creates under the
+        # prefix may add more).
+        final = result[policy]
+        assert final is not None
+    # cross-check on a fresh replay FS is indirect; the guarantee itself is
+    # unit-tested per policy -- here we assert the wiring does not throw and
+    # the comparison still holds basic invariants.
+    assert result[FLT].metrics.total_accesses == \
+        result[ACTIVEDR].metrics.total_accesses
+
+
+def test_sweep_forwards_flt_enforce_target(tiny_dataset):
+    sweep = run_lifetime_sweep(tiny_dataset, lifetimes=(90.0,),
+                               flt_enforce_target=True)
+    flt_reports = sweep[90.0][FLT].reports
+    # Target-enforced FLT records a target on runs where usage exceeds it.
+    assert any(r.target_bytes >= 0 for r in flt_reports)
+    assert all(r.policy == "FLT" for r in flt_reports)

@@ -1,0 +1,92 @@
+"""Tests for the sharded metadata-snapshot pipeline."""
+
+import gzip
+import os
+
+import pytest
+
+from repro.vfs import (
+    SnapshotRecord,
+    SnapshotWriter,
+    iter_snapshot,
+    load_filesystem,
+    read_shard,
+    shard_paths,
+    write_snapshot,
+)
+
+from conftest import NOW
+
+
+def _records(n):
+    return [SnapshotRecord(f"/s/u{i % 3}/f{i}", (i % 4) + 1,
+                           NOW - i, NOW - i, NOW - 2 * i, i % 3)
+            for i in range(n)]
+
+
+def test_record_line_roundtrip():
+    rec = SnapshotRecord("/a/b.h5", 4, 10, 20, 30, 7, 1)
+    assert SnapshotRecord.from_line(rec.to_line()) == rec
+
+
+def test_record_malformed_line():
+    with pytest.raises(ValueError):
+        SnapshotRecord.from_line("too|few|fields\n")
+
+
+def test_write_read_roundtrip(tmp_path):
+    records = _records(25)
+    n = write_snapshot(str(tmp_path), records, n_shards=4)
+    assert n == 25
+    assert len(shard_paths(str(tmp_path))) == 4
+    loaded = sorted(iter_snapshot(str(tmp_path)), key=lambda r: r.path)
+    assert loaded == sorted(records, key=lambda r: r.path)
+
+
+def test_round_robin_sharding(tmp_path):
+    write_snapshot(str(tmp_path), _records(10), n_shards=3)
+    counts = [sum(1 for _ in read_shard(p)) for p in shard_paths(str(tmp_path))]
+    assert sorted(counts) == [3, 3, 4]
+
+
+def test_shards_are_gzipped(tmp_path):
+    write_snapshot(str(tmp_path), _records(5), n_shards=1)
+    (shard,) = shard_paths(str(tmp_path))
+    with gzip.open(shard, "rt") as f:
+        assert f.readline().count("|") == 7
+
+
+def test_writer_rejects_bad_shard_count(tmp_path):
+    with pytest.raises(ValueError):
+        SnapshotWriter(str(tmp_path), n_shards=0)
+
+
+def test_load_filesystem_synthesizes_sizes(tmp_path):
+    write_snapshot(str(tmp_path), _records(20), n_shards=2)
+    fs = load_filesystem(str(tmp_path))
+    assert fs.file_count == 20
+    assert fs.total_bytes > 0
+    assert fs.capacity_bytes == fs.total_bytes  # frozen at load
+    meta = fs.stat("/s/u0/f0")
+    assert meta is not None and meta.stripe_count == 1
+
+
+def test_load_filesystem_deterministic(tmp_path):
+    write_snapshot(str(tmp_path), _records(30), n_shards=2)
+    a = load_filesystem(str(tmp_path), size_seed=5)
+    b = load_filesystem(str(tmp_path), size_seed=5)
+    assert a.total_bytes == b.total_bytes
+    for path, meta in a.iter_files():
+        assert b.stat(path).size == meta.size
+
+
+def test_load_filesystem_explicit_capacity(tmp_path):
+    write_snapshot(str(tmp_path), _records(5), n_shards=1)
+    fs = load_filesystem(str(tmp_path), capacity_bytes=10 ** 15)
+    assert fs.capacity_bytes == 10 ** 15
+
+
+def test_shard_paths_ignores_other_files(tmp_path):
+    write_snapshot(str(tmp_path), _records(4), n_shards=2)
+    (tmp_path / "notes.txt").write_text("not a shard")
+    assert len(shard_paths(str(tmp_path))) == 2

@@ -1,0 +1,112 @@
+"""Tests for advance_filesystem and the single-snapshot comparison harness."""
+
+import pytest
+
+from repro.core import UserClass
+from repro.emulation import (
+    ACTIVEDR,
+    FLT,
+    advance_filesystem,
+    deterministic_file_size,
+    single_snapshot_comparison,
+)
+from repro.traces import AppAccessRecord
+from repro.vfs import DAY_SECONDS, FileMeta, VirtualFileSystem
+
+from conftest import NOW, make_fs
+
+
+# ---------------------------------------------------------------- advance
+
+def test_advance_touches_existing():
+    fs = make_fs([("/s/a", 1, 10, 30)])
+    accesses = [AppAccessRecord(NOW - 100, 1, "/s/a", "access")]
+    applied = advance_filesystem(fs, accesses, NOW)
+    assert applied == 1
+    assert fs.stat("/s/a").atime == NOW - 100
+
+
+def test_advance_stops_at_until_ts():
+    fs = make_fs([("/s/a", 1, 10, 30)])
+    old_atime = fs.stat("/s/a").atime
+    accesses = [AppAccessRecord(NOW - 100, 1, "/s/a", "access"),
+                AppAccessRecord(NOW + 100, 1, "/s/a", "access")]
+    applied = advance_filesystem(fs, accesses, NOW)
+    assert applied == 1
+    assert fs.stat("/s/a").atime == NOW - 100
+
+
+def test_advance_materializes_creates():
+    fs = make_fs([])
+    accesses = [AppAccessRecord(NOW - 50, 3, "/s/new.out", "create")]
+    advance_filesystem(fs, accesses, NOW)
+    meta = fs.stat("/s/new.out")
+    assert meta is not None
+    assert meta.size == deterministic_file_size("/s/new.out")
+    assert meta.uid == 3
+
+
+def test_advance_creates_disabled():
+    fs = make_fs([])
+    accesses = [AppAccessRecord(NOW - 50, 3, "/s/new.out", "create")]
+    advance_filesystem(fs, accesses, NOW, apply_creates=False)
+    assert "/s/new.out" not in fs
+
+
+def test_advance_never_counts_misses():
+    # Accessing a missing path during advance is a no-op, not an error.
+    fs = make_fs([])
+    accesses = [AppAccessRecord(NOW - 50, 1, "/s/ghost", "access"),
+                AppAccessRecord(NOW - 40, 1, "/s/ghost", "touch")]
+    assert advance_filesystem(fs, accesses, NOW) == 2
+    assert fs.file_count == 0
+
+
+# ---------------------------------------------------------------- harness
+
+@pytest.fixture(scope="module")
+def snapshot_reports(tiny_dataset):
+    return single_snapshot_comparison(tiny_dataset, lifetimes=(30.0, 90.0))
+
+
+def test_harness_structure(snapshot_reports):
+    assert set(snapshot_reports) == {30.0, 90.0}
+    for lifetime, reports in snapshot_reports.items():
+        assert set(reports) == {FLT, ACTIVEDR}
+        for name, report in reports.items():
+            assert report.lifetime_days == lifetime
+            assert report.t_c == reports[FLT].t_c
+
+
+def test_harness_same_initial_state(snapshot_reports):
+    """Purged + retained must be identical across policies (same state)."""
+    for reports in snapshot_reports.values():
+        flt_total = (reports[FLT].purged_bytes_total
+                     + reports[FLT].retained_bytes_total)
+        adr_total = (reports[ACTIVEDR].purged_bytes_total
+                     + reports[ACTIVEDR].retained_bytes_total)
+        assert flt_total == adr_total
+
+
+def test_harness_same_target(snapshot_reports):
+    for reports in snapshot_reports.values():
+        assert reports[FLT].target_bytes == reports[ACTIVEDR].target_bytes
+
+
+def test_harness_table5_table6_mirror(snapshot_reports):
+    """Same initial state => retained diff mirrors purged diff exactly."""
+    for reports in snapshot_reports.values():
+        for group in UserClass:
+            retained_diff = (reports[ACTIVEDR].retained_bytes(group)
+                             - reports[FLT].retained_bytes(group))
+            purged_diff = (reports[FLT].purged_bytes(group)
+                           - reports[ACTIVEDR].purged_bytes(group))
+            assert retained_diff == purged_diff
+
+
+def test_harness_activedr_spares_active_users(snapshot_reports):
+    for reports in snapshot_reports.values():
+        adr = reports[ACTIVEDR]
+        for group in (UserClass.BOTH_ACTIVE, UserClass.OPERATION_ACTIVE_ONLY,
+                      UserClass.OUTCOME_ACTIVE_ONLY):
+            assert adr.purged_bytes(group) <= reports[FLT].purged_bytes(group)

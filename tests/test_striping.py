@@ -1,0 +1,79 @@
+"""Tests for stripe-count size synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vfs import (
+    MAX_STRIPE_COUNT,
+    MIN_FILE_BYTES,
+    STRIPE_CAPACITY_BYTES,
+    best_practice_stripe_count,
+    synthesize_size,
+    synthesize_sizes,
+)
+
+
+def test_small_file_single_stripe():
+    assert best_practice_stripe_count(1) == 1
+    assert best_practice_stripe_count(STRIPE_CAPACITY_BYTES) == 1
+
+
+def test_stripe_count_scales_with_size():
+    assert best_practice_stripe_count(STRIPE_CAPACITY_BYTES + 1) == 2
+    assert best_practice_stripe_count(10 * STRIPE_CAPACITY_BYTES) == 10
+
+
+def test_stripe_count_capped():
+    huge = 10_000 * STRIPE_CAPACITY_BYTES
+    assert best_practice_stripe_count(huge) == MAX_STRIPE_COUNT
+
+
+def test_synthesize_single_stripe_band():
+    rng = np.random.default_rng(0)
+    sizes = synthesize_sizes(np.ones(500, dtype=np.int64), rng)
+    assert (sizes >= MIN_FILE_BYTES).all()
+    assert (sizes <= STRIPE_CAPACITY_BYTES).all()
+
+
+def test_synthesize_multi_stripe_band():
+    rng = np.random.default_rng(0)
+    counts = np.full(300, 5, dtype=np.int64)
+    sizes = synthesize_sizes(counts, rng)
+    assert (sizes > 4 * STRIPE_CAPACITY_BYTES).all()
+    assert (sizes <= 5 * STRIPE_CAPACITY_BYTES).all()
+
+
+def test_synthesize_zero_count_treated_as_one():
+    rng = np.random.default_rng(0)
+    sizes = synthesize_sizes(np.zeros(10, dtype=np.int64), rng)
+    assert (sizes <= STRIPE_CAPACITY_BYTES).all()
+
+
+def test_synthesize_scalar_helper():
+    rng = np.random.default_rng(1)
+    size = synthesize_size(3, rng)
+    assert 2 * STRIPE_CAPACITY_BYTES < size <= 3 * STRIPE_CAPACITY_BYTES
+
+
+def test_synthesis_deterministic_per_seed():
+    a = synthesize_sizes(np.arange(1, 50), np.random.default_rng(42))
+    b = synthesize_sizes(np.arange(1, 50), np.random.default_rng(42))
+    np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=MAX_STRIPE_COUNT))
+def test_roundtrip_consistency(stripe_count):
+    """Synthesized sizes map back to the stripe count they came from."""
+    rng = np.random.default_rng(stripe_count)
+    size = synthesize_size(stripe_count, rng)
+    assert best_practice_stripe_count(size) == stripe_count
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=1 << 45))
+def test_best_practice_monotone(size):
+    assert (best_practice_stripe_count(size)
+            <= best_practice_stripe_count(size + STRIPE_CAPACITY_BYTES))

@@ -1,0 +1,285 @@
+"""Tests for the synthetic Titan dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    ARCHETYPES,
+    AccessTraceConfig,
+    FileTreeConfig,
+    JobTraceConfig,
+    PublicationConfig,
+    TitanConfig,
+    generate_accesses,
+    generate_dataset,
+    generate_file_trees,
+    generate_jobs,
+    generate_publications,
+    generate_users,
+    ts_utc,
+)
+from repro.vfs import DAY_SECONDS, best_practice_stripe_count
+
+
+def test_ts_utc():
+    assert ts_utc(1970) == 0
+    assert ts_utc(1970, 1, 2) == DAY_SECONDS
+
+
+def test_archetype_fractions_sum_to_one():
+    assert sum(a.fraction for a in ARCHETYPES) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------- users
+
+def _users(n=300, seed=3):
+    return generate_users(n, seed, created_ts=ts_utc(2014),
+                          replay_start=ts_utc(2016),
+                          replay_end=ts_utc(2017))
+
+
+def test_generate_users_counts_and_uids():
+    users = _users()
+    assert len(users) == 300
+    assert [u.uid for u in users] == list(range(300))
+
+
+def test_generate_users_deterministic():
+    a, b = _users(seed=5), _users(seed=5)
+    assert [(u.uid, u.archetype.name, u.intensity) for u in a] == \
+           [(u.uid, u.archetype.name, u.intensity) for u in b]
+    c = _users(seed=6)
+    assert [(u.archetype.name) for u in a] != [(u.archetype.name) for u in c]
+
+
+def test_hiatus_windows_exceed_lifetime():
+    users = _users(600)
+    hiatus = [u for u in users if u.archetype.hiatus]
+    assert hiatus, "population should include hiatus users"
+    for u in hiatus:
+        lo, hi = u.hiatus_window
+        assert ts_utc(2016) <= lo < hi <= ts_utc(2017)
+        # Gap is 100+ days unless clipped by year end.
+        if hi < ts_utc(2017):
+            assert hi - lo >= 100 * DAY_SECONDS
+
+
+def test_newcomers_have_onsets():
+    users = _users(800)
+    newcomers = [u for u in users if u.archetype.name == "newcomer"]
+    assert newcomers
+    for u in newcomers:
+        assert u.onset_ts is not None
+        assert u.onset_ts >= ts_utc(2016) - 90 * DAY_SECONDS
+
+
+def test_generate_users_rejects_zero():
+    with pytest.raises(ValueError):
+        generate_users(0, 1, 0, 0, 1)
+
+
+# ---------------------------------------------------------------- files
+
+def _trees(users=None, seed=3):
+    users = users or _users(60)
+    cfg = FileTreeConfig(snapshot_ts=ts_utc(2015, 12, 28))
+    return users, generate_file_trees(users, cfg, seed)
+
+
+def test_file_trees_ownership_and_paths():
+    users, trees = _trees()
+    assert len(trees) == len(users)
+    for user, tree in zip(users, trees):
+        assert tree.uid == user.uid
+        assert len(tree.paths) == len(tree.metas)
+        for path, meta in zip(tree.paths, tree.metas):
+            assert path.startswith(f"/lustre/scratch/{user.record.name}/")
+            assert meta.uid == user.uid
+            assert meta.size > 0
+            assert meta.stripe_count == best_practice_stripe_count(meta.size)
+
+
+def test_file_tree_requires_snapshot_ts():
+    users = _users(5)
+    with pytest.raises(ValueError):
+        generate_file_trees(users, FileTreeConfig(), 1)
+
+
+def test_file_ages_bounded():
+    users, trees = _trees()
+    snap = ts_utc(2015, 12, 28)
+    max_age = FileTreeConfig(snapshot_ts=snap).max_age_days * DAY_SECONDS
+    for tree in trees:
+        for meta in tree.metas:
+            age = snap - meta.atime
+            assert 0 <= age <= max_age
+            assert meta.ctime <= meta.atime
+
+
+def test_toucher_files_all_fresh():
+    users, trees = _trees(_users(800))
+    snap = ts_utc(2015, 12, 28)
+    by_uid = {t.uid: t for t in trees}
+    for user in users:
+        if user.archetype.toucher:
+            ages = [(snap - m.atime) / DAY_SECONDS
+                    for m in by_uid[user.uid].metas]
+            assert max(ages) <= 61
+
+
+def test_file_trees_deterministic():
+    users = _users(30)
+    cfg = FileTreeConfig(snapshot_ts=ts_utc(2015, 12, 28))
+    a = generate_file_trees(users, cfg, 9)
+    b = generate_file_trees(users, cfg, 9)
+    assert [t.paths for t in a] == [t.paths for t in b]
+    assert [[m.size for m in t.metas] for t in a] == \
+           [[m.size for m in t.metas] for t in b]
+
+
+# ---------------------------------------------------------------- jobs
+
+def test_generate_jobs_sorted_and_valid():
+    users = _users(100)
+    cfg = JobTraceConfig(trace_start=ts_utc(2014), trace_end=ts_utc(2017))
+    jobs = generate_jobs(users, cfg, 3)
+    assert jobs
+    ts = [j.submit_ts for j in jobs]
+    assert ts == sorted(ts)
+    for job in jobs[:200]:
+        assert ts_utc(2014) <= job.submit_ts < ts_utc(2017)
+        assert job.core_hours() > 0
+
+
+def test_jobs_respect_hiatus():
+    users = _users(600)
+    cfg = JobTraceConfig(trace_start=ts_utc(2014), trace_end=ts_utc(2017))
+    jobs = generate_jobs(users, cfg, 3)
+    windows = {u.uid: u.hiatus_window for u in users if u.hiatus_window}
+    span_slack = 7 * DAY_SECONDS  # sessions span days past their anchor
+    for job in jobs:
+        win = windows.get(job.uid)
+        if win:
+            lo, hi = win
+            assert not (lo + span_slack <= job.submit_ts < hi)
+
+
+def test_jobs_respect_newcomer_onset():
+    users = _users(800)
+    cfg = JobTraceConfig(trace_start=ts_utc(2014), trace_end=ts_utc(2017))
+    jobs = generate_jobs(users, cfg, 3)
+    onsets = {u.uid: u.onset_ts for u in users if u.onset_ts is not None}
+    for job in jobs:
+        onset = onsets.get(job.uid)
+        if onset is not None:
+            assert job.submit_ts >= onset
+
+
+def test_jobs_invalid_window():
+    with pytest.raises(ValueError):
+        generate_jobs([], JobTraceConfig(trace_start=10, trace_end=5), 1)
+
+
+# ---------------------------------------------------------------- pubs
+
+def test_generate_publications_valid():
+    users = _users(400)
+    cfg = PublicationConfig(pub_start=ts_utc(2014), pub_end=ts_utc(2017))
+    pubs = generate_publications(users, cfg, 3)
+    assert pubs
+    uid_set = {u.uid for u in users}
+    for pub in pubs:
+        assert pub.author_uids
+        assert len(set(pub.author_uids)) == len(pub.author_uids)
+        assert set(pub.author_uids) <= uid_set
+        assert 0 <= pub.citations <= cfg.max_citations
+    ts = [p.ts for p in pubs]
+    assert ts == sorted(ts)
+
+
+def test_publications_deterministic():
+    users = _users(200)
+    cfg = PublicationConfig(pub_start=ts_utc(2014), pub_end=ts_utc(2017))
+    a = generate_publications(users, cfg, 3)
+    b = generate_publications(users, cfg, 3)
+    assert [(p.pub_id, p.ts, tuple(p.author_uids), p.citations) for p in a] \
+        == [(p.pub_id, p.ts, tuple(p.author_uids), p.citations) for p in b]
+
+
+# ---------------------------------------------------------------- accesses
+
+def test_generate_accesses_sorted_in_window():
+    users = _users(150)
+    users, trees = _trees(users)
+    cfg = AccessTraceConfig(replay_start=ts_utc(2016),
+                            replay_end=ts_utc(2017))
+    accesses = generate_accesses(users, trees, cfg, 3)
+    assert accesses
+    ts = [a.ts for a in accesses]
+    assert ts == sorted(ts)
+    assert ts[0] >= ts_utc(2016) and ts[-1] < ts_utc(2017)
+    ops = {a.op for a in accesses}
+    assert ops <= {"access", "create", "touch"}
+
+
+def test_touchers_emit_touch_sweeps():
+    users = _users(800)
+    users, trees = _trees(users)
+    cfg = AccessTraceConfig(replay_start=ts_utc(2016),
+                            replay_end=ts_utc(2017))
+    accesses = generate_accesses(users, trees, cfg, 3)
+    toucher_uids = {u.uid for u in users if u.archetype.toucher}
+    assert toucher_uids
+    touch_ops = [a for a in accesses if a.op == "touch"]
+    assert touch_ops
+    assert {a.uid for a in touch_ops} <= toucher_uids
+
+
+def test_hiatus_return_session_exists():
+    users = _users(800)
+    users, trees = _trees(users)
+    cfg = AccessTraceConfig(replay_start=ts_utc(2016),
+                            replay_end=ts_utc(2017))
+    accesses = generate_accesses(users, trees, cfg, 3)
+    for u in users:
+        if u.hiatus_window and u.hiatus_window[1] < ts_utc(2017) - 5 * DAY_SECONDS:
+            after = [a for a in accesses
+                     if a.uid == u.uid and a.ts >= u.hiatus_window[1]]
+            assert after, f"hiatus user {u.uid} never returned"
+            break
+
+
+# ---------------------------------------------------------------- dataset
+
+def test_generate_dataset_summary(tiny_dataset):
+    s = tiny_dataset.summary()
+    assert s["users"] == 60
+    assert s["files"] == tiny_dataset.filesystem.file_count
+    assert s["bytes"] == tiny_dataset.filesystem.total_bytes
+    assert tiny_dataset.filesystem.capacity_bytes == s["bytes"]
+
+
+def test_generate_dataset_deterministic():
+    a = generate_dataset(TitanConfig(n_users=25, seed=99))
+    b = generate_dataset(TitanConfig(n_users=25, seed=99))
+    assert a.summary() == b.summary()
+    assert [(j.job_id, j.uid, j.submit_ts) for j in a.jobs] == \
+           [(j.job_id, j.uid, j.submit_ts) for j in b.jobs]
+    assert [(r.ts, r.uid, r.path, r.op) for r in a.accesses] == \
+           [(r.ts, r.uid, r.path, r.op) for r in b.accesses]
+
+
+def test_dataset_calendar():
+    cfg = TitanConfig(base_year=2015)
+    assert cfg.replay_start == ts_utc(2016)
+    assert cfg.replay_end == ts_utc(2017)
+    assert cfg.snapshot_ts == ts_utc(2015, 12, 28)
+    assert cfg.history_start == ts_utc(2014)
+
+
+def test_fresh_filesystem_is_replica(tiny_dataset):
+    fs = tiny_dataset.fresh_filesystem()
+    assert fs.total_bytes == tiny_dataset.filesystem.total_bytes
+    path = next(iter(fs.iter_files()))[0]
+    fs.remove_file(path)
+    assert path in tiny_dataset.filesystem

@@ -1,0 +1,87 @@
+"""Property-based invariants of the synthetic generators and the trie's
+radix compression."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    AccessTraceConfig,
+    FileTreeConfig,
+    JobTraceConfig,
+    generate_accesses,
+    generate_file_trees,
+    generate_jobs,
+    generate_users,
+    ts_utc,
+)
+from repro.vfs import PathTrie
+
+
+# ---------------------------------------------------------------- trie shape
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.lists(st.sampled_from("abcd"), min_size=1, max_size=5)
+               .map(lambda parts: "/" + "/".join(parts)),
+               min_size=1, max_size=40))
+def test_radix_compression_bound(paths):
+    """A compressed radix tree has at most 2n-1 non-root nodes for n keys
+    (every interior node has >= 2 children or carries a payload)."""
+    t = PathTrie()
+    for p in paths:
+        t.insert(p, True)
+    n = len(t)
+    assert t.node_count() - 1 <= 2 * n - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.lists(st.sampled_from("abc"), min_size=1, max_size=4)
+               .map(lambda parts: "/" + "/".join(parts)),
+               min_size=2, max_size=20),
+       st.data())
+def test_radix_compression_survives_deletion(paths, data):
+    t = PathTrie()
+    paths = sorted(paths)
+    for p in paths:
+        t.insert(p, True)
+    to_delete = data.draw(st.lists(st.sampled_from(paths), max_size=10,
+                                   unique=True))
+    for p in to_delete:
+        t.delete(p)
+    n = len(t)
+    if n:
+        assert t.node_count() - 1 <= 2 * n - 1
+    else:
+        assert t.node_count() == 1  # just the root
+
+
+# ---------------------------------------------------------------- generators
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(5, 60), st.integers(0, 10_000))
+def test_generators_deterministic_and_bounded(n_users, seed):
+    start, snap, r0, r1 = (ts_utc(2014), ts_utc(2015, 12, 28),
+                           ts_utc(2016), ts_utc(2017))
+    users_a = generate_users(n_users, seed, start, r0, r1)
+    users_b = generate_users(n_users, seed, start, r0, r1)
+    assert [u.archetype.name for u in users_a] == \
+           [u.archetype.name for u in users_b]
+
+    cfg = FileTreeConfig(snapshot_ts=snap)
+    trees = generate_file_trees(users_a, cfg, seed)
+    for tree in trees:
+        assert 1 <= len(tree.paths) <= cfg.max_files_per_user
+        for meta in tree.metas:
+            assert cfg.min_size_bytes // 2 <= meta.size <= cfg.max_size_bytes
+            assert meta.atime <= snap
+
+    jobs = generate_jobs(users_a, JobTraceConfig(trace_start=start,
+                                                 trace_end=r1), seed)
+    for job in jobs[:50]:
+        assert start <= job.submit_ts < r1
+        assert job.end_ts > job.start_ts >= job.submit_ts
+
+    accesses = generate_accesses(
+        users_a, trees, AccessTraceConfig(replay_start=r0, replay_end=r1),
+        seed)
+    for rec in accesses[:50]:
+        assert r0 <= rec.ts < r1

@@ -1,0 +1,119 @@
+"""Tests for trace schemas and log I/O."""
+
+import pytest
+
+from repro.traces import (
+    AppAccessRecord,
+    JobRecord,
+    PublicationRecord,
+    UserRecord,
+    read_app_log,
+    read_jobs,
+    read_publications,
+    read_users,
+    write_app_log,
+    write_jobs,
+    write_publications,
+    write_users,
+)
+
+
+# ---------------------------------------------------------------- schema
+
+def test_user_record_validation():
+    with pytest.raises(ValueError):
+        UserRecord(-1, "bad", 0)
+
+
+def test_job_record_core_hours():
+    job = JobRecord(1, 2, 100, 200, 200 + 3600, num_nodes=4,
+                    cores_per_node=16)
+    assert job.num_cores == 64
+    assert job.duration_seconds == 3600
+    assert job.core_hours() == pytest.approx(64.0)
+
+
+def test_job_record_time_ordering_enforced():
+    with pytest.raises(ValueError):
+        JobRecord(1, 2, 100, 90, 200, 1)     # start before submit
+    with pytest.raises(ValueError):
+        JobRecord(1, 2, 100, 200, 150, 1)    # end before start
+
+
+def test_job_record_counts_enforced():
+    with pytest.raises(ValueError):
+        JobRecord(1, 2, 0, 0, 10, 0)
+
+
+def test_app_record_ops():
+    for op in ("access", "create", "touch"):
+        AppAccessRecord(0, 1, "/p", op)
+    with pytest.raises(ValueError):
+        AppAccessRecord(0, 1, "/p", "delete")
+
+
+def test_publication_author_score_eq8():
+    # c=4, n=3 authors: scores (c+1)*(n-i+1) for 1-based i -> 15, 10, 5.
+    pub = PublicationRecord(1, 0, [10, 20, 30], citations=4)
+    assert pub.author_score(10) == 15.0
+    assert pub.author_score(20) == 10.0
+    assert pub.author_score(30) == 5.0
+
+
+def test_publication_single_author_score():
+    # c=0, n=1: (0+1)*(1-1+1) = 1.
+    pub = PublicationRecord(1, 0, [5], citations=0)
+    assert pub.author_score(5) == 1.0
+
+
+def test_publication_non_author_raises():
+    pub = PublicationRecord(1, 0, [5], citations=0)
+    with pytest.raises(ValueError):
+        pub.author_score(99)
+
+
+def test_publication_validation():
+    with pytest.raises(ValueError):
+        PublicationRecord(1, 0, [1, 1], citations=0)
+    with pytest.raises(ValueError):
+        PublicationRecord(1, 0, [1], citations=-1)
+
+
+# ---------------------------------------------------------------- I/O
+
+def test_users_roundtrip(tmp_path):
+    users = [UserRecord(i, f"user{i}", 1000 + i) for i in range(5)]
+    path = str(tmp_path / "users.txt")
+    assert write_users(path, users) == 5
+    assert list(read_users(path)) == users
+
+
+def test_jobs_roundtrip_gz(tmp_path):
+    jobs = [JobRecord(i, i % 3, 100 * i, 100 * i + 5, 100 * i + 65, i + 1, 16)
+            for i in range(8)]
+    path = str(tmp_path / "jobs.txt.gz")
+    assert write_jobs(path, jobs) == 8
+    assert list(read_jobs(path)) == jobs
+
+
+def test_app_log_roundtrip_preserves_pipes_in_nothing(tmp_path):
+    accesses = [AppAccessRecord(10, 1, "/scratch/u/f.h5", "access"),
+                AppAccessRecord(11, 2, "/scratch/u/new.out", "create"),
+                AppAccessRecord(12, 3, "/scratch/u/old.dat", "touch")]
+    path = str(tmp_path / "apps.log")
+    write_app_log(path, accesses)
+    assert list(read_app_log(path)) == accesses
+
+
+def test_publications_roundtrip(tmp_path):
+    pubs = [PublicationRecord(0, 500, [1, 2, 3], 12),
+            PublicationRecord(1, 900, [4], 0)]
+    path = str(tmp_path / "pubs.txt")
+    write_publications(path, pubs)
+    assert list(read_publications(path)) == pubs
+
+
+def test_empty_file_roundtrip(tmp_path):
+    path = str(tmp_path / "empty.txt")
+    assert write_jobs(path, []) == 0
+    assert list(read_jobs(path)) == []

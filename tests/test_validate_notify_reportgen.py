@@ -1,0 +1,193 @@
+"""Tests for trace validation, the admin notifier, and report rendering."""
+
+import logging
+
+import pytest
+
+from repro.analysis.reportgen import (
+    render_emulation_summary,
+    render_retention_report,
+)
+from repro.core import (
+    ActiveDRPolicy,
+    RetentionConfig,
+    RetentionReport,
+    UserActiveness,
+    UserClass,
+)
+from repro.core.notify import (
+    CollectingNotifier,
+    FileNotifier,
+    LoggingNotifier,
+    Notification,
+    notification_from_report,
+    render_notification,
+)
+from repro.traces import (
+    AppAccessRecord,
+    JobRecord,
+    PublicationRecord,
+    UserRecord,
+)
+from repro.traces.validate import (
+    validate_app_log,
+    validate_dataset,
+    validate_jobs,
+    validate_publications,
+    validate_users,
+)
+
+from conftest import NOW, make_fs
+
+USERS = [UserRecord(1, "a", 0), UserRecord(2, "b", 0)]
+
+
+# ---------------------------------------------------------------- validation
+
+def test_validate_users_clean():
+    assert validate_users(USERS) == []
+
+
+def test_validate_users_duplicates():
+    issues = validate_users([UserRecord(1, "a", 0), UserRecord(1, "a", 0)])
+    severities = {i.severity for i in issues}
+    assert "error" in severities and "warning" in severities
+
+
+def test_validate_jobs_unknown_uid_and_order():
+    jobs = [JobRecord(1, 9, 100, 100, 200, 1),
+            JobRecord(2, 1, 50, 50, 60, 1)]
+    issues = validate_jobs(jobs, USERS)
+    messages = " ".join(i.message for i in issues)
+    assert "unknown uid 9" in messages
+    assert "out of order" in messages
+
+
+def test_validate_jobs_duplicate_id():
+    jobs = [JobRecord(1, 1, 0, 0, 10, 1), JobRecord(1, 1, 5, 5, 10, 1)]
+    issues = validate_jobs(jobs, USERS)
+    assert any("duplicate job_id" in i.message for i in issues)
+
+
+def test_validate_jobs_unsorted_allowed():
+    jobs = [JobRecord(1, 1, 100, 100, 200, 1),
+            JobRecord(2, 1, 50, 50, 60, 1)]
+    assert validate_jobs(jobs, USERS, require_sorted=False) == []
+
+
+def test_validate_app_log():
+    recs = [AppAccessRecord(10, 1, "relative/path"),
+            AppAccessRecord(5, 9, "/ok/path")]
+    issues = validate_app_log(recs, USERS)
+    messages = " ".join(i.message for i in issues)
+    assert "relative path" in messages
+    assert "unknown uid 9" in messages
+    assert "out of order" in messages
+
+
+def test_validate_publications():
+    pubs = [PublicationRecord(1, 0, [1, 9], 0),
+            PublicationRecord(1, 0, [], 0)]
+    issues = validate_publications(pubs, USERS)
+    messages = " ".join(i.message for i in issues)
+    assert "unknown author 9" in messages
+    assert "no authors" in messages
+    assert "duplicate pub_id" in messages
+
+
+def test_validate_dataset_clean_passes():
+    jobs = [JobRecord(1, 1, 0, 0, 10, 1)]
+    accesses = [AppAccessRecord(0, 2, "/x")]
+    pubs = [PublicationRecord(1, 0, [1], 0)]
+    assert validate_dataset(USERS, jobs, accesses, pubs) == []
+
+
+def test_issue_str():
+    issues = validate_users([UserRecord(1, "a", 0), UserRecord(1, "b", 0)])
+    assert str(issues[0]).startswith("[error] users:")
+
+
+# ---------------------------------------------------------------- notifier
+
+def _unmet_report():
+    rep = RetentionReport("ActiveDR", t_c=NOW, lifetime_days=90,
+                          target_bytes=1000)
+    rep.record_purge(UserClass.BOTH_INACTIVE, 1, 400)
+    rep.target_met = False
+    rep.passes_used = 6
+    return rep
+
+
+def test_notification_from_report():
+    note = notification_from_report(_unmet_report())
+    assert note.shortfall_bytes == 600
+    assert note.passes_used == 6
+    assert "600 short" in render_notification(note)
+
+
+def test_collecting_notifier():
+    notifier = CollectingNotifier()
+    notifier.notify(notification_from_report(_unmet_report()))
+    assert len(notifier) == 1
+
+
+def test_file_notifier(tmp_path):
+    path = str(tmp_path / "alerts.log")
+    notifier = FileNotifier(path)
+    notifier.notify(notification_from_report(_unmet_report()))
+    notifier.notify(notification_from_report(_unmet_report()))
+    lines = open(path).read().strip().splitlines()
+    assert len(lines) == 2
+    assert "administrator action required" in lines[0]
+
+
+def test_logging_notifier(caplog):
+    notifier = LoggingNotifier(logging.getLogger("test.retention"))
+    with caplog.at_level(logging.WARNING, logger="test.retention"):
+        notifier.notify(notification_from_report(_unmet_report()))
+    assert any("purge target unmet" in rec.message for rec in caplog.records)
+
+
+def test_policy_fires_notifier_on_unmet_target():
+    # Fresh files only: the target cannot be met.
+    fs = make_fs([(f"/s/u/f{i}", 1, 100, 5) for i in range(10)])
+    notifier = CollectingNotifier()
+    policy = ActiveDRPolicy(RetentionConfig(), notifier=notifier)
+    report = policy.run(fs, NOW, activeness={1: UserActiveness(1)})
+    assert report.target_met is False
+    assert len(notifier) == 1
+    assert notifier.notifications[0].purged_bytes == 0
+
+
+def test_policy_silent_when_target_met():
+    fs = make_fs([(f"/s/u/f{i}", 1, 100, 365) for i in range(10)])
+    notifier = CollectingNotifier()
+    policy = ActiveDRPolicy(RetentionConfig(), notifier=notifier)
+    report = policy.run(fs, NOW, activeness={1: UserActiveness(1)})
+    assert report.target_met is True
+    assert len(notifier) == 0
+
+
+# ---------------------------------------------------------------- reportgen
+
+def test_render_retention_report():
+    text = render_retention_report(_unmet_report())
+    assert "policy: ActiveDR" in text
+    assert "NOT MET" in text
+    assert "Both Inactive" in text
+    assert "400.00 B" in text
+
+
+def test_render_retention_report_no_target():
+    rep = RetentionReport("FLT", t_c=NOW, lifetime_days=30)
+    text = render_retention_report(rep)
+    assert "purge target: none" in text
+
+
+def test_render_emulation_summary(tiny_dataset):
+    from repro.emulation import ComparisonRunner, FLT
+    result = ComparisonRunner(tiny_dataset).run()[FLT]
+    text = render_emulation_summary(result)
+    assert "policy: FLT" in text
+    assert "file misses:" in text
+    assert "miss-ratio range" in text

@@ -1,0 +1,81 @@
+"""Tests for the directory-walk API."""
+
+from repro.vfs import (
+    DirEntry,
+    find_stale,
+    list_dir,
+    subtree_usage,
+    usage_report,
+)
+
+from conftest import NOW, make_fs
+
+
+def _fs():
+    return make_fs([
+        ("/s/u1/projA/runs/a.out", 1, 100, 10),
+        ("/s/u1/projA/runs/b.out", 1, 200, 100),
+        ("/s/u1/projA/data.h5", 1, 50, 5),
+        ("/s/u1/projB/c.dat", 1, 400, 200),
+        ("/s/u2/top.log", 2, 25, 1),
+    ])
+
+
+def test_list_dir_root():
+    entries = list_dir(_fs(), "/")
+    assert [e.name for e in entries] == ["s"]
+    assert entries[0].is_dir
+    assert entries[0].file_count == 5
+    assert entries[0].size == 775
+
+
+def test_list_dir_user_level():
+    entries = list_dir(_fs(), "/s/u1")
+    assert [(e.name, e.is_dir) for e in entries] == [
+        ("projA", True), ("projB", True)]
+    proj_a = entries[0]
+    assert proj_a.file_count == 3
+    assert proj_a.size == 350
+    assert proj_a.path == "/s/u1/projA"
+
+
+def test_list_dir_mixed_files_and_dirs():
+    entries = list_dir(_fs(), "/s/u1/projA")
+    assert [(e.name, e.is_dir) for e in entries] == [
+        ("data.h5", False), ("runs", True)]
+    assert entries[0].size == 50 and entries[0].file_count == 1
+
+
+def test_list_dir_missing():
+    assert list_dir(_fs(), "/nope") == []
+
+
+def test_subtree_usage():
+    assert subtree_usage(_fs(), "/s/u1") == (4, 750)
+    assert subtree_usage(_fs(), "/s/u1/projA/runs") == (2, 300)
+    assert subtree_usage(_fs(), "/absent") == (0, 0)
+
+
+def test_find_stale():
+    stale = dict(find_stale(_fs(), "/s", NOW, lifetime_days=90))
+    assert set(stale) == {"/s/u1/projA/runs/b.out", "/s/u1/projB/c.dat"}
+    # Tighter scope narrows the candidates.
+    scoped = dict(find_stale(_fs(), "/s/u1/projB", NOW, 90))
+    assert set(scoped) == {"/s/u1/projB/c.dat"}
+
+
+def test_find_stale_boundary_strict():
+    fs = make_fs([("/s/x", 1, 10, 90.0)])
+    assert list(find_stale(fs, "/s", NOW, 90)) == []
+
+
+def test_usage_report_sorted_by_bytes():
+    rows = usage_report(_fs(), "/s/u1")
+    assert [r[0] for r in rows] == ["projB", "projA"]
+    name, files, size, share = rows[0]
+    assert (files, size) == (1, 400)
+    assert abs(share - 400 / 750) < 1e-9
+
+
+def test_usage_report_empty_dir():
+    assert usage_report(_fs(), "/void") == []
