@@ -1,0 +1,163 @@
+"""Replay-throughput benchmark: columnar fast engine vs. reference.
+
+First entry in the perf trajectory.  Measures, on one seeded dataset:
+
+* the paired (FLT + ActiveDR) year replay under the reference per-record
+  ``Emulator`` and under the columnar ``FastEmulator`` (records/sec and
+  speedup, with trace-compile time reported separately);
+* the lifetime sweep run serially vs. farmed over ``run_spmd`` worker
+  processes.
+
+Both engines are asserted to produce identical miss totals before any
+number is reported.  Results go to ``BENCH_replay_throughput.json`` at
+the repo root (override with ``--out``)::
+
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py
+    PYTHONPATH=src python benchmarks/bench_replay_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_bench(n_users: int, seed: int, lifetimes: tuple[float, ...],
+              n_ranks: int) -> dict:
+    from repro.emulation import ComparisonRunner, compile_dataset, run_lifetime_sweep
+    from repro.synth import TitanConfig, generate_dataset
+
+    t0 = time.perf_counter()
+    dataset = generate_dataset(TitanConfig(n_users=n_users, seed=seed))
+    generate_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compiled = compile_dataset(dataset)
+    compile_seconds = time.perf_counter() - t0
+    # A paired replay pushes every in-window record through both policies.
+    paired_records = 2 * compiled.n_records
+
+    t0 = time.perf_counter()
+    reference = ComparisonRunner(dataset, engine="reference").run()
+    reference_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = ComparisonRunner(dataset, engine="fast", compiled=compiled).run()
+    fast_seconds = time.perf_counter() - t0
+
+    for name in reference.results:
+        ref_m = reference.results[name].metrics
+        fast_m = fast.results[name].metrics
+        assert fast_m.total_misses == ref_m.total_misses, name
+        assert fast_m.total_accesses == ref_m.total_accesses, name
+        assert (fast.results[name].reports
+                == reference.results[name].reports), name
+
+    t0 = time.perf_counter()
+    serial = run_lifetime_sweep(dataset, lifetimes, engine="fast",
+                                compiled=compiled)
+    sweep_serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_lifetime_sweep(dataset, lifetimes, engine="fast",
+                                  compiled=compiled, n_ranks=n_ranks)
+    sweep_parallel_seconds = time.perf_counter() - t0
+
+    for lifetime in lifetimes:
+        assert (parallel[lifetime].total_misses("ActiveDR")
+                == serial[lifetime].total_misses("ActiveDR")), lifetime
+
+    replay_speedup = reference_seconds / fast_seconds
+    return {
+        "benchmark": "replay_throughput",
+        "dataset": {
+            "n_users": n_users,
+            "seed": seed,
+            "snapshot_files": dataset.filesystem.file_count,
+            "replay_records": compiled.n_records,
+            "replay_days": compiled.index.n_days,
+            "generate_seconds": round(generate_seconds, 3),
+        },
+        "paired_replay": {
+            "records_replayed": paired_records,
+            "reference": {
+                "seconds": round(reference_seconds, 3),
+                "records_per_sec": round(paired_records / reference_seconds),
+            },
+            "fast": {
+                "compile_seconds": round(compile_seconds, 3),
+                "seconds": round(fast_seconds, 3),
+                "records_per_sec": round(paired_records / fast_seconds),
+            },
+            "speedup": round(replay_speedup, 2),
+            "meets_5x": replay_speedup >= 5.0,
+        },
+        "lifetime_sweep": {
+            "lifetimes": list(lifetimes),
+            "engine": "fast",
+            "serial_seconds": round(sweep_serial_seconds, 3),
+            "parallel_seconds": round(sweep_parallel_seconds, 3),
+            "n_ranks": n_ranks,
+            "parallel_speedup": round(
+                sweep_serial_seconds / sweep_parallel_seconds, 2),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=500,
+                        help="synthetic user count (default: the seeded "
+                             "dataset the acceptance numbers quote)")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--lifetimes", default="7,30,60,90")
+    parser.add_argument("--ranks", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_replay_throughput.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI-sized run; does not overwrite the "
+                             "committed JSON unless --out is given")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.users = 40
+        args.lifetimes = "30,90"
+        if args.out == os.path.join(REPO_ROOT,
+                                    "BENCH_replay_throughput.json"):
+            args.out = os.path.join(REPO_ROOT,
+                                    "BENCH_replay_throughput.smoke.json")
+
+    lifetimes = tuple(float(x) for x in args.lifetimes.split(",") if x)
+    result = run_bench(args.users, args.seed, lifetimes, max(1, args.ranks))
+    result["smoke"] = args.smoke
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+
+    replay = result["paired_replay"]
+    print(f"dataset: {result['dataset']['n_users']} users, "
+          f"{result['dataset']['replay_records']} in-window records")
+    print(f"reference: {replay['reference']['seconds']}s "
+          f"({replay['reference']['records_per_sec']} rec/s)  "
+          f"fast: {replay['fast']['seconds']}s "
+          f"({replay['fast']['records_per_sec']} rec/s)  "
+          f"speedup {replay['speedup']}x "
+          f"(compile {replay['fast']['compile_seconds']}s)")
+    sweep = result["lifetime_sweep"]
+    print(f"sweep over {sweep['lifetimes']}: serial "
+          f"{sweep['serial_seconds']}s vs {sweep['n_ranks']} ranks "
+          f"{sweep['parallel_seconds']}s "
+          f"({sweep['parallel_speedup']}x)")
+    print(f"wrote {args.out}")
+    return 0 if replay["meets_5x"] or result["smoke"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

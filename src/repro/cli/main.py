@@ -9,7 +9,9 @@ Subcommands::
                        [--lifetime D] [--target U] [--advance-days N]
                        [--exempt FILE] [--alert-log FILE]
     activedr replay    --workspace DIR [--policy both|flt|activedr]
-                       [--lifetime D] [--target U]
+                       [--lifetime D] [--target U] [--engine reference|fast]
+    activedr sweep     --workspace DIR [--lifetimes D,D,...] [--target U]
+                       [--ranks N] [--engine fast|reference]
     activedr calibrate --workspace DIR [--lifetime D]
 
 ``generate`` writes a synthetic Titan workspace to disk; the other
@@ -47,7 +49,9 @@ from ..core import (
     classify_all,
     group_counts,
 )
-from ..emulation import ACTIVEDR, FLT, ComparisonRunner, Emulator, advance_filesystem
+from ..emulation import (ACTIVEDR, FLT, ComparisonRunner, Emulator,
+                         FastEmulator, advance_filesystem, compile_dataset,
+                         run_lifetime_sweep)
 from ..synth import TitanConfig, generate_dataset
 from ..traces import validate_dataset
 from ..vfs import DAY_SECONDS
@@ -108,6 +112,22 @@ def build_parser() -> argparse.ArgumentParser:
                      default="both")
     rep.add_argument("--lifetime", type=float, default=90.0)
     rep.add_argument("--target", type=float, default=0.5)
+    rep.add_argument("--engine", choices=("reference", "fast"),
+                     default="reference",
+                     help="replay engine: per-record reference emulator or "
+                          "the columnar fast path (identical results)")
+
+    swp = sub.add_parser("sweep",
+                         help="paired replay over several file lifetimes, "
+                              "optionally across worker processes")
+    swp.add_argument("--workspace", required=True)
+    swp.add_argument("--lifetimes", default="7,30,60,90",
+                     help="comma-separated lifetimes in days")
+    swp.add_argument("--target", type=float, default=0.5)
+    swp.add_argument("--ranks", type=int, default=1,
+                     help="worker processes for the sweep")
+    swp.add_argument("--engine", choices=("reference", "fast"),
+                     default="fast")
 
     cal = sub.add_parser("calibrate",
                          help="report the workload statistics retention "
@@ -209,6 +229,20 @@ def _cmd_retain(args: argparse.Namespace) -> int:
     return 0 if report.target_met else 2
 
 
+def _replay_policy(ws: Workspace, policy, config: RetentionConfig,
+                   engine: str, known: list[int], compiled=None):
+    if engine == "fast":
+        if compiled is None:
+            compiled = compile_dataset(ws)
+        return FastEmulator(policy, config.activeness).run(
+            compiled, known_uids=known), compiled
+    emulator = Emulator(policy, config.activeness)
+    fs = ws.fresh_filesystem()
+    return emulator.run(fs, ws.accesses, ws.jobs, ws.publications,
+                        ws.replay_start, ws.replay_end,
+                        known_uids=known), compiled
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     ws = load_workspace(args.workspace)
     config = RetentionConfig(lifetime_days=args.lifetime,
@@ -216,14 +250,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     known = [u.uid for u in ws.users]
 
     if args.policy == "both":
-        # Reuse the paired runner via a dataset-shaped shim.
         results = {}
+        compiled = None
         for policy in (FixedLifetimePolicy(config), ActiveDRPolicy(config)):
-            emulator = Emulator(policy, config.activeness)
-            fs = ws.fresh_filesystem()
-            results[policy.name] = emulator.run(
-                fs, ws.accesses, ws.jobs, ws.publications,
-                ws.replay_start, ws.replay_end, known_uids=known)
+            results[policy.name], compiled = _replay_policy(
+                ws, policy, config, args.engine, known, compiled)
         for name, result in results.items():
             print(render_emulation_summary(result))
             print()
@@ -236,11 +267,44 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     policy = (FixedLifetimePolicy(config) if args.policy == "flt"
               else ActiveDRPolicy(config))
-    emulator = Emulator(policy, config.activeness)
-    fs = ws.fresh_filesystem()
-    result = emulator.run(fs, ws.accesses, ws.jobs, ws.publications,
-                          ws.replay_start, ws.replay_end, known_uids=known)
+    result, _ = _replay_policy(ws, policy, config, args.engine, known)
     print(render_emulation_summary(result))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    ws = load_workspace(args.workspace)
+    try:
+        lifetimes = tuple(float(x) for x in args.lifetimes.split(",") if x)
+    except ValueError:
+        print(f"invalid --lifetimes {args.lifetimes!r}: expected "
+              "comma-separated days, e.g. 7,30,60,90", file=sys.stderr)
+        return 1
+    if not lifetimes:
+        print("no lifetimes given", file=sys.stderr)
+        return 1
+    base = RetentionConfig(purge_target_utilization=args.target)
+    sweep = run_lifetime_sweep(ws, lifetimes, base_config=base,
+                               n_ranks=max(1, args.ranks),
+                               engine=args.engine)
+    rows = []
+    for lifetime in lifetimes:
+        comparison = sweep[lifetime]
+        final = comparison[ACTIVEDR].final_report
+        rows.append([
+            f"{lifetime:g}",
+            comparison.total_misses(FLT),
+            comparison.total_misses(ACTIVEDR),
+            percent(comparison.miss_reduction()),
+            format_bytes(final.purged_bytes_total if final else 0),
+            "yes" if (final and final.target_met) else "no",
+        ])
+    print(format_table(
+        ["lifetime (d)", "FLT misses", "ActiveDR misses", "reduction",
+         "ActiveDR purged (final)", "target met"],
+        rows,
+        title=f"Lifetime sweep ({args.engine} engine, "
+              f"{max(1, args.ranks)} rank(s))"))
     return 0
 
 
@@ -279,6 +343,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "retain": _cmd_retain,
     "replay": _cmd_replay,
+    "sweep": _cmd_sweep,
     "calibrate": _cmd_calibrate,
 }
 

@@ -6,6 +6,7 @@ from .activeness import (
     ActivenessParams,
     UserActiveness,
     evaluate_type_bulk,
+    accumulate_type_ranks,
     safe_exp,
     type_log_rank,
 )
@@ -36,7 +37,7 @@ from .config import FACILITY_PRESETS, RetentionConfig, facility_preset
 from .exemption import ExemptionList
 from .cache_policy import JobResidencyIndex, ScratchAsCachePolicy
 from .flt import FixedLifetimePolicy
-from .incremental import ColumnarActivityStore
+from .incremental import ColumnarActivityStore, build_activity_store
 from .notify import (
     CollectingNotifier,
     FileNotifier,
@@ -56,6 +57,7 @@ __all__ = [
     "ActivenessParams",
     "UserActiveness",
     "evaluate_type_bulk",
+    "accumulate_type_ranks",
     "safe_exp",
     "type_log_rank",
     "Activity",
@@ -87,6 +89,7 @@ __all__ = [
     "CompositeValueFunction",
     "ValueBasedPolicy",
     "ColumnarActivityStore",
+    "build_activity_store",
     "CollectingNotifier",
     "FileNotifier",
     "LoggingNotifier",

@@ -66,6 +66,7 @@ __all__ = [
     "UserActiveness",
     "type_log_rank",
     "evaluate_type_bulk",
+    "accumulate_type_ranks",
     "ActivenessEvaluator",
     "safe_exp",
 ]
@@ -261,7 +262,8 @@ def type_log_rank(timestamps: Sequence[int], impacts: Sequence[float],
 
 def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
                        impacts: np.ndarray, t_c: int,
-                       params: ActivenessParams,
+                       params: ActivenessParams, *,
+                       assume_sorted: bool = False,
                        ) -> tuple[np.ndarray, np.ndarray]:
     """``log Phi_lambda`` for *all* users of one activity type at once.
 
@@ -269,6 +271,11 @@ def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
     ``(unique_uids, log_ranks)`` with users in ascending uid order.
     Numerically identical to :func:`type_log_rank` per user (pinned by
     property tests).
+
+    ``assume_sorted`` declares the inputs already sorted by
+    ``np.lexsort((timestamps, uids))`` (uid-major, time-minor), skipping
+    the internal sort -- callers that need per-user aggregates anyway
+    (see :func:`accumulate_type_ranks`) sort once and share the order.
     """
     uids = np.asarray(uids, dtype=np.int64)
     ts = np.asarray(timestamps, dtype=np.int64)
@@ -279,6 +286,10 @@ def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     if ts.max() > t_c:
         raise ValueError("activity timestamp after evaluation time t_c")
+
+    if not assume_sorted:
+        order = np.lexsort((ts, uids))
+        uids, ts, imp = uids[order], ts[order], imp[order]
 
     length = params.period_seconds
 
@@ -294,13 +305,11 @@ def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
             uids, ts, imp, t_c,
             ActivenessParams(period_days=params.period_days,
                              empty_period=params.empty_period,
-                             epsilon=params.epsilon))
+                             epsilon=params.epsilon),
+            assume_sorted=True)  # masking preserves the sort
         ranks = np.full(all_uids.size, -np.inf)
         ranks[np.searchsorted(all_uids, in_uids)] = in_ranks
         return all_uids, ranks
-
-    order = np.lexsort((ts, uids))
-    uids, ts, imp = uids[order], ts[order], imp[order]
 
     unique_uids, starts, counts = np.unique(uids, return_index=True,
                                             return_counts=True)
@@ -328,6 +337,8 @@ def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
                               minlength=n_users * stride)
 
     # Expand to one row per (user, e=1..m_u) and fold Eq. (5) in log space.
+    # ``offsets`` marks each user's first row; it doubles as the reduceat
+    # segment index below, so it is computed exactly once.
     total_rows = int(m_u.sum())
     user_idx_flat = np.repeat(np.arange(n_users), m_u)
     offsets = np.concatenate(([0], np.cumsum(m_u)[:-1]))
@@ -360,9 +371,54 @@ def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
         collapsed = np.zeros(n_users, dtype=bool)
 
     contrib = np.where(np.isfinite(avg_flat) & (avg_flat > 0), contrib, 0.0)
-    log_ranks = np.add.reduceat(contrib, np.concatenate(([0], np.cumsum(m_u)[:-1])))
+    log_ranks = np.add.reduceat(contrib, offsets)
     log_ranks[collapsed | zero_avg] = -np.inf
     return unique_uids, log_ranks
+
+
+def accumulate_type_ranks(results: dict[int, "UserActiveness"],
+                          atype: ActivityType,
+                          uid_arr: np.ndarray, ts_arr: np.ndarray,
+                          imp_arr: np.ndarray, t_c: int,
+                          params: ActivenessParams) -> None:
+    """Fold one activity type's bulk evaluation into ``results``.
+
+    Shared by :class:`ActivenessEvaluator` and the columnar store so both
+    perform bit-identical arithmetic: the uid-major/time-minor lexsort is
+    computed once and reused for the rank evaluation *and* the per-user
+    recency / total-impact aggregates (no second argsort pass).
+    """
+    uid_arr = np.asarray(uid_arr, dtype=np.int64)
+    ts_arr = np.asarray(ts_arr, dtype=np.int64)
+    imp_arr = np.asarray(imp_arr, dtype=np.float64)
+    if uid_arr.size == 0:
+        return
+    order = np.lexsort((ts_arr, uid_arr))
+    uid_s, ts_s, imp_s = uid_arr[order], ts_arr[order], imp_arr[order]
+    uids, log_ranks = evaluate_type_bulk(uid_s, ts_s, imp_s, t_c, params,
+                                         assume_sorted=True)
+    # Per-user recency / volume for the scan-order tie-breakers: within a
+    # uid the timestamps ascend, so the last row of each segment is the max.
+    _, starts, counts = np.unique(uid_s, return_index=True,
+                                  return_counts=True)
+    last_ts = ts_s[starts + counts - 1]
+    impact_sums = np.add.reduceat(imp_s, starts)
+
+    is_op = atype.category is ActivityCategory.OPERATION
+    for i, (uid, log_rank) in enumerate(zip(uids.tolist(),
+                                            log_ranks.tolist())):
+        ua = results.get(int(uid))
+        if ua is None:
+            ua = UserActiveness(int(uid))
+            results[int(uid)] = ua
+        if is_op:
+            ua.log_op = ua.log_op + log_rank if ua.has_op else log_rank
+            ua.has_op = True
+        else:
+            ua.log_oc = ua.log_oc + log_rank if ua.has_oc else log_rank
+            ua.has_oc = True
+        ua.last_ts = max(ua.last_ts, int(last_ts[i]))
+        ua.total_impact += float(impact_sums[i])
 
 
 # ----------------------------------------------------------------------
@@ -407,27 +463,6 @@ class ActivenessEvaluator:
                                  count=len(acts))
             imp_arr = np.fromiter((a.impact for a in acts), dtype=np.float64,
                                   count=len(acts))
-            uids, log_ranks = evaluate_type_bulk(uid_arr, ts_arr, imp_arr,
-                                                 t_c, self.params)
-            # Per-user recency / volume for the scan-order tie-breakers.
-            order = np.argsort(uid_arr, kind="stable")
-            u_sorted, starts = np.unique(uid_arr[order], return_index=True)
-            last_ts = np.maximum.reduceat(ts_arr[order], starts)
-            impact_sums = np.add.reduceat(imp_arr[order], starts)
-
-            is_op = atype.category is ActivityCategory.OPERATION
-            for i, (uid, log_rank) in enumerate(zip(uids.tolist(),
-                                                    log_ranks.tolist())):
-                ua = results.get(int(uid))
-                if ua is None:
-                    ua = UserActiveness(int(uid))
-                    results[int(uid)] = ua
-                if is_op:
-                    ua.log_op = ua.log_op + log_rank if ua.has_op else log_rank
-                    ua.has_op = True
-                else:
-                    ua.log_oc = ua.log_oc + log_rank if ua.has_oc else log_rank
-                    ua.has_oc = True
-                ua.last_ts = max(ua.last_ts, int(last_ts[i]))
-                ua.total_impact += float(impact_sums[i])
+            accumulate_type_ranks(results, atype, uid_arr, ts_arr, imp_arr,
+                                  t_c, self.params)
         return results

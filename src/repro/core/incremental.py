@@ -22,16 +22,16 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from ..traces.schema import JobRecord, PublicationRecord
-from .activeness import ActivenessParams, UserActiveness, evaluate_type_bulk
+from .activeness import (ActivenessParams, UserActiveness,
+                         accumulate_type_ranks)
 from .activity import (
     Activity,
-    ActivityCategory,
     ActivityType,
     JOB_SUBMISSION,
     PUBLICATION,
 )
 
-__all__ = ["ColumnarActivityStore"]
+__all__ = ["ColumnarActivityStore", "build_activity_store"]
 
 
 class _TypeColumns:
@@ -175,26 +175,20 @@ class ColumnarActivityStore:
                 uids, ts, imp = uids[visible], ts[visible], imp[visible]
             if uids.size == 0:
                 continue
-            got_uids, log_ranks = evaluate_type_bulk(uids, ts, imp, t_c,
-                                                     params)
-            order = np.argsort(uids, kind="stable")
-            _, starts = np.unique(uids[order], return_index=True)
-            last_ts = np.maximum.reduceat(ts[order], starts)
-            impact_sums = np.add.reduceat(imp[order], starts)
-
-            is_op = atype.category is ActivityCategory.OPERATION
-            for i, (uid, log_rank) in enumerate(zip(got_uids.tolist(),
-                                                    log_ranks.tolist())):
-                ua = results.get(int(uid))
-                if ua is None:
-                    ua = UserActiveness(int(uid))
-                    results[int(uid)] = ua
-                if is_op:
-                    ua.log_op = ua.log_op + log_rank if ua.has_op else log_rank
-                    ua.has_op = True
-                else:
-                    ua.log_oc = ua.log_oc + log_rank if ua.has_oc else log_rank
-                    ua.has_oc = True
-                ua.last_ts = max(ua.last_ts, int(last_ts[i]))
-                ua.total_impact += float(impact_sums[i])
+            accumulate_type_ranks(results, atype, uids, ts, imp, t_c, params)
         return results
+
+
+def build_activity_store(jobs: Iterable[JobRecord] = (),
+                         publications: Iterable[PublicationRecord] = (),
+                         ) -> ColumnarActivityStore:
+    """A store pre-loaded with the paper's two activity sources.
+
+    This is the trigger-time preparation input of the emulation: ingest
+    once, then evaluate at every purge trigger against the consolidated
+    columns.
+    """
+    store = ColumnarActivityStore()
+    store.ingest_jobs(jobs)
+    store.ingest_publications(publications)
+    return store

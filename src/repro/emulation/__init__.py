@@ -1,6 +1,14 @@
 """Trace-replay emulation: the day-granular replay loop, miss metrics,
-and the FLT-vs-ActiveDR comparison runner."""
+the columnar fast-replay engine, and the FLT-vs-ActiveDR comparison
+runner."""
 
+from .compiled import (
+    CompiledTrace,
+    FastEmulator,
+    ReplayIndex,
+    compile_dataset,
+    replay_bounds,
+)
 from .emulator import (
     EmulationResult,
     Emulator,
@@ -19,6 +27,11 @@ from .runner import (
 )
 
 __all__ = [
+    "CompiledTrace",
+    "FastEmulator",
+    "ReplayIndex",
+    "compile_dataset",
+    "replay_bounds",
     "EmulationResult",
     "Emulator",
     "EmulatorConfig",

@@ -30,10 +30,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.activeness import ActivenessEvaluator, ActivenessParams, UserActiveness
-from ..core.activity import (ActivityLedger, JOB_SUBMISSION, PUBLICATION,
-                             activities_from_jobs,
-                             activities_from_publications)
 from ..core.classification import UserClass, classify_all, group_counts
+from ..core.incremental import ColumnarActivityStore, build_activity_store
 from ..core.policy import RetentionPolicy
 from ..core.exemption import ExemptionList
 from ..core.report import RetentionReport
@@ -136,12 +134,18 @@ class Emulator:
             jobs: Sequence[JobRecord],
             publications: Sequence[PublicationRecord],
             replay_start: int, replay_end: int,
-            known_uids: Sequence[int] = ()) -> EmulationResult:
+            known_uids: Sequence[int] = (),
+            activity_store: ColumnarActivityStore | None = None,
+            ) -> EmulationResult:
         """Replay ``[replay_start, replay_end)``, mutating ``fs``.
 
         ``accesses`` must be time-sorted; ``jobs``/``publications`` may
-        extend back before the replay (activity history) and are fed to
-        the activeness evaluation incrementally as the clock advances.
+        extend back before the replay (activity history).  The trigger-time
+        preparation procedure evaluates against a consolidated
+        :class:`ColumnarActivityStore` (each evaluation clips at the
+        trigger instant); pass ``activity_store`` to share one pre-built
+        store across replays, in which case ``jobs``/``publications`` are
+        ignored.
         """
         if replay_end <= replay_start:
             raise ValueError("replay_end must exceed replay_start")
@@ -151,18 +155,12 @@ class Emulator:
                                  lifetime_days=self.policy.config.lifetime_days,
                                  metrics=metrics)
 
-        # Incremental activity feed: everything is pre-sorted once, then a
-        # cursor advances per trigger.
-        job_acts = sorted(activities_from_jobs(jobs), key=lambda a: a.ts)
-        pub_acts = sorted(activities_from_publications(publications),
-                          key=lambda a: a.ts)
-        ledger = ActivityLedger()
-        job_cursor = self._feed(ledger, JOB_SUBMISSION, job_acts, 0,
-                                replay_start)
-        pub_cursor = self._feed(ledger, PUBLICATION, pub_acts, 0,
-                                replay_start)
+        store = activity_store
+        if store is None:
+            store = build_activity_store(jobs, publications)
+        params = self.evaluator.params
 
-        activeness = self.evaluator.evaluate(ledger, replay_start, known_uids)
+        activeness = store.evaluate(replay_start, params, known_uids)
         classes = classify_all(activeness)
         result.group_count_history.append(group_counts(classes))
 
@@ -176,11 +174,7 @@ class Emulator:
 
             if day > 0 and day % trigger_interval == 0:
                 t_c = day_start
-                job_cursor = self._feed(ledger, JOB_SUBMISSION, job_acts,
-                                        job_cursor, t_c)
-                pub_cursor = self._feed(ledger, PUBLICATION, pub_acts,
-                                        pub_cursor, t_c)
-                activeness = self.evaluator.evaluate(ledger, t_c, known_uids)
+                activeness = store.evaluate(t_c, params, known_uids)
                 classes = classify_all(activeness)
                 result.group_count_history.append(group_counts(classes))
                 report = self.policy.run(fs, t_c, activeness=activeness,
@@ -201,18 +195,6 @@ class Emulator:
         return result
 
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _feed(ledger: ActivityLedger, activity_type, acts, cursor: int,
-              t_c: int) -> int:
-        """Append activities with ``ts <= t_c``; returns the new cursor."""
-        n = len(acts)
-        start = cursor
-        while cursor < n and acts[cursor].ts <= t_c:
-            cursor += 1
-        if cursor > start:
-            ledger.extend(activity_type, acts[start:cursor])
-        return cursor
 
     def _replay_one(self, fs: VirtualFileSystem, rec: AppAccessRecord,
                     day: int, metrics: DailyMetrics,

@@ -4,6 +4,18 @@ Runs both policies over *identical replicas* of the same snapshot file
 system and the same traces, which is exactly how the paper derives
 Figs. 6-11: each policy gets its own copy of the virtual file system, the
 same 7-day purge trigger, the same purge target, and the same access log.
+
+Two engines drive the replay:
+
+* ``engine="reference"`` -- the per-record :class:`Emulator` (default);
+* ``engine="fast"`` -- the columnar :class:`FastEmulator`, replaying a
+  :class:`CompiledTrace` built once and shared by both policies (and, via
+  the ``compiled=`` argument, by every lifetime of a sweep).  Results are
+  bit-identical to the reference engine.
+
+``run_lifetime_sweep`` and ``single_snapshot_comparison`` additionally
+take ``n_ranks`` to farm lifetime configurations across worker processes
+on the :func:`repro.parallel.comm.run_spmd` substrate.
 """
 
 from __future__ import annotations
@@ -16,11 +28,15 @@ from ..core.classification import UserClass
 from ..core.config import RetentionConfig
 from ..core.exemption import ExemptionList
 from ..core.flt import FixedLifetimePolicy
+from ..core.incremental import build_activity_store
 from ..core.retention import ActiveDRPolicy
+from ..parallel.comm import run_spmd
 from ..synth.titan import TitanDataset
+from .compiled import CompiledTrace, FastEmulator, compile_dataset, replay_bounds
 from .emulator import Emulator, EmulatorConfig, EmulationResult
 
-__all__ = ["ComparisonResult", "ComparisonRunner", "run_lifetime_sweep"]
+__all__ = ["ComparisonResult", "ComparisonRunner", "run_lifetime_sweep",
+           "single_snapshot_comparison"]
 
 FLT = "FLT"
 ACTIVEDR = "ActiveDR"
@@ -71,15 +87,21 @@ class ComparisonRunner:
                  config: RetentionConfig | None = None,
                  emulator_config: EmulatorConfig | None = None,
                  exemptions: ExemptionList | None = None,
-                 flt_enforce_target: bool = False) -> None:
+                 flt_enforce_target: bool = False,
+                 engine: str = "reference",
+                 compiled: CompiledTrace | None = None) -> None:
         # flt_enforce_target=False is the paper's setup: the FLT baseline
         # "purges the files as in the logs" with no preparation and no
         # target, while ActiveDR stops the moment the target is reached.
+        if engine not in ("reference", "fast"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.dataset = dataset
         self.config = config or RetentionConfig()
         self.emulator_config = emulator_config or EmulatorConfig()
         self.exemptions = exemptions
         self.flt_enforce_target = flt_enforce_target
+        self.engine = engine
+        self.compiled = compiled
 
     def run(self) -> ComparisonResult:
         ds = self.dataset
@@ -91,70 +113,110 @@ class ComparisonRunner:
                                 enforce_target=self.flt_enforce_target),
             ActiveDRPolicy(self.config),
         ]
+        if self.engine == "fast":
+            if self.compiled is None:
+                self.compiled = compile_dataset(ds)
+            # Both policies trigger at the same instants with the same
+            # params, so each activeness evaluation is computed once.
+            cache: dict = {}
+            for policy in policies:
+                emulator = FastEmulator(policy, self.config.activeness,
+                                        self.emulator_config, self.exemptions)
+                out.results[policy.name] = emulator.run(
+                    self.compiled, known_uids=known_uids,
+                    activeness_cache=cache)
+            return out
+
+        # Shared preprocessing: both replays evaluate activeness from one
+        # consolidated store instead of re-sorting activities per policy.
+        store = build_activity_store(ds.jobs, ds.publications)
+        start, end = replay_bounds(ds)
         for policy in policies:
             emulator = Emulator(policy, self.config.activeness,
                                 self.emulator_config, self.exemptions)
             fs = ds.fresh_filesystem()
             result = emulator.run(fs, ds.accesses, ds.jobs, ds.publications,
-                                  ds.config.replay_start, ds.config.replay_end,
-                                  known_uids=known_uids)
+                                  start, end, known_uids=known_uids,
+                                  activity_store=store)
             out.results[policy.name] = result
         return out
 
 
-def single_snapshot_comparison(
-        dataset: TitanDataset,
-        lifetimes: tuple[float, ...] = (7.0, 30.0, 60.0, 90.0),
-        base_config: RetentionConfig | None = None,
-        snapshot_day: int = 235,
-        exemptions: ExemptionList | None = None):
-    """One-shot retention on an identical mid-year snapshot (section 4.4).
+def _lifetime_config(base: RetentionConfig, lifetime: float) -> RetentionConfig:
+    """Derive the per-lifetime configuration used by sweeps and snapshots.
 
-    The paper's Figs. 9-11 / Tables 4-6 come from running both policies,
-    with the same purge target, against the same weekly metadata snapshot
-    (captured Aug 23, 2016 -- day ~235).  This harness reconstructs that
-    state by advancing the snapshot FS through the access trace with no
-    retention, then runs FLT (target-enforced) and ActiveDR once each on
-    replicas, per lifetime setting.  Returns
-    ``{lifetime: {policy_name: RetentionReport}}``.
+    Period length of the activeness evaluation follows the lifetime, as in
+    the paper's "period length (days)" axis.
     """
-    from ..core.activeness import ActivenessEvaluator
-    from ..core.activity import (ActivityLedger, JOB_SUBMISSION, PUBLICATION,
-                                 activities_from_jobs,
-                                 activities_from_publications)
-    from .emulator import advance_filesystem
+    return RetentionConfig(
+        lifetime_days=lifetime,
+        purge_trigger_days=base.purge_trigger_days,
+        purge_target_utilization=base.purge_target_utilization,
+        retrospective_passes=base.retrospective_passes,
+        rank_decay=base.rank_decay,
+        activeness=type(base.activeness)(
+            period_days=lifetime,
+            empty_period=base.activeness.empty_period,
+            epsilon=base.activeness.epsilon),
+        zero_rank_as_initial=base.zero_rank_as_initial,
+    )
 
+
+def _sweep_worker(comm, payload):
+    """SPMD body: each rank replays a round-robin share of lifetimes."""
+    dataset, lifetimes, base, runner_kwargs = payload
+    out = {}
+    for lifetime in lifetimes[comm.rank::comm.size]:
+        runner = ComparisonRunner(dataset, _lifetime_config(base, lifetime),
+                                  **runner_kwargs)
+        out[lifetime] = runner.run()
+    return out
+
+
+def run_lifetime_sweep(dataset: TitanDataset,
+                       lifetimes: tuple[float, ...] = (7.0, 30.0, 60.0, 90.0),
+                       base_config: RetentionConfig | None = None,
+                       n_ranks: int = 1,
+                       **runner_kwargs) -> dict[float, ComparisonResult]:
+    """The Figs. 9-11 / Tables 4-6 sweep over file-lifetime settings.
+
+    Each lifetime gets a full paired replay; the caller reads the final
+    retention report of each run for retained/purged/affected-user rows.
+    With ``n_ranks > 1`` the lifetime configurations are farmed across
+    worker processes (fork-based SPMD); results are identical to the
+    serial sweep.  With ``engine="fast"`` the trace is compiled once and
+    shared by every lifetime and rank.
+    """
     base = base_config or RetentionConfig()
-    t_c = dataset.config.replay_start + snapshot_day * 86_400
+    lifetimes = tuple(lifetimes)
+    if (runner_kwargs.get("engine") == "fast"
+            and runner_kwargs.get("compiled") is None):
+        runner_kwargs = {**runner_kwargs, "compiled": compile_dataset(dataset)}
+    payload = (dataset, lifetimes, base, runner_kwargs)
+    if n_ranks <= 1:
+        merged = _sweep_worker(_SerialRank(), payload)
+    else:
+        merged = {}
+        for part in run_spmd(_sweep_worker, n_ranks, payload):
+            merged.update(part)
+    return {lifetime: merged[lifetime] for lifetime in lifetimes}
 
-    state = dataset.fresh_filesystem()
-    advance_filesystem(state, dataset.accesses, t_c)
 
-    ledger = ActivityLedger()
-    ledger.extend(JOB_SUBMISSION, activities_from_jobs(dataset.jobs))
-    ledger.extend(PUBLICATION,
-                  activities_from_publications(dataset.publications))
-    ledger = ledger.until(t_c)
-    known = [u.uid for u in dataset.users]
+class _SerialRank:
+    """Minimal rank identity for running the SPMD body inline."""
 
-    out: dict[float, dict[str, object]] = {}
-    for lifetime in lifetimes:
-        config = base.with_lifetime(lifetime)
-        config = RetentionConfig(
-            lifetime_days=lifetime,
-            purge_trigger_days=base.purge_trigger_days,
-            purge_target_utilization=base.purge_target_utilization,
-            retrospective_passes=base.retrospective_passes,
-            rank_decay=base.rank_decay,
-            activeness=type(base.activeness)(
-                period_days=lifetime,
-                empty_period=base.activeness.empty_period,
-                epsilon=base.activeness.epsilon),
-            zero_rank_as_initial=base.zero_rank_as_initial,
-        )
-        activeness = ActivenessEvaluator(config.activeness).evaluate(
-            ledger, t_c, known_uids=known)
-        reports: dict[str, object] = {}
+    rank = 0
+    size = 1
+
+
+def _snapshot_worker(comm, payload):
+    """SPMD body for :func:`single_snapshot_comparison`."""
+    (state, store, known, base, lifetimes, t_c, exemptions) = payload
+    out = {}
+    for lifetime in lifetimes[comm.rank::comm.size]:
+        config = _lifetime_config(base, lifetime)
+        activeness = store.evaluate(t_c, config.activeness, known)
+        reports = {}
         for policy in (FixedLifetimePolicy(config, enforce_target=True),
                        ActiveDRPolicy(config)):
             fs = state.replicate()
@@ -165,32 +227,41 @@ def single_snapshot_comparison(
     return out
 
 
-def run_lifetime_sweep(dataset: TitanDataset,
-                       lifetimes: tuple[float, ...] = (7.0, 30.0, 60.0, 90.0),
-                       base_config: RetentionConfig | None = None,
-                       **runner_kwargs) -> dict[float, ComparisonResult]:
-    """The Figs. 9-11 / Tables 4-6 sweep over file-lifetime settings.
+def single_snapshot_comparison(
+        dataset: TitanDataset,
+        lifetimes: tuple[float, ...] = (7.0, 30.0, 60.0, 90.0),
+        base_config: RetentionConfig | None = None,
+        snapshot_day: int = 235,
+        exemptions: ExemptionList | None = None,
+        n_ranks: int = 1):
+    """One-shot retention on an identical mid-year snapshot (section 4.4).
 
-    Each lifetime gets a full paired replay; the caller reads the final
-    retention report of each run for retained/purged/affected-user rows.
-    Period length of the activeness evaluation follows the lifetime, as in
-    the paper's "period length (days)" axis.
+    The paper's Figs. 9-11 / Tables 4-6 come from running both policies,
+    with the same purge target, against the same weekly metadata snapshot
+    (captured Aug 23, 2016 -- day ~235).  This harness reconstructs that
+    state by advancing the snapshot FS through the access trace with no
+    retention, then runs FLT (target-enforced) and ActiveDR once each on
+    replicas, per lifetime setting.  ``n_ranks > 1`` shards the lifetime
+    settings across worker processes.  Returns
+    ``{lifetime: {policy_name: RetentionReport}}``.
     """
+    from .emulator import advance_filesystem
+
     base = base_config or RetentionConfig()
-    out: dict[float, ComparisonResult] = {}
-    for lifetime in lifetimes:
-        config = RetentionConfig(
-            lifetime_days=lifetime,
-            purge_trigger_days=base.purge_trigger_days,
-            purge_target_utilization=base.purge_target_utilization,
-            retrospective_passes=base.retrospective_passes,
-            rank_decay=base.rank_decay,
-            activeness=type(base.activeness)(
-                period_days=lifetime,
-                empty_period=base.activeness.empty_period,
-                epsilon=base.activeness.epsilon),
-            zero_rank_as_initial=base.zero_rank_as_initial,
-        )
-        runner = ComparisonRunner(dataset, config, **runner_kwargs)
-        out[lifetime] = runner.run()
-    return out
+    t_c = replay_bounds(dataset)[0] + snapshot_day * 86_400
+
+    state = dataset.fresh_filesystem()
+    advance_filesystem(state, dataset.accesses, t_c)
+
+    store = build_activity_store(dataset.jobs, dataset.publications)
+    known = [u.uid for u in dataset.users]
+
+    lifetimes = tuple(lifetimes)
+    payload = (state, store, known, base, lifetimes, t_c, exemptions)
+    if n_ranks <= 1:
+        merged = _snapshot_worker(_SerialRank(), payload)
+    else:
+        merged = {}
+        for part in run_spmd(_snapshot_worker, n_ranks, payload):
+            merged.update(part)
+    return {lifetime: merged[lifetime] for lifetime in lifetimes}

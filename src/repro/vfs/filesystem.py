@@ -41,6 +41,7 @@ class VirtualFileSystem:
     def __init__(self, capacity_bytes: int = 0) -> None:
         self._trie = PathTrie()
         self._by_uid: dict[int, dict[str, FileMeta]] = {}
+        self._user_bytes: dict[int, int] = {}
         self._total_bytes = 0
         self.capacity_bytes = capacity_bytes
 
@@ -67,8 +68,8 @@ class VirtualFileSystem:
         self.capacity_bytes = self._total_bytes
 
     def user_bytes(self, uid: int) -> int:
-        """Bytes owned by ``uid``."""
-        return sum(m.size for m in self._by_uid.get(uid, {}).values())
+        """Bytes owned by ``uid`` -- O(1), maintained incrementally."""
+        return self._user_bytes.get(uid, 0)
 
     def user_file_count(self, uid: int) -> int:
         return len(self._by_uid.get(uid, {}))
@@ -91,6 +92,7 @@ class VirtualFileSystem:
             self._remove_accounting(path, old)
         self._trie.insert(path, meta)
         self._by_uid.setdefault(meta.uid, {})[path] = meta
+        self._user_bytes[meta.uid] = self._user_bytes.get(meta.uid, 0) + meta.size
         self._total_bytes += meta.size
 
     def remove_file(self, path: str) -> FileMeta | None:
@@ -105,8 +107,12 @@ class VirtualFileSystem:
     def _remove_accounting(self, path: str, meta: FileMeta) -> None:
         self._total_bytes -= meta.size
         user_files = self._by_uid.get(meta.uid)
-        if user_files is not None:
-            user_files.pop(path, None)
+        if user_files is not None and user_files.pop(path, None) is not None:
+            remaining = self._user_bytes.get(meta.uid, 0) - meta.size
+            if remaining:
+                self._user_bytes[meta.uid] = remaining
+            else:
+                self._user_bytes.pop(meta.uid, None)
 
     def touch(self, path: str, now: int) -> bool:
         """Update atime of ``path``; ``False`` when the path is missing.

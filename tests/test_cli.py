@@ -129,3 +129,19 @@ def test_calibrate(ws_dir, capsys):
     assert "capacity:" in out
     assert "created volume" in out
     assert "job counts" in out
+
+
+def test_replay_fast_engine_matches_reference(ws_dir, capsys):
+    assert main(["replay", "--workspace", ws_dir, "--engine", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+    assert main(["replay", "--workspace", ws_dir,
+                 "--engine", "reference"]) == 0
+    assert capsys.readouterr().out == fast_out
+
+
+def test_sweep(ws_dir, capsys):
+    assert main(["sweep", "--workspace", ws_dir, "--lifetimes", "30,90",
+                 "--ranks", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Lifetime sweep" in out
+    assert "30" in out and "90" in out

@@ -1,0 +1,178 @@
+"""Equivalence suite: the columnar FastEmulator must reproduce the
+reference Emulator bit for bit, and the parallel lifetime sweep must
+match the serial one exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RetentionConfig
+from repro.core.exemption import ExemptionList
+from repro.core.flt import FixedLifetimePolicy
+from repro.core.retention import ActiveDRPolicy
+from repro.emulation import (
+    ComparisonRunner,
+    CompiledTrace,
+    Emulator,
+    EmulatorConfig,
+    FastEmulator,
+    compile_dataset,
+    replay_bounds,
+    run_lifetime_sweep,
+)
+from repro.synth.titan import TitanConfig, generate_dataset
+
+
+def assert_metrics_equal(fast, ref):
+    assert np.array_equal(fast.accesses, ref.accesses)
+    assert np.array_equal(fast.misses, ref.misses)
+    for cls, series in ref.group_misses.items():
+        assert np.array_equal(fast.group_misses[cls], series), cls
+
+
+def assert_results_equal(fast, ref):
+    assert fast.policy == ref.policy
+    assert fast.lifetime_days == ref.lifetime_days
+    assert_metrics_equal(fast.metrics, ref.metrics)
+    assert len(fast.reports) == len(ref.reports)
+    for fr, rr in zip(fast.reports, ref.reports):
+        assert fr == rr
+    assert fast.group_count_history == ref.group_count_history
+    assert fast.final_classes == ref.final_classes
+    assert fast.final_total_bytes == ref.final_total_bytes
+    assert fast.final_file_count == ref.final_file_count
+
+
+def run_both(dataset, policy_factory, emu_config, *,
+             config=None, exemptions=None):
+    config = config or RetentionConfig()
+    known = [u.uid for u in dataset.users]
+    start, end = replay_bounds(dataset)
+    ref = Emulator(policy_factory(config), config.activeness, emu_config,
+                   exemptions).run(
+        dataset.fresh_filesystem(), dataset.accesses, dataset.jobs,
+        dataset.publications, start, end, known_uids=known)
+    compiled = compile_dataset(dataset)
+    fast = FastEmulator(policy_factory(config), config.activeness,
+                        emu_config, exemptions).run(compiled,
+                                                    known_uids=known)
+    return fast, ref
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_dataset):
+    return tiny_dataset
+
+
+POLICIES = [
+    ("flt", lambda cfg: FixedLifetimePolicy(cfg)),
+    ("flt-target", lambda cfg: FixedLifetimePolicy(cfg, enforce_target=True)),
+    ("activedr", lambda cfg: ActiveDRPolicy(cfg)),
+]
+
+
+@pytest.mark.parametrize("apply_creates", [True, False])
+@pytest.mark.parametrize("restore_on_miss", [True, False])
+@pytest.mark.parametrize("policy_factory",
+                         [p for _, p in POLICIES],
+                         ids=[name for name, _ in POLICIES])
+def test_fast_matches_reference(dataset, policy_factory, apply_creates,
+                                restore_on_miss):
+    emu_config = EmulatorConfig(apply_creates=apply_creates,
+                                restore_on_miss=restore_on_miss)
+    fast, ref = run_both(dataset, policy_factory, emu_config)
+    assert_results_equal(fast, ref)
+
+
+@pytest.mark.parametrize("seed", [3, 77])
+def test_fast_matches_reference_across_seeds(seed):
+    ds = generate_dataset(TitanConfig(n_users=25, seed=seed))
+    for _, policy_factory in POLICIES:
+        fast, ref = run_both(ds, policy_factory, EmulatorConfig())
+        assert_results_equal(fast, ref)
+
+
+def test_fast_matches_reference_short_lifetime(dataset):
+    # A short lifetime forces heavy purging, misses, and restores.
+    config = RetentionConfig(lifetime_days=7.0)
+    emu_config = EmulatorConfig(restore_on_miss=True)
+    for _, policy_factory in POLICIES:
+        fast, ref = run_both(dataset, policy_factory, emu_config,
+                             config=config)
+        assert_results_equal(fast, ref)
+
+
+def test_fast_matches_reference_with_exemptions(dataset):
+    paths = [p for p, _ in dataset.filesystem.iter_files()]
+    exemptions = ExemptionList()
+    for path in paths[::7]:
+        exemptions.reserve_file(path)
+    exemptions.reserve_directory(
+        "/" + "/".join(paths[0].strip("/").split("/")[:2]))
+    for _, policy_factory in POLICIES:
+        fast, ref = run_both(dataset, policy_factory, EmulatorConfig(),
+                             exemptions=exemptions)
+        assert_results_equal(fast, ref)
+
+
+def test_fast_emulator_rejects_unknown_policy(dataset):
+    class OtherPolicy(FixedLifetimePolicy.__bases__[0]):  # RetentionPolicy
+        name = "other"
+
+        def run(self, fs, t_c, *, activeness=None, exemptions=None):
+            raise NotImplementedError
+
+    with pytest.raises(TypeError):
+        FastEmulator(OtherPolicy())
+
+
+def test_compiled_trace_is_reusable(dataset):
+    compiled = compile_dataset(dataset)
+    known = [u.uid for u in dataset.users]
+    config = RetentionConfig()
+    first = FastEmulator(ActiveDRPolicy(config), config.activeness).run(
+        compiled, known_uids=known)
+    second = FastEmulator(ActiveDRPolicy(config), config.activeness).run(
+        compiled, known_uids=known)
+    assert_results_equal(first, second)
+    assert np.array_equal(compiled.snap_live,
+                          np.array([m is not None for m in (
+                              dataset.filesystem.stat(p)
+                              for p in compiled.paths)]))
+
+
+def test_comparison_runner_engines_agree(dataset):
+    ref = ComparisonRunner(dataset, engine="reference").run()
+    fast = ComparisonRunner(dataset, engine="fast").run()
+    assert set(ref.results) == set(fast.results)
+    for name, result in ref.results.items():
+        assert_results_equal(fast.results[name], result)
+
+
+def test_comparison_runner_rejects_unknown_engine(dataset):
+    with pytest.raises(ValueError):
+        ComparisonRunner(dataset, engine="warp")
+
+
+def sweep_equal(a, b):
+    assert set(a) == set(b)
+    for lifetime in a:
+        for name in a[lifetime].results:
+            assert_results_equal(b[lifetime].results[name],
+                                 a[lifetime].results[name])
+
+
+def test_parallel_sweep_matches_serial(dataset):
+    lifetimes = (30.0, 90.0)
+    serial = run_lifetime_sweep(dataset, lifetimes, engine="fast")
+    parallel = run_lifetime_sweep(dataset, lifetimes, engine="fast",
+                                  n_ranks=2)
+    sweep_equal(serial, parallel)
+
+
+def test_parallel_sweep_matches_serial_reference_engine(dataset):
+    lifetimes = (30.0, 60.0, 90.0)
+    serial = run_lifetime_sweep(dataset, lifetimes)
+    parallel = run_lifetime_sweep(dataset, lifetimes, n_ranks=2)
+    sweep_equal(serial, parallel)

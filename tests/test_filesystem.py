@@ -112,3 +112,33 @@ def test_prefix_queries():
                   ("/s/u2/q/c", 2, 1, 0)])
     assert fs.count_prefix("/s/u1") == 2
     assert len(list(fs.iter_prefix("/s/u2"))) == 1
+
+
+def test_user_bytes_incremental_exactness():
+    fs = make_fs([("/s/u1/a", 1, 100, 0), ("/s/u1/b", 1, 250, 0),
+                  ("/s/u2/c", 2, 70, 0)])
+    assert fs.user_bytes(1) == 350
+    assert fs.user_bytes(2) == 70
+    assert fs.user_bytes(99) == 0
+
+    # Replacement (same path, new size, even a new owner) stays exact.
+    fs.add_file("/s/u1/a", FileMeta(size=40, atime=NOW, mtime=NOW,
+                                    ctime=NOW, uid=1))
+    assert fs.user_bytes(1) == 290
+    fs.add_file("/s/u1/b", FileMeta(size=10, atime=NOW, mtime=NOW,
+                                    ctime=NOW, uid=2))
+    assert fs.user_bytes(1) == 40
+    assert fs.user_bytes(2) == 80
+
+    # Purges drain the counter down to zero, not below.
+    fs.remove_file("/s/u1/a")
+    assert fs.user_bytes(1) == 0
+    fs.remove_file("/s/u1/b")
+    fs.remove_file("/s/u2/c")
+    assert fs.user_bytes(2) == 0
+    assert fs.total_bytes == 0
+
+    # The counter always agrees with a from-scratch re-sum.
+    for uid in (1, 2, 99):
+        expected = sum(meta.size for _, meta in fs.iter_user_files(uid))
+        assert fs.user_bytes(uid) == expected

@@ -117,3 +117,15 @@ def test_empty_file_roundtrip(tmp_path):
     path = str(tmp_path / "empty.txt")
     assert write_jobs(path, []) == 0
     assert list(read_jobs(path)) == []
+
+
+def test_large_app_log_roundtrip_chunked_writes(tmp_path):
+    # Exceeds the writelines chunk size several times over, gzip included.
+    n = 120_000
+    accesses = [AppAccessRecord(1_000 + i, i % 500,
+                                f"/scratch/u{i % 500}/run{i // 500}/out.dat",
+                                ("access", "create", "touch")[i % 3])
+                for i in range(n)]
+    path = str(tmp_path / "apps.log.gz")
+    assert write_app_log(path, accesses) == n
+    assert list(read_app_log(path)) == accesses
