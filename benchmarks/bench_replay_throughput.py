@@ -5,12 +5,17 @@ First entry in the perf trajectory.  Measures, on one seeded dataset:
 * the paired (FLT + ActiveDR) year replay under the reference per-record
   ``Emulator`` and under the columnar ``FastEmulator`` (records/sec and
   speedup, with trace-compile time reported separately);
+* each policy of the full retention spectrum (FLT, ActiveDR, ValueBased,
+  ScratchAsCache) replayed standalone under both engines -- per-policy
+  rec/s, speedup, and an engine-equivalence assert per policy;
 * the lifetime sweep run serially vs. farmed over ``run_spmd`` worker
   processes.
 
-Both engines are asserted to produce identical miss totals before any
-number is reported.  Results go to ``BENCH_replay_throughput.json`` at
-the repo root (override with ``--out``)::
+Both engines are asserted to produce identical miss totals and retention
+reports before any number is reported -- the ``--smoke`` run doubles as
+the CI equivalence gate for the whole spectrum.  Results go to
+``BENCH_replay_throughput.json`` at the repo root (override with
+``--out``)::
 
     PYTHONPATH=src python benchmarks/bench_replay_throughput.py
     PYTHONPATH=src python benchmarks/bench_replay_throughput.py --smoke
@@ -28,7 +33,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 def run_bench(n_users: int, seed: int, lifetimes: tuple[float, ...],
               n_ranks: int) -> dict:
-    from repro.emulation import ComparisonRunner, compile_dataset, run_lifetime_sweep
+    from repro.core import JobResidencyIndex
+    from repro.emulation import (SPECTRUM, ComparisonRunner, compile_dataset,
+                                 run_lifetime_sweep)
     from repro.synth import TitanConfig, generate_dataset
 
     t0 = time.perf_counter()
@@ -56,6 +63,42 @@ def run_bench(n_users: int, seed: int, lifetimes: tuple[float, ...],
         assert fast_m.total_accesses == ref_m.total_accesses, name
         assert (fast.results[name].reports
                 == reference.results[name].reports), name
+
+    # Full-spectrum standalone replays: one policy at a time through each
+    # engine, asserting bit-identical results per policy.
+    residency = JobResidencyIndex(dataset.jobs)
+    spectrum = {}
+    for name in SPECTRUM:
+        t0 = time.perf_counter()
+        ref_one = ComparisonRunner(dataset, engine="reference",
+                                   policies=(name,),
+                                   residency=residency).run()
+        ref_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fast_one = ComparisonRunner(dataset, engine="fast",
+                                    compiled=compiled, policies=(name,),
+                                    residency=residency).run()
+        one_seconds = time.perf_counter() - t0
+
+        ref_r, fast_r = ref_one.results[name], fast_one.results[name]
+        assert fast_r.metrics.total_misses == ref_r.metrics.total_misses, name
+        assert (fast_r.metrics.total_accesses
+                == ref_r.metrics.total_accesses), name
+        assert fast_r.reports == ref_r.reports, name
+        speedup = ref_seconds / one_seconds
+        spectrum[name] = {
+            "reference": {
+                "seconds": round(ref_seconds, 3),
+                "records_per_sec": round(compiled.n_records / ref_seconds),
+            },
+            "fast": {
+                "seconds": round(one_seconds, 3),
+                "records_per_sec": round(compiled.n_records / one_seconds),
+            },
+            "speedup": round(speedup, 2),
+            "meets_4x": speedup >= 4.0,
+        }
 
     t0 = time.perf_counter()
     serial = run_lifetime_sweep(dataset, lifetimes, engine="fast",
@@ -96,6 +139,7 @@ def run_bench(n_users: int, seed: int, lifetimes: tuple[float, ...],
             "speedup": round(replay_speedup, 2),
             "meets_5x": replay_speedup >= 5.0,
         },
+        "policy_spectrum": spectrum,
         "lifetime_sweep": {
             "lifetimes": list(lifetimes),
             "engine": "fast",
@@ -150,13 +194,20 @@ def main(argv=None) -> int:
           f"({replay['fast']['records_per_sec']} rec/s)  "
           f"speedup {replay['speedup']}x "
           f"(compile {replay['fast']['compile_seconds']}s)")
+    for name, row in result["policy_spectrum"].items():
+        print(f"  {name}: reference {row['reference']['seconds']}s vs "
+              f"fast {row['fast']['seconds']}s "
+              f"({row['fast']['records_per_sec']} rec/s, "
+              f"speedup {row['speedup']}x)")
     sweep = result["lifetime_sweep"]
     print(f"sweep over {sweep['lifetimes']}: serial "
           f"{sweep['serial_seconds']}s vs {sweep['n_ranks']} ranks "
           f"{sweep['parallel_seconds']}s "
           f"({sweep['parallel_speedup']}x)")
     print(f"wrote {args.out}")
-    return 0 if replay["meets_5x"] or result["smoke"] else 1
+    spectrum_ok = all(row["meets_4x"]
+                      for row in result["policy_spectrum"].values())
+    return 0 if (replay["meets_5x"] and spectrum_ok) or result["smoke"] else 1
 
 
 if __name__ == "__main__":

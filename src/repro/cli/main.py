@@ -8,16 +8,26 @@ Subcommands::
     activedr retain    --workspace DIR [--policy activedr|flt]
                        [--lifetime D] [--target U] [--advance-days N]
                        [--exempt FILE] [--alert-log FILE]
-    activedr replay    --workspace DIR [--policy both|flt|activedr]
+    activedr replay    --workspace DIR
+                       [--policy both|spectrum|flt|activedr|value|cache]
                        [--lifetime D] [--target U] [--engine reference|fast]
     activedr sweep     --workspace DIR [--lifetimes D,D,...] [--target U]
-                       [--ranks N] [--engine fast|reference]
+                       [--ranks N] [--engine fast|reference] [--spectrum]
     activedr calibrate --workspace DIR [--lifetime D]
 
 ``generate`` writes a synthetic Titan workspace to disk; the other
 commands operate on any directory in that format (real traces can be
 converted by writing the four trace files plus a snapshot -- see
 ``repro.cli.workspace``).
+
+``replay`` covers the full retention spectrum: the two related-work
+baselines ride along as ``--policy value`` (lowest-value-first) and
+``--policy cache`` (scratch-as-a-cache), and ``--policy spectrum`` runs
+all four policies over identical replicas.  Multi-policy selections
+(``both``/``spectrum``) go through :class:`ComparisonRunner`, so the
+policies share one compiled trace and one activeness evaluation per
+trigger instead of redoing that work per policy.  ``sweep --spectrum``
+adds the two baselines' miss columns to the lifetime table.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -43,14 +53,18 @@ from ..core import (
     ExemptionList,
     FileNotifier,
     FixedLifetimePolicy,
+    JobResidencyIndex,
     RetentionConfig,
+    ScratchAsCachePolicy,
     UserClass,
+    ValueBasedPolicy,
     classify,
     classify_all,
     group_counts,
 )
-from ..emulation import (ACTIVEDR, FLT, ComparisonRunner, Emulator,
-                         FastEmulator, advance_filesystem, compile_dataset,
+from ..emulation import (ACTIVEDR, FLT, SCRATCHCACHE, VALUEBASED,
+                         ComparisonRunner, Emulator, FastEmulator,
+                         advance_filesystem, compile_dataset,
                          run_lifetime_sweep)
 from ..synth import TitanConfig, generate_dataset
 from ..traces import validate_dataset
@@ -108,8 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay the full year under one or both "
                               "policies")
     rep.add_argument("--workspace", required=True)
-    rep.add_argument("--policy", choices=("both", "flt", "activedr"),
-                     default="both")
+    rep.add_argument("--policy",
+                     choices=("both", "spectrum", "flt", "activedr",
+                              "value", "cache"),
+                     default="both",
+                     help="'both' pairs FLT with ActiveDR; 'spectrum' adds "
+                          "the value-based and scratch-as-a-cache baselines")
     rep.add_argument("--lifetime", type=float, default=90.0)
     rep.add_argument("--target", type=float, default=0.5)
     rep.add_argument("--engine", choices=("reference", "fast"),
@@ -128,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the sweep")
     swp.add_argument("--engine", choices=("reference", "fast"),
                      default="fast")
+    swp.add_argument("--spectrum", action="store_true",
+                     help="sweep all four policies (adds the value-based "
+                          "and scratch-as-a-cache miss columns)")
 
     cal = sub.add_parser("calibrate",
                          help="report the workload statistics retention "
@@ -249,24 +270,34 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                              purge_target_utilization=args.target)
     known = [u.uid for u in ws.users]
 
-    if args.policy == "both":
-        results = {}
-        compiled = None
-        for policy in (FixedLifetimePolicy(config), ActiveDRPolicy(config)):
-            results[policy.name], compiled = _replay_policy(
-                ws, policy, config, args.engine, known, compiled)
-        for name, result in results.items():
+    if args.policy in ("both", "spectrum"):
+        # Multi-policy replays go through the ComparisonRunner so the
+        # policies share one compiled trace and one activeness
+        # evaluation per trigger (the standalone per-policy path used to
+        # redo both for every policy).
+        selection = ((FLT, ACTIVEDR) if args.policy == "both"
+                     else "spectrum")
+        comparison = ComparisonRunner(ws, config, engine=args.engine,
+                                      policies=selection).run()
+        for result in comparison.results.values():
             print(render_emulation_summary(result))
             print()
-        flt_m = results[FLT].metrics.total_misses
-        adr_m = results[ACTIVEDR].metrics.total_misses
+        flt_m = comparison.total_misses(FLT)
+        adr_m = comparison.total_misses(ACTIVEDR)
         if flt_m:
             print(f"ActiveDR miss reduction vs FLT: "
                   f"{percent(1.0 - adr_m / flt_m)}")
         return 0
 
-    policy = (FixedLifetimePolicy(config) if args.policy == "flt"
-              else ActiveDRPolicy(config))
+    if args.policy == "flt":
+        policy = FixedLifetimePolicy(config)
+    elif args.policy == "activedr":
+        policy = ActiveDRPolicy(config)
+    elif args.policy == "value":
+        policy = ValueBasedPolicy(config)
+    else:
+        policy = ScratchAsCachePolicy(
+            config, residency=JobResidencyIndex(ws.jobs))
     result, _ = _replay_policy(ws, policy, config, args.engine, known)
     print(render_emulation_summary(result))
     return 0
@@ -284,25 +315,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("no lifetimes given", file=sys.stderr)
         return 1
     base = RetentionConfig(purge_target_utilization=args.target)
+    policies = "spectrum" if args.spectrum else (FLT, ACTIVEDR)
     sweep = run_lifetime_sweep(ws, lifetimes, base_config=base,
                                n_ranks=max(1, args.ranks),
-                               engine=args.engine)
+                               engine=args.engine, policies=policies)
     rows = []
     for lifetime in lifetimes:
         comparison = sweep[lifetime]
         final = comparison[ACTIVEDR].final_report
-        rows.append([
+        row = [
             f"{lifetime:g}",
             comparison.total_misses(FLT),
             comparison.total_misses(ACTIVEDR),
             percent(comparison.miss_reduction()),
             format_bytes(final.purged_bytes_total if final else 0),
             "yes" if (final and final.target_met) else "no",
-        ])
+        ]
+        if args.spectrum:
+            row[4:4] = [comparison.total_misses(VALUEBASED),
+                        comparison.total_misses(SCRATCHCACHE)]
+        rows.append(row)
+    headers = ["lifetime (d)", "FLT misses", "ActiveDR misses", "reduction",
+               "ActiveDR purged (final)", "target met"]
+    if args.spectrum:
+        headers[4:4] = ["ValueBased misses", "Cache misses"]
     print(format_table(
-        ["lifetime (d)", "FLT misses", "ActiveDR misses", "reduction",
-         "ActiveDR purged (final)", "target met"],
-        rows,
+        headers, rows,
         title=f"Lifetime sweep ({args.engine} engine, "
               f"{max(1, args.ranks)} rank(s))"))
     return 0

@@ -5,8 +5,10 @@ from .activeness import (
     ActivenessEvaluator,
     ActivenessParams,
     UserActiveness,
+    RankAccumulator,
     evaluate_type_bulk,
     accumulate_type_ranks,
+    fold_type_ranks,
     safe_exp,
     type_log_rank,
 )
@@ -56,8 +58,10 @@ __all__ = [
     "ActivenessEvaluator",
     "ActivenessParams",
     "UserActiveness",
+    "RankAccumulator",
     "evaluate_type_bulk",
     "accumulate_type_ranks",
+    "fold_type_ranks",
     "safe_exp",
     "type_log_rank",
     "Activity",

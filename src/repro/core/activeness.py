@@ -66,6 +66,8 @@ __all__ = [
     "UserActiveness",
     "type_log_rank",
     "evaluate_type_bulk",
+    "fold_type_ranks",
+    "RankAccumulator",
     "accumulate_type_ranks",
     "ActivenessEvaluator",
     "safe_exp",
@@ -376,23 +378,24 @@ def evaluate_type_bulk(uids: np.ndarray, timestamps: np.ndarray,
     return unique_uids, log_ranks
 
 
-def accumulate_type_ranks(results: dict[int, "UserActiveness"],
-                          atype: ActivityType,
-                          uid_arr: np.ndarray, ts_arr: np.ndarray,
-                          imp_arr: np.ndarray, t_c: int,
-                          params: ActivenessParams) -> None:
-    """Fold one activity type's bulk evaluation into ``results``.
+def fold_type_ranks(uid_arr: np.ndarray, ts_arr: np.ndarray,
+                    imp_arr: np.ndarray, t_c: int,
+                    params: ActivenessParams,
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Segment-fold one activity type's columns per user.
 
-    Shared by :class:`ActivenessEvaluator` and the columnar store so both
-    perform bit-identical arithmetic: the uid-major/time-minor lexsort is
-    computed once and reused for the rank evaluation *and* the per-user
-    recency / total-impact aggregates (no second argsort pass).
+    Returns parallel arrays ``(uids, log_ranks, last_ts, impact_sums)``
+    with users in ascending uid order.  The uid-major/time-minor lexsort
+    is computed once and reused for the rank evaluation *and* the
+    per-user recency / total-impact aggregates (no second argsort pass).
     """
     uid_arr = np.asarray(uid_arr, dtype=np.int64)
     ts_arr = np.asarray(ts_arr, dtype=np.int64)
     imp_arr = np.asarray(imp_arr, dtype=np.float64)
     if uid_arr.size == 0:
-        return
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0, dtype=np.float64)
+        return empty_i, empty_f, empty_i.copy(), empty_f.copy()
     order = np.lexsort((ts_arr, uid_arr))
     uid_s, ts_s, imp_s = uid_arr[order], ts_arr[order], imp_arr[order]
     uids, log_ranks = evaluate_type_bulk(uid_s, ts_s, imp_s, t_c, params,
@@ -403,22 +406,110 @@ def accumulate_type_ranks(results: dict[int, "UserActiveness"],
                                   return_counts=True)
     last_ts = ts_s[starts + counts - 1]
     impact_sums = np.add.reduceat(imp_s, starts)
+    return uids, log_ranks, last_ts, impact_sums
 
+
+class RankAccumulator:
+    """Preallocated per-uid columns folding Eq. (6) across activity types.
+
+    The evaluators used to fold each type's bulk evaluation into a dict of
+    :class:`UserActiveness` objects with a per-user Python loop -- the top
+    profile entry on the fast replay path.  This accumulator keeps the
+    fold columnar: one array slot per uid, scatter-adds per type, and a
+    single object-materialization pass at the end.  The arithmetic is the
+    same sequence of float operations as the old per-object fold (category
+    ranks start at ``log 1 = 0`` and add each type's log rank in type
+    order), so results are bit-identical.
+    """
+
+    __slots__ = ("uids", "log_op", "log_oc", "has_op", "has_oc",
+                 "last_ts", "total_impact")
+
+    def __init__(self, uids: np.ndarray) -> None:
+        self.uids = np.asarray(uids, dtype=np.int64)  # sorted, unique
+        n = self.uids.size
+        self.log_op = np.zeros(n, dtype=np.float64)
+        self.log_oc = np.zeros(n, dtype=np.float64)
+        self.has_op = np.zeros(n, dtype=np.bool_)
+        self.has_oc = np.zeros(n, dtype=np.bool_)
+        self.last_ts = np.full(n, -1, dtype=np.int64)
+        self.total_impact = np.zeros(n, dtype=np.float64)
+
+    def scatter(self, atype: ActivityType, uids: np.ndarray,
+                log_ranks: np.ndarray, last_ts: np.ndarray,
+                impact_sums: np.ndarray) -> None:
+        """Fold one type's :func:`fold_type_ranks` output in.
+
+        Every uid in ``uids`` must be present in ``self.uids``.
+        """
+        if uids.size == 0:
+            return
+        idx = np.searchsorted(self.uids, uids)
+        if atype.category is ActivityCategory.OPERATION:
+            self.log_op[idx] += log_ranks
+            self.has_op[idx] = True
+        else:
+            self.log_oc[idx] += log_ranks
+            self.has_oc[idx] = True
+        self.last_ts[idx] = np.maximum(self.last_ts[idx], last_ts)
+        self.total_impact[idx] += impact_sums
+
+    def finalize(self, known_uids: Iterable[int] = (),
+                 ) -> dict[int, UserActiveness]:
+        """Materialize the accumulated columns as ``{uid: UserActiveness}``.
+
+        ``known_uids`` seeds users that may have no activity (initial rank,
+        both categories inactive), matching the evaluator contracts.
+        """
+        results: dict[int, UserActiveness] = {
+            int(uid): UserActiveness(int(uid)) for uid in known_uids
+        }
+        for uid, log_op, log_oc, has_op, has_oc, last_ts, impact in zip(
+                self.uids.tolist(), self.log_op.tolist(),
+                self.log_oc.tolist(), self.has_op.tolist(),
+                self.has_oc.tolist(), self.last_ts.tolist(),
+                self.total_impact.tolist()):
+            ua = results.get(uid)
+            if ua is None:
+                ua = results[uid] = UserActiveness(uid)
+            ua.log_op = log_op if has_op else 0.0
+            ua.log_oc = log_oc if has_oc else 0.0
+            ua.has_op = has_op
+            ua.has_oc = has_oc
+            ua.last_ts = last_ts
+            ua.total_impact = impact
+        return results
+
+
+def accumulate_type_ranks(results: dict[int, "UserActiveness"],
+                          atype: ActivityType,
+                          uid_arr: np.ndarray, ts_arr: np.ndarray,
+                          imp_arr: np.ndarray, t_c: int,
+                          params: ActivenessParams) -> None:
+    """Fold one activity type's bulk evaluation into ``results``.
+
+    Compatibility shim over :func:`fold_type_ranks` for callers holding a
+    dict of live :class:`UserActiveness` objects.  The evaluators
+    themselves batch every type through a :class:`RankAccumulator`
+    instead, materializing objects once -- prefer that shape for new code.
+    """
+    uids, log_ranks, last_ts, impact_sums = fold_type_ranks(
+        uid_arr, ts_arr, imp_arr, t_c, params)
     is_op = atype.category is ActivityCategory.OPERATION
-    for i, (uid, log_rank) in enumerate(zip(uids.tolist(),
-                                            log_ranks.tolist())):
-        ua = results.get(int(uid))
+    for uid, log_rank, ts_last, impact in zip(
+            uids.tolist(), log_ranks.tolist(), last_ts.tolist(),
+            impact_sums.tolist()):
+        ua = results.get(uid)
         if ua is None:
-            ua = UserActiveness(int(uid))
-            results[int(uid)] = ua
+            ua = results[uid] = UserActiveness(uid)
         if is_op:
             ua.log_op = ua.log_op + log_rank if ua.has_op else log_rank
             ua.has_op = True
         else:
             ua.log_oc = ua.log_oc + log_rank if ua.has_oc else log_rank
             ua.has_oc = True
-        ua.last_ts = max(ua.last_ts, int(last_ts[i]))
-        ua.total_impact += float(impact_sums[i])
+        ua.last_ts = max(ua.last_ts, ts_last)
+        ua.total_impact += impact
 
 
 # ----------------------------------------------------------------------
@@ -449,10 +540,7 @@ class ActivenessEvaluator:
         no recorded activity; they come out with the initial rank and both
         categories inactive.
         """
-        results: dict[int, UserActiveness] = {
-            uid: UserActiveness(uid) for uid in known_uids
-        }
-
+        folded: list[tuple[ActivityType, tuple[np.ndarray, ...]]] = []
         for atype in ledger.types():
             acts = ledger.activities(atype)
             if not acts:
@@ -463,6 +551,12 @@ class ActivenessEvaluator:
                                  count=len(acts))
             imp_arr = np.fromiter((a.impact for a in acts), dtype=np.float64,
                                   count=len(acts))
-            accumulate_type_ranks(results, atype, uid_arr, ts_arr, imp_arr,
-                                  t_c, self.params)
-        return results
+            folded.append((atype, fold_type_ranks(uid_arr, ts_arr, imp_arr,
+                                                  t_c, self.params)))
+
+        all_uids = (np.unique(np.concatenate([f[1][0] for f in folded]))
+                    if folded else np.empty(0, dtype=np.int64))
+        acc = RankAccumulator(all_uids)
+        for atype, columns in folded:
+            acc.scatter(atype, *columns)
+        return acc.finalize(known_uids)

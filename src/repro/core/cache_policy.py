@@ -18,6 +18,8 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from ..traces.schema import JobRecord
 from ..vfs.file_meta import DAY_SECONDS
 from ..vfs.filesystem import VirtualFileSystem
@@ -43,6 +45,7 @@ class JobResidencyIndex:
         if grace_seconds < 0:
             raise ValueError("grace_seconds must be >= 0")
         self.grace_seconds = grace_seconds
+        self._cols: tuple[np.ndarray, ...] | None = None
         raw: dict[int, list[tuple[int, int]]] = {}
         for job in jobs:
             raw.setdefault(job.uid, []).append(
@@ -71,6 +74,46 @@ class JobResidencyIndex:
 
     def users(self) -> list[int]:
         return list(self._starts)
+
+    # ------------------------------------------------------------------
+    # columnar view (the fast replay engine's residency kernel)
+
+    def _interval_columns(self) -> tuple[np.ndarray, ...]:
+        """``(uids, offsets, starts, ends)``: merged intervals flattened
+        uid-ascending, with ``offsets`` of length ``len(uids) + 1``."""
+        if self._cols is None:
+            uids = np.fromiter(sorted(self._starts), np.int64,
+                               len(self._starts))
+            counts = np.fromiter((len(self._starts[int(u)]) for u in uids),
+                                 np.int64, uids.size)
+            offsets = np.concatenate((np.zeros(1, dtype=np.int64),
+                                      np.cumsum(counts)))
+            if uids.size:
+                starts = np.concatenate(
+                    [np.asarray(self._starts[int(u)], dtype=np.int64)
+                     for u in uids])
+                ends = np.concatenate(
+                    [np.asarray(self._ends[int(u)], dtype=np.int64)
+                     for u in uids])
+            else:
+                starts = np.empty(0, dtype=np.int64)
+                ends = np.empty(0, dtype=np.int64)
+            self._cols = (uids, offsets, starts, ends)
+        return self._cols
+
+    def resident_uids(self, t: int) -> np.ndarray:
+        """Sorted uid array of every user resident at instant ``t``.
+
+        Vectorized equivalent of calling :meth:`is_resident` for each
+        indexed user: the merged intervals are disjoint, so a user is
+        resident iff exactly one of their intervals covers ``t``.
+        """
+        uids, offsets, starts, ends = self._interval_columns()
+        if uids.size == 0:
+            return uids
+        covered = (starts <= t) & (t <= ends)
+        per_user = np.add.reduceat(covered, offsets[:-1])
+        return uids[per_user > 0]
 
 
 class ScratchAsCachePolicy(RetentionPolicy):

@@ -22,8 +22,8 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from ..traces.schema import JobRecord, PublicationRecord
-from .activeness import (ActivenessParams, UserActiveness,
-                         accumulate_type_ranks)
+from .activeness import (ActivenessParams, RankAccumulator, UserActiveness,
+                         fold_type_ranks)
 from .activity import (
     Activity,
     ActivityType,
@@ -162,10 +162,8 @@ class ColumnarActivityStore:
         hold future history; the replay clips per trigger).
         """
         params = params or ActivenessParams()
-        results: dict[int, UserActiveness] = {
-            int(uid): UserActiveness(int(uid)) for uid in known_uids
-        }
 
+        folded = []
         for atype, cols in self._types.items():
             uids, ts, imp = cols.columns()
             if uids.size == 0:
@@ -175,8 +173,15 @@ class ColumnarActivityStore:
                 uids, ts, imp = uids[visible], ts[visible], imp[visible]
             if uids.size == 0:
                 continue
-            accumulate_type_ranks(results, atype, uids, ts, imp, t_c, params)
-        return results
+            folded.append((atype, fold_type_ranks(uids, ts, imp, t_c,
+                                                  params)))
+
+        all_uids = (np.unique(np.concatenate([f[1][0] for f in folded]))
+                    if folded else np.empty(0, dtype=np.int64))
+        acc = RankAccumulator(all_uids)
+        for atype, columns in folded:
+            acc.scatter(atype, *columns)
+        return acc.finalize(known_uids)
 
 
 def build_activity_store(jobs: Iterable[JobRecord] = (),

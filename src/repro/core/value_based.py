@@ -59,16 +59,25 @@ class CompositeValueFunction:
         default_factory=lambda: dict(_DEFAULT_TYPE_WEIGHTS))
     default_type_weight: float = 0.5
 
+    def type_weight(self, path: str) -> float:
+        """Keep weight for the file's extension.
+
+        The extension is taken from the *basename*: a dotted directory
+        (``/proj/v1.2/output``) must not leak into the extension, and an
+        extensionless file under a dotted directory has no extension.
+        """
+        name = path.rsplit("/", 1)[-1]
+        ext = name.rsplit(".", 1)[-1] if "." in name else ""
+        return self.type_weights.get(ext, self.default_type_weight)
+
     def __call__(self, path: str, meta: FileMeta, now: int) -> float:
         age_days = max(meta.age_days(now), 0.0)
         recency = 0.5 ** (age_days / self.recency_halflife_days)
         # Smallness in (0, 1]: a 4 KiB file scores ~1, a 1 TiB file ~0.06.
         smallness = 1.0 / (1.0 + math.log2(max(meta.size, 1) / 4096.0) / 10.0
                            ) if meta.size > 4096 else 1.0
-        ext = path.rsplit(".", 1)[-1] if "." in path else ""
-        type_weight = self.type_weights.get(ext, self.default_type_weight)
         return (self.w_recency * recency + self.w_size * smallness
-                + self.w_type * type_weight)
+                + self.w_type * self.type_weight(path))
 
 
 class ValueBasedPolicy(RetentionPolicy):

@@ -1,6 +1,6 @@
 """Trace-replay emulation: the day-granular replay loop, miss metrics,
-the columnar fast-replay engine, and the FLT-vs-ActiveDR comparison
-runner."""
+the columnar fast-replay engine, and the multi-policy comparison runner
+(FLT vs ActiveDR by default, full retention spectrum on request)."""
 
 from .compiled import (
     CompiledTrace,
@@ -20,8 +20,12 @@ from .metrics import DailyMetrics
 from .runner import (
     ACTIVEDR,
     FLT,
+    SCRATCHCACHE,
+    SPECTRUM,
+    VALUEBASED,
     ComparisonResult,
     ComparisonRunner,
+    normalize_policies,
     run_lifetime_sweep,
     single_snapshot_comparison,
 )
@@ -40,8 +44,12 @@ __all__ = [
     "DailyMetrics",
     "ACTIVEDR",
     "FLT",
+    "SCRATCHCACHE",
+    "SPECTRUM",
+    "VALUEBASED",
     "ComparisonResult",
     "ComparisonRunner",
+    "normalize_policies",
     "run_lifetime_sweep",
     "single_snapshot_comparison",
 ]

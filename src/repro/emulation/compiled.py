@@ -19,13 +19,16 @@ splits that work:
   bincounts replace per-record trie traffic, and the purge triggers run
   columnar ports of the FLT / ActiveDR scans.
 
-The fast path is **exact**, not approximate: for ``FixedLifetimePolicy``
-and ``ActiveDRPolicy`` it reproduces the reference emulator bit for bit
-(same ``DailyMetrics`` arrays, the same ``RetentionReport`` sequence, the
-same group-count history), which ``tests/test_compiled_replay.py`` pins.
-Custom policies or instrumented file systems still need the reference
-``Emulator`` -- :class:`FastEmulator` rejects policy types it cannot
-replay exactly rather than silently approximating them.
+The fast path is **exact**, not approximate: for the full retention
+spectrum -- ``FixedLifetimePolicy``, ``ActiveDRPolicy``,
+``ValueBasedPolicy`` (with the stock ``CompositeValueFunction``), and
+``ScratchAsCachePolicy`` -- it reproduces the reference emulator bit for
+bit (same ``DailyMetrics`` arrays, the same ``RetentionReport`` sequence,
+the same group-count history), which ``tests/test_compiled_replay.py``
+pins.  Custom policies, custom value functions, or instrumented file
+systems still need the reference ``Emulator`` -- :class:`FastEmulator`
+rejects policy types it cannot replay exactly rather than silently
+approximating them.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.activeness import ActivenessParams, UserActiveness
+from ..core.cache_policy import ScratchAsCachePolicy
 from ..core.classification import (UserClass, classify_all, group_counts,
                                    scan_ordered_uids)
 from ..core.exemption import ExemptionList
@@ -45,6 +49,7 @@ from ..core.incremental import ColumnarActivityStore, build_activity_store
 from ..core.policy import RetentionPolicy
 from ..core.report import RetentionReport
 from ..core.retention import ActiveDRPolicy, adjusted_lifetime_seconds
+from ..core.value_based import CompositeValueFunction, ValueBasedPolicy
 from ..traces.schema import AppAccessRecord, JobRecord, PublicationRecord
 from ..vfs.file_meta import DAY_SECONDS
 from ..vfs.filesystem import VirtualFileSystem
@@ -292,8 +297,10 @@ class _TargetReached(Exception):
 class FastEmulator:
     """Columnar replay of a compiled trace against one retention policy.
 
-    Drop-in for the reference :class:`Emulator` wherever the policy is
-    ``FixedLifetimePolicy`` or ``ActiveDRPolicy``: construction mirrors
+    Drop-in for the reference :class:`Emulator` across the whole retention
+    spectrum -- ``FixedLifetimePolicy``, ``ActiveDRPolicy``,
+    ``ValueBasedPolicy`` (stock ``CompositeValueFunction`` only), and
+    ``ScratchAsCachePolicy``: construction mirrors
     ``Emulator(policy, activeness_params, config, exemptions)`` and
     :meth:`run` returns the same :class:`EmulationResult`, bit-identical
     to the reference replay of the same dataset.
@@ -307,6 +314,15 @@ class FastEmulator:
             self._trigger = self._flt_trigger
         elif isinstance(policy, ActiveDRPolicy):
             self._trigger = self._activedr_trigger
+        elif isinstance(policy, ValueBasedPolicy):
+            if not isinstance(policy.value_function, CompositeValueFunction):
+                raise TypeError(
+                    "FastEmulator can only replay ValueBasedPolicy with the "
+                    "stock CompositeValueFunction exactly; use the reference "
+                    "Emulator for custom value functions")
+            self._trigger = self._value_trigger
+        elif isinstance(policy, ScratchAsCachePolicy):
+            self._trigger = self._cache_trigger
         else:
             raise TypeError(
                 f"FastEmulator cannot replay {type(policy).__name__} "
@@ -315,6 +331,14 @@ class FastEmulator:
         self.params = activeness_params or policy.config.activeness
         self.config = config or EmulatorConfig()
         self.exemptions = exemptions
+        #: Per-pid basename-extension keep weights for the value trigger,
+        #: cached per compiled trace (the only per-path string work).  The
+        #: source trace is kept as a strong reference so the cache can
+        #: never alias a different trace.
+        self._type_weights: np.ndarray | None = None
+        self._smallness_snap: np.ndarray | None = None
+        self._smallness_det: np.ndarray | None = None
+        self._type_weights_src: CompiledTrace | None = None
 
     # ------------------------------------------------------------------
 
@@ -618,3 +642,133 @@ class FastEmulator:
                                    lookup=None)
                 raise _TargetReached
             self._apply_purges(state, report, idxs, group, lookup=None)
+
+    # ------------------------------------------------------------------
+    # value-based baseline (related work): lowest-value files first
+
+    def _value_columns(self, compiled: CompiledTrace
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pid ``(type_weight, smallness_snap, smallness_det)``
+        columns for the value function.
+
+        All three are time-invariant: the type weight depends only on
+        the path, and a live file's size is either its snapshot size or
+        (once re-materialized during the replay) its deterministic
+        ``det_size``.  Smallness uses ``math.log2`` per element so the
+        scores are bit-identical to the scalar reference even where
+        ``np.log2`` takes a differently-rounded SIMD path.
+        """
+        if self._type_weights_src is not compiled:
+            vf = self.policy.value_function
+
+            def smallness_of(size: int) -> float:
+                if size > 4096:
+                    return 1.0 / (1.0 + math.log2(max(size, 1) / 4096.0)
+                                  / 10.0)
+                return 1.0
+
+            self._type_weights = np.fromiter(
+                (vf.type_weight(p) for p in compiled.paths),
+                np.float64, compiled.n_paths)
+            self._smallness_snap = np.fromiter(
+                (smallness_of(s) for s in compiled.snap_size.tolist()),
+                np.float64, compiled.n_paths)
+            self._smallness_det = np.fromiter(
+                (smallness_of(s) for s in compiled.det_size.tolist()),
+                np.float64, compiled.n_paths)
+            self._type_weights_src = compiled
+        return self._type_weights, self._smallness_snap, self._smallness_det
+
+    def _file_values(self, compiled: CompiledTrace, state: _ReplayState,
+                     idxs: np.ndarray, t_c: int) -> np.ndarray:
+        """Vectorized ``CompositeValueFunction`` over the ``idxs`` files.
+
+        Mirrors the scalar ``__call__`` operation for operation so the
+        scores (and therefore the purge order and target cut) are
+        bit-identical to the reference policy run.  IEEE add / multiply
+        / divide round identically whether vectorized or scalar; the two
+        transcendentals do not (NumPy's SIMD ``log2`` / ``pow`` loops
+        can differ from libm by an ulp), so smallness comes from the
+        precomputed per-size columns and the recency power is folded
+        with the scalar operator.
+        """
+        vf = self.policy.value_function
+        type_weight, s_snap, s_det = self._value_columns(compiled)
+        # A live file's size is snap_size until first purged, det_size
+        # after any re-materialization; pick whichever column matches.
+        smallness = np.where(state.size[idxs] == compiled.det_size[idxs],
+                             s_det[idxs], s_snap[idxs])
+        age_days = np.maximum((t_c - state.atime[idxs]) / DAY_SECONDS, 0.0)
+        exponents = age_days / vf.recency_halflife_days
+        recency = np.fromiter((0.5 ** e for e in exponents.tolist()),
+                              np.float64, exponents.size)
+        return (vf.w_recency * recency + vf.w_size * smallness
+                + vf.w_type * type_weight[idxs])
+
+    def _value_trigger(self, compiled: CompiledTrace, state: _ReplayState,
+                       t_c: int, activeness: dict[int, UserActiveness],
+                       lookup: _GroupLookup,
+                       exempt: np.ndarray | None) -> RetentionReport:
+        config = self.policy.config
+        target = state.purge_target(config)
+        report = RetentionReport(policy=self.policy.name, t_c=t_c,
+                                 lifetime_days=config.lifetime_days,
+                                 target_bytes=target)
+
+        cand = np.flatnonzero(state.live & ~exempt if exempt is not None
+                              else state.live)
+        if cand.size:
+            values = self._file_values(compiled, state, cand, t_c)
+            # Ascending (value, path): pids are assigned in plain-string
+            # sort order, so the pid itself is the path tie-breaker.
+            order = np.lexsort((cand, values))
+            cand, values = cand[order], values[order]
+            if target > 0:
+                cum = np.cumsum(state.size[cand])
+                cut = int(np.searchsorted(cum, target, side="left"))
+                idxs = cand if cut >= cand.size else cand[:cut + 1]
+            else:
+                # No mandatory target: the information-lifecycle mode
+                # purges everything below the value threshold.
+                idxs = cand[values < self.policy.value_threshold]
+            if idxs.size:
+                self._apply_purges(state, report, idxs, None, lookup)
+
+        self._record_survivors(state, report, lookup)
+        if target > 0:
+            report.target_met = report.purged_bytes_total >= target
+        return report
+
+    # ------------------------------------------------------------------
+    # scratch-as-a-cache baseline (related work): evict non-resident users
+
+    def _cache_trigger(self, compiled: CompiledTrace, state: _ReplayState,
+                       t_c: int, activeness: dict[int, UserActiveness],
+                       lookup: _GroupLookup,
+                       exempt: np.ndarray | None) -> RetentionReport:
+        config = self.policy.config
+        report = RetentionReport(policy=self.policy.name, t_c=t_c,
+                                 lifetime_days=config.lifetime_days,
+                                 target_bytes=state.purge_target(config))
+
+        live_idx = np.flatnonzero(state.live)
+        if live_idx.size:
+            owners = state.owner[live_idx]
+            resident = self.policy.residency.resident_uids(t_c)
+            if resident.size:
+                pos = np.minimum(np.searchsorted(resident, owners),
+                                 resident.size - 1)
+                purge = resident[pos] != owners
+            else:
+                purge = np.ones(owners.size, dtype=np.bool_)
+            if exempt is not None:
+                purge &= ~exempt[live_idx]
+            idxs = live_idx[purge]
+            if idxs.size:
+                self._apply_purges(state, report, idxs, None, lookup)
+
+        self._record_survivors(state, report, lookup)
+        # The cache policy ignores utilization targets entirely; what it
+        # purges is dictated by residency alone.
+        report.target_met = True
+        return report

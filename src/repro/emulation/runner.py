@@ -1,9 +1,12 @@
-"""FLT-vs-ActiveDR comparison harness.
+"""Multi-policy comparison harness (FLT vs ActiveDR by default).
 
-Runs both policies over *identical replicas* of the same snapshot file
-system and the same traces, which is exactly how the paper derives
+Runs the selected policies over *identical replicas* of the same snapshot
+file system and the same traces, which is exactly how the paper derives
 Figs. 6-11: each policy gets its own copy of the virtual file system, the
 same 7-day purge trigger, the same purge target, and the same access log.
+``policies=`` widens the comparison to the full retention spectrum --
+the two related-work baselines ``ValueBased`` and ``ScratchAsCache``
+ride along with FLT/ActiveDR when asked for (``policies="spectrum"``).
 
 Two engines drive the replay:
 
@@ -20,26 +23,69 @@ on the :func:`repro.parallel.comm.run_spmd` substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 import numpy as np
 
+from ..core.cache_policy import JobResidencyIndex, ScratchAsCachePolicy
 from ..core.classification import UserClass
 from ..core.config import RetentionConfig
 from ..core.exemption import ExemptionList
 from ..core.flt import FixedLifetimePolicy
 from ..core.incremental import build_activity_store
+from ..core.policy import RetentionPolicy
 from ..core.retention import ActiveDRPolicy
+from ..core.value_based import ValueBasedPolicy
 from ..parallel.comm import run_spmd
 from ..synth.titan import TitanDataset
 from .compiled import CompiledTrace, FastEmulator, compile_dataset, replay_bounds
 from .emulator import Emulator, EmulatorConfig, EmulationResult
 
 __all__ = ["ComparisonResult", "ComparisonRunner", "run_lifetime_sweep",
-           "single_snapshot_comparison"]
+           "single_snapshot_comparison", "normalize_policies",
+           "FLT", "ACTIVEDR", "VALUEBASED", "SCRATCHCACHE", "SPECTRUM"]
 
 FLT = "FLT"
 ACTIVEDR = "ActiveDR"
+VALUEBASED = "ValueBased"
+SCRATCHCACHE = "ScratchAsCache"
+
+#: The full retention spectrum, conservative to aggressive.
+SPECTRUM = (FLT, ACTIVEDR, VALUEBASED, SCRATCHCACHE)
+
+_POLICY_ALIASES = {
+    "flt": FLT, "fixedlifetime": FLT,
+    "activedr": ACTIVEDR, "adr": ACTIVEDR,
+    "value": VALUEBASED, "valuebased": VALUEBASED,
+    "cache": SCRATCHCACHE, "scratch": SCRATCHCACHE,
+    "scratchascache": SCRATCHCACHE,
+}
+
+
+def normalize_policies(policies: str | Iterable[str]) -> tuple[str, ...]:
+    """Canonical policy-name tuple for a spectrum selector.
+
+    Accepts canonical names, CLI-style aliases (``value``, ``cache``,
+    ``adr``...), and the strings ``"spectrum"`` / ``"all"`` for the full
+    four-policy spectrum.  Order is preserved, duplicates dropped.
+    """
+    if isinstance(policies, str):
+        if policies.lower() in ("spectrum", "all"):
+            return SPECTRUM
+        policies = (policies,)
+    out: list[str] = []
+    for name in policies:
+        canon = _POLICY_ALIASES.get(str(name).lower())
+        if canon is None:
+            raise ValueError(
+                f"unknown policy {name!r}; expected one of "
+                f"{sorted(_POLICY_ALIASES)} or 'spectrum'")
+        if canon not in out:
+            out.append(canon)
+    if not out:
+        raise ValueError("policy selection is empty")
+    return tuple(out)
 
 
 @dataclass(slots=True)
@@ -89,7 +135,9 @@ class ComparisonRunner:
                  exemptions: ExemptionList | None = None,
                  flt_enforce_target: bool = False,
                  engine: str = "reference",
-                 compiled: CompiledTrace | None = None) -> None:
+                 compiled: CompiledTrace | None = None,
+                 policies: str | Iterable[str] = (FLT, ACTIVEDR),
+                 residency: JobResidencyIndex | None = None) -> None:
         # flt_enforce_target=False is the paper's setup: the FLT baseline
         # "purges the files as in the logs" with no preparation and no
         # target, while ActiveDR stops the moment the target is reached.
@@ -102,21 +150,33 @@ class ComparisonRunner:
         self.flt_enforce_target = flt_enforce_target
         self.engine = engine
         self.compiled = compiled
+        self.policies = normalize_policies(policies)
+        self.residency = residency
+
+    def _make_policy(self, name: str) -> RetentionPolicy:
+        if name == FLT:
+            return FixedLifetimePolicy(
+                self.config, enforce_target=self.flt_enforce_target)
+        if name == ACTIVEDR:
+            return ActiveDRPolicy(self.config)
+        if name == VALUEBASED:
+            return ValueBasedPolicy(self.config)
+        # ScratchAsCache: the residency index is trace-derived, so one
+        # instance serves every lifetime of a sweep.
+        if self.residency is None:
+            self.residency = JobResidencyIndex(self.dataset.jobs)
+        return ScratchAsCachePolicy(self.config, residency=self.residency)
 
     def run(self) -> ComparisonResult:
         ds = self.dataset
         out = ComparisonResult(lifetime_days=self.config.lifetime_days)
         known_uids = [u.uid for u in ds.users]
 
-        policies = [
-            FixedLifetimePolicy(self.config,
-                                enforce_target=self.flt_enforce_target),
-            ActiveDRPolicy(self.config),
-        ]
+        policies = [self._make_policy(name) for name in self.policies]
         if self.engine == "fast":
             if self.compiled is None:
                 self.compiled = compile_dataset(ds)
-            # Both policies trigger at the same instants with the same
+            # All policies trigger at the same instants with the same
             # params, so each activeness evaluation is computed once.
             cache: dict = {}
             for policy in policies:
@@ -127,7 +187,7 @@ class ComparisonRunner:
                     activeness_cache=cache)
             return out
 
-        # Shared preprocessing: both replays evaluate activeness from one
+        # Shared preprocessing: all replays evaluate activeness from one
         # consolidated store instead of re-sorting activities per policy.
         store = build_activity_store(ds.jobs, ds.publications)
         start, end = replay_bounds(ds)
@@ -146,20 +206,13 @@ def _lifetime_config(base: RetentionConfig, lifetime: float) -> RetentionConfig:
     """Derive the per-lifetime configuration used by sweeps and snapshots.
 
     Period length of the activeness evaluation follows the lifetime, as in
-    the paper's "period length (days)" axis.
+    the paper's "period length (days)" axis.  Everything else -- on both
+    the retention config and its nested activeness params -- carries over
+    from ``base`` verbatim (``dataclasses.replace`` rather than a
+    field-by-field rebuild, which once silently dropped ``max_periods``).
     """
-    return RetentionConfig(
-        lifetime_days=lifetime,
-        purge_trigger_days=base.purge_trigger_days,
-        purge_target_utilization=base.purge_target_utilization,
-        retrospective_passes=base.retrospective_passes,
-        rank_decay=base.rank_decay,
-        activeness=type(base.activeness)(
-            period_days=lifetime,
-            empty_period=base.activeness.empty_period,
-            epsilon=base.activeness.epsilon),
-        zero_rank_as_initial=base.zero_rank_as_initial,
-    )
+    return replace(base, lifetime_days=lifetime,
+                   activeness=replace(base.activeness, period_days=lifetime))
 
 
 def _sweep_worker(comm, payload):
@@ -185,13 +238,21 @@ def run_lifetime_sweep(dataset: TitanDataset,
     With ``n_ranks > 1`` the lifetime configurations are farmed across
     worker processes (fork-based SPMD); results are identical to the
     serial sweep.  With ``engine="fast"`` the trace is compiled once and
-    shared by every lifetime and rank.
+    shared by every lifetime and rank.  ``policies="spectrum"`` widens
+    each paired replay to the full four-policy retention spectrum; the
+    job-residency index the cache baseline needs is likewise built once
+    and shared.
     """
     base = base_config or RetentionConfig()
     lifetimes = tuple(lifetimes)
+    policies = normalize_policies(runner_kwargs.get("policies",
+                                                    (FLT, ACTIVEDR)))
+    runner_kwargs = {**runner_kwargs, "policies": policies}
     if (runner_kwargs.get("engine") == "fast"
             and runner_kwargs.get("compiled") is None):
-        runner_kwargs = {**runner_kwargs, "compiled": compile_dataset(dataset)}
+        runner_kwargs["compiled"] = compile_dataset(dataset)
+    if SCRATCHCACHE in policies and runner_kwargs.get("residency") is None:
+        runner_kwargs["residency"] = JobResidencyIndex(dataset.jobs)
     payload = (dataset, lifetimes, base, runner_kwargs)
     if n_ranks <= 1:
         merged = _sweep_worker(_SerialRank(), payload)

@@ -36,6 +36,29 @@ def test_value_function_type_weights():
         vf("/s/a.log", fs.stat("/s/a.log"), NOW)
 
 
+def test_value_function_extension_from_basename():
+    """Regression: the extension used to come from the full path, so a
+    dotted directory leaked into it (``/proj/v1.2/output`` scored as
+    extension ``2/output``...)."""
+    vf = CompositeValueFunction()
+    assert vf.type_weight("/proj/v1.2/data.h5") == 1.0
+    assert vf.type_weight("/proj/v1.2/run.log") == 0.1
+    # Extensionless basename under a dotted directory: no extension at
+    # all, which maps to the default weight -- not extension "2/output".
+    assert vf.type_weight("/proj/v1.2/output") == vf.default_type_weight
+    assert vf.type_weight("/s/noext") == vf.default_type_weight
+
+
+def test_value_function_dotted_dir_scores_match_flat_path():
+    """The same basename must score identically wherever it lives."""
+    vf = CompositeValueFunction(w_recency=0.0, w_size=0.0, w_type=1.0)
+    fs = make_fs([("/proj/v1.2/run.log", 1, 100, 10),
+                  ("/flat/run.log", 1, 100, 10)])
+    dotted = vf("/proj/v1.2/run.log", fs.stat("/proj/v1.2/run.log"), NOW)
+    flat = vf("/flat/run.log", fs.stat("/flat/run.log"), NOW)
+    assert dotted == flat == vf.w_type * 0.1
+
+
 # ---------------------------------------------------------------- value policy
 
 def test_value_policy_purges_lowest_value_to_target():
@@ -153,3 +176,134 @@ def test_cache_policy_is_most_aggressive():
     flt_rep = FixedLifetimePolicy(RetentionConfig()).run(fs_flt, NOW)
     assert cache_rep.purged_files_total > flt_rep.purged_files_total
     assert fs_cache.file_count == 0
+
+
+# ------------------------------------------------- both-engine edge replays
+
+def _mini_dataset(entries, jobs=(), capacity=None, days=8):
+    """A minimal replayable dataset: snapshot entries, no access trace.
+
+    The 8-day window yields exactly one purge trigger (day 7), so the
+    snapshot ages set up at ``NOW`` are still in force when it fires.
+    """
+    from dataclasses import dataclass, field
+    from typing import Any
+
+    fs = make_fs(entries, capacity=capacity)
+
+    @dataclass
+    class _User:
+        uid: int
+
+    @dataclass
+    class _Mini:
+        filesystem: Any
+        users: list
+        jobs: list = field(default_factory=list)
+        publications: list = field(default_factory=list)
+        accesses: list = field(default_factory=list)
+        replay_start: int = NOW
+        replay_end: int = NOW + days * DAY_SECONDS
+
+        def fresh_filesystem(self):
+            return self.filesystem.replicate()
+
+    uids = sorted({uid for _p, uid, _s, _a in entries})
+    return _Mini(filesystem=fs, users=[_User(u) for u in uids],
+                 jobs=list(jobs))
+
+
+def _replay_mini(ds, policy_factory, exemptions=None):
+    from repro.core import RetentionConfig
+    from repro.emulation import (Emulator, EmulatorConfig, FastEmulator,
+                                 compile_dataset)
+
+    config = RetentionConfig()
+    emu_config = EmulatorConfig()
+    known = [u.uid for u in ds.users]
+    ref = Emulator(policy_factory(config), config.activeness, emu_config,
+                   exemptions).run(
+        ds.fresh_filesystem(), ds.accesses, ds.jobs, ds.publications,
+        ds.replay_start, ds.replay_end, known_uids=known)
+    fast = FastEmulator(policy_factory(config), config.activeness,
+                        emu_config, exemptions).run(
+        compile_dataset(ds), known_uids=known)
+    assert fast.reports == ref.reports
+    assert fast.final_total_bytes == ref.final_total_bytes
+    assert fast.final_file_count == ref.final_file_count
+    return ref
+
+
+def test_value_policy_zero_target_threshold_mode_both_engines():
+    """With ample capacity the purge target is 0 and the value policy
+    falls back to threshold mode: only below-threshold files go."""
+    entries = [
+        ("/s/u1/keep.h5", 1, 1000, 1),        # fresh -> high value
+        ("/s/u1/junk.log", 1, 1 << 50, 2000), # ancient huge log -> below 0.1
+    ]
+    ds = _mini_dataset(entries, capacity=1 << 55)
+    ref = _replay_mini(ds, lambda cfg: ValueBasedPolicy(cfg))
+    (report,) = ref.reports
+    assert report.target_bytes == 0
+    assert report.purged_files_total == 1
+    assert report.retained_files_total == 1
+
+
+def test_cache_policy_zero_purge_both_engines():
+    """A user with a job covering the trigger instant keeps every file."""
+    trigger = NOW + 7 * DAY_SECONDS
+    jobs = [JobRecord(1, 1, trigger - DAY_SECONDS, trigger - DAY_SECONDS,
+                      trigger + DAY_SECONDS, 1)]
+    entries = [("/s/u1/a", 1, 100, 400), ("/s/u1/b", 1, 200, 1)]
+    ds = _mini_dataset(entries, jobs=jobs)
+    ref = _replay_mini(ds, lambda cfg: ScratchAsCachePolicy(
+        cfg, residency=JobResidencyIndex(ds.jobs, grace_seconds=0)))
+    (report,) = ref.reports
+    assert report.purged_files_total == 0
+    assert report.retained_files_total == 2
+    assert report.target_met
+
+
+def test_all_users_exempt_both_engines():
+    """Reserving the root directory exempts everything: neither ported
+    baseline purges a single file through either engine."""
+    entries = [
+        ("/s/u1/old.log", 1, 1 << 30, 3000),
+        ("/s/u2/old.chk", 2, 1 << 30, 3000),
+    ]
+    exemptions = ExemptionList(directories=["/s"])
+    for factory in (
+            lambda cfg: ValueBasedPolicy(cfg),
+            lambda cfg: ScratchAsCachePolicy(
+                cfg, residency=JobResidencyIndex([], grace_seconds=0))):
+        ds = _mini_dataset(entries, capacity=1 << 50)
+        ref = _replay_mini(ds, factory, exemptions=exemptions)
+        (report,) = ref.reports
+        assert report.purged_files_total == 0
+        assert report.retained_files_total == 2
+
+
+def test_zero_age_user_both_engines():
+    """A user whose every file has age exactly zero at the trigger:
+    recency is exactly 1.0, so the value policy retains all of it in
+    threshold mode, while the cache policy still evicts (no job)."""
+    trigger = NOW + 7 * DAY_SECONDS
+    age = -7.0  # atime = NOW + 7 days == the trigger instant exactly
+    entries = [
+        ("/s/u1/a.log", 1, 1 << 40, age),
+        ("/s/u1/b.log", 1, 1 << 40, age),
+        ("/s/u2/old.log", 2, 1 << 50, 3000),
+    ]
+    ds = _mini_dataset(entries, capacity=1 << 55)
+    ref = _replay_mini(ds, lambda cfg: ValueBasedPolicy(cfg))
+    (report,) = ref.reports
+    # uid 1's zero-age files score w_recency * 1.0 + ... > threshold.
+    assert report.purged_files_total == 1
+    assert report.retained_files_total == 2
+
+    ds = _mini_dataset(entries, capacity=1 << 55)
+    ref = _replay_mini(ds, lambda cfg: ScratchAsCachePolicy(
+        cfg, residency=JobResidencyIndex([], grace_seconds=0)))
+    (report,) = ref.reports
+    assert report.purged_files_total == 3
+    assert report.retained_files_total == 0

@@ -145,3 +145,67 @@ def test_sweep(ws_dir, capsys):
     out = capsys.readouterr().out
     assert "Lifetime sweep" in out
     assert "30" in out and "90" in out
+
+
+def test_replay_value_policy_engines_agree(ws_dir, capsys):
+    assert main(["replay", "--workspace", ws_dir, "--policy", "value",
+                 "--engine", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+    assert "policy: ValueBased" in fast_out
+    assert main(["replay", "--workspace", ws_dir, "--policy", "value",
+                 "--engine", "reference"]) == 0
+    assert capsys.readouterr().out == fast_out
+
+
+def test_replay_cache_policy_engines_agree(ws_dir, capsys):
+    assert main(["replay", "--workspace", ws_dir, "--policy", "cache",
+                 "--engine", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+    assert "policy: ScratchAsCache" in fast_out
+    assert main(["replay", "--workspace", ws_dir, "--policy", "cache",
+                 "--engine", "reference"]) == 0
+    assert capsys.readouterr().out == fast_out
+
+
+def test_replay_both_matches_comparison_runner(ws_dir, capsys):
+    """Regression: ``replay --policy both --engine fast`` used to drive
+    two standalone FastEmulators that each re-evaluated trigger-time
+    activeness; it now routes through the ComparisonRunner.  The printed
+    output must equal rendering the runner's results directly."""
+    from repro.analysis import percent, render_emulation_summary
+    from repro.core import RetentionConfig
+    from repro.emulation import ACTIVEDR, FLT, ComparisonRunner
+
+    assert main(["replay", "--workspace", ws_dir, "--engine", "fast"]) == 0
+    cli_out = capsys.readouterr().out
+
+    ws = load_workspace(ws_dir)
+    comparison = ComparisonRunner(
+        ws, RetentionConfig(lifetime_days=90.0,
+                            purge_target_utilization=0.5),
+        engine="fast").run()
+    expected = ""
+    for result in comparison.results.values():
+        expected += render_emulation_summary(result) + "\n\n"
+    flt_m = comparison.total_misses(FLT)
+    adr_m = comparison.total_misses(ACTIVEDR)
+    expected += (f"ActiveDR miss reduction vs FLT: "
+                 f"{percent(1.0 - adr_m / flt_m)}\n")
+    assert cli_out == expected
+
+
+def test_replay_spectrum(ws_dir, capsys):
+    assert main(["replay", "--workspace", ws_dir, "--policy", "spectrum",
+                 "--engine", "fast"]) == 0
+    out = capsys.readouterr().out
+    for name in ("FLT", "ActiveDR", "ValueBased", "ScratchAsCache"):
+        assert f"policy: {name}" in out
+    assert "miss reduction vs FLT" in out
+
+
+def test_sweep_spectrum_columns(ws_dir, capsys):
+    assert main(["sweep", "--workspace", ws_dir, "--lifetimes", "90",
+                 "--spectrum"]) == 0
+    out = capsys.readouterr().out
+    assert "ValueBased misses" in out
+    assert "Cache misses" in out

@@ -7,10 +7,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.cache_policy import JobResidencyIndex, ScratchAsCachePolicy
 from repro.core.config import RetentionConfig
 from repro.core.exemption import ExemptionList
 from repro.core.flt import FixedLifetimePolicy
 from repro.core.retention import ActiveDRPolicy
+from repro.core.value_based import ValueBasedPolicy
 from repro.emulation import (
     ComparisonRunner,
     CompiledTrace,
@@ -18,6 +20,7 @@ from repro.emulation import (
     EmulatorConfig,
     FastEmulator,
     compile_dataset,
+    normalize_policies,
     replay_bounds,
     run_lifetime_sweep,
 )
@@ -49,12 +52,12 @@ def run_both(dataset, policy_factory, emu_config, *,
     config = config or RetentionConfig()
     known = [u.uid for u in dataset.users]
     start, end = replay_bounds(dataset)
-    ref = Emulator(policy_factory(config), config.activeness, emu_config,
-                   exemptions).run(
+    ref = Emulator(policy_factory(config, dataset), config.activeness,
+                   emu_config, exemptions).run(
         dataset.fresh_filesystem(), dataset.accesses, dataset.jobs,
         dataset.publications, start, end, known_uids=known)
     compiled = compile_dataset(dataset)
-    fast = FastEmulator(policy_factory(config), config.activeness,
+    fast = FastEmulator(policy_factory(config, dataset), config.activeness,
                         emu_config, exemptions).run(compiled,
                                                     known_uids=known)
     return fast, ref
@@ -66,9 +69,13 @@ def dataset(tiny_dataset):
 
 
 POLICIES = [
-    ("flt", lambda cfg: FixedLifetimePolicy(cfg)),
-    ("flt-target", lambda cfg: FixedLifetimePolicy(cfg, enforce_target=True)),
-    ("activedr", lambda cfg: ActiveDRPolicy(cfg)),
+    ("flt", lambda cfg, ds: FixedLifetimePolicy(cfg)),
+    ("flt-target",
+     lambda cfg, ds: FixedLifetimePolicy(cfg, enforce_target=True)),
+    ("activedr", lambda cfg, ds: ActiveDRPolicy(cfg)),
+    ("value", lambda cfg, ds: ValueBasedPolicy(cfg)),
+    ("cache", lambda cfg, ds: ScratchAsCachePolicy(
+        cfg, residency=JobResidencyIndex(ds.jobs))),
 ]
 
 
@@ -153,6 +160,56 @@ def test_comparison_runner_engines_agree(dataset):
 def test_comparison_runner_rejects_unknown_engine(dataset):
     with pytest.raises(ValueError):
         ComparisonRunner(dataset, engine="warp")
+
+
+def test_comparison_runner_spectrum_engines_agree(dataset):
+    ref = ComparisonRunner(dataset, policies="spectrum",
+                           engine="reference").run()
+    fast = ComparisonRunner(dataset, policies="spectrum",
+                            engine="fast").run()
+    assert set(ref.results) == {"FLT", "ActiveDR", "ValueBased",
+                                "ScratchAsCache"}
+    assert set(ref.results) == set(fast.results)
+    for name, result in ref.results.items():
+        assert_results_equal(fast.results[name], result)
+
+
+def test_normalize_policies_aliases():
+    assert normalize_policies("spectrum") == (
+        "FLT", "ActiveDR", "ValueBased", "ScratchAsCache")
+    assert normalize_policies("all") == normalize_policies("spectrum")
+    assert normalize_policies(("value", "CACHE", "adr", "flt")) == (
+        "ValueBased", "ScratchAsCache", "ActiveDR", "FLT")
+    assert normalize_policies(("flt", "FixedLifetime")) == ("FLT",)
+    with pytest.raises(ValueError):
+        normalize_policies(("flt", "lru"))
+    with pytest.raises(ValueError):
+        normalize_policies(())
+
+
+def test_fast_emulator_rejects_custom_value_function():
+    def my_value(path, meta, now):
+        return float(meta.size)
+
+    with pytest.raises(TypeError):
+        FastEmulator(ValueBasedPolicy(value_function=my_value))
+
+
+def test_spectrum_sweep_matches_per_policy_runs(dataset):
+    # A spectrum sweep shares one compiled trace and one residency index
+    # across lifetimes; results must equal independent per-policy runs.
+    lifetimes = (30.0, 90.0)
+    sweep = run_lifetime_sweep(dataset, lifetimes, engine="fast",
+                               policies="spectrum")
+    for lifetime in lifetimes:
+        assert set(sweep[lifetime].results) == {
+            "FLT", "ActiveDR", "ValueBased", "ScratchAsCache"}
+    solo = run_lifetime_sweep(dataset, lifetimes, engine="fast",
+                              policies=("value", "cache"))
+    for lifetime in lifetimes:
+        for name in ("ValueBased", "ScratchAsCache"):
+            assert_results_equal(solo[lifetime].results[name],
+                                 sweep[lifetime].results[name])
 
 
 def sweep_equal(a, b):

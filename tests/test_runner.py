@@ -112,6 +112,42 @@ def test_runner_with_exemptions(tiny_dataset):
         result[ACTIVEDR].metrics.total_accesses
 
 
+def test_lifetime_config_preserves_every_field():
+    """Regression: the sweep derivation used to rebuild ActivenessParams
+    field by field and silently dropped ``max_periods``.  Every field of
+    the base config -- including nested activeness params -- must carry
+    over, with only the lifetime and the period length swapped."""
+    from dataclasses import fields
+    from repro.core import ActivenessParams
+    from repro.emulation.runner import _lifetime_config
+
+    base = RetentionConfig(
+        lifetime_days=90.0,
+        purge_trigger_days=3,
+        purge_target_utilization=0.7,
+        retrospective_passes=2,
+        rank_decay=0.35,
+        activeness=ActivenessParams(period_days=14.0, empty_period="epsilon",
+                                    epsilon=1e-6, max_periods=8),
+        zero_rank_as_initial=False,
+    )
+    derived = _lifetime_config(base, 30.0)
+
+    assert derived.lifetime_days == 30.0
+    assert derived.activeness.period_days == 30.0
+    for f in fields(RetentionConfig):
+        if f.name in ("lifetime_days", "activeness"):
+            continue
+        assert getattr(derived, f.name) == getattr(base, f.name), f.name
+    for f in fields(ActivenessParams):
+        if f.name == "period_days":
+            continue
+        assert (getattr(derived.activeness, f.name)
+                == getattr(base.activeness, f.name)), f.name
+    # The pre-fix symptom, pinned explicitly:
+    assert derived.activeness.max_periods == 8
+
+
 def test_sweep_forwards_flt_enforce_target(tiny_dataset):
     sweep = run_lifetime_sweep(tiny_dataset, lifetimes=(90.0,),
                                flt_enforce_target=True)
