@@ -1,0 +1,224 @@
+"""Stream-ingest benchmark: the online retention service vs. batch replay.
+
+Measures, on one seeded dataset:
+
+* merged-stream ingest throughput (events/sec) of the
+  ``OnlineRetentionService`` end to end, per policy of the retention
+  spectrum, against the batch ``FastEmulator`` wall time over the same
+  trace;
+* per-trigger latency (the incremental activeness evaluation plus the
+  policy purge scan) and the refold fraction -- the share of user-type
+  histories a trigger actually refolds, the O(delta) claim in numbers;
+* a checkpoint / kill / resume cycle: wall time to checkpoint, to
+  resume, and to finish from mid-trace.
+
+Every streamed result is asserted bit-identical to the batch engine
+before any number is reported, and the resumed run must equal the
+uninterrupted one -- the ``--smoke`` run doubles as the CI
+streaming-equivalence gate.  Results go to ``BENCH_stream_ingest.json``
+at the repo root (override with ``--out``)::
+
+    PYTHONPATH=src python benchmarks/bench_stream_ingest.py
+    PYTHONPATH=src python benchmarks/bench_stream_ingest.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def assert_results_equal(streamed, batch, context):
+    assert streamed.policy == batch.policy, context
+    assert np.array_equal(streamed.metrics.accesses,
+                          batch.metrics.accesses), context
+    assert np.array_equal(streamed.metrics.misses,
+                          batch.metrics.misses), context
+    for cls, series in batch.metrics.group_misses.items():
+        assert np.array_equal(streamed.metrics.group_misses[cls],
+                              series), (context, cls)
+    assert streamed.reports == batch.reports, context
+    assert streamed.group_count_history == batch.group_count_history, context
+    assert streamed.final_classes == batch.final_classes, context
+    assert streamed.final_total_bytes == batch.final_total_bytes, context
+    assert streamed.final_file_count == batch.final_file_count, context
+
+
+def run_bench(n_users: int, seed: int, kill_fraction: float) -> dict:
+    from repro.core import (ActiveDRPolicy, FixedLifetimePolicy,
+                            JobResidencyIndex, RetentionConfig,
+                            ScratchAsCachePolicy, ValueBasedPolicy)
+    from repro.emulation import (EmulatorConfig, FastEmulator,
+                                 compile_dataset, replay_bounds)
+    from repro.stream import (CheckpointManager, OnlineRetentionService,
+                              dataset_event_stream, skip_events)
+    from repro.synth import TitanConfig, generate_dataset
+
+    t0 = time.perf_counter()
+    dataset = generate_dataset(TitanConfig(n_users=n_users, seed=seed))
+    generate_seconds = time.perf_counter() - t0
+
+    residency = JobResidencyIndex(dataset.jobs)
+    policies = {
+        "FLT": lambda cfg: FixedLifetimePolicy(cfg),
+        "ActiveDR": lambda cfg: ActiveDRPolicy(cfg),
+        "ValueBased": lambda cfg: ValueBasedPolicy(cfg),
+        "ScratchAsCache": lambda cfg: ScratchAsCachePolicy(
+            cfg, residency=residency),
+    }
+
+    compiled = compile_dataset(dataset)
+    events = list(dataset_event_stream(dataset))
+    n_events = len(events)
+    known = [u.uid for u in dataset.users]
+    start, end = replay_bounds(dataset)
+
+    def make_service(policy_factory, **kwargs):
+        config = RetentionConfig()
+        return OnlineRetentionService(
+            policy_factory(config), snapshot_fs=dataset.filesystem,
+            replay_start=start, replay_end=end,
+            activeness_params=config.activeness,
+            config=EmulatorConfig(), known_uids=known, **kwargs)
+
+    per_policy = {}
+    for name, policy_factory in policies.items():
+        config = RetentionConfig()
+        t0 = time.perf_counter()
+        batch = FastEmulator(policy_factory(config), config.activeness,
+                             EmulatorConfig()).run(compiled,
+                                                   known_uids=known)
+        batch_seconds = time.perf_counter() - t0
+
+        service = make_service(policy_factory)
+        t0 = time.perf_counter()
+        streamed = service.run(iter(events))
+        stream_seconds = time.perf_counter() - t0
+        assert_results_equal(streamed, batch, name)
+
+        stats = service.stats
+        per_policy[name] = {
+            "batch_seconds": round(batch_seconds, 3),
+            "stream_seconds": round(stream_seconds, 3),
+            "events_per_sec": round(n_events / stream_seconds),
+            "stream_vs_batch": round(stream_seconds / batch_seconds, 2),
+            "triggers": stats["triggers"],
+            "trigger_latency_ms": round(
+                1e3 * stats["trigger_seconds"] / max(1, stats["triggers"]),
+                3),
+            "refold_fraction": round(
+                stats["eval_refolded"] / max(1, stats["eval_users"]), 4),
+            "bit_identical_to_batch": True,
+        }
+
+    # Checkpoint / kill / resume cycle under ActiveDR.
+    kill_at = int(n_events * kill_fraction)
+    with tempfile.TemporaryDirectory() as ckdir:
+        service = make_service(policies["ActiveDR"], checkpoint_dir=ckdir,
+                               checkpoint_every_days=7)
+        t0 = time.perf_counter()
+        interrupted = service.run(iter(events), stop_after_events=kill_at)
+        first_leg_seconds = time.perf_counter() - t0
+        assert interrupted is None
+        checkpoints_written = service.stats["checkpoints_written"]
+        checkpoint_bytes = os.path.getsize(
+            CheckpointManager(ckdir).latest())
+
+        config = RetentionConfig()
+        t0 = time.perf_counter()
+        resumed = OnlineRetentionService.resume(
+            CheckpointManager(ckdir).latest(),
+            policies["ActiveDR"](config),
+            activeness_params=config.activeness, config=EmulatorConfig())
+        resume_seconds = time.perf_counter() - t0
+        cursor = resumed.cursor
+
+        t0 = time.perf_counter()
+        streamed = resumed.run(skip_events(iter(events), cursor))
+        second_leg_seconds = time.perf_counter() - t0
+
+    config = RetentionConfig()
+    batch = FastEmulator(policies["ActiveDR"](config), config.activeness,
+                         EmulatorConfig()).run(compiled, known_uids=known)
+    assert_results_equal(streamed, batch, "resume")
+
+    return {
+        "benchmark": "stream_ingest",
+        "dataset": {
+            "n_users": n_users,
+            "seed": seed,
+            "snapshot_files": dataset.filesystem.file_count,
+            "merged_events": n_events,
+            "replay_records": compiled.n_records,
+            "generate_seconds": round(generate_seconds, 3),
+        },
+        "per_policy": per_policy,
+        "checkpoint_resume": {
+            "kill_after_events": kill_at,
+            "resume_cursor": cursor,
+            "checkpoints_written": checkpoints_written,
+            "checkpoint_bytes": checkpoint_bytes,
+            "first_leg_seconds": round(first_leg_seconds, 3),
+            "resume_seconds": round(resume_seconds, 3),
+            "second_leg_seconds": round(second_leg_seconds, 3),
+            "bit_identical_to_batch": True,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=500,
+                        help="synthetic user count (default: the seeded "
+                             "dataset the acceptance numbers quote)")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--kill-fraction", type=float, default=0.5,
+                        help="fraction of the merged stream to ingest "
+                             "before the simulated crash")
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_stream_ingest.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI-sized run; does not overwrite the "
+                             "committed JSON unless --out is given")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.users = 40
+        if args.out == os.path.join(REPO_ROOT, "BENCH_stream_ingest.json"):
+            args.out = os.path.join(REPO_ROOT,
+                                    "BENCH_stream_ingest.smoke.json")
+
+    result = run_bench(args.users, args.seed, args.kill_fraction)
+    result["smoke"] = args.smoke
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+
+    print(f"dataset: {result['dataset']['n_users']} users, "
+          f"{result['dataset']['merged_events']} merged events")
+    for name, row in result["per_policy"].items():
+        print(f"  {name}: {row['stream_seconds']}s stream "
+              f"({row['events_per_sec']} ev/s, "
+              f"{row['stream_vs_batch']}x batch) "
+              f"trigger {row['trigger_latency_ms']}ms, "
+              f"refold {100 * row['refold_fraction']:.1f}%")
+    ck = result["checkpoint_resume"]
+    print(f"  kill/resume: cursor {ck['resume_cursor']} "
+          f"of {result['dataset']['merged_events']}, "
+          f"checkpoint {ck['checkpoint_bytes']} B, "
+          f"resume {ck['resume_seconds']}s, bit-identical")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,13 +23,18 @@ Subpackages
     backends, shard-parallel scanning, time/memory probes.
 ``repro.emulation``
     The trace-replay emulator and FLT-vs-ActiveDR comparison runner.
+``repro.stream``
+    The online retention service: streaming event ingestion, incremental
+    activeness state, crash-safe checkpoint/resume; bit-identical to the
+    batch replay.
 ``repro.analysis``
     Miss-ratio histograms, box statistics, and paper-style table output.
 """
 
-from . import analysis, cli, core, emulation, parallel, synth, traces, vfs
+from . import (analysis, cli, core, emulation, parallel, stream, synth,
+               traces, vfs)
 
 __version__ = "1.0.0"
 
 __all__ = ["core", "vfs", "traces", "synth", "parallel", "emulation",
-           "analysis", "cli", "__version__"]
+           "stream", "analysis", "cli", "__version__"]

@@ -14,6 +14,11 @@ Subcommands::
     activedr sweep     --workspace DIR [--lifetimes D,D,...] [--target U]
                        [--ranks N] [--engine fast|reference] [--spectrum]
     activedr calibrate --workspace DIR [--lifetime D]
+    activedr serve     --workspace DIR
+                       [--policy flt|activedr|value|cache]
+                       [--lifetime D] [--target U]
+                       [--checkpoint-dir DIR] [--checkpoint-every DAYS]
+                       [--resume] [--stop-after-events N]
 
 ``generate`` writes a synthetic Titan workspace to disk; the other
 commands operate on any directory in that format (real traces can be
@@ -28,6 +33,13 @@ all four policies over identical replicas.  Multi-policy selections
 policies share one compiled trace and one activeness evaluation per
 trigger instead of redoing that work per policy.  ``sweep --spectrum``
 adds the two baselines' miss columns to the lifetime table.
+
+``serve`` runs the *online* retention service: the workspace's traces
+are merged into one time-ordered event stream and consumed record by
+record, with incremental activeness state and crash-safe checkpoints
+(``--checkpoint-dir``).  Kill it mid-run, then ``serve --resume`` picks
+up from the latest checkpoint and finishes with results bit-identical
+to ``replay --engine fast``.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -155,6 +167,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "dynamics depend on")
     cal.add_argument("--workspace", required=True)
     cal.add_argument("--lifetime", type=float, default=90.0)
+
+    srv = sub.add_parser("serve",
+                         help="run the online retention service over the "
+                              "workspace's merged event stream")
+    srv.add_argument("--workspace", required=True)
+    srv.add_argument("--policy",
+                     choices=("flt", "activedr", "value", "cache"),
+                     default="activedr")
+    srv.add_argument("--lifetime", type=float, default=90.0)
+    srv.add_argument("--target", type=float, default=0.5)
+    srv.add_argument("--checkpoint-dir", default=None,
+                     help="directory for the rolling atomic checkpoint")
+    srv.add_argument("--checkpoint-every", type=int, default=7,
+                     help="days between checkpoints (trigger days only)")
+    srv.add_argument("--resume", action="store_true",
+                     help="resume from the latest checkpoint in "
+                          "--checkpoint-dir instead of starting fresh")
+    srv.add_argument("--stop-after-events", type=int, default=None,
+                     help="stop (without finalizing) after N merged "
+                          "events -- simulates a crash for resume testing")
     return parser
 
 
@@ -375,6 +407,76 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from ..stream import (CheckpointManager, OnlineRetentionService,
+                          skip_events, workspace_event_stream)
+    from ..traces import read_jobs, read_users
+    from ..vfs import load_filesystem
+
+    config = RetentionConfig(lifetime_days=args.lifetime,
+                             purge_target_utilization=args.target)
+    if args.policy == "flt":
+        policy = FixedLifetimePolicy(config)
+    elif args.policy == "activedr":
+        policy = ActiveDRPolicy(config)
+    elif args.policy == "value":
+        policy = ValueBasedPolicy(config)
+    else:  # cache: residency derives from the full job trace
+        jobs = list(read_jobs(os.path.join(args.workspace, "jobs.txt.gz")))
+        policy = ScratchAsCachePolicy(config,
+                                      residency=JobResidencyIndex(jobs))
+
+    events = workspace_event_stream(args.workspace)
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 1
+        latest = CheckpointManager(args.checkpoint_dir).latest()
+        if latest is None:
+            print(f"no checkpoint in {args.checkpoint_dir}", file=sys.stderr)
+            return 1
+        service = OnlineRetentionService.resume(
+            latest, policy, checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_days=args.checkpoint_every)
+        events = skip_events(events, service.cursor)
+        print(f"resumed from {latest} at event {service.cursor}")
+    else:
+        with open(os.path.join(args.workspace, "meta.json")) as f:
+            meta = json.load(f)
+        fs = load_filesystem(os.path.join(args.workspace, "snapshot"),
+                             size_seed=int(meta.get("size_seed", 2021)),
+                             capacity_bytes=None)
+        known = [u.uid for u in read_users(
+            os.path.join(args.workspace, "users.txt.gz"))]
+        service = OnlineRetentionService(
+            policy, snapshot_fs=fs,
+            replay_start=int(meta["replay_start"]),
+            replay_end=int(meta["replay_end"]),
+            known_uids=known, checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_days=args.checkpoint_every)
+
+    result = service.run(events, stop_after_events=args.stop_after_events)
+    stats = service.stats
+    if result is None:
+        where = (f"; checkpoint: {service.checkpoints.latest()}"
+                 if service.checkpoints else "")
+        print(f"stopped after {service.cursor} events "
+              f"({stats['triggers']} triggers so far){where}")
+        return 0
+    print(f"ingested {service.cursor} events "
+          f"(jobs={stats['events_job']} pubs={stats['events_publication']} "
+          f"accesses={stats['events_access']}, "
+          f"{service.dropped_accesses} out-of-window), "
+          f"{stats['triggers']} triggers, "
+          f"refolded {stats['eval_refolded']}/{stats['eval_users']} "
+          f"user-type histories")
+    print(render_emulation_summary(result))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "validate": _cmd_validate,
@@ -383,6 +485,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "sweep": _cmd_sweep,
     "calibrate": _cmd_calibrate,
+    "serve": _cmd_serve,
 }
 
 

@@ -104,8 +104,10 @@ def save_workspace(dataset: TitanDataset, directory: str,
         "capacity_bytes": dataset.filesystem.capacity_bytes,
         "size_seed": dataset.config.seed,
     }
-    with open(os.path.join(directory, _META), "w") as f:
+    meta_path = os.path.join(directory, _META)
+    with open(f"{meta_path}.tmp", "w") as f:
         json.dump(meta, f, indent=2)
+    os.replace(f"{meta_path}.tmp", meta_path)
     return directory
 
 

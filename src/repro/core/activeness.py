@@ -65,6 +65,7 @@ __all__ = [
     "ActivenessParams",
     "UserActiveness",
     "type_log_rank",
+    "collapse_cutoff",
     "evaluate_type_bulk",
     "fold_type_ranks",
     "RankAccumulator",
@@ -257,6 +258,31 @@ def type_log_rank(timestamps: Sequence[int], impacts: Sequence[float],
             b = params.epsilon
         log_rank += e * math.log(b)                         # Eq. (5), log space
     return log_rank
+
+
+def collapse_cutoff(t_c: int, params: ActivenessParams) -> int | None:
+    """Timestamp below which a user's *newest* activity forces rank 0.
+
+    Under the faithful ``empty_period="zero"`` policy, period ``e = m``
+    (the newest, anchored at ``t_c``) is always inside the evaluation
+    window: by Eq. (4) an activity lands there iff
+    ``ceil((t_c - ts) / L) <= 1``, i.e. ``ts >= t_c - L``.  A user whose
+    most recent activity satisfies ``last_ts < t_c - L`` therefore has
+    an empty newest period, so Eq. (5) collapses their type rank to
+    exactly 0 (``log rank = -inf``) -- regardless of how the rest of the
+    history buckets, and regardless of ``max_periods`` (a cap only
+    shrinks the window, never repopulates period ``m``).
+
+    Incremental evaluators use this to skip the full per-user fold for
+    stale users: only users with ``last_ts >= t_c - L`` need their
+    history refolded.  Returns the cutoff ``t_c - L`` (collapse iff
+    ``last_ts < cutoff``), or ``None`` when the shortcut is unsound
+    (the ``"skip"`` and ``"epsilon"`` relaxations keep stale users at
+    finite ranks that depend on the whole history).
+    """
+    if params.empty_period != "zero":
+        return None
+    return t_c - params.period_seconds
 
 
 # ----------------------------------------------------------------------

@@ -3,11 +3,15 @@ the columnar fast-replay engine, and the multi-policy comparison runner
 (FLT vs ActiveDR by default, full retention spectrum on request)."""
 
 from .compiled import (
+    NEVER_POS,
     CompiledTrace,
     FastEmulator,
+    GroupLookup,
     ReplayIndex,
+    TriggerEngine,
     compile_dataset,
     replay_bounds,
+    replay_day_columns,
 )
 from .emulator import (
     EmulationResult,
@@ -31,11 +35,15 @@ from .runner import (
 )
 
 __all__ = [
+    "NEVER_POS",
     "CompiledTrace",
     "FastEmulator",
+    "GroupLookup",
     "ReplayIndex",
+    "TriggerEngine",
     "compile_dataset",
     "replay_bounds",
+    "replay_day_columns",
     "EmulationResult",
     "Emulator",
     "EmulatorConfig",

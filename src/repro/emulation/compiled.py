@@ -19,6 +19,16 @@ splits that work:
   bincounts replace per-record trie traffic, and the purge triggers run
   columnar ports of the FLT / ActiveDR scans.
 
+The replay kernels themselves are shared, not private to the batch path:
+:func:`replay_day_columns` applies one day of access records to a
+live/atime/size/owner column set, and :class:`TriggerEngine` holds the
+columnar purge triggers for the whole retention spectrum, parameterized
+by a *catalog* (paths, deterministic sizes, scan orders) rather than by
+``CompiledTrace`` specifically.  The streaming
+:class:`~repro.stream.service.OnlineRetentionService` drives the same
+kernels from a dynamically growing catalog, which is how streaming stays
+bit-identical to batch.
+
 The fast path is **exact**, not approximate: for the full retention
 spectrum -- ``FixedLifetimePolicy``, ``ActiveDRPolicy``,
 ``ValueBasedPolicy`` (with the stock ``CompositeValueFunction``), and
@@ -57,9 +67,9 @@ from ..vfs.path_trie import split_path
 from .emulator import EmulationResult, EmulatorConfig, deterministic_file_size
 from .metrics import DailyMetrics
 
-__all__ = ["OP_ACCESS", "OP_CREATE", "OP_TOUCH", "ReplayIndex",
-           "CompiledTrace", "FastEmulator", "compile_dataset",
-           "replay_bounds"]
+__all__ = ["OP_ACCESS", "OP_CREATE", "OP_TOUCH", "NEVER_POS", "ReplayIndex",
+           "CompiledTrace", "GroupLookup", "TriggerEngine", "FastEmulator",
+           "compile_dataset", "replay_bounds", "replay_day_columns"]
 
 OP_ACCESS = 0
 OP_CREATE = 1
@@ -68,8 +78,10 @@ OP_TOUCH = 2
 _OP_CODES = {"access": OP_ACCESS, "create": OP_CREATE, "touch": OP_TOUCH}
 
 #: Sentinel "this path is never materialized today" position, larger than
-#: any within-day record index.
-_NEVER = np.iinfo(np.int64).max
+#: any within-day record index.  Scratch ``add_pos`` columns passed to
+#: :func:`replay_day_columns` must be filled with it between days.
+NEVER_POS = np.iinfo(np.int64).max
+_NEVER = NEVER_POS
 
 
 def replay_bounds(dataset) -> tuple[int, int]:
@@ -143,6 +155,17 @@ class CompiledTrace:
     def n_records(self) -> int:
         return self.index.n_records
 
+    # The TriggerEngine catalog protocol: pids here *are* assigned in
+    # plain-string sort order, so the string-order rank is the identity
+    # (signalled as None), and the path set never changes after build.
+    @property
+    def order_rank(self) -> np.ndarray | None:
+        return None
+
+    @property
+    def version(self) -> int:
+        return 0
+
     def exempt_mask(self, exemptions: ExemptionList | None,
                     ) -> np.ndarray | None:
         """Per-path exemption mask (``None`` when there are no exemptions)."""
@@ -213,8 +236,7 @@ class CompiledTrace:
                             day_offsets=day_offsets)
 
         store = build_activity_store(jobs, publications)
-        for atype in store.types():
-            store._types[atype].columns()  # consolidate once, pre-fork
+        store.consolidate()  # once, pre-fork
 
         return cls(paths=paths, det_size=det_size, scan_rank=scan_rank,
                    snap_live=snap_live, snap_size=snap_size,
@@ -259,7 +281,7 @@ class _ReplayState:
         return max(0, self.total_bytes - allowed)
 
 
-class _GroupLookup:
+class GroupLookup:
     """Vectorized uid -> UserClass code with the both-inactive default."""
 
     __slots__ = ("_uids", "_codes")
@@ -294,6 +316,492 @@ class _TargetReached(Exception):
     """Internal control flow: the purge target was hit mid-scan."""
 
 
+# ---------------------------------------------------------------------------
+# day replay kernel (shared by FastEmulator and the stream service)
+
+
+def replay_day_columns(config: EmulatorConfig, det_size: np.ndarray,
+                       state, day: int, metrics: DailyMetrics,
+                       lookup: GroupLookup, add_pos: np.ndarray,
+                       pid: np.ndarray, uid: np.ndarray,
+                       ts: np.ndarray, op: np.ndarray) -> None:
+    """Apply one day's access records to a live/atime/size/owner state.
+
+    ``state`` is any object with ``live/atime/size/owner`` arrays plus
+    ``total_bytes``/``file_count`` counters indexed by the same pids as
+    ``det_size``; ``add_pos`` is a per-pid scratch column pre-filled with
+    :data:`NEVER_POS` (reset before returning).  The record columns must
+    be one replay day, time-sorted.
+    """
+    if pid.size == 0:
+        return
+    is_access = op == OP_ACCESS
+    metrics.accesses[day] = int(is_access.sum())
+
+    live_start = state.live[pid]
+    positions = np.arange(pid.size, dtype=np.int64)
+
+    # Records that can materialize a currently-dead path.  Within one
+    # day liveness is monotone -- nothing is removed -- so each path's
+    # effective add position is the *first* such candidate.
+    creates = config.apply_creates
+    restore = config.restore_on_miss
+    if creates and restore:
+        can_add = op != OP_TOUCH
+    elif creates:
+        can_add = op == OP_CREATE
+    elif restore:
+        can_add = is_access
+    else:
+        can_add = None
+
+    added: np.ndarray | None = None
+    if can_add is not None:
+        cand = can_add & ~live_start
+        if cand.any():
+            cpid = pid[cand]
+            cpos = positions[cand]
+            cuid = uid[cand]
+            added, first = np.unique(cpid, return_index=True)
+            add_pos[added] = cpos[first]
+        else:
+            added = None
+    limit = add_pos[pid]
+
+    # Misses: accesses to paths dead at day start and not yet
+    # materialized.  With restore_on_miss the materializing access
+    # itself still counts as a miss (position == limit).
+    miss = is_access & ~live_start & (
+        positions <= limit if restore else positions < limit)
+    n_miss = int(miss.sum())
+    if n_miss:
+        metrics.misses[day] = n_miss
+        counts = np.bincount(lookup.codes(uid[miss]), minlength=5)
+        for cls in UserClass:
+            c = int(counts[cls.value])
+            if c:
+                metrics.group_misses[cls][day] = c
+
+    if added is not None:
+        state.live[added] = True
+        state.owner[added] = cuid[first]
+        sizes = det_size[added]
+        state.size[added] = sizes
+        state.total_bytes += int(sizes.sum())
+        state.file_count += int(added.size)
+
+    # atime: last qualifying record per path.  A record qualifies when
+    # the path was live at day start or the record is at/after the add
+    # position (the materializing record stamps the atime itself, and
+    # timestamps ascend within the day, so last-write wins == max).
+    qual = live_start | (positions >= limit)
+    if qual.any():
+        qpid = pid[qual][::-1]
+        qts = ts[qual][::-1]
+        upq, last = np.unique(qpid, return_index=True)
+        state.atime[upq] = qts[last]
+
+    if added is not None:
+        add_pos[added] = _NEVER  # reset scratch for the next day
+
+
+# ---------------------------------------------------------------------------
+# purge-trigger engine (shared by FastEmulator and the stream service)
+
+
+class TriggerEngine:
+    """Columnar purge triggers for the retention spectrum.
+
+    One instance per (policy, run context).  :meth:`trigger` dispatches
+    to the columnar port of the policy's scan, operating on
+
+    * a **catalog**: any object with ``paths`` / ``n_paths`` /
+      ``det_size`` / ``snap_size`` / ``scan_rank`` columns, an
+      ``order_rank`` column giving each pid's position in plain-string
+      path order (``None`` when pids are already string-sorted, as in
+      :class:`CompiledTrace`), and a ``version`` counter that advances
+      whenever paths are appended (so per-path value columns can be
+      extended incrementally);
+    * a **state**: ``live/atime/size/owner`` arrays parallel to the
+      catalog plus ``total_bytes``/``file_count`` and a
+      ``purge_target(config)`` method.
+
+    Constructing the engine raises ``TypeError`` for policy types (or
+    custom value functions) it cannot replay exactly.
+    """
+
+    __slots__ = ("policy", "_trigger", "_type_weights", "_smallness_snap",
+                 "_smallness_det", "_cols_src", "_cols_version",
+                 "_cols_count")
+
+    def __init__(self, policy: RetentionPolicy) -> None:
+        if isinstance(policy, FixedLifetimePolicy):
+            self._trigger = self._flt_trigger
+        elif isinstance(policy, ActiveDRPolicy):
+            self._trigger = self._activedr_trigger
+        elif isinstance(policy, ValueBasedPolicy):
+            if not isinstance(policy.value_function, CompositeValueFunction):
+                raise TypeError(
+                    "the columnar engine can only replay ValueBasedPolicy "
+                    "with the stock CompositeValueFunction exactly; use the "
+                    "reference Emulator for custom value functions")
+            self._trigger = self._value_trigger
+        elif isinstance(policy, ScratchAsCachePolicy):
+            self._trigger = self._cache_trigger
+        else:
+            raise TypeError(
+                f"the columnar engine cannot replay {type(policy).__name__} "
+                "exactly; use the reference Emulator")
+        self.policy = policy
+        #: Per-pid basename-extension keep weights for the value trigger,
+        #: cached per catalog and *extended* (never recomputed) as a
+        #: growing catalog appends paths.  The source catalog is kept as
+        #: a strong reference so the cache can never alias another one.
+        self._type_weights: np.ndarray | None = None
+        self._smallness_snap: np.ndarray | None = None
+        self._smallness_det: np.ndarray | None = None
+        self._cols_src: object | None = None
+        self._cols_version = -1
+        self._cols_count = 0
+
+    def trigger(self, catalog, state, t_c: int,
+                activeness: dict[int, UserActiveness],
+                lookup: GroupLookup,
+                exempt: np.ndarray | None) -> RetentionReport:
+        """Run one purge trigger at ``t_c``; mutates ``state``."""
+        return self._trigger(catalog, state, t_c, activeness, lookup, exempt)
+
+    # ------------------------------------------------------------------
+    # shared tally helpers
+
+    def _apply_purges(self, state, report: RetentionReport,
+                      idxs: np.ndarray, group: UserClass | None,
+                      lookup: GroupLookup | None) -> None:
+        """Purge ``idxs``; tally under ``group`` (or per-owner lookup)."""
+        owners = state.owner[idxs]
+        sizes = state.size[idxs]
+        if group is not None:
+            code_values = (group.value,)
+            masks = {group.value: np.ones(idxs.size, dtype=np.bool_)}
+        else:
+            codes = lookup.codes(owners)
+            code_values = np.unique(codes).tolist()
+            masks = {v: codes == v for v in code_values}
+        for value in code_values:
+            m = masks[value]
+            tally = report.groups[_CODE_TO_CLASS[value]]
+            tally.purged_files += int(m.sum())
+            tally.purged_bytes += int(sizes[m].sum())
+            tally.users_purged.update(
+                int(u) for u in np.unique(owners[m]).tolist())
+        total = int(sizes.sum())
+        report.purged_bytes_total += total
+        state.live[idxs] = False
+        state.total_bytes -= total
+        state.file_count -= int(idxs.size)
+
+    def _record_survivors(self, state, report: RetentionReport,
+                          lookup: GroupLookup) -> None:
+        live_idx = np.flatnonzero(state.live)
+        if live_idx.size == 0:
+            return
+        owners = state.owner[live_idx]
+        sizes = state.size[live_idx]
+        codes = lookup.codes(owners)
+        for value in np.unique(codes).tolist():
+            m = codes == value
+            tally = report.groups[_CODE_TO_CLASS[value]]
+            tally.retained_files += int(m.sum())
+            tally.retained_bytes += int(sizes[m].sum())
+            tally.users_scanned.update(
+                int(u) for u in np.unique(owners[m]).tolist())
+
+    # ------------------------------------------------------------------
+    # FLT
+
+    def _flt_trigger(self, catalog, state, t_c: int,
+                     activeness: dict[int, UserActiveness],
+                     lookup: GroupLookup,
+                     exempt: np.ndarray | None) -> RetentionReport:
+        config = self.policy.config
+        enforce = self.policy.enforce_target
+        lifetime_seconds = config.lifetime_days * DAY_SECONDS
+        target = state.purge_target(config) if enforce else 0
+        report = RetentionReport(policy=self.policy.name, t_c=t_c,
+                                 lifetime_days=config.lifetime_days,
+                                 target_bytes=target)
+        if enforce and target <= 0:
+            self._record_survivors(state, report, lookup)
+            return report
+
+        stale = state.live & ((t_c - state.atime) > lifetime_seconds)
+        if exempt is not None:
+            stale &= ~exempt
+        idxs = np.flatnonzero(stale)
+        if idxs.size:
+            idxs = idxs[np.argsort(catalog.scan_rank[idxs])]
+            if enforce and target > 0:
+                cum = np.cumsum(state.size[idxs])
+                cut = int(np.searchsorted(cum, target, side="left"))
+                if cut < idxs.size:
+                    idxs = idxs[:cut + 1]
+            self._apply_purges(state, report, idxs, None, lookup)
+
+        self._record_survivors(state, report, lookup)
+        if enforce and target > 0:
+            report.target_met = report.purged_bytes_total >= target
+        return report
+
+    # ------------------------------------------------------------------
+    # ActiveDR
+
+    def _activedr_trigger(self, catalog, state, t_c: int,
+                          activeness: dict[int, UserActiveness],
+                          lookup: GroupLookup,
+                          exempt: np.ndarray | None) -> RetentionReport:
+        config = self.policy.config
+        target = state.purge_target(config)
+        report = RetentionReport(policy=self.policy.name, t_c=t_c,
+                                 lifetime_days=config.lifetime_days,
+                                 target_bytes=target)
+
+        full = dict(activeness)
+        live_idx = np.flatnonzero(state.live)
+        for u in np.unique(state.owner[live_idx]).tolist():
+            full.setdefault(int(u), UserActiveness(int(u)))
+        groups = scan_ordered_uids(full)
+
+        if target <= 0:
+            self._record_survivors(state, report, lookup)
+            return report
+
+        # Per-owner slices over the live files, in plain-string path
+        # order -- exactly the iter_user_files visit order.  With
+        # string-sorted pids (CompiledTrace) the pid is its own rank.
+        owners_live = state.owner[live_idx]
+        rank = catalog.order_rank
+        order = np.lexsort((live_idx if rank is None else rank[live_idx],
+                            owners_live))
+        sorted_idx = live_idx[order]
+        sorted_own = owners_live[order]
+        uniq, starts, lens = np.unique(sorted_own, return_index=True,
+                                       return_counts=True)
+        slices = {int(u): (int(s), int(c))
+                  for u, s, c in zip(uniq, starts, lens)}
+
+        try:
+            for group, uids in groups:
+                for retro in range(config.retrospective_passes + 1):
+                    if retro:
+                        if report.purged_bytes_total >= target:
+                            break
+                        decay = (1.0 - config.rank_decay) ** retro
+                        report.passes_used = max(report.passes_used,
+                                                 retro + 1)
+                    else:
+                        decay = 1.0
+                    self._scan_group_columnar(
+                        state, t_c, report, full, group, uids, exempt,
+                        target, decay, slices, sorted_idx)
+        except _TargetReached:
+            pass
+
+        report.target_met = report.purged_bytes_total >= target
+        self._record_survivors(state, report, lookup)
+        if not report.target_met and self.policy.notifier is not None:
+            from ..core.notify import notification_from_report
+            self.policy.notifier.notify(notification_from_report(report))
+        return report
+
+    def _scan_group_columnar(self, state, t_c: int,
+                             report: RetentionReport,
+                             activeness: dict[int, UserActiveness],
+                             group: UserClass, uids: list[int],
+                             exempt: np.ndarray | None, target: int,
+                             decay: float, slices, sorted_idx) -> None:
+        config = self.policy.config
+        for uid in uids:
+            lifetime = adjusted_lifetime_seconds(config, activeness[uid],
+                                                 group, decay)
+            if math.isinf(lifetime):
+                continue
+            span = slices.get(uid)
+            if span is None:
+                continue
+            idxs = sorted_idx[span[0]:span[0] + span[1]]
+            stale = state.live[idxs] & ((t_c - state.atime[idxs]) > lifetime)
+            if exempt is not None:
+                stale &= ~exempt[idxs]
+            idxs = idxs[stale]
+            if idxs.size == 0:
+                continue
+            remaining = target - report.purged_bytes_total
+            cum = np.cumsum(state.size[idxs])
+            cut = int(np.searchsorted(cum, remaining, side="left"))
+            if cut < idxs.size:
+                self._apply_purges(state, report, idxs[:cut + 1], group,
+                                   lookup=None)
+                raise _TargetReached
+            self._apply_purges(state, report, idxs, group, lookup=None)
+
+    # ------------------------------------------------------------------
+    # value-based baseline (related work): lowest-value files first
+
+    def _value_columns(self, catalog
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pid ``(type_weight, smallness_snap, smallness_det)``
+        columns for the value function.
+
+        All three are time-invariant per path: the type weight depends
+        only on the path, and a live file's size is either its snapshot
+        size or (once re-materialized during the replay) its
+        deterministic ``det_size``.  Smallness uses ``math.log2`` per
+        element so the scores are bit-identical to the scalar reference
+        even where ``np.log2`` takes a differently-rounded SIMD path.
+        Catalogs append paths but never change existing ones, so a
+        version bump only computes the new tail.
+        """
+        if self._cols_src is not catalog:
+            self._cols_src = catalog
+            self._cols_version = -1
+            self._cols_count = 0
+            empty = np.empty(0, dtype=np.float64)
+            self._type_weights = empty
+            self._smallness_snap = empty.copy()
+            self._smallness_det = empty.copy()
+        if self._cols_version != catalog.version:
+            n = catalog.n_paths
+            lo = self._cols_count
+            if n > lo:
+                vf = self.policy.value_function
+
+                def smallness_of(size: int) -> float:
+                    if size > 4096:
+                        return 1.0 / (1.0 + math.log2(max(size, 1) / 4096.0)
+                                      / 10.0)
+                    return 1.0
+
+                new = n - lo
+                self._type_weights = np.concatenate([
+                    self._type_weights,
+                    np.fromiter((vf.type_weight(p)
+                                 for p in catalog.paths[lo:n]),
+                                np.float64, new)])
+                self._smallness_snap = np.concatenate([
+                    self._smallness_snap,
+                    np.fromiter((smallness_of(s)
+                                 for s in catalog.snap_size[lo:n].tolist()),
+                                np.float64, new)])
+                self._smallness_det = np.concatenate([
+                    self._smallness_det,
+                    np.fromiter((smallness_of(s)
+                                 for s in catalog.det_size[lo:n].tolist()),
+                                np.float64, new)])
+                self._cols_count = n
+            self._cols_version = catalog.version
+        return self._type_weights, self._smallness_snap, self._smallness_det
+
+    def _file_values(self, catalog, state, idxs: np.ndarray,
+                     t_c: int) -> np.ndarray:
+        """Vectorized ``CompositeValueFunction`` over the ``idxs`` files.
+
+        Mirrors the scalar ``__call__`` operation for operation so the
+        scores (and therefore the purge order and target cut) are
+        bit-identical to the reference policy run.  IEEE add / multiply
+        / divide round identically whether vectorized or scalar; the two
+        transcendentals do not (NumPy's SIMD ``log2`` / ``pow`` loops
+        can differ from libm by an ulp), so smallness comes from the
+        precomputed per-size columns and the recency power is folded
+        with the scalar operator.
+        """
+        vf = self.policy.value_function
+        type_weight, s_snap, s_det = self._value_columns(catalog)
+        # A live file's size is snap_size until first purged, det_size
+        # after any re-materialization; pick whichever column matches.
+        smallness = np.where(state.size[idxs] == catalog.det_size[idxs],
+                             s_det[idxs], s_snap[idxs])
+        age_days = np.maximum((t_c - state.atime[idxs]) / DAY_SECONDS, 0.0)
+        exponents = age_days / vf.recency_halflife_days
+        recency = np.fromiter((0.5 ** e for e in exponents.tolist()),
+                              np.float64, exponents.size)
+        return (vf.w_recency * recency + vf.w_size * smallness
+                + vf.w_type * type_weight[idxs])
+
+    def _value_trigger(self, catalog, state, t_c: int,
+                       activeness: dict[int, UserActiveness],
+                       lookup: GroupLookup,
+                       exempt: np.ndarray | None) -> RetentionReport:
+        config = self.policy.config
+        target = state.purge_target(config)
+        report = RetentionReport(policy=self.policy.name, t_c=t_c,
+                                 lifetime_days=config.lifetime_days,
+                                 target_bytes=target)
+
+        cand = np.flatnonzero(state.live & ~exempt if exempt is not None
+                              else state.live)
+        if cand.size:
+            values = self._file_values(catalog, state, cand, t_c)
+            # Ascending (value, path): ties break on plain-string path
+            # order (the pid itself when pids are string-sorted).
+            rank = catalog.order_rank
+            order = np.lexsort((cand if rank is None else rank[cand],
+                                values))
+            cand, values = cand[order], values[order]
+            if target > 0:
+                cum = np.cumsum(state.size[cand])
+                cut = int(np.searchsorted(cum, target, side="left"))
+                idxs = cand if cut >= cand.size else cand[:cut + 1]
+            else:
+                # No mandatory target: the information-lifecycle mode
+                # purges everything below the value threshold.
+                idxs = cand[values < self.policy.value_threshold]
+            if idxs.size:
+                self._apply_purges(state, report, idxs, None, lookup)
+
+        self._record_survivors(state, report, lookup)
+        if target > 0:
+            report.target_met = report.purged_bytes_total >= target
+        return report
+
+    # ------------------------------------------------------------------
+    # scratch-as-a-cache baseline (related work): evict non-resident users
+
+    def _cache_trigger(self, catalog, state, t_c: int,
+                       activeness: dict[int, UserActiveness],
+                       lookup: GroupLookup,
+                       exempt: np.ndarray | None) -> RetentionReport:
+        config = self.policy.config
+        report = RetentionReport(policy=self.policy.name, t_c=t_c,
+                                 lifetime_days=config.lifetime_days,
+                                 target_bytes=state.purge_target(config))
+
+        live_idx = np.flatnonzero(state.live)
+        if live_idx.size:
+            owners = state.owner[live_idx]
+            resident = self.policy.residency.resident_uids(t_c)
+            if resident.size:
+                pos = np.minimum(np.searchsorted(resident, owners),
+                                 resident.size - 1)
+                purge = resident[pos] != owners
+            else:
+                purge = np.ones(owners.size, dtype=np.bool_)
+            if exempt is not None:
+                purge &= ~exempt[live_idx]
+            idxs = live_idx[purge]
+            if idxs.size:
+                self._apply_purges(state, report, idxs, None, lookup)
+
+        self._record_survivors(state, report, lookup)
+        # The cache policy ignores utilization targets entirely; what it
+        # purges is dictated by residency alone.
+        report.target_met = True
+        return report
+
+
+# ---------------------------------------------------------------------------
+# the batch fast emulator
+
+
 class FastEmulator:
     """Columnar replay of a compiled trace against one retention policy.
 
@@ -310,35 +818,11 @@ class FastEmulator:
                  activeness_params: ActivenessParams | None = None,
                  config: EmulatorConfig | None = None,
                  exemptions: ExemptionList | None = None) -> None:
-        if isinstance(policy, FixedLifetimePolicy):
-            self._trigger = self._flt_trigger
-        elif isinstance(policy, ActiveDRPolicy):
-            self._trigger = self._activedr_trigger
-        elif isinstance(policy, ValueBasedPolicy):
-            if not isinstance(policy.value_function, CompositeValueFunction):
-                raise TypeError(
-                    "FastEmulator can only replay ValueBasedPolicy with the "
-                    "stock CompositeValueFunction exactly; use the reference "
-                    "Emulator for custom value functions")
-            self._trigger = self._value_trigger
-        elif isinstance(policy, ScratchAsCachePolicy):
-            self._trigger = self._cache_trigger
-        else:
-            raise TypeError(
-                f"FastEmulator cannot replay {type(policy).__name__} "
-                "exactly; use the reference Emulator")
+        self._engine = TriggerEngine(policy)
         self.policy = policy
         self.params = activeness_params or policy.config.activeness
         self.config = config or EmulatorConfig()
         self.exemptions = exemptions
-        #: Per-pid basename-extension keep weights for the value trigger,
-        #: cached per compiled trace (the only per-path string work).  The
-        #: source trace is kept as a strong reference so the cache can
-        #: never alias a different trace.
-        self._type_weights: np.ndarray | None = None
-        self._smallness_snap: np.ndarray | None = None
-        self._smallness_det: np.ndarray | None = None
-        self._type_weights_src: CompiledTrace | None = None
 
     # ------------------------------------------------------------------
 
@@ -377,11 +861,11 @@ class FastEmulator:
         activeness = evaluate(compiled.replay_start)
         classes = classify_all(activeness)
         result.group_count_history.append(group_counts(classes))
-        lookup = _GroupLookup(classes)
+        lookup = GroupLookup(classes)
 
         trigger_interval = self.policy.config.purge_trigger_days
         # Scratch column reused across days: first position at which each
-        # path materializes today (or _NEVER).
+        # path materializes today (or NEVER_POS).
         add_pos = np.full(compiled.n_paths, _NEVER, dtype=np.int64)
 
         for day in range(n_days):
@@ -390,385 +874,15 @@ class FastEmulator:
                 activeness = evaluate(t_c)
                 classes = classify_all(activeness)
                 result.group_count_history.append(group_counts(classes))
-                lookup = _GroupLookup(classes)
-                report = self._trigger(compiled, state, t_c, activeness,
-                                       lookup, exempt)
+                lookup = GroupLookup(classes)
+                report = self._engine.trigger(compiled, state, t_c,
+                                              activeness, lookup, exempt)
                 result.reports.append(report)
-            self._replay_day(compiled, state, day, metrics, lookup, add_pos)
+            replay_day_columns(self.config, compiled.det_size, state, day,
+                               metrics, lookup, add_pos,
+                               *index.day_slice(day))
 
         result.final_classes = classes
         result.final_total_bytes = state.total_bytes
         result.final_file_count = state.file_count
         return result
-
-    # ------------------------------------------------------------------
-    # day replay
-
-    def _replay_day(self, compiled: CompiledTrace, state: _ReplayState,
-                    day: int, metrics: DailyMetrics, lookup: _GroupLookup,
-                    add_pos: np.ndarray) -> None:
-        pid, uid, ts, op = compiled.index.day_slice(day)
-        if pid.size == 0:
-            return
-        is_access = op == OP_ACCESS
-        metrics.accesses[day] = int(is_access.sum())
-
-        live_start = state.live[pid]
-        positions = np.arange(pid.size, dtype=np.int64)
-
-        # Records that can materialize a currently-dead path.  Within one
-        # day liveness is monotone -- nothing is removed -- so each path's
-        # effective add position is the *first* such candidate.
-        creates = self.config.apply_creates
-        restore = self.config.restore_on_miss
-        if creates and restore:
-            can_add = op != OP_TOUCH
-        elif creates:
-            can_add = op == OP_CREATE
-        elif restore:
-            can_add = is_access
-        else:
-            can_add = None
-
-        added: np.ndarray | None = None
-        if can_add is not None:
-            cand = can_add & ~live_start
-            if cand.any():
-                cpid = pid[cand]
-                cpos = positions[cand]
-                cuid = uid[cand]
-                added, first = np.unique(cpid, return_index=True)
-                add_pos[added] = cpos[first]
-            else:
-                added = None
-        limit = add_pos[pid]
-
-        # Misses: accesses to paths dead at day start and not yet
-        # materialized.  With restore_on_miss the materializing access
-        # itself still counts as a miss (position == limit).
-        miss = is_access & ~live_start & (
-            positions <= limit if restore else positions < limit)
-        n_miss = int(miss.sum())
-        if n_miss:
-            metrics.misses[day] = n_miss
-            counts = np.bincount(lookup.codes(uid[miss]), minlength=5)
-            for cls in UserClass:
-                c = int(counts[cls.value])
-                if c:
-                    metrics.group_misses[cls][day] = c
-
-        if added is not None:
-            state.live[added] = True
-            state.owner[added] = cuid[first]
-            sizes = compiled.det_size[added]
-            state.size[added] = sizes
-            state.total_bytes += int(sizes.sum())
-            state.file_count += int(added.size)
-
-        # atime: last qualifying record per path.  A record qualifies when
-        # the path was live at day start or the record is at/after the add
-        # position (the materializing record stamps the atime itself, and
-        # timestamps ascend within the day, so last-write wins == max).
-        qual = live_start | (positions >= limit)
-        if qual.any():
-            qpid = pid[qual][::-1]
-            qts = ts[qual][::-1]
-            upq, last = np.unique(qpid, return_index=True)
-            state.atime[upq] = qts[last]
-
-        if added is not None:
-            add_pos[added] = _NEVER  # reset scratch for the next day
-
-    # ------------------------------------------------------------------
-    # purge triggers
-
-    def _apply_purges(self, state: _ReplayState, report: RetentionReport,
-                      idxs: np.ndarray, group: UserClass | None,
-                      lookup: _GroupLookup) -> None:
-        """Purge ``idxs``; tally under ``group`` (or per-owner lookup)."""
-        owners = state.owner[idxs]
-        sizes = state.size[idxs]
-        if group is not None:
-            code_values = (group.value,)
-            masks = {group.value: np.ones(idxs.size, dtype=np.bool_)}
-        else:
-            codes = lookup.codes(owners)
-            code_values = np.unique(codes).tolist()
-            masks = {v: codes == v for v in code_values}
-        for value in code_values:
-            m = masks[value]
-            tally = report.groups[_CODE_TO_CLASS[value]]
-            tally.purged_files += int(m.sum())
-            tally.purged_bytes += int(sizes[m].sum())
-            tally.users_purged.update(
-                int(u) for u in np.unique(owners[m]).tolist())
-        total = int(sizes.sum())
-        report.purged_bytes_total += total
-        state.live[idxs] = False
-        state.total_bytes -= total
-        state.file_count -= int(idxs.size)
-
-    def _record_survivors(self, state: _ReplayState, report: RetentionReport,
-                          lookup: _GroupLookup) -> None:
-        live_idx = np.flatnonzero(state.live)
-        if live_idx.size == 0:
-            return
-        owners = state.owner[live_idx]
-        sizes = state.size[live_idx]
-        codes = lookup.codes(owners)
-        for value in np.unique(codes).tolist():
-            m = codes == value
-            tally = report.groups[_CODE_TO_CLASS[value]]
-            tally.retained_files += int(m.sum())
-            tally.retained_bytes += int(sizes[m].sum())
-            tally.users_scanned.update(
-                int(u) for u in np.unique(owners[m]).tolist())
-
-    def _flt_trigger(self, compiled: CompiledTrace, state: _ReplayState,
-                     t_c: int, activeness: dict[int, UserActiveness],
-                     lookup: _GroupLookup,
-                     exempt: np.ndarray | None) -> RetentionReport:
-        config = self.policy.config
-        enforce = self.policy.enforce_target
-        lifetime_seconds = config.lifetime_days * DAY_SECONDS
-        target = state.purge_target(config) if enforce else 0
-        report = RetentionReport(policy=self.policy.name, t_c=t_c,
-                                 lifetime_days=config.lifetime_days,
-                                 target_bytes=target)
-        if enforce and target <= 0:
-            self._record_survivors(state, report, lookup)
-            return report
-
-        stale = state.live & ((t_c - state.atime) > lifetime_seconds)
-        if exempt is not None:
-            stale &= ~exempt
-        idxs = np.flatnonzero(stale)
-        if idxs.size:
-            idxs = idxs[np.argsort(compiled.scan_rank[idxs])]
-            if enforce and target > 0:
-                cum = np.cumsum(state.size[idxs])
-                cut = int(np.searchsorted(cum, target, side="left"))
-                if cut < idxs.size:
-                    idxs = idxs[:cut + 1]
-            self._apply_purges(state, report, idxs, None, lookup)
-
-        self._record_survivors(state, report, lookup)
-        if enforce and target > 0:
-            report.target_met = report.purged_bytes_total >= target
-        return report
-
-    def _activedr_trigger(self, compiled: CompiledTrace, state: _ReplayState,
-                          t_c: int, activeness: dict[int, UserActiveness],
-                          lookup: _GroupLookup,
-                          exempt: np.ndarray | None) -> RetentionReport:
-        config = self.policy.config
-        target = state.purge_target(config)
-        report = RetentionReport(policy=self.policy.name, t_c=t_c,
-                                 lifetime_days=config.lifetime_days,
-                                 target_bytes=target)
-
-        full = dict(activeness)
-        live_idx = np.flatnonzero(state.live)
-        for u in np.unique(state.owner[live_idx]).tolist():
-            full.setdefault(int(u), UserActiveness(int(u)))
-        groups = scan_ordered_uids(full)
-
-        if target <= 0:
-            self._record_survivors(state, report, lookup)
-            return report
-
-        # Per-owner slices over the live files, pid-ascending -- exactly
-        # the iter_user_files (string-sorted) visit order.
-        owners_live = state.owner[live_idx]
-        order = np.lexsort((live_idx, owners_live))
-        sorted_idx = live_idx[order]
-        sorted_own = owners_live[order]
-        uniq, starts, lens = np.unique(sorted_own, return_index=True,
-                                       return_counts=True)
-        slices = {int(u): (int(s), int(c))
-                  for u, s, c in zip(uniq, starts, lens)}
-
-        try:
-            for group, uids in groups:
-                for retro in range(config.retrospective_passes + 1):
-                    if retro:
-                        if report.purged_bytes_total >= target:
-                            break
-                        decay = (1.0 - config.rank_decay) ** retro
-                        report.passes_used = max(report.passes_used,
-                                                 retro + 1)
-                    else:
-                        decay = 1.0
-                    self._scan_group_columnar(
-                        state, t_c, report, full, group, uids, exempt,
-                        target, decay, slices, sorted_idx)
-        except _TargetReached:
-            pass
-
-        report.target_met = report.purged_bytes_total >= target
-        self._record_survivors(state, report, lookup)
-        if not report.target_met and self.policy.notifier is not None:
-            from ..core.notify import notification_from_report
-            self.policy.notifier.notify(notification_from_report(report))
-        return report
-
-    def _scan_group_columnar(self, state: _ReplayState, t_c: int,
-                             report: RetentionReport,
-                             activeness: dict[int, UserActiveness],
-                             group: UserClass, uids: list[int],
-                             exempt: np.ndarray | None, target: int,
-                             decay: float, slices, sorted_idx) -> None:
-        config = self.policy.config
-        for uid in uids:
-            lifetime = adjusted_lifetime_seconds(config, activeness[uid],
-                                                 group, decay)
-            if math.isinf(lifetime):
-                continue
-            span = slices.get(uid)
-            if span is None:
-                continue
-            idxs = sorted_idx[span[0]:span[0] + span[1]]
-            stale = state.live[idxs] & ((t_c - state.atime[idxs]) > lifetime)
-            if exempt is not None:
-                stale &= ~exempt[idxs]
-            idxs = idxs[stale]
-            if idxs.size == 0:
-                continue
-            remaining = target - report.purged_bytes_total
-            cum = np.cumsum(state.size[idxs])
-            cut = int(np.searchsorted(cum, remaining, side="left"))
-            if cut < idxs.size:
-                self._apply_purges(state, report, idxs[:cut + 1], group,
-                                   lookup=None)
-                raise _TargetReached
-            self._apply_purges(state, report, idxs, group, lookup=None)
-
-    # ------------------------------------------------------------------
-    # value-based baseline (related work): lowest-value files first
-
-    def _value_columns(self, compiled: CompiledTrace
-                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-pid ``(type_weight, smallness_snap, smallness_det)``
-        columns for the value function.
-
-        All three are time-invariant: the type weight depends only on
-        the path, and a live file's size is either its snapshot size or
-        (once re-materialized during the replay) its deterministic
-        ``det_size``.  Smallness uses ``math.log2`` per element so the
-        scores are bit-identical to the scalar reference even where
-        ``np.log2`` takes a differently-rounded SIMD path.
-        """
-        if self._type_weights_src is not compiled:
-            vf = self.policy.value_function
-
-            def smallness_of(size: int) -> float:
-                if size > 4096:
-                    return 1.0 / (1.0 + math.log2(max(size, 1) / 4096.0)
-                                  / 10.0)
-                return 1.0
-
-            self._type_weights = np.fromiter(
-                (vf.type_weight(p) for p in compiled.paths),
-                np.float64, compiled.n_paths)
-            self._smallness_snap = np.fromiter(
-                (smallness_of(s) for s in compiled.snap_size.tolist()),
-                np.float64, compiled.n_paths)
-            self._smallness_det = np.fromiter(
-                (smallness_of(s) for s in compiled.det_size.tolist()),
-                np.float64, compiled.n_paths)
-            self._type_weights_src = compiled
-        return self._type_weights, self._smallness_snap, self._smallness_det
-
-    def _file_values(self, compiled: CompiledTrace, state: _ReplayState,
-                     idxs: np.ndarray, t_c: int) -> np.ndarray:
-        """Vectorized ``CompositeValueFunction`` over the ``idxs`` files.
-
-        Mirrors the scalar ``__call__`` operation for operation so the
-        scores (and therefore the purge order and target cut) are
-        bit-identical to the reference policy run.  IEEE add / multiply
-        / divide round identically whether vectorized or scalar; the two
-        transcendentals do not (NumPy's SIMD ``log2`` / ``pow`` loops
-        can differ from libm by an ulp), so smallness comes from the
-        precomputed per-size columns and the recency power is folded
-        with the scalar operator.
-        """
-        vf = self.policy.value_function
-        type_weight, s_snap, s_det = self._value_columns(compiled)
-        # A live file's size is snap_size until first purged, det_size
-        # after any re-materialization; pick whichever column matches.
-        smallness = np.where(state.size[idxs] == compiled.det_size[idxs],
-                             s_det[idxs], s_snap[idxs])
-        age_days = np.maximum((t_c - state.atime[idxs]) / DAY_SECONDS, 0.0)
-        exponents = age_days / vf.recency_halflife_days
-        recency = np.fromiter((0.5 ** e for e in exponents.tolist()),
-                              np.float64, exponents.size)
-        return (vf.w_recency * recency + vf.w_size * smallness
-                + vf.w_type * type_weight[idxs])
-
-    def _value_trigger(self, compiled: CompiledTrace, state: _ReplayState,
-                       t_c: int, activeness: dict[int, UserActiveness],
-                       lookup: _GroupLookup,
-                       exempt: np.ndarray | None) -> RetentionReport:
-        config = self.policy.config
-        target = state.purge_target(config)
-        report = RetentionReport(policy=self.policy.name, t_c=t_c,
-                                 lifetime_days=config.lifetime_days,
-                                 target_bytes=target)
-
-        cand = np.flatnonzero(state.live & ~exempt if exempt is not None
-                              else state.live)
-        if cand.size:
-            values = self._file_values(compiled, state, cand, t_c)
-            # Ascending (value, path): pids are assigned in plain-string
-            # sort order, so the pid itself is the path tie-breaker.
-            order = np.lexsort((cand, values))
-            cand, values = cand[order], values[order]
-            if target > 0:
-                cum = np.cumsum(state.size[cand])
-                cut = int(np.searchsorted(cum, target, side="left"))
-                idxs = cand if cut >= cand.size else cand[:cut + 1]
-            else:
-                # No mandatory target: the information-lifecycle mode
-                # purges everything below the value threshold.
-                idxs = cand[values < self.policy.value_threshold]
-            if idxs.size:
-                self._apply_purges(state, report, idxs, None, lookup)
-
-        self._record_survivors(state, report, lookup)
-        if target > 0:
-            report.target_met = report.purged_bytes_total >= target
-        return report
-
-    # ------------------------------------------------------------------
-    # scratch-as-a-cache baseline (related work): evict non-resident users
-
-    def _cache_trigger(self, compiled: CompiledTrace, state: _ReplayState,
-                       t_c: int, activeness: dict[int, UserActiveness],
-                       lookup: _GroupLookup,
-                       exempt: np.ndarray | None) -> RetentionReport:
-        config = self.policy.config
-        report = RetentionReport(policy=self.policy.name, t_c=t_c,
-                                 lifetime_days=config.lifetime_days,
-                                 target_bytes=state.purge_target(config))
-
-        live_idx = np.flatnonzero(state.live)
-        if live_idx.size:
-            owners = state.owner[live_idx]
-            resident = self.policy.residency.resident_uids(t_c)
-            if resident.size:
-                pos = np.minimum(np.searchsorted(resident, owners),
-                                 resident.size - 1)
-                purge = resident[pos] != owners
-            else:
-                purge = np.ones(owners.size, dtype=np.bool_)
-            if exempt is not None:
-                purge &= ~exempt[live_idx]
-            idxs = live_idx[purge]
-            if idxs.size:
-                self._apply_purges(state, report, idxs, None, lookup)
-
-        self._record_survivors(state, report, lookup)
-        # The cache policy ignores utilization targets entirely; what it
-        # purges is dictated by residency alone.
-        report.target_met = True
-        return report

@@ -190,6 +190,7 @@ class ComparisonRunner:
         # Shared preprocessing: all replays evaluate activeness from one
         # consolidated store instead of re-sorting activities per policy.
         store = build_activity_store(ds.jobs, ds.publications)
+        store.consolidate()
         start, end = replay_bounds(ds)
         for policy in policies:
             emulator = Emulator(policy, self.config.activeness,
@@ -315,6 +316,7 @@ def single_snapshot_comparison(
     advance_filesystem(state, dataset.accesses, t_c)
 
     store = build_activity_store(dataset.jobs, dataset.publications)
+    store.consolidate()  # once, pre-fork, instead of once per worker
     known = [u.uid for u in dataset.users]
 
     lifetimes = tuple(lifetimes)

@@ -1,0 +1,38 @@
+"""Online retention service: streaming ingestion, incremental state,
+crash-safe checkpoint/resume.
+
+The batch pipeline (``repro.emulation``) answers "what would this policy
+have done over this year of traces"; this package answers the production
+question -- "run the policy *now*, continuously, over live feeds" --
+while provably computing the same thing: the streaming service is pinned
+bit-identical to the batch ``FastEmulator`` across the full retention
+spectrum, including across a checkpoint / kill / resume cycle.
+"""
+
+from .checkpoint import (CHECKPOINT_FORMAT, CheckpointManager,
+                         atomic_write_npz, load_checkpoint)
+from .events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION, StreamEvent,
+                     dataset_event_stream, merge_event_streams, skip_events,
+                     workspace_event_stream)
+from .service import OnlineRetentionService
+from .state import (GrowableReplayState, IncrementalActivenessState,
+                    PathCatalog)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointManager",
+    "atomic_write_npz",
+    "load_checkpoint",
+    "EVENT_ACCESS",
+    "EVENT_JOB",
+    "EVENT_PUBLICATION",
+    "StreamEvent",
+    "dataset_event_stream",
+    "merge_event_streams",
+    "skip_events",
+    "workspace_event_stream",
+    "OnlineRetentionService",
+    "GrowableReplayState",
+    "IncrementalActivenessState",
+    "PathCatalog",
+]

@@ -1,0 +1,242 @@
+"""Crash-safe checkpoint format for the online retention service.
+
+A checkpoint is one compressed ``.npz`` written atomically (tmp sibling +
+``os.replace``): either the old checkpoint or the new one exists, never a
+torn file.  Inside, a single JSON *manifest* entry carries the scalars --
+resume cursor, boundary position, counters, config fingerprint -- and the
+bulk state travels as native NumPy arrays:
+
+* the path catalog (paths + snapshot sizes, in intern order -- pids are
+  positional, so order *is* identity),
+* the replay state columns (live/atime/size/owner),
+* the daily metrics and group-count history,
+* the current user classification (kept verbatim: it cannot be
+  re-derived after resume because activeness at the *old* trigger instant
+  would see newer history),
+* the incremental activeness history, per activity type.
+
+Everything round-trips exactly: ints and bools verbatim, floats through
+JSON's shortest-round-trip repr or float64 arrays, sets as sorted lists.
+That exactness is what lets a resumed service continue bit-identically
+(pinned by ``tests/test_stream_checkpoint.py``).
+
+This module is pure serialization -- it does not import the service; the
+service imports it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.activity import ActivityCategory, ActivityType
+from ..core.classification import UserClass
+from ..core.report import GroupTally, RetentionReport
+from ..emulation.metrics import DailyMetrics
+
+__all__ = ["CHECKPOINT_FORMAT", "atomic_write_npz", "load_checkpoint",
+           "reports_to_jsonable", "reports_from_jsonable",
+           "metrics_to_arrays", "metrics_from_arrays",
+           "activeness_to_arrays", "activeness_from_arrays",
+           "CheckpointManager"]
+
+CHECKPOINT_FORMAT = "repro-stream-checkpoint/1"
+
+_MANIFEST_KEY = "__manifest__"
+
+#: Stable serialization order for the four user classes.
+_CLASSES = tuple(UserClass)
+
+
+# ---------------------------------------------------------------------------
+# atomic npz container
+
+
+def atomic_write_npz(path: str, manifest: Mapping[str, Any],
+                     arrays: Mapping[str, np.ndarray]) -> None:
+    """Write ``arrays`` + JSON ``manifest`` to ``path`` atomically.
+
+    The payload is fully written and fsynced to a same-directory ``.tmp``
+    sibling, then renamed over ``path`` -- a crash at any instant leaves
+    either the previous checkpoint or the complete new one.
+    """
+    if _MANIFEST_KEY in arrays:
+        raise ValueError(f"array name {_MANIFEST_KEY!r} is reserved")
+    payload = dict(arrays)
+    payload[_MANIFEST_KEY] = np.asarray(json.dumps(manifest))
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read back ``(manifest, arrays)`` written by :func:`atomic_write_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != _MANIFEST_KEY}
+        manifest = json.loads(str(data[_MANIFEST_KEY])) \
+            if _MANIFEST_KEY in data.files else None
+    if not isinstance(manifest, dict):
+        raise ValueError(f"{path} is not a stream checkpoint (no manifest)")
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"unsupported checkpoint format "
+                         f"{manifest.get('format')!r} in {path}")
+    return manifest, arrays
+
+
+# ---------------------------------------------------------------------------
+# reports
+
+
+def reports_to_jsonable(reports: list[RetentionReport]) -> list[dict]:
+    """JSON-safe encoding of a report list; exact under round-trip."""
+    out = []
+    for r in reports:
+        out.append({
+            "policy": r.policy,
+            "t_c": r.t_c,
+            "lifetime_days": r.lifetime_days,
+            "target_bytes": r.target_bytes,
+            "purged_bytes_total": r.purged_bytes_total,
+            "target_met": r.target_met,
+            "passes_used": r.passes_used,
+            "groups": {
+                str(cls.value): {
+                    "purged_files": t.purged_files,
+                    "purged_bytes": t.purged_bytes,
+                    "retained_files": t.retained_files,
+                    "retained_bytes": t.retained_bytes,
+                    "users_purged": sorted(t.users_purged),
+                    "users_scanned": sorted(t.users_scanned),
+                } for cls, t in r.groups.items()
+            },
+        })
+    return out
+
+
+def reports_from_jsonable(data: list[dict]) -> list[RetentionReport]:
+    out = []
+    for d in data:
+        report = RetentionReport(
+            policy=d["policy"], t_c=d["t_c"],
+            lifetime_days=d["lifetime_days"],
+            target_bytes=d["target_bytes"],
+            purged_bytes_total=d["purged_bytes_total"],
+            target_met=d["target_met"], passes_used=d["passes_used"])
+        for key, g in d["groups"].items():
+            report.groups[UserClass(int(key))] = GroupTally(
+                purged_files=g["purged_files"],
+                purged_bytes=g["purged_bytes"],
+                retained_files=g["retained_files"],
+                retained_bytes=g["retained_bytes"],
+                users_purged=set(g["users_purged"]),
+                users_scanned=set(g["users_scanned"]))
+        out.append(report)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# metrics
+
+
+def metrics_to_arrays(metrics: DailyMetrics) -> dict[str, np.ndarray]:
+    return {
+        "metrics_accesses": metrics.accesses,
+        "metrics_misses": metrics.misses,
+        "metrics_group_misses": np.stack(
+            [metrics.group_misses[cls] for cls in _CLASSES]),
+    }
+
+
+def metrics_from_arrays(arrays: Mapping[str, np.ndarray]) -> DailyMetrics:
+    accesses = np.asarray(arrays["metrics_accesses"], dtype=np.int64)
+    metrics = DailyMetrics(int(accesses.size))
+    metrics.accesses[:] = accesses
+    metrics.misses[:] = np.asarray(arrays["metrics_misses"], dtype=np.int64)
+    stacked = np.asarray(arrays["metrics_group_misses"], dtype=np.int64)
+    for i, cls in enumerate(_CLASSES):
+        metrics.group_misses[cls][:] = stacked[i]
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# activeness history
+
+
+def activeness_to_arrays(state: Mapping[ActivityType,
+                                        tuple[np.ndarray, np.ndarray,
+                                              np.ndarray]],
+                         ) -> tuple[list[dict], dict[str, np.ndarray]]:
+    """Flatten a ``snapshot_state`` mapping into (type table, arrays).
+
+    The type table keeps the mapping's iteration order, which restore
+    preserves -- per-type scatter order is part of bit-identity.
+    """
+    table = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, (atype, (uids, ts, imp)) in enumerate(state.items()):
+        table.append({"name": atype.name, "category": atype.category.value,
+                      "weight": atype.weight})
+        arrays[f"act_{i}_uids"] = uids
+        arrays[f"act_{i}_ts"] = ts
+        arrays[f"act_{i}_imp"] = imp
+    return table, arrays
+
+
+def activeness_from_arrays(table: list[dict],
+                           arrays: Mapping[str, np.ndarray],
+                           ) -> dict[ActivityType, tuple[np.ndarray,
+                                                         np.ndarray,
+                                                         np.ndarray]]:
+    out = {}
+    for i, entry in enumerate(table):
+        atype = ActivityType(entry["name"],
+                             ActivityCategory(entry["category"]),
+                             entry["weight"])
+        out[atype] = (np.asarray(arrays[f"act_{i}_uids"], dtype=np.int64),
+                      np.asarray(arrays[f"act_{i}_ts"], dtype=np.int64),
+                      np.asarray(arrays[f"act_{i}_imp"], dtype=np.float64))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# manager
+
+
+class CheckpointManager:
+    """Owns one rolling checkpoint file inside a directory.
+
+    The service hands it (manifest, arrays) payloads; each save atomically
+    replaces the previous checkpoint, so :meth:`latest` always names a
+    complete, loadable snapshot (or nothing).
+    """
+
+    FILENAME = "checkpoint.npz"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, self.FILENAME)
+
+    def save(self, manifest: Mapping[str, Any],
+             arrays: Mapping[str, np.ndarray]) -> str:
+        atomic_write_npz(self.path, manifest, arrays)
+        return self.path
+
+    def latest(self) -> str | None:
+        return self.path if os.path.exists(self.path) else None
+
+    def load(self) -> tuple[dict, dict[str, np.ndarray]]:
+        latest = self.latest()
+        if latest is None:
+            raise FileNotFoundError(
+                f"no checkpoint found in {self.directory}")
+        return load_checkpoint(latest)

@@ -12,16 +12,27 @@ Formats::
     jobs:   job_id|uid|submit_ts|start_ts|end_ts|num_nodes|cores_per_node
     apps:   ts|uid|op|path
     pubs:   pub_id|ts|citations|uid0,uid1,...
+
+All writers are **atomic**: records stream into a same-directory
+``.tmp`` sibling which is renamed over the destination only after a
+successful close, so a crashed or interrupted write never leaves a
+truncated trace behind (the old file, if any, survives intact).  The app
+log stores the path as the *last* field and parses it with
+``split("|", 3)``, so paths containing ``|``, spaces, or any non-newline
+unicode round-trip; paths containing a newline cannot be represented in
+a line-oriented format and are rejected at write time.
 """
 
 from __future__ import annotations
 
 import gzip
+import os
 from typing import IO, Callable, Iterable, Iterator, TypeVar
 
 from .schema import AppAccessRecord, JobRecord, PublicationRecord, UserRecord
 
 __all__ = [
+    "atomic_output",
     "write_users", "read_users",
     "write_jobs", "read_jobs",
     "write_app_log", "read_app_log",
@@ -31,8 +42,39 @@ __all__ = [
 T = TypeVar("T")
 
 
-def _open_write(path: str) -> IO[str]:
-    return gzip.open(path, "wt") if path.endswith(".gz") else open(path, "w")
+class atomic_output:
+    """Context manager: write-to-tmp-sibling, then ``os.replace``.
+
+    Yields a text handle (gzip-compressed when the *final* path ends in
+    ``.gz`` -- the tmp suffix never changes the compression decision).
+    On a clean exit the tmp file replaces ``path`` atomically; on an
+    exception the tmp file is removed and the destination is untouched.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tmp = f"{path}.tmp"
+        self._fh: IO[str] | None = None
+
+    def __enter__(self) -> IO[str]:
+        self._fh = (gzip.open(self._tmp, "wt")
+                    if self.path.endswith(".gz")
+                    else open(self._tmp, "w"))
+        return self._fh
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fh.close()
+        if exc_type is None:
+            os.replace(self._tmp, self.path)
+        else:
+            try:
+                os.remove(self._tmp)
+            except OSError:
+                pass
+
+
+def _open_write(path: str) -> atomic_output:
+    return atomic_output(path)
 
 
 def _open_read(path: str) -> IO[str]:
@@ -72,8 +114,12 @@ def _read(path: str, parse: Callable[[str], T]) -> Iterator[T]:
 # ---------------------------------------------------------------- users
 
 def write_users(path: str, users: Iterable[UserRecord]) -> int:
-    return _write(path, users,
-                  lambda u: f"{u.uid}|{u.name}|{u.created_ts}\n")
+    def fmt(u: UserRecord) -> str:
+        if "|" in u.name or "\n" in u.name:
+            raise ValueError(f"user name {u.name!r} cannot contain '|' or "
+                             "newlines in the users trace format")
+        return f"{u.uid}|{u.name}|{u.created_ts}\n"
+    return _write(path, users, fmt)
 
 
 def read_users(path: str) -> Iterator[UserRecord]:
@@ -103,8 +149,12 @@ def read_jobs(path: str) -> Iterator[JobRecord]:
 # ---------------------------------------------------------------- app log
 
 def write_app_log(path: str, accesses: Iterable[AppAccessRecord]) -> int:
-    return _write(path, accesses,
-                  lambda a: f"{a.ts}|{a.uid}|{a.op}|{a.path}\n")
+    def fmt(a: AppAccessRecord) -> str:
+        if "\n" in a.path:
+            raise ValueError(f"path {a.path!r} cannot contain newlines in "
+                             "the line-oriented app-log format")
+        return f"{a.ts}|{a.uid}|{a.op}|{a.path}\n"
+    return _write(path, accesses, fmt)
 
 
 def read_app_log(path: str) -> Iterator[AppAccessRecord]:

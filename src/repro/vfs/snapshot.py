@@ -66,6 +66,12 @@ class SnapshotRecord:
     size: int = -1
 
     def to_line(self) -> str:
+        # The path is the *first* field here (unlike the app log, where
+        # it is last), so a '|' or newline inside it would shear the
+        # record apart on parse -- reject rather than corrupt.
+        if "|" in self.path or "\n" in self.path:
+            raise ValueError(f"snapshot path {self.path!r} cannot contain "
+                             "'|' or newlines")
         return (f"{self.path}|{self.stripe_count}|{self.atime}|{self.mtime}"
                 f"|{self.ctime}|{self.uid}|{self.flags}|{self.size}\n")
 
@@ -97,11 +103,14 @@ class SnapshotWriter:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.n_shards = n_shards
-        self._files = [
-            gzip.open(os.path.join(directory, _SHARD_TEMPLATE.format(i)), "wt")
-            for i in range(n_shards)
-        ]
+        # Shards stream into .tmp siblings and are renamed into place
+        # only on a successful close, so a crash mid-write leaves any
+        # previous snapshot intact and never a truncated shard.
+        self._shard_paths = [os.path.join(directory, _SHARD_TEMPLATE.format(i))
+                             for i in range(n_shards)]
+        self._files = [gzip.open(f"{p}.tmp", "wt") for p in self._shard_paths]
         self._next = 0
+        self._closed = False
         self.records_written = 0
 
     def write(self, record: SnapshotRecord) -> None:
@@ -109,15 +118,26 @@ class SnapshotWriter:
         self._next = (self._next + 1) % self.n_shards
         self.records_written += 1
 
-    def close(self) -> None:
+    def close(self, commit: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
         for f in self._files:
             f.close()
+        for p in self._shard_paths:
+            if commit:
+                os.replace(f"{p}.tmp", p)
+            else:
+                try:
+                    os.remove(f"{p}.tmp")
+                except OSError:
+                    pass
 
     def __enter__(self) -> "SnapshotWriter":
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(commit=exc_type is None)
 
 
 def write_snapshot(directory: str, records: Iterable[SnapshotRecord],
