@@ -118,6 +118,46 @@ def run_bench(n_users: int, seed: int, kill_fraction: float) -> dict:
             "bit_identical_to_batch": True,
         }
 
+    # Reliability-layer ingest overhead: the same ActiveDR service fed
+    # by the raw merged reader vs. the resilient/quarantined path, both
+    # parsing the workspace from disk so the comparison is end to end.
+    from repro.cli.workspace import save_workspace
+    from repro.stream import ReliableEventStream
+    from repro.stream.events import workspace_event_stream
+
+    with tempfile.TemporaryDirectory() as wsdir:
+        save_workspace(dataset, wsdir, n_shards=1)
+
+        def best_of(make_events, repeats=3):
+            best, result = None, None
+            for _ in range(repeats):
+                service = make_service(policies["ActiveDR"])
+                t0 = time.perf_counter()
+                result = service.run(make_events())
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None else min(best, elapsed)
+            return best, result
+
+        plain_seconds, plain_result = best_of(
+            lambda: workspace_event_stream(wsdir))
+        reliable_streams = []
+
+        def reliable_events():
+            stream = ReliableEventStream(wsdir)
+            reliable_streams.append(stream)
+            return iter(stream)
+
+        reliable_seconds, reliable_result = best_of(reliable_events)
+        assert_results_equal(reliable_result, plain_result, "reliability")
+        reliability_overhead = {
+            "plain_seconds": round(plain_seconds, 3),
+            "reliable_seconds": round(reliable_seconds, 3),
+            "overhead_fraction": round(
+                reliable_seconds / plain_seconds - 1.0, 4),
+            "quarantined": reliable_streams[-1].quarantine.total,
+            "bit_identical_to_plain": True,
+        }
+
     # Checkpoint / kill / resume cycle under ActiveDR.
     kill_at = int(n_events * kill_fraction)
     with tempfile.TemporaryDirectory() as ckdir:
@@ -160,6 +200,7 @@ def run_bench(n_users: int, seed: int, kill_fraction: float) -> dict:
             "generate_seconds": round(generate_seconds, 3),
         },
         "per_policy": per_policy,
+        "reliability_overhead": reliability_overhead,
         "checkpoint_resume": {
             "kill_after_events": kill_at,
             "resume_cursor": cursor,
@@ -211,6 +252,11 @@ def main(argv=None) -> int:
               f"{row['stream_vs_batch']}x batch) "
               f"trigger {row['trigger_latency_ms']}ms, "
               f"refold {100 * row['refold_fraction']:.1f}%")
+    rel = result["reliability_overhead"]
+    print(f"  reliability layer: {rel['plain_seconds']}s plain vs "
+          f"{rel['reliable_seconds']}s guarded "
+          f"({100 * rel['overhead_fraction']:+.1f}%), "
+          f"{rel['quarantined']} quarantined")
     ck = result["checkpoint_resume"]
     print(f"  kill/resume: cursor {ck['resume_cursor']} "
           f"of {result['dataset']['merged_events']}, "

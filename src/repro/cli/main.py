@@ -18,7 +18,9 @@ Subcommands::
                        [--policy flt|activedr|value|cache]
                        [--lifetime D] [--target U]
                        [--checkpoint-dir DIR] [--checkpoint-every DAYS]
-                       [--resume] [--stop-after-events N]
+                       [--checkpoint-retain K] [--resume]
+                       [--stop-after-events N] [--dead-letter FILE]
+                       [--fault-plan FILE]
 
 ``generate`` writes a synthetic Titan workspace to disk; the other
 commands operate on any directory in that format (real traces can be
@@ -37,9 +39,15 @@ adds the two baselines' miss columns to the lifetime table.
 ``serve`` runs the *online* retention service: the workspace's traces
 are merged into one time-ordered event stream and consumed record by
 record, with incremental activeness state and crash-safe checkpoints
-(``--checkpoint-dir``).  Kill it mid-run, then ``serve --resume`` picks
-up from the latest checkpoint and finishes with results bit-identical
-to ``replay --engine fast``.
+(``--checkpoint-dir``).  Ingestion goes through the reliability layer
+(``repro.stream.reliability``): failing sources are retried with
+backoff, malformed or disordered events are quarantined to a
+dead-letter file, and checkpoints form a self-verifying chain of the
+last ``--checkpoint-retain`` links.  Kill it mid-run, then ``serve
+--resume`` rolls back to the newest checkpoint that passes digest
+verification (exit code 3 when none does) and finishes with results
+bit-identical to ``replay --engine fast``.  ``--fault-plan`` injects
+scripted ingest/checkpoint faults for chaos testing.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -181,12 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for the rolling atomic checkpoint")
     srv.add_argument("--checkpoint-every", type=int, default=7,
                      help="days between checkpoints (trigger days only)")
+    srv.add_argument("--checkpoint-retain", type=int, default=3,
+                     help="verified checkpoints kept in the chain")
     srv.add_argument("--resume", action="store_true",
-                     help="resume from the latest checkpoint in "
-                          "--checkpoint-dir instead of starting fresh")
+                     help="resume from the newest checkpoint in "
+                          "--checkpoint-dir that passes digest "
+                          "verification, rolling back past corrupt ones")
     srv.add_argument("--stop-after-events", type=int, default=None,
                      help="stop (without finalizing) after N merged "
                           "events -- simulates a crash for resume testing")
+    srv.add_argument("--dead-letter", default=None,
+                     help="JSONL file for quarantined events (default: "
+                          "dead-letter.jsonl in --checkpoint-dir, if set)")
+    srv.add_argument("--fault-plan", default=None,
+                     help="JSON fault plan injected into the ingest and "
+                          "checkpoint paths (chaos/dev testing)")
     return parser
 
 
@@ -407,12 +424,43 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``serve`` exit code for checkpoint failures (2 is taken by ``retain``'s
+#: unmet-target signal).
+EXIT_CHECKPOINT_FAILURE = 3
+
+
+def _serve_reliability_report(stream) -> None:
+    """One stderr line per run: source health + quarantine summary.
+
+    Written to stderr so the stdout contract (two status lines, then the
+    emulation summary) stays byte-comparable against ``replay``.
+    """
+    import json
+
+    report = stream.report()
+    health = " ".join(f"{name}={info['health']}"
+                      for name, info in report["sources"].items())
+    quarantine = report["quarantine"]
+    line = (f"reliability: {health}; "
+            f"quarantined={quarantine['quarantined']}")
+    if quarantine["quarantined"]:
+        line += f" by_reason={json.dumps(quarantine['by_reason'])}"
+        dead = quarantine.get("dead_letter")
+        if dead:
+            line += f" dead_letter={dead['path']}"
+    if report["held_watermarks"]:
+        line += f" held_watermarks={json.dumps(report['held_watermarks'])}"
+    print(line, file=sys.stderr)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import os
 
-    from ..stream import (CheckpointManager, OnlineRetentionService,
-                          skip_events, workspace_event_stream)
+    from ..faults import FaultPlan, FaultyIO
+    from ..stream import (CheckpointCorruption, CheckpointManager,
+                          DeadLetterLog, OnlineRetentionService,
+                          ReliableEventStream, skip_events)
     from ..traces import read_jobs, read_users
     from ..vfs import load_filesystem
 
@@ -429,20 +477,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy = ScratchAsCachePolicy(config,
                                       residency=JobResidencyIndex(jobs))
 
-    events = workspace_event_stream(args.workspace)
+    plan = FaultPlan.from_json(args.fault_plan) if args.fault_plan else None
+    opener = None
+    if plan is not None and plan.has_target("checkpoint"):
+        def opener(path: str):
+            return FaultyIO(open(path, "wb"), plan, "checkpoint")
+
+    dead_letter_path = args.dead_letter
+    if dead_letter_path is None and args.checkpoint_dir:
+        dead_letter_path = os.path.join(args.checkpoint_dir,
+                                        "dead-letter.jsonl")
+    dead_letter = (DeadLetterLog(dead_letter_path)
+                   if dead_letter_path else None)
+    stream = ReliableEventStream(args.workspace, plan=plan,
+                                 dead_letter=dead_letter)
+    events = iter(stream)
+
+    manager = (CheckpointManager(args.checkpoint_dir,
+                                 retain=max(1, args.checkpoint_retain),
+                                 opener=opener)
+               if args.checkpoint_dir else None)
+
     if args.resume:
-        if not args.checkpoint_dir:
+        if manager is None:
             print("--resume requires --checkpoint-dir", file=sys.stderr)
             return 1
-        latest = CheckpointManager(args.checkpoint_dir).latest()
-        if latest is None:
-            print(f"no checkpoint in {args.checkpoint_dir}", file=sys.stderr)
-            return 1
-        service = OnlineRetentionService.resume(
-            latest, policy, checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every_days=args.checkpoint_every)
+        newest, failures = manager.latest_verified()
+        for failed_path, reason in failures:
+            print(f"checkpoint {failed_path} failed verification: {reason}",
+                  file=sys.stderr)
+        if newest is None:
+            if not failures:
+                print(f"no checkpoint in {args.checkpoint_dir}",
+                      file=sys.stderr)
+                return 1
+            print(f"no checkpoint in {args.checkpoint_dir} verifies; "
+                  f"cannot resume.  Restore a checkpoint from backup or "
+                  f"start fresh without --resume.", file=sys.stderr)
+            return EXIT_CHECKPOINT_FAILURE
+        if failures:
+            print(f"rolling back to {newest}", file=sys.stderr)
+        try:
+            service = OnlineRetentionService.resume(
+                newest, policy,
+                checkpoint_every_days=args.checkpoint_every,
+                checkpoint_manager=manager)
+        except CheckpointCorruption as exc:
+            where = (f" (array {exc.array!r})"
+                     if exc.array is not None else "")
+            print(f"cannot resume from {newest}{where}: {exc.reason}",
+                  file=sys.stderr)
+            return EXIT_CHECKPOINT_FAILURE
         events = skip_events(events, service.cursor)
-        print(f"resumed from {latest} at event {service.cursor}")
+        print(f"resumed from {newest} at event {service.cursor}")
     else:
         with open(os.path.join(args.workspace, "meta.json")) as f:
             meta = json.load(f)
@@ -455,11 +542,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             policy, snapshot_fs=fs,
             replay_start=int(meta["replay_start"]),
             replay_end=int(meta["replay_end"]),
-            known_uids=known, checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every_days=args.checkpoint_every)
+            known_uids=known,
+            checkpoint_every_days=args.checkpoint_every,
+            checkpoint_manager=manager)
 
     result = service.run(events, stop_after_events=args.stop_after_events)
     stats = service.stats
+    _serve_reliability_report(stream)
+    if dead_letter is not None:
+        dead_letter.close()
     if result is None:
         where = (f"; checkpoint: {service.checkpoints.latest()}"
                  if service.checkpoints else "")

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the ingest -> state -> checkpoint path.
+
+Production ingest stacks are only as trustworthy as the failures they
+have been exercised against.  This package is the exercise machinery: a
+:class:`FaultPlan` scripts *exactly* which operation of which target
+fails, and in what way -- truncation, partial writes, ``EIO``, stalls,
+bit-flips, process kills, malformed/duplicate/regressed events -- so a
+chaos test (or ``serve --fault-plan``) replays the same failure sequence
+every run.  All randomness (garbage payloads, bit positions) derives
+from the plan's seed, never from wall-clock entropy.
+
+The package deliberately knows nothing about ``repro.stream``: it wraps
+plain file handles (:class:`FaultyIO`) and plain event iterators
+(:class:`FaultyStream`), and the reliability layer composes them in.
+"""
+
+from .io import FaultyIO, FaultyStream, InjectedIOError, corrupt_file
+from .plan import (IO_READ_KINDS, IO_WRITE_KINDS, STREAM_KINDS, FaultPlan,
+                   FaultSpec)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyIO",
+    "FaultyStream",
+    "InjectedIOError",
+    "corrupt_file",
+    "IO_READ_KINDS",
+    "IO_WRITE_KINDS",
+    "STREAM_KINDS",
+]

@@ -1,0 +1,234 @@
+"""Fault-injecting wrappers for file handles and event iterators.
+
+:class:`FaultyIO` wraps a binary file object and fires plan specs at
+scripted read/write call indices -- ``EIO``, stalls, ``SIGKILL`` mid
+write (a scripted ``kill -9`` *during* a checkpoint write), disk-full
+partial writes, short reads, bit-flips.  Operation indices are counted
+on the plan, cumulatively across every handle opened for the same
+target, so "kill during the 3rd checkpoint's write" is expressible as a
+single absolute write index.
+
+:class:`FaultyStream` wraps an event iterator and *inserts* faults --
+stalls (a transient ``InjectedIOError`` the retry layer must absorb),
+malformed garbage, duplicate and time-regressed copies of real events.
+Injections never consume or replace an underlying event, so the valid
+subsequence is exactly the clean stream: a pipeline that quarantines
+every injection provably computes the fault-free answer.
+
+:func:`corrupt_file` applies after-the-fact corruption (truncation,
+bit-flips) to files already on disk -- torn-write simulation for
+checkpoint-chain tests.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+from typing import IO, Callable, Iterator
+
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["InjectedIOError", "FaultyIO", "FaultyStream", "corrupt_file"]
+
+
+class InjectedIOError(OSError):
+    """A scripted transient I/O failure (``errno.EAGAIN``)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(errno.EAGAIN, message)
+
+
+def _default_kill() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class FaultyIO:
+    """A file-object proxy that injects faults at scripted call indices.
+
+    Reads and writes are counted separately (plan counter keys
+    ``{target}#r`` / ``{target}#w``).  Anything not intercepted is
+    delegated to the wrapped handle, so the proxy drops into any code
+    that expects a file object (including ``np.savez``).
+    """
+
+    def __init__(self, fh: IO[bytes], plan: FaultPlan, target: str, *,
+                 sleep: Callable[[float], None] | None = None,
+                 kill: Callable[[], None] | None = None) -> None:
+        self._fh = fh
+        self._plan = plan
+        self._target = target
+        self._specs = plan.for_target(target)
+        self._reads = plan.counter(f"{target}#r")
+        self._writes = plan.counter(f"{target}#w")
+        self._sleep = sleep or __import__("time").sleep
+        self._kill = kill or _default_kill
+        self._truncated = False
+
+    # -- intercepted calls ---------------------------------------------
+
+    def write(self, data) -> int:
+        index = self._writes.n
+        self._writes.n += 1
+        for spec in self._specs.get(index, ()):
+            if not self._plan.claim(spec):
+                continue
+            if spec.kind == "eio":
+                raise OSError(errno.EIO, f"injected EIO on write {index} "
+                                         f"of {self._target}")
+            if spec.kind == "stall":
+                self._sleep(float(spec.arg or 0.01))
+            elif spec.kind == "kill":
+                self._fh.flush()
+                self._kill()
+            elif spec.kind == "partial_write":
+                self._fh.write(data[:len(data) // 2])
+                raise OSError(errno.ENOSPC,
+                              f"injected disk-full after partial write "
+                              f"{index} of {self._target}")
+        return self._fh.write(data)
+
+    def read(self, size: int = -1) -> bytes:
+        if self._truncated:
+            return b""
+        index = self._reads.n
+        self._reads.n += 1
+        data = None
+        for spec in self._specs.get(index, ()):
+            if not self._plan.claim(spec):
+                continue
+            if spec.kind == "eio":
+                raise OSError(errno.EIO, f"injected EIO on read {index} "
+                                         f"of {self._target}")
+            if spec.kind == "stall":
+                self._sleep(float(spec.arg or 0.01))
+            elif spec.kind == "truncate":
+                data = self._fh.read(size)
+                keep = int(spec.arg) if spec.arg is not None else len(data) // 2
+                data = data[:keep]
+                self._truncated = True
+            elif spec.kind == "bitflip":
+                buf = bytearray(self._fh.read(size))
+                if buf:
+                    rng = self._plan.rng(spec)
+                    bit = rng.randrange(8 * len(buf))
+                    buf[bit // 8] ^= 1 << (bit % 8)
+                data = bytes(buf)
+        if data is None:
+            data = self._fh.read(size)
+        return data
+
+    # -- passthrough ---------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._fh, name)
+
+    def __enter__(self) -> "FaultyIO":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fh.close()
+
+    def __iter__(self):
+        return iter(self._fh)
+
+
+class FaultyStream:
+    """An event-iterator proxy that *inserts* scripted stream faults.
+
+    ``source`` is any object with an integer ``pos`` (absolute index of
+    the next underlying event -- typically maintained by the replayable
+    source that owns the iterator) and a ``last_event`` attribute;
+    faults fire when ``pos`` reaches a spec's ``at``.  Because firing
+    state lives on the plan, a retry that re-opens the stream (and thus
+    rebuilds this wrapper) resumes exactly where the fault schedule left
+    off instead of replaying already-fired faults.
+    """
+
+    def __init__(self, events: Iterator, plan: FaultPlan, source) -> None:
+        self._events = events
+        self._plan = plan
+        self._source = source
+        self._specs = plan.for_target(source.name)
+
+    def __iter__(self) -> "FaultyStream":
+        return self
+
+    def __next__(self):
+        injected = self._inject_at(self._source.pos)
+        if injected is not _NOTHING:
+            return injected
+        return next(self._events)
+
+    def _inject_at(self, pos: int):
+        for spec in self._specs.get(pos, ()):
+            if not self._plan.claim(spec):
+                continue
+            if spec.kind == "stall":
+                raise InjectedIOError(
+                    f"injected stall at event {pos} of {self._source.name}")
+            if spec.kind == "eio":
+                raise OSError(errno.EIO, f"injected EIO at event {pos} of "
+                                         f"{self._source.name}")
+            if spec.kind == "malformed":
+                return self._garbage(spec, pos)
+            last = self._source.last_event
+            if last is None:
+                continue  # nothing to duplicate/regress yet; spec spent
+            if spec.kind == "duplicate":
+                return last
+            if spec.kind == "regress":
+                delta = int(spec.arg) if spec.arg is not None else 86_400
+                return type(last)(last.ts - delta, last.kind, last.payload)
+        return _NOTHING
+
+    def _garbage(self, spec: FaultSpec, pos: int):
+        rng = self._plan.rng(spec)
+        # Advance the RNG once per firing so consecutive injections from
+        # one spec (count > 1) differ, yet the sequence stays seeded.
+        for _ in range(self._plan.fired(spec)):
+            rng.random()
+        last = self._source.last_event
+        shapes = ["none", "text", "object"]
+        if last is not None:
+            shapes += ["bad_kind", "bad_payload"]
+        shape = rng.choice(shapes)
+        if shape == "none":
+            return None
+        if shape == "text":
+            return f"garbage|{self._source.name}|{pos}|{rng.random():.6f}"
+        if shape == "object":
+            return object()
+        if shape == "bad_kind":
+            return type(last)(last.ts, f"garbage-{pos}", last.payload)
+        return type(last)(last.ts, last.kind, None)
+
+
+_NOTHING = object()
+
+
+def corrupt_file(path: str, kind: str = "truncate", *, seed: int = 0,
+                 frac: float = 0.5) -> None:
+    """Corrupt an on-disk file in place (torn-write simulation).
+
+    ``truncate`` keeps the first ``frac`` of the file -- what a crash
+    between a partial write and the rename-barrier fsync can leave
+    behind; ``bitflip`` flips one seeded-random bit in place -- silent
+    media corruption.
+    """
+    size = os.path.getsize(path)
+    if kind == "truncate":
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, int(size * frac)))
+    elif kind == "bitflip":
+        import random
+
+        rng = random.Random(f"{seed}|{path}|{size}")
+        offset = rng.randrange(max(1, size))
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ (1 << rng.randrange(8))]))
+    else:
+        raise ValueError(f"unknown corruption kind {kind!r}")

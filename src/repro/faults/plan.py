@@ -1,0 +1,142 @@
+"""Fault plans: scripted, seeded, reproducible failure schedules.
+
+A plan is a list of :class:`FaultSpec` entries.  Each spec names
+
+* a **target** -- a label the wrapping site chooses ("jobs",
+  "accesses", "checkpoint", ...),
+* a **kind** -- what goes wrong (see the kind sets below),
+* **at** -- the zero-based operation index at which the fault fires
+  (events emitted for stream targets, read/write calls for IO targets),
+* **count** -- how many times the spec fires in total (default once),
+* **arg** -- a kind-specific parameter (stall seconds, bytes to keep,
+  timestamp delta, ...).
+
+Two properties make plans usable inside bit-identity tests:
+
+1. **Determinism.**  Any randomness a fault needs (garbage payload
+   shape, which bit to flip) comes from :meth:`FaultPlan.rng`, seeded by
+   ``(plan.seed, target, kind, at)`` -- the same plan always produces
+   the same corruption.
+2. **Process-global firing.**  Fired counts live on the plan, not on
+   the wrapper, so a retried source that re-opens (and therefore
+   re-wraps) its underlying stream does not re-trigger a fault that
+   already fired -- exactly how a transient real-world failure behaves.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+
+__all__ = ["STREAM_KINDS", "IO_WRITE_KINDS", "IO_READ_KINDS", "FaultSpec",
+           "FaultPlan"]
+
+#: Faults a :class:`~repro.faults.io.FaultyStream` understands.
+STREAM_KINDS = frozenset({"stall", "eio", "malformed", "duplicate",
+                          "regress"})
+#: Faults a :class:`~repro.faults.io.FaultyIO` applies to ``write`` calls.
+IO_WRITE_KINDS = frozenset({"eio", "stall", "kill", "partial_write"})
+#: Faults a :class:`~repro.faults.io.FaultyIO` applies to ``read`` calls.
+IO_READ_KINDS = frozenset({"eio", "stall", "truncate", "bitflip"})
+
+_KNOWN_KINDS = STREAM_KINDS | IO_WRITE_KINDS | IO_READ_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: *kind* strikes *target* at operation *at*."""
+
+    target: str
+    kind: str
+    at: int
+    count: int = 1
+    arg: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KNOWN_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(known: {sorted(_KNOWN_KINDS)})")
+        if self.at < 0:
+            raise ValueError("fault index 'at' must be non-negative")
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+
+
+class _OpCounter:
+    """A mutable operation counter shared across re-opened wrappers."""
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+
+class FaultPlan:
+    """A seeded collection of fault specs with process-global firing."""
+
+    def __init__(self, specs: object = (), seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.specs: list[FaultSpec] = []
+        for spec in specs:
+            if isinstance(spec, dict):
+                spec = FaultSpec(**spec)
+            self.specs.append(spec)
+        self._fired: dict[FaultSpec, int] = {}
+        self._counters: dict[str, _OpCounter] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(data.get("faults", ()), seed=data.get("seed", 0))
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [asdict(spec) for spec in self.specs]}
+
+    # -- scheduling ----------------------------------------------------
+
+    def for_target(self, target: str) -> dict[int, list[FaultSpec]]:
+        """Specs for ``target``, indexed by firing position.
+
+        Wrappers look their current operation index up in this mapping;
+        an O(1) probe per operation keeps thousand-spec plans (e.g. "1 %
+        of events are malformed") from costing O(specs) per event.
+        """
+        by_at: dict[int, list[FaultSpec]] = {}
+        for spec in self.specs:
+            if spec.target == target:
+                by_at.setdefault(spec.at, []).append(spec)
+        return by_at
+
+    def has_target(self, target: str) -> bool:
+        return any(spec.target == target for spec in self.specs)
+
+    def claim(self, spec: FaultSpec) -> bool:
+        """Consume one firing of ``spec``; False once its count is spent."""
+        fired = self._fired.get(spec, 0)
+        if fired >= spec.count:
+            return False
+        self._fired[spec] = fired + 1
+        return True
+
+    def fired(self, spec: FaultSpec) -> int:
+        return self._fired.get(spec, 0)
+
+    def counter(self, key: str) -> _OpCounter:
+        """The shared operation counter for ``key`` (e.g. ``"ck#w"``)."""
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = self._counters[key] = _OpCounter()
+        return cell
+
+    def rng(self, spec: FaultSpec) -> random.Random:
+        """A deterministic RNG scoped to one spec."""
+        return random.Random(
+            f"{self.seed}|{spec.target}|{spec.kind}|{spec.at}")

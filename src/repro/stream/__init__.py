@@ -9,20 +9,26 @@ bit-identical to the batch ``FastEmulator`` across the full retention
 spectrum, including across a checkpoint / kill / resume cycle.
 """
 
-from .checkpoint import (CHECKPOINT_FORMAT, CheckpointManager,
-                         atomic_write_npz, load_checkpoint)
+from .checkpoint import (CHECKPOINT_FORMAT, CheckpointCorruption,
+                         CheckpointManager, atomic_write_npz,
+                         load_checkpoint, verify_checkpoint)
 from .events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION, StreamEvent,
                      dataset_event_stream, merge_event_streams, skip_events,
                      workspace_event_stream)
+from .reliability import (DeadLetterLog, EventQuarantine,
+                          ReliableEventStream, ResilientSource, RetryPolicy,
+                          SourceHealth, TailingFileSource)
 from .service import OnlineRetentionService
 from .state import (GrowableReplayState, IncrementalActivenessState,
                     PathCatalog)
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CheckpointCorruption",
     "CheckpointManager",
     "atomic_write_npz",
     "load_checkpoint",
+    "verify_checkpoint",
     "EVENT_ACCESS",
     "EVENT_JOB",
     "EVENT_PUBLICATION",
@@ -31,6 +37,13 @@ __all__ = [
     "merge_event_streams",
     "skip_events",
     "workspace_event_stream",
+    "DeadLetterLog",
+    "EventQuarantine",
+    "ReliableEventStream",
+    "ResilientSource",
+    "RetryPolicy",
+    "SourceHealth",
+    "TailingFileSource",
     "OnlineRetentionService",
     "GrowableReplayState",
     "IncrementalActivenessState",

@@ -1,10 +1,11 @@
-"""Crash-safe checkpoint format for the online retention service.
+"""Crash-safe, self-verifying checkpoint chains for the retention service.
 
-A checkpoint is one compressed ``.npz`` written atomically (tmp sibling +
-``os.replace``): either the old checkpoint or the new one exists, never a
-torn file.  Inside, a single JSON *manifest* entry carries the scalars --
-resume cursor, boundary position, counters, config fingerprint -- and the
-bulk state travels as native NumPy arrays:
+A checkpoint is one compressed ``.npz`` written atomically and durably
+(tmp sibling + fsync + ``os.replace`` + directory fsync): either the old
+checkpoint or the new one exists, never a torn file.  Inside, a single
+JSON *manifest* entry carries the scalars -- resume cursor, boundary
+position, counters, config fingerprint -- and the bulk state travels as
+native NumPy arrays:
 
 * the path catalog (paths + snapshot sizes, in intern order -- pids are
   positional, so order *is* identity),
@@ -20,15 +21,31 @@ JSON's shortest-round-trip repr or float64 arrays, sets as sorted lists.
 That exactness is what lets a resumed service continue bit-identically
 (pinned by ``tests/test_stream_checkpoint.py``).
 
+Durability and verification
+---------------------------
+Every array carries a CRC32 *and* a SHA-256 digest (over its raw bytes,
+dtype, and shape) in the manifest; :func:`load_checkpoint` recomputes
+and compares them, so a torn write, a truncated npz, or silent bit rot
+is reported as :class:`CheckpointCorruption` naming the failing array
+and digests rather than surfacing as a numerically-wrong resume.  (The
+manifest itself is covered by the npz container's zip CRC.)
+:class:`CheckpointManager` keeps a *chain* of the last ``retain``
+checkpoints (``checkpoint-<seq>.npz``), garbage-collects older ones,
+and on load falls back to the newest checkpoint that verifies -- the
+rollback that lets a daemon survive a corrupt head.
+
 This module is pure serialization -- it does not import the service; the
 service imports it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Mapping
+import re
+import zlib
+from typing import IO, Any, Callable, Mapping
 
 import numpy as np
 
@@ -36,57 +53,159 @@ from ..core.activity import ActivityCategory, ActivityType
 from ..core.classification import UserClass
 from ..core.report import GroupTally, RetentionReport
 from ..emulation.metrics import DailyMetrics
+from ..traces.io import fsync_directory
 
-__all__ = ["CHECKPOINT_FORMAT", "atomic_write_npz", "load_checkpoint",
+__all__ = ["CHECKPOINT_FORMAT", "CheckpointCorruption",
+           "atomic_write_npz", "load_checkpoint", "verify_checkpoint",
            "reports_to_jsonable", "reports_from_jsonable",
            "metrics_to_arrays", "metrics_from_arrays",
            "activeness_to_arrays", "activeness_from_arrays",
            "CheckpointManager"]
 
-CHECKPOINT_FORMAT = "repro-stream-checkpoint/1"
+CHECKPOINT_FORMAT = "repro-stream-checkpoint/2"
+
+#: Formats this reader still accepts; /1 predates per-array digests.
+_ACCEPTED_FORMATS = (CHECKPOINT_FORMAT, "repro-stream-checkpoint/1")
 
 _MANIFEST_KEY = "__manifest__"
+_DIGESTS_KEY = "array_digests"
 
 #: Stable serialization order for the four user classes.
 _CLASSES = tuple(UserClass)
+
+
+class CheckpointCorruption(ValueError):
+    """A checkpoint failed to load or verify.
+
+    ``array`` names the first failing array when digest verification
+    caught the damage; it is ``None`` for container-level failures
+    (truncated zip, missing manifest, unknown format).
+    """
+
+    def __init__(self, path: str, reason: str,
+                 array: str | None = None) -> None:
+        super().__init__(f"checkpoint {path}: {reason}")
+        self.path = path
+        self.reason = reason
+        self.array = array
 
 
 # ---------------------------------------------------------------------------
 # atomic npz container
 
 
+def _array_digest(arr: np.ndarray) -> dict:
+    contiguous = np.ascontiguousarray(arr)
+    raw = contiguous.tobytes()
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": list(contiguous.shape),
+        "crc32": zlib.crc32(raw),
+        "sha256": hashlib.sha256(raw).hexdigest(),
+    }
+
+
 def atomic_write_npz(path: str, manifest: Mapping[str, Any],
-                     arrays: Mapping[str, np.ndarray]) -> None:
+                     arrays: Mapping[str, np.ndarray], *,
+                     opener: Callable[[str], IO[bytes]] | None = None,
+                     ) -> None:
     """Write ``arrays`` + JSON ``manifest`` to ``path`` atomically.
 
     The payload is fully written and fsynced to a same-directory ``.tmp``
-    sibling, then renamed over ``path`` -- a crash at any instant leaves
-    either the previous checkpoint or the complete new one.
+    sibling, then renamed over ``path`` and the directory fsynced -- a
+    crash at any instant leaves either the previous checkpoint or the
+    complete new one, and the survivor is durable across power loss.
+
+    The manifest is augmented with per-array CRC32/SHA-256 digests so
+    readers can verify every array byte for byte.  ``opener`` replaces
+    the tmp-file ``open`` -- the hook the fault-injection harness uses
+    to script torn writes, ``EIO``, and mid-write kills.
     """
     if _MANIFEST_KEY in arrays:
         raise ValueError(f"array name {_MANIFEST_KEY!r} is reserved")
+    manifest = dict(manifest)
+    manifest[_DIGESTS_KEY] = {name: _array_digest(arr)
+                              for name, arr in arrays.items()}
     payload = dict(arrays)
     payload[_MANIFEST_KEY] = np.asarray(json.dumps(manifest))
     tmp = f"{path}.tmp"
-    with open(tmp, "wb") as fh:
-        np.savez_compressed(fh, **payload)
-        fh.flush()
-        os.fsync(fh.fileno())
+    try:
+        with (opener(tmp) if opener is not None else open(tmp, "wb")) as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
     os.replace(tmp, path)
+    fsync_directory(os.path.dirname(os.path.abspath(path)))
 
 
-def load_checkpoint(path: str) -> tuple[dict, dict[str, np.ndarray]]:
-    """Read back ``(manifest, arrays)`` written by :func:`atomic_write_npz`."""
-    with np.load(path, allow_pickle=False) as data:
-        arrays = {k: data[k] for k in data.files if k != _MANIFEST_KEY}
-        manifest = json.loads(str(data[_MANIFEST_KEY])) \
-            if _MANIFEST_KEY in data.files else None
+def load_checkpoint(path: str, verify: bool = True,
+                    ) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read back ``(manifest, arrays)`` written by :func:`atomic_write_npz`.
+
+    With ``verify`` (the default) every array's digest is recomputed and
+    compared; any container damage or digest mismatch raises
+    :class:`CheckpointCorruption` naming the failure.
+    """
+    import zipfile
+
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files if k != _MANIFEST_KEY}
+            manifest = json.loads(str(data[_MANIFEST_KEY])) \
+                if _MANIFEST_KEY in data.files else None
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError,
+            zlib.error) as exc:
+        raise CheckpointCorruption(
+            path, f"unreadable npz ({type(exc).__name__}: {exc})") from exc
     if not isinstance(manifest, dict):
-        raise ValueError(f"{path} is not a stream checkpoint (no manifest)")
-    if manifest.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(f"unsupported checkpoint format "
-                         f"{manifest.get('format')!r} in {path}")
+        raise CheckpointCorruption(
+            path, "not a stream checkpoint (no manifest)")
+    if manifest.get("format") not in _ACCEPTED_FORMATS:
+        raise CheckpointCorruption(
+            path, f"unsupported checkpoint format "
+                  f"{manifest.get('format')!r}")
+    if verify:
+        _verify_digests(path, manifest, arrays)
     return manifest, arrays
+
+
+def _verify_digests(path: str, manifest: Mapping[str, Any],
+                    arrays: Mapping[str, np.ndarray]) -> None:
+    digests = manifest.get(_DIGESTS_KEY)
+    if digests is None:
+        return  # format /1: no digests recorded; container CRC only
+    missing = sorted(set(digests) - set(arrays))
+    if missing:
+        raise CheckpointCorruption(
+            path, f"array {missing[0]!r} missing from container",
+            array=missing[0])
+    extra = sorted(set(arrays) - set(digests))
+    if extra:
+        raise CheckpointCorruption(
+            path, f"array {extra[0]!r} has no recorded digest",
+            array=extra[0])
+    for name in digests:
+        expected = digests[name]
+        actual = _array_digest(arrays[name])
+        if actual != expected:
+            raise CheckpointCorruption(
+                path,
+                f"digest mismatch in array {name!r}: stored "
+                f"sha256={expected['sha256'][:16]}… crc32={expected['crc32']}"
+                f", recomputed sha256={actual['sha256'][:16]}… "
+                f"crc32={actual['crc32']}",
+                array=name)
+
+
+def verify_checkpoint(path: str) -> tuple[dict, dict[str, np.ndarray]]:
+    """Load ``path`` with full digest verification (alias for clarity)."""
+    return load_checkpoint(path, verify=True)
 
 
 # ---------------------------------------------------------------------------
@@ -209,34 +328,110 @@ def activeness_from_arrays(table: list[dict],
 
 
 class CheckpointManager:
-    """Owns one rolling checkpoint file inside a directory.
+    """Owns a verified chain of checkpoints inside a directory.
 
-    The service hands it (manifest, arrays) payloads; each save atomically
-    replaces the previous checkpoint, so :meth:`latest` always names a
-    complete, loadable snapshot (or nothing).
+    The service hands it (manifest, arrays) payloads; each save writes a
+    new ``checkpoint-<seq>.npz`` link atomically, then garbage-collects
+    everything but the newest ``retain`` links.  Loading walks the chain
+    newest-first and returns the first checkpoint whose digests verify,
+    so a corrupt head (torn write, truncation, bit rot) rolls back to
+    the newest good state instead of killing the daemon.
+
+    ``opener`` is forwarded to :func:`atomic_write_npz` -- the fault
+    plan's entry point for scripting checkpoint-write failures.
     """
 
-    FILENAME = "checkpoint.npz"
+    _NAME_RE = re.compile(r"^checkpoint-(\d{8})\.npz$")
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, retain: int = 3,
+                 opener: Callable[[str], IO[bytes]] | None = None) -> None:
+        if retain < 1:
+            raise ValueError("must retain at least one checkpoint")
         self.directory = directory
+        self.retain = int(retain)
+        self._opener = opener
         os.makedirs(directory, exist_ok=True)
 
-    @property
-    def path(self) -> str:
-        return os.path.join(self.directory, self.FILENAME)
+    # -- chain enumeration ---------------------------------------------
+
+    def _entries(self) -> list[tuple[int, str]]:
+        entries = []
+        for name in os.listdir(self.directory):
+            match = self._NAME_RE.match(name)
+            if match:
+                entries.append((int(match.group(1)),
+                                os.path.join(self.directory, name)))
+        entries.sort()
+        return entries
+
+    def paths(self) -> list[str]:
+        """Retained checkpoint paths, oldest first."""
+        return [path for _seq, path in self._entries()]
+
+    def latest(self) -> str | None:
+        """Newest checkpoint path by sequence, *without* verification."""
+        entries = self._entries()
+        return entries[-1][1] if entries else None
+
+    def latest_verified(self) -> tuple[str | None, list[tuple[str, str]]]:
+        """``(path, failures)`` -- the newest checkpoint that verifies.
+
+        Walks the chain newest-first; every checkpoint that fails
+        verification is recorded as ``(path, reason)`` and skipped.
+        ``path`` is ``None`` when nothing in the chain verifies (or the
+        chain is empty).
+        """
+        failures: list[tuple[str, str]] = []
+        for _seq, path in reversed(self._entries()):
+            try:
+                load_checkpoint(path, verify=True)
+            except CheckpointCorruption as exc:
+                failures.append((path, exc.reason))
+                continue
+            return path, failures
+        return None, failures
+
+    # -- writing -------------------------------------------------------
 
     def save(self, manifest: Mapping[str, Any],
              arrays: Mapping[str, np.ndarray]) -> str:
-        atomic_write_npz(self.path, manifest, arrays)
-        return self.path
+        entries = self._entries()
+        seq = entries[-1][0] + 1 if entries else 1
+        path = os.path.join(self.directory, f"checkpoint-{seq:08d}.npz")
+        atomic_write_npz(path, manifest, arrays, opener=self._opener)
+        self.gc()
+        return path
 
-    def latest(self) -> str | None:
-        return self.path if os.path.exists(self.path) else None
+    def gc(self) -> list[str]:
+        """Drop all but the newest ``retain`` checkpoints; returns them."""
+        entries = self._entries()
+        removed = []
+        for _seq, path in entries[:-self.retain]:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(path)
+        if removed:
+            fsync_directory(self.directory)
+        return removed
+
+    # -- loading -------------------------------------------------------
 
     def load(self) -> tuple[dict, dict[str, np.ndarray]]:
-        latest = self.latest()
-        if latest is None:
-            raise FileNotFoundError(
-                f"no checkpoint found in {self.directory}")
-        return load_checkpoint(latest)
+        """Load the newest checkpoint that verifies.
+
+        Raises :class:`FileNotFoundError` when the chain is empty and
+        :class:`CheckpointCorruption` when checkpoints exist but none
+        verifies (the message lists every failure).
+        """
+        path, failures = self.latest_verified()
+        if path is None:
+            if not failures:
+                raise FileNotFoundError(
+                    f"no checkpoint found in {self.directory}")
+            detail = "; ".join(f"{p}: {reason}" for p, reason in failures)
+            raise CheckpointCorruption(
+                self.directory,
+                f"no checkpoint in the chain verifies ({detail})")
+        return load_checkpoint(path, verify=True)

@@ -35,6 +35,7 @@ from ..traces.io import read_app_log, read_jobs, read_publications
 from ..traces.schema import AppAccessRecord, JobRecord, PublicationRecord
 
 __all__ = ["EVENT_JOB", "EVENT_PUBLICATION", "EVENT_ACCESS", "StreamEvent",
+           "job_events", "publication_events", "access_events",
            "merge_event_streams", "dataset_event_stream",
            "workspace_event_stream", "skip_events"]
 
@@ -54,20 +55,28 @@ class StreamEvent:
     payload: _Payload
 
 
-def _job_events(jobs: Iterable[JobRecord]) -> Iterator[StreamEvent]:
+def job_events(jobs: Iterable[JobRecord]) -> Iterator[StreamEvent]:
+    """Job records as :class:`StreamEvent`\\ s keyed on ``submit_ts``."""
     for job in jobs:
         yield StreamEvent(job.submit_ts, EVENT_JOB, job)
 
 
-def _pub_events(pubs: Iterable[PublicationRecord]) -> Iterator[StreamEvent]:
+def publication_events(pubs: Iterable[PublicationRecord],
+                       ) -> Iterator[StreamEvent]:
     for pub in pubs:
         yield StreamEvent(pub.ts, EVENT_PUBLICATION, pub)
 
 
-def _access_events(accesses: Iterable[AppAccessRecord],
-                   ) -> Iterator[StreamEvent]:
+def access_events(accesses: Iterable[AppAccessRecord],
+                  ) -> Iterator[StreamEvent]:
     for rec in accesses:
         yield StreamEvent(rec.ts, EVENT_ACCESS, rec)
+
+
+# Backwards-compatible private aliases (pre-reliability callers).
+_job_events = job_events
+_pub_events = publication_events
+_access_events = access_events
 
 
 def _validated(events: Iterator[StreamEvent], source: str,

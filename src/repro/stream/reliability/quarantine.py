@@ -1,0 +1,278 @@
+"""Event quarantine: per-source guards and a bounded dead-letter log.
+
+The merge in :mod:`repro.stream.events` assumes well-formed, time-sorted
+events; production feeds deliver neither reliably.  The quarantine sits
+*between each source and the merge*: every object a source emits is
+checked (is it a :class:`StreamEvent` at all, known kind, right payload
+type, monotone timestamp, not a duplicate, optionally a known uid) and
+anything that fails is **diverted** -- appended to a dead-letter JSONL
+with a reason code and dropped from the stream -- instead of poisoning
+the merge or the service state.
+
+Guarding per source, before the merge, preserves the merge's ordering
+contract: the heap never sees garbage, and the per-source monotonicity
+check subsumes the ``_validated`` regression assertion (a regressed
+event is diverted rather than fatal).
+
+The decisive property for testing: diverting an event never perturbs the
+events around it, so for a fault plan that only *inserts* faults, the
+guarded stream is exactly the clean stream -- which is what lets the
+chaos suite demand bit-identical results under 1% malformed input.
+
+Duplicate detection applies only to records that carry an identity (job
+and publication ids are unique in every trace family).  Access records
+have no sequence number, and a byte-identical repeated access is a
+legitimate workload pattern (the same uid re-reading the same path in
+the same second), so access duplicates are fundamentally
+indistinguishable from real traffic and are deliberately *not*
+quarantined -- dedup without an identity would drop real events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Iterator
+
+from ...traces.io import OnError, fsync_directory
+from ...traces.schema import AppAccessRecord, JobRecord, PublicationRecord
+from ..events import EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION, StreamEvent
+
+__all__ = ["DeadLetterLog", "EventQuarantine",
+           "REASON_UNPARSABLE", "REASON_NOT_EVENT", "REASON_BAD_KIND",
+           "REASON_BAD_PAYLOAD", "REASON_REGRESSION", "REASON_DUPLICATE",
+           "REASON_UNKNOWN_UID"]
+
+REASON_UNPARSABLE = "unparsable_row"      # reader could not parse the line
+REASON_NOT_EVENT = "not_an_event"         # not a StreamEvent at all
+REASON_BAD_KIND = "unknown_kind"          # kind outside the event schema
+REASON_BAD_PAYLOAD = "bad_payload"        # payload type does not match kind
+REASON_REGRESSION = "time_regression"     # ts precedes the source's clock
+REASON_DUPLICATE = "duplicate"            # identity already delivered
+REASON_UNKNOWN_UID = "unknown_uid"        # uid outside the known set
+
+_PAYLOAD_TYPES = {
+    EVENT_JOB: JobRecord,
+    EVENT_PUBLICATION: PublicationRecord,
+    EVENT_ACCESS: AppAccessRecord,
+}
+
+
+class DeadLetterLog:
+    """Append-only JSONL of diverted events, with bounded-size rotation.
+
+    Each record is one JSON object per line.  When the live file exceeds
+    ``max_bytes`` it is rotated to ``<path>.1`` (cascading through
+    ``backups`` numbered siblings, oldest dropped), so a pathological
+    source cannot grow the dead letter without bound.  Appends are
+    flushed immediately -- the log is forensic evidence, and the crash it
+    documents may be imminent.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 4_000_000,
+                 backups: int = 1) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.path = path
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self.written = 0
+        self.rotations = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "a")
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=repr)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.written += 1
+        if self._fh.tell() > self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        for i in range(self.backups, 0, -1):
+            older = f"{self.path}.{i}"
+            newer = self.path if i == 1 else f"{self.path}.{i - 1}"
+            if os.path.exists(newer):
+                os.replace(newer, older)
+        if self.backups < 1:
+            os.unlink(self.path)
+        fsync_directory(os.path.dirname(os.path.abspath(self.path)))
+        self._fh = open(self.path, "a")
+        self.rotations += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "DeadLetterLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class EventQuarantine:
+    """Divert malformed / disordered / duplicate events from a stream.
+
+    One quarantine instance guards all sources of a merge (its per-source
+    clocks and identity sets are keyed by source name).  ``known_uids``
+    is opt-in: when given, events referencing uids outside the set are
+    diverted too -- off by default because a merely *new* user is not an
+    error in every deployment.
+    """
+
+    def __init__(self, dead_letter: DeadLetterLog | None = None,
+                 known_uids: Iterable[int] | None = None) -> None:
+        self.dead_letter = dead_letter
+        self.known_uids = (frozenset(int(u) for u in known_uids)
+                           if known_uids is not None else None)
+        self.total = 0
+        self.by_reason: dict[str, int] = {}
+        self.by_source: dict[str, int] = {}
+        self._last_ts: dict[str, int] = {}
+        self._seen_ids: dict[str, set] = {}
+
+    # -- diversion -----------------------------------------------------
+
+    def divert(self, source: str, reason: str, detail: str,
+               obj: object = None) -> None:
+        """Record one diverted item (and dead-letter it, when configured)."""
+        self.total += 1
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        self.by_source[source] = self.by_source.get(source, 0) + 1
+        if self.dead_letter is not None:
+            self.dead_letter.append({
+                "seq": self.total,
+                "source": source,
+                "reason": reason,
+                "detail": detail,
+                "event": repr(obj)[:300],
+            })
+
+    def reader_hook(self, source: str) -> OnError:
+        """An ``on_error`` callback for the trace readers of ``source``."""
+        def on_error(line: str, exc: Exception) -> None:
+            self.divert(source, REASON_UNPARSABLE,
+                        f"{type(exc).__name__}: {exc}", line)
+        return on_error
+
+    # -- guarding ------------------------------------------------------
+
+    def guard(self, source: str,
+              events: Iterable[object]) -> Iterator[StreamEvent]:
+        """Yield only the valid events of ``events``; divert the rest.
+
+        The loop body is an inlined copy of :meth:`_check`'s accept
+        conditions (this is the per-event hot path of the whole ingest
+        layer); anything that fails the inline tests falls through to
+        ``_check`` for the canonical reason code, so the two must stay
+        in lockstep.  The source's clock lives in a local and is synced
+        back to ``_last_ts`` on the slow path and on generator exit.
+        """
+        payload_types = _PAYLOAD_TYPES
+        known = self.known_uids
+        seen = self._seen_ids.setdefault(source, set())
+        last = self._last_ts.get(source)
+        try:
+            for obj in events:
+                if type(obj) is StreamEvent:
+                    ts = obj.ts
+                    kind = obj.kind
+                    expected = payload_types.get(kind)
+                    if (expected is not None
+                            and isinstance(obj.payload, expected)
+                            and type(ts) is int
+                            and (last is None or ts >= last)
+                            and (known is None
+                                 or not _unknown_uids(obj, known))):
+                        if kind == EVENT_ACCESS:
+                            last = ts
+                            yield obj
+                            continue
+                        ident = (("job", obj.payload.job_id)
+                                 if kind == EVENT_JOB
+                                 else ("pub", obj.payload.pub_id))
+                        if ident not in seen:
+                            seen.add(ident)
+                            last = ts
+                            yield obj
+                            continue
+                if last is not None:
+                    self._last_ts[source] = last
+                reason = self._check(source, obj)
+                if reason is None:
+                    # Valid, but shaped oddly enough (e.g. an int
+                    # subclass timestamp) to miss the fast path.
+                    last = obj.ts
+                    ident = _identity(obj)
+                    if ident is not None:
+                        seen.add(ident)
+                    yield obj
+                    continue
+                self.divert(source, reason[0], reason[1], obj)
+        finally:
+            if last is not None:
+                self._last_ts[source] = last
+
+    def _check(self, source: str,
+               obj: object) -> tuple[str, str] | None:
+        if not isinstance(obj, StreamEvent):
+            return (REASON_NOT_EVENT,
+                    f"expected StreamEvent, got {type(obj).__name__}")
+        expected = _PAYLOAD_TYPES.get(obj.kind)
+        if expected is None:
+            return (REASON_BAD_KIND, f"kind {obj.kind!r}")
+        if not isinstance(obj.payload, expected):
+            return (REASON_BAD_PAYLOAD,
+                    f"{obj.kind} event carries "
+                    f"{type(obj.payload).__name__}, "
+                    f"expected {expected.__name__}")
+        if not isinstance(obj.ts, int) or isinstance(obj.ts, bool):
+            return (REASON_BAD_PAYLOAD, f"non-integer ts {obj.ts!r}")
+        if self.known_uids is not None:
+            unknown = _unknown_uids(obj, self.known_uids)
+            if unknown:
+                return (REASON_UNKNOWN_UID, f"uid(s) {sorted(unknown)}")
+        last = self._last_ts.get(source)
+        if last is not None and obj.ts < last:
+            return (REASON_REGRESSION,
+                    f"ts {obj.ts} after {last} from {source}")
+        ident = _identity(obj)
+        if ident is not None and ident in self._seen_ids.get(source, ()):
+            return (REASON_DUPLICATE, f"id {ident[1]} redelivered")
+        return None
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> dict:
+        out: dict = {
+            "quarantined": self.total,
+            "by_reason": dict(sorted(self.by_reason.items())),
+            "by_source": dict(sorted(self.by_source.items())),
+        }
+        if self.dead_letter is not None:
+            out["dead_letter"] = {
+                "path": self.dead_letter.path,
+                "written": self.dead_letter.written,
+                "rotations": self.dead_letter.rotations,
+            }
+        return out
+
+
+def _identity(ev: StreamEvent) -> tuple | None:
+    """A stable identity for events that carry one; None for accesses."""
+    if ev.kind == EVENT_JOB:
+        return ("job", ev.payload.job_id)
+    if ev.kind == EVENT_PUBLICATION:
+        return ("pub", ev.payload.pub_id)
+    return None
+
+
+def _unknown_uids(ev: StreamEvent, known: frozenset) -> set:
+    if ev.kind == EVENT_PUBLICATION:
+        return {u for u in ev.payload.author_uids if u not in known}
+    uid = ev.payload.uid
+    return set() if uid in known else {uid}

@@ -1,0 +1,348 @@
+"""Resilient event sources: retry, backoff, health, graceful death.
+
+A production feed fails in boring ways -- a transient ``EIO``, an NFS
+stall, a log shipper restarting -- and the right response is almost
+never "crash the daemon".  :class:`ResilientSource` wraps a *replayable*
+source (a zero-argument factory returning a fresh iterator from the
+start) and absorbs transient failures by re-opening the factory and
+fast-forwarding to the exact record where the failure struck.  Retries
+follow :class:`RetryPolicy`: bounded attempts, exponential backoff with
+*deterministic seeded jitter* (two runs of the same plan sleep the same
+amounts -- reproducibility extends to the failure path), and an optional
+wall-clock deadline per failure episode.
+
+Health is a three-state ladder.  ``OK`` flows; a failing source is
+``DEGRADED`` while the retry loop works on it and returns to ``OK`` on
+the next successful record; a source whose episode exhausts its attempt
+or deadline budget goes ``DEAD`` -- it raises ``StopIteration``, so a
+``heapq.merge`` over guarded sources *naturally* continues without it
+(graceful degradation), and its last-emitted timestamp is held as an
+explicit **watermark** in the report so the operator can see exactly how
+far the dead feed got.
+
+Position bookkeeping is the part that makes fault injection composable:
+``pos`` counts *underlying* records consumed (the counting shim advances
+it; injected faults never do), so a re-opened source skips exactly the
+records already delivered, and a :class:`~repro.faults.io.FaultyStream`
+keyed on ``pos`` fires each scripted fault exactly once across any
+number of reopens.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ...traces.io import (read_app_log, read_jobs, read_publications)
+from ..events import (StreamEvent, access_events, job_events,
+                      publication_events)
+from .quarantine import DeadLetterLog, EventQuarantine
+
+__all__ = ["SourceHealth", "RetryPolicy", "ResilientSource",
+           "TailingFileSource", "ReliableEventStream"]
+
+
+class SourceHealth(enum.Enum):
+    OK = "ok"               # flowing normally
+    DEGRADED = "degraded"   # currently failing; retry loop engaged
+    DEAD = "dead"           # retry budget exhausted; excluded from merge
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for one failure episode of one source.
+
+    An *episode* starts at the first error after a success and ends when
+    a record is delivered (budgets reset) or the budget is exhausted
+    (source goes DEAD).  ``deadline`` caps an episode's wall-clock
+    seconds; ``jitter`` spreads each delay by up to +/- that fraction,
+    seeded per ``(seed, source, attempt)`` so schedules are exactly
+    reproducible.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: float | None = None
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, source: str, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (zero-based) of ``source``."""
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** attempt)
+        if self.jitter:
+            rng = random.Random(f"{self.seed}|{source}|{attempt}")
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw)
+
+
+class ResilientSource:
+    """A retrying, health-tracked iterator over a replayable source.
+
+    ``factory`` must return a fresh iterator over the *same* sequence
+    each call (file readers and pure generators qualify); recovery
+    re-opens it and skips the ``pos`` records already delivered.  When a
+    fault ``plan`` targets this source's name, the underlying iterator
+    is wrapped in a :class:`~repro.faults.io.FaultyStream` keyed on this
+    object's ``pos`` / ``last_event``.
+    """
+
+    def __init__(self, name: str, factory: Callable[[], Iterable], *,
+                 policy: RetryPolicy | None = None,
+                 plan=None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self._factory = factory
+        self.policy = policy or RetryPolicy()
+        self._plan = plan
+        self._sleep = sleep
+        self._clock = clock
+        self.pos = 0                # underlying records consumed
+        self.last_event = None      # most recent underlying record
+        self.watermark: int | None = None  # ts of last emitted event
+        self.health = SourceHealth.OK
+        self.retries = 0            # reopen attempts, lifetime total
+        self.episodes = 0           # failure episodes entered
+        self.last_error: str | None = None
+        self._it: Iterator | None = None
+        self._gen: Iterator | None = None
+        self._exhausted = False
+        self._faulted = plan is not None and plan.has_target(name)
+
+    def _open(self) -> Iterator:
+        raw = iter(self._factory())
+        if self.pos:
+            raw = itertools.islice(raw, self.pos, None)
+        if self._faulted:
+            from ...faults.io import FaultyStream
+            return FaultyStream(self._count(raw), self._plan, self)
+        return raw
+
+    def _count(self, raw: Iterator) -> Iterator:
+        for ev in raw:
+            self.pos += 1
+            self.last_event = ev
+            yield ev
+
+    def __iter__(self) -> Iterator:
+        if self._gen is None:
+            self._gen = self._run()
+        return self._gen
+
+    def __next__(self):
+        if self._gen is None:
+            self._gen = self._run()
+        return next(self._gen)
+
+    def _run(self) -> Iterator:
+        # The happy path is one C-level generator frame per event; the
+        # retry scaffolding only runs when the source actually fails.
+        # FaultyStream keeps its own counting shim (injections are keyed
+        # on pos), so the inline count applies to unfaulted sources only.
+        count_here = not self._faulted
+        ok = SourceHealth.OK
+        attempt = 0
+        episode_start: float | None = None
+        while not self._exhausted:
+            try:
+                if self._it is None:
+                    self._it = self._open()
+                it = self._it
+                while True:
+                    ev = next(it)
+                    if count_here:
+                        self.pos += 1
+                        self.last_event = ev
+                    if attempt:
+                        attempt = 0
+                        episode_start = None
+                    if self.health is not ok:
+                        self.health = ok
+                    ts = getattr(ev, "ts", None)
+                    if type(ts) is int:
+                        self.watermark = ts
+                    yield ev
+            except StopIteration:
+                self._exhausted = True
+                return
+            except OSError as exc:
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                self._it = None
+                if episode_start is None:
+                    episode_start = self._clock()
+                    self.episodes += 1
+                self.health = SourceHealth.DEGRADED
+                attempt += 1
+                policy = self.policy
+                out_of_attempts = attempt >= policy.max_attempts
+                past_deadline = (
+                    policy.deadline is not None
+                    and self._clock() - episode_start >= policy.deadline)
+                if out_of_attempts or past_deadline:
+                    self.health = SourceHealth.DEAD
+                    self._exhausted = True
+                    return
+                self.retries += 1
+                self._sleep(policy.delay(self.name, attempt - 1))
+
+    def describe(self) -> dict:
+        return {
+            "health": self.health.value,
+            "pos": self.pos,
+            "watermark": self.watermark,
+            "retries": self.retries,
+            "episodes": self.episodes,
+            "last_error": self.last_error,
+        }
+
+
+class TailingFileSource:
+    """A replayable factory that follows a growing line-oriented file.
+
+    Calling the instance opens the file from the start and yields one
+    parsed record per complete line (a trailing line without ``\\n`` is
+    a write in progress and is left for the next poll).  At end of file
+    it polls until the file grows, ``stop_when()`` goes true, or no
+    growth is seen for ``idle_timeout`` seconds -- whichever comes
+    first.  Plain text only: a gzip stream cannot be tailed mid-member.
+
+    As a factory it slots straight into :class:`ResilientSource`, whose
+    reopen-and-skip recovery then also covers tail sources.
+    """
+
+    def __init__(self, path: str, parse: Callable[[str], object], *,
+                 poll_interval: float = 0.05,
+                 idle_timeout: float = 5.0,
+                 stop_when: Callable[[], bool] | None = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_error: Callable[[str, Exception], None] | None = None,
+                 ) -> None:
+        self.path = path
+        self.parse = parse
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        self.stop_when = stop_when
+        self._sleep = sleep
+        self._clock = clock
+        self.on_error = on_error
+
+    def __call__(self) -> Iterator:
+        with open(self.path) as fh:
+            buffer = ""
+            idle_since: float | None = None
+            while True:
+                chunk = fh.read(65536)
+                if chunk:
+                    idle_since = None
+                    buffer += chunk
+                    while True:
+                        line, sep, rest = buffer.partition("\n")
+                        if not sep:
+                            break
+                        buffer = rest
+                        if not line:
+                            continue
+                        try:
+                            rec = self.parse(line)
+                        except (ValueError, IndexError, TypeError) as exc:
+                            if self.on_error is None:
+                                raise
+                            self.on_error(line, exc)
+                            continue
+                        yield rec
+                    continue
+                if self.stop_when is not None and self.stop_when():
+                    return
+                now = self._clock()
+                if idle_since is None:
+                    idle_since = now
+                elif now - idle_since >= self.idle_timeout:
+                    return
+                self._sleep(self.poll_interval)
+
+
+class ReliableEventStream:
+    """The fault-tolerant replacement for ``workspace_event_stream``.
+
+    Wraps each of a workspace's three trace feeds in a
+    :class:`ResilientSource`, guards every source through one shared
+    :class:`~.quarantine.EventQuarantine`, and merges the surviving
+    events into the usual time-ordered stream (sources listed in
+    jobs-publications-accesses order, preserving the merge's
+    activity-before-access tie-break).  Under a fault plan that only
+    *inserts* faults, iterating this object yields exactly the clean
+    ``workspace_event_stream`` sequence -- the invariant the chaos suite
+    is built on.
+    """
+
+    SOURCES = (("jobs", "jobs.txt.gz", read_jobs, job_events),
+               ("publications", "publications.txt.gz", read_publications,
+                publication_events),
+               ("accesses", "app_log.txt.gz", read_app_log, access_events))
+
+    def __init__(self, directory: str, *,
+                 plan=None,
+                 quarantine: EventQuarantine | None = None,
+                 retry: RetryPolicy | None = None,
+                 known_uids: Iterable[int] | None = None,
+                 dead_letter: DeadLetterLog | None = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if quarantine is None:
+            quarantine = EventQuarantine(dead_letter=dead_letter,
+                                         known_uids=known_uids)
+        self.quarantine = quarantine
+        self.retry = retry or RetryPolicy()
+        self.sources = [
+            ResilientSource(
+                name,
+                self._make_factory(os.path.join(directory, filename),
+                                   reader, to_events, name),
+                policy=self.retry, plan=plan, sleep=sleep, clock=clock)
+            for name, filename, reader, to_events in self.SOURCES]
+
+    def _make_factory(self, path: str, reader, to_events,
+                      name: str) -> Callable[[], Iterator[StreamEvent]]:
+        hook = self.quarantine.reader_hook(name)
+        return lambda: to_events(reader(path, on_error=hook))
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        guarded = [self.quarantine.guard(src.name, src)
+                   for src in self.sources]
+        return heapq.merge(*guarded, key=lambda ev: ev.ts)
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self) -> dict:
+        sources = {src.name: src.describe() for src in self.sources}
+        held = {name: info["watermark"] for name, info in sources.items()
+                if info["health"] == SourceHealth.DEAD.value}
+        return {
+            "sources": sources,
+            "held_watermarks": held,
+            "quarantine": self.quarantine.summary(),
+        }
+
+    @property
+    def degraded(self) -> bool:
+        """True when any source is not (or was not always) healthy."""
+        return any(src.health is not SourceHealth.OK or src.episodes
+                   for src in self.sources)

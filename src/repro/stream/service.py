@@ -107,7 +107,10 @@ class OnlineRetentionService:
                  exemptions: ExemptionList | None = None,
                  known_uids: Iterable[int] = (),
                  checkpoint_dir: str | None = None,
-                 checkpoint_every_days: int = 7) -> None:
+                 checkpoint_every_days: int = 7,
+                 checkpoint_retain: int = 3,
+                 checkpoint_manager: CheckpointManager | None = None,
+                 ) -> None:
         if replay_end <= replay_start:
             raise ValueError("replay_end must exceed replay_start")
         self._engine = TriggerEngine(policy)
@@ -146,16 +149,21 @@ class OnlineRetentionService:
             np.empty(0, dtype=np.bool_) if exemptions is not None else None)
         self._exempt_count = 0
 
-        self.checkpoints = (CheckpointManager(checkpoint_dir)
-                            if checkpoint_dir else None)
+        if checkpoint_manager is not None:
+            self.checkpoints: CheckpointManager | None = checkpoint_manager
+        else:
+            self.checkpoints = (
+                CheckpointManager(checkpoint_dir, retain=checkpoint_retain)
+                if checkpoint_dir else None)
         self.checkpoint_every_days = int(checkpoint_every_days)
 
         self.stats = {
             "events_job": 0, "events_publication": 0, "events_access": 0,
             "triggers": 0, "trigger_seconds": 0.0,
             "eval_users": 0, "eval_refolded": 0,
-            "checkpoints_written": 0,
+            "checkpoints_written": 0, "checkpoint_failures": 0,
         }
+        self.last_checkpoint_error: str | None = None
 
         if snapshot_fs is not None:
             self.load_snapshot(snapshot_fs)
@@ -249,7 +257,7 @@ class OnlineRetentionService:
         if (triggered and self.checkpoints is not None
                 and self.checkpoint_every_days > 0
                 and boundary % self.checkpoint_every_days == 0):
-            self.save_checkpoint()
+            self._try_checkpoint()
 
     def _reclassify(self, t_c: int) -> dict:
         activeness = self.activity.evaluate(t_c, self.params, self.known_uids)
@@ -328,7 +336,7 @@ class OnlineRetentionService:
         result.final_total_bytes = self.state.total_bytes
         result.final_file_count = self.state.file_count
         if self.checkpoints is not None:
-            self.save_checkpoint()
+            self._try_checkpoint()
         return result
 
     # ------------------------------------------------------------------
@@ -347,6 +355,22 @@ class OnlineRetentionService:
             "apply_creates": self.config.apply_creates,
             "restore_on_miss": self.config.restore_on_miss,
         }
+
+    def _try_checkpoint(self) -> str | None:
+        """Checkpoint, surviving write failures.
+
+        Checkpoints are advisory -- a failed write (disk full, transient
+        ``EIO``) leaves the previous links of the chain intact, so the
+        daemon records the failure and keeps serving rather than dying
+        on a durability hiccup.  In-memory state is untouched by the
+        failure; the next boundary simply tries again.
+        """
+        try:
+            return self.save_checkpoint()
+        except OSError as exc:
+            self.stats["checkpoint_failures"] += 1
+            self.last_checkpoint_error = f"{type(exc).__name__}: {exc}"
+            return None
 
     def save_checkpoint(self) -> str:
         """Atomically snapshot the full service state; returns the path.
@@ -412,7 +436,10 @@ class OnlineRetentionService:
                config: EmulatorConfig | None = None,
                exemptions: ExemptionList | None = None,
                checkpoint_dir: str | None = None,
-               checkpoint_every_days: int = 7) -> "OnlineRetentionService":
+               checkpoint_every_days: int = 7,
+               checkpoint_retain: int = 3,
+               checkpoint_manager: CheckpointManager | None = None,
+               ) -> "OnlineRetentionService":
         """Rebuild a service from a checkpoint.
 
         The caller supplies the *same* policy/params/config/exemptions the
@@ -433,7 +460,9 @@ class OnlineRetentionService:
                       config=config, exemptions=exemptions,
                       known_uids=manifest["known_uids"],
                       checkpoint_dir=checkpoint_dir,
-                      checkpoint_every_days=checkpoint_every_days)
+                      checkpoint_every_days=checkpoint_every_days,
+                      checkpoint_retain=checkpoint_retain,
+                      checkpoint_manager=checkpoint_manager)
         stored = manifest["fingerprint"]
         current = service._fingerprint()
         if stored != current:
@@ -474,8 +503,10 @@ class OnlineRetentionService:
         service._consumed = int(manifest["cursor"])
         service.dropped_accesses = int(manifest["dropped_accesses"])
         # Counters continue from the first leg, like the cursor does
-        # (checkpoints_written restarts: it counts this process's writes).
+        # (checkpoints_written / checkpoint_failures restart: they count
+        # this process's writes).
         saved_stats = dict(manifest.get("stats", {}))
         saved_stats.pop("checkpoints_written", None)
+        saved_stats.pop("checkpoint_failures", None)
         service.stats.update(saved_stats)
         return service

@@ -13,14 +13,23 @@ Formats::
     apps:   ts|uid|op|path
     pubs:   pub_id|ts|citations|uid0,uid1,...
 
-All writers are **atomic**: records stream into a same-directory
-``.tmp`` sibling which is renamed over the destination only after a
-successful close, so a crashed or interrupted write never leaves a
-truncated trace behind (the old file, if any, survives intact).  The app
+All writers are **atomic and durable**: records stream into a
+same-directory ``.tmp`` sibling which is fsynced and renamed over the
+destination only after a successful close, and the containing directory
+is fsynced after the rename (the rename alone orders the data, but the
+*directory entry* is not durable across power loss until the directory
+inode itself is flushed).  A crashed or interrupted write never leaves a
+truncated trace behind -- the old file, if any, survives intact.  The app
 log stores the path as the *last* field and parses it with
 ``split("|", 3)``, so paths containing ``|``, spaces, or any non-newline
 unicode round-trip; paths containing a newline cannot be represented in
 a line-oriented format and are rejected at write time.
+
+All readers accept an optional ``on_error`` callback: a line that fails
+to parse (field count, int conversion, schema ``__post_init__``
+validation) is handed to the callback and skipped instead of raising --
+the hook the streaming quarantine uses to divert malformed rows to a
+dead-letter file while the rest of a damaged trace keeps flowing.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ from typing import IO, Callable, Iterable, Iterator, TypeVar
 from .schema import AppAccessRecord, JobRecord, PublicationRecord, UserRecord
 
 __all__ = [
-    "atomic_output",
+    "atomic_output", "fsync_directory",
     "write_users", "read_users",
     "write_jobs", "read_jobs",
     "write_app_log", "read_app_log",
@@ -42,13 +51,36 @@ __all__ = [
 T = TypeVar("T")
 
 
+def fsync_directory(directory: str) -> None:
+    """Flush a directory inode so a rename inside it survives power loss.
+
+    ``os.replace`` makes the swap atomic with respect to concurrent
+    readers, but until the directory itself is fsynced the new entry may
+    exist only in memory.  Filesystems that cannot fsync a directory
+    (some network mounts) raise; that is a durability downgrade, not a
+    correctness failure, so it is swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class atomic_output:
-    """Context manager: write-to-tmp-sibling, then ``os.replace``.
+    """Context manager: write-to-tmp-sibling, fsync, then ``os.replace``.
 
     Yields a text handle (gzip-compressed when the *final* path ends in
     ``.gz`` -- the tmp suffix never changes the compression decision).
-    On a clean exit the tmp file replaces ``path`` atomically; on an
-    exception the tmp file is removed and the destination is untouched.
+    On a clean exit the tmp file is flushed to stable storage, replaces
+    ``path`` atomically, and the containing directory is fsynced so the
+    rename itself is durable; on an exception the tmp file is removed
+    and the destination is untouched.
     """
 
     def __init__(self, path: str) -> None:
@@ -65,7 +97,16 @@ class atomic_output:
     def __exit__(self, exc_type, exc, tb) -> None:
         self._fh.close()
         if exc_type is None:
+            # Re-open to fsync *after* close: the gzip trailer is only
+            # written on close, so fsyncing the write handle would miss
+            # the final bytes.
+            fd = os.open(self._tmp, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
             os.replace(self._tmp, self.path)
+            fsync_directory(os.path.dirname(os.path.abspath(self.path)))
         else:
             try:
                 os.remove(self._tmp)
@@ -103,12 +144,26 @@ def _write(path: str, records: Iterable[T], fmt: Callable[[T], str]) -> int:
     return n
 
 
-def _read(path: str, parse: Callable[[str], T]) -> Iterator[T]:
+#: Signature of the malformed-row hook: ``on_error(raw_line, exception)``.
+OnError = Callable[[str, Exception], None]
+
+
+def _read(path: str, parse: Callable[[str], T],
+          on_error: OnError | None = None) -> Iterator[T]:
     with _open_read(path) as f:
         for line in f:
             line = line.rstrip("\n")
-            if line:
+            if not line:
+                continue
+            if on_error is None:
                 yield parse(line)
+                continue
+            try:
+                rec = parse(line)
+            except (ValueError, IndexError, TypeError) as exc:
+                on_error(line, exc)
+                continue
+            yield rec
 
 
 # ---------------------------------------------------------------- users
@@ -122,11 +177,12 @@ def write_users(path: str, users: Iterable[UserRecord]) -> int:
     return _write(path, users, fmt)
 
 
-def read_users(path: str) -> Iterator[UserRecord]:
+def read_users(path: str,
+               on_error: OnError | None = None) -> Iterator[UserRecord]:
     def parse(line: str) -> UserRecord:
         uid, name, created = line.split("|")
         return UserRecord(int(uid), name, int(created))
-    return _read(path, parse)
+    return _read(path, parse, on_error)
 
 
 # ---------------------------------------------------------------- jobs
@@ -138,12 +194,13 @@ def write_jobs(path: str, jobs: Iterable[JobRecord]) -> int:
                    f"|{j.end_ts}|{j.num_nodes}|{j.cores_per_node}\n"))
 
 
-def read_jobs(path: str) -> Iterator[JobRecord]:
+def read_jobs(path: str,
+              on_error: OnError | None = None) -> Iterator[JobRecord]:
     def parse(line: str) -> JobRecord:
         jid, uid, sub, start, end, nodes, cpn = line.split("|")
         return JobRecord(int(jid), int(uid), int(sub), int(start), int(end),
                          int(nodes), int(cpn))
-    return _read(path, parse)
+    return _read(path, parse, on_error)
 
 
 # ---------------------------------------------------------------- app log
@@ -157,11 +214,13 @@ def write_app_log(path: str, accesses: Iterable[AppAccessRecord]) -> int:
     return _write(path, accesses, fmt)
 
 
-def read_app_log(path: str) -> Iterator[AppAccessRecord]:
+def read_app_log(path: str,
+                 on_error: OnError | None = None,
+                 ) -> Iterator[AppAccessRecord]:
     def parse(line: str) -> AppAccessRecord:
         ts, uid, op, file_path = line.split("|", 3)
         return AppAccessRecord(int(ts), int(uid), file_path, op)
-    return _read(path, parse)
+    return _read(path, parse, on_error)
 
 
 # ---------------------------------------------------------------- pubs
@@ -173,9 +232,11 @@ def write_publications(path: str, pubs: Iterable[PublicationRecord]) -> int:
                    f"{','.join(str(u) for u in p.author_uids)}\n"))
 
 
-def read_publications(path: str) -> Iterator[PublicationRecord]:
+def read_publications(path: str,
+                      on_error: OnError | None = None,
+                      ) -> Iterator[PublicationRecord]:
     def parse(line: str) -> PublicationRecord:
         pid, ts, cites, authors = line.split("|")
         uids = [int(u) for u in authors.split(",")] if authors else []
         return PublicationRecord(int(pid), int(ts), uids, int(cites))
-    return _read(path, parse)
+    return _read(path, parse, on_error)

@@ -1,0 +1,383 @@
+"""Reliability layer: retry/health semantics, quarantine, dead letters.
+
+The headline property (the satellite task's quarantine invariant): for
+*any* seeded-random interleaving of valid and injected-invalid events,
+the guarded stream -- and the service state computed from it -- equals
+what the valid subsequence alone produces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.config import RetentionConfig
+from repro.core.retention import ActiveDRPolicy
+from repro.emulation import replay_bounds
+from repro.faults import FaultPlan
+from repro.stream import OnlineRetentionService, dataset_event_stream
+from repro.stream.events import (access_events, job_events,
+                                 publication_events)
+from repro.stream.reliability import (DeadLetterLog, EventQuarantine,
+                                      ReliableEventStream, ResilientSource,
+                                      RetryPolicy, SourceHealth,
+                                      TailingFileSource)
+from repro.stream.reliability.quarantine import (REASON_BAD_KIND,
+                                                 REASON_BAD_PAYLOAD,
+                                                 REASON_DUPLICATE,
+                                                 REASON_NOT_EVENT,
+                                                 REASON_REGRESSION,
+                                                 REASON_UNKNOWN_UID,
+                                                 REASON_UNPARSABLE)
+from repro.stream.events import EVENT_JOB, StreamEvent
+from repro.traces.schema import JobRecord
+
+from test_compiled_replay import assert_results_equal
+
+_FAST = RetryPolicy(base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+# ---------------------------------------------------------------- retry
+
+def test_retry_policy_backoff_and_jitter():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                         jitter=0.2, seed=1)
+    delays = [policy.delay("jobs", i) for i in range(6)]
+    # Deterministic: same policy, same source, same schedule.
+    assert delays == [policy.delay("jobs", i) for i in range(6)]
+    # Bounded by max_delay plus the jitter band.
+    assert all(0.0 <= d <= 0.5 * 1.2 for d in delays)
+    # Jitter differs per source.
+    assert policy.delay("jobs", 0) != policy.delay("accesses", 0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+
+
+class _FlakyFactory:
+    """Replayable source that raises OSError at scripted absolute indexes."""
+
+    def __init__(self, items, fail_at=(), fail_opens=0):
+        self.items = items
+        self.fail_at = set(fail_at)   # index -> fail once when reached
+        self.fail_opens = fail_opens  # initial open() failures
+        self.opens = 0
+
+    def __call__(self):
+        self.opens += 1
+        if self.opens <= self.fail_opens:
+            raise OSError("scripted open failure")
+        return self._gen()
+
+    def _gen(self):
+        for i, item in enumerate(self.items):
+            if i in self.fail_at:
+                self.fail_at.discard(i)  # transient: fails once
+                raise OSError(f"scripted failure at {i}")
+            yield item
+
+
+def test_resilient_source_retries_and_recovers():
+    items = list(range(20))
+    factory = _FlakyFactory(items, fail_at={0, 7, 15}, fail_opens=2)
+    src = ResilientSource("jobs", factory, policy=_FAST,
+                          sleep=lambda s: None)
+    assert list(src) == items
+    assert src.health is SourceHealth.OK
+    assert src.retries == 5  # 2 failed opens + 3 mid-stream failures
+    assert src.episodes >= 1
+    assert src.pos == len(items)
+
+
+def test_resilient_source_dies_after_budget():
+    class _AlwaysDown:
+        def __call__(self):
+            raise OSError("feed is gone")
+
+    src = ResilientSource("jobs", _AlwaysDown(),
+                          policy=RetryPolicy(max_attempts=3, base_delay=0.0,
+                                             max_delay=0.0, jitter=0.0),
+                          sleep=lambda s: None)
+    assert list(src) == []
+    assert src.health is SourceHealth.DEAD
+    assert src.last_error is not None
+    # Dead stays dead: the iterator does not resurrect.
+    assert list(src) == []
+
+
+def test_resilient_source_deadline():
+    clock_value = [0.0]
+
+    def clock():
+        clock_value[0] += 10.0
+        return clock_value[0]
+
+    class _AlwaysDown:
+        def __call__(self):
+            raise OSError("down")
+
+    src = ResilientSource("jobs", _AlwaysDown(),
+                          policy=RetryPolicy(max_attempts=100,
+                                             base_delay=0.0, max_delay=0.0,
+                                             jitter=0.0, deadline=5.0),
+                          sleep=lambda s: None, clock=clock)
+    assert list(src) == []
+    assert src.health is SourceHealth.DEAD
+
+
+def test_dead_source_excluded_from_merge_with_watermark():
+    def evts(n, start=100, step=10):
+        return [StreamEvent(start + step * i, EVENT_JOB,
+                            JobRecord(start + i, 1, start + step * i,
+                                      start + step * i,
+                                      start + step * i + 10, 1))
+                for i in range(n)]
+
+    good = evts(5)
+    dying_items = evts(3, start=105)
+    factory = _FlakyFactory(dying_items, fail_at={2})
+    # One retry budget: the mid-stream failure at index 2 kills it.
+    dying = ResilientSource(
+        "dying", factory,
+        policy=RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0,
+                           jitter=0.0),
+        sleep=lambda s: None)
+    healthy = ResilientSource("healthy", lambda: iter(good), policy=_FAST,
+                              sleep=lambda s: None)
+    merged = list(heapq.merge(healthy, dying, key=lambda ev: ev.ts))
+    # The merge finished (no exception) with everything the dead source
+    # managed to deliver plus the full healthy feed.
+    assert [ev for ev in merged if ev in good] == good
+    assert dying.health is SourceHealth.DEAD
+    assert dying.watermark == dying_items[1].ts  # held where it died
+
+
+# ---------------------------------------------------------------- tailing
+
+def test_tailing_file_source_yields_complete_lines(tmp_path):
+    path = str(tmp_path / "feed.txt")
+    with open(path, "w") as fh:
+        fh.write("1\n2\n3")  # "3" has no newline: a write in progress
+
+    polls = []
+
+    def sleep(seconds):
+        polls.append(seconds)
+        if len(polls) == 1:
+            # The writer finishes the line and closes the feed mid-poll.
+            with open(path, "a") as fh:
+                fh.write("\n4\n")
+
+    tail = TailingFileSource(path, int, poll_interval=0.01,
+                             stop_when=lambda: len(polls) >= 2,
+                             sleep=sleep, clock=lambda: 0.0)
+    assert list(tail()) == [1, 2, 3, 4]
+    # As a replayable factory it restarts from the head.
+    assert list(itertools.islice(tail(), 2)) == [1, 2]
+
+
+def test_tailing_file_source_idle_timeout_and_on_error(tmp_path):
+    path = str(tmp_path / "feed.txt")
+    with open(path, "w") as fh:
+        fh.write("1\nnot-a-number\n2\n")
+    clock_value = [0.0]
+
+    def clock():
+        clock_value[0] += 1.0
+        return clock_value[0]
+
+    bad = []
+    tail = TailingFileSource(path, int, idle_timeout=3.0,
+                             on_error=lambda line, exc: bad.append(line),
+                             sleep=lambda s: None, clock=clock)
+    assert list(tail()) == [1, 2]
+    assert bad == ["not-a-number"]
+
+
+# ---------------------------------------------------------------- quarantine
+
+def _job_event(ts=1000, job_id=1, uid=1):
+    return StreamEvent(ts, EVENT_JOB,
+                       JobRecord(job_id, uid, ts, ts, ts + 10, 1))
+
+
+def test_quarantine_reason_codes():
+    quarantine = EventQuarantine(known_uids=[1, 2])
+    good = _job_event()
+    bad = [
+        ("garbage line", REASON_NOT_EVENT),
+        (None, REASON_NOT_EVENT),
+        (StreamEvent(1000, "meteor", good.payload), REASON_BAD_KIND),
+        (StreamEvent(1000, EVENT_JOB, "not a record"), REASON_BAD_PAYLOAD),
+        (_job_event(uid=99, job_id=7), REASON_UNKNOWN_UID),
+        (_job_event(ts=900, job_id=8), REASON_REGRESSION),
+        (_job_event(job_id=1), REASON_DUPLICATE),
+    ]
+    stream = [good] + [obj for obj, _reason in bad]
+    out = list(quarantine.guard("jobs", stream))
+    assert out == [good]
+    summary = quarantine.summary()
+    assert summary["quarantined"] == len(bad)
+    for _obj, reason in bad:
+        assert summary["by_reason"][reason] >= 1
+    assert summary["by_source"] == {"jobs": len(bad)}
+
+
+def test_quarantine_unknown_uid_is_opt_in():
+    quarantine = EventQuarantine()  # no known_uids: anything goes
+    ev = _job_event(uid=424242)
+    assert list(quarantine.guard("jobs", [ev])) == [ev]
+    assert quarantine.total == 0
+
+
+def test_quarantine_duplicate_ids_scoped_per_source():
+    quarantine = EventQuarantine()
+    a, b = _job_event(job_id=5), _job_event(job_id=5)
+    assert list(quarantine.guard("jobs", [a])) == [a]
+    # Same id from a *different* source is a different feed's counter.
+    assert list(quarantine.guard("jobs2", [b])) == [b]
+    assert quarantine.total == 0
+
+
+def test_dead_letter_rotation(tmp_path):
+    path = str(tmp_path / "dead.jsonl")
+    log = DeadLetterLog(path, max_bytes=200, backups=1)
+    quarantine = EventQuarantine(dead_letter=log)
+    for i in range(20):
+        quarantine.divert("jobs", REASON_NOT_EVENT, f"detail {i}",
+                          "x" * 40)
+    log.close()
+    assert log.written == 20
+    assert log.rotations >= 1
+    assert os.path.exists(path) and os.path.exists(f"{path}.1")
+    assert os.path.getsize(path) <= 200 + 200  # one record of slack
+    # Every surviving line is valid JSON with the reason code.
+    with open(path) as fh:
+        for line in fh:
+            rec = json.loads(line)
+            assert rec["reason"] == REASON_NOT_EVENT
+    summary = quarantine.summary()
+    assert summary["dead_letter"]["written"] == 20
+    assert summary["dead_letter"]["rotations"] == log.rotations
+
+
+def test_reader_hook_diverts_unparsable_rows(tmp_path):
+    from repro.traces.io import read_jobs
+    path = str(tmp_path / "jobs.txt")
+    with open(path, "w") as fh:
+        fh.write("1|1|100|100|110|2|16\n")
+        fh.write("CORRUPTED GZIP FRAGMENT\n")
+        fh.write("2|1|200|200|210|2|16\n")
+    quarantine = EventQuarantine()
+    jobs = list(read_jobs(path, on_error=quarantine.reader_hook("jobs")))
+    assert [j.job_id for j in jobs] == [1, 2]
+    assert quarantine.by_reason == {REASON_UNPARSABLE: 1}
+
+
+# ---------------------------------------------------------------- property
+
+def _guarded_merge(dataset, plan, quarantine):
+    """The ReliableEventStream wiring, over in-memory trace lists."""
+    sources = [
+        ResilientSource("jobs", lambda: job_events(dataset.jobs),
+                        policy=_FAST, plan=plan, sleep=lambda s: None),
+        ResilientSource("publications",
+                        lambda: publication_events(dataset.publications),
+                        policy=_FAST, plan=plan, sleep=lambda s: None),
+        ResilientSource("accesses", lambda: access_events(dataset.accesses),
+                        policy=_FAST, plan=plan, sleep=lambda s: None),
+    ]
+    guarded = [quarantine.guard(src.name, src) for src in sources]
+    return heapq.merge(*guarded, key=lambda ev: ev.ts)
+
+
+def _random_plan(rng, sizes):
+    """A random insertion-only fault plan over the three sources."""
+    specs = []
+    for target, size in sizes.items():
+        n_faults = rng.randint(0, 8)
+        for _ in range(n_faults):
+            kind = rng.choice(["malformed", "duplicate", "regress",
+                               "stall", "eio"])
+            # duplicate/regress need ids to be jobs/pubs to stay
+            # quarantinable: a duplicated access is legitimate traffic.
+            if kind == "duplicate" and target == "accesses":
+                kind = "malformed"
+            spec = {"target": target, "kind": kind,
+                    "at": rng.randrange(max(1, size)),
+                    "count": rng.randint(1, 3)}
+            if kind == "regress":
+                spec["arg"] = rng.choice([1, 3600, 86_400])
+            specs.append(spec)
+    return FaultPlan(specs, seed=rng.randrange(1 << 30))
+
+
+def test_property_guarded_stream_equals_valid_subsequence(tiny_dataset):
+    clean = list(dataset_event_stream(tiny_dataset))
+    sizes = {"jobs": len(tiny_dataset.jobs),
+             "publications": len(tiny_dataset.publications),
+             "accesses": len(tiny_dataset.accesses)}
+    rng = random.Random(20210815)
+    for trial in range(25):
+        plan = _random_plan(rng, sizes)
+        quarantine = EventQuarantine()
+        got = list(_guarded_merge(tiny_dataset, plan, quarantine))
+        assert got == clean, (
+            f"trial {trial}: guarded stream diverged under plan "
+            f"{plan.to_dict()}")
+        inserted = sum(spec.count for spec in plan.specs
+                       if spec.kind in ("malformed", "duplicate", "regress"))
+        assert quarantine.total <= inserted
+
+
+def test_property_service_state_matches_under_faults(tiny_dataset):
+    """End to end: the *service result* is unchanged by injected faults."""
+    start, end = replay_bounds(tiny_dataset)
+    known = [u.uid for u in tiny_dataset.users]
+
+    def run(events):
+        service = OnlineRetentionService(
+            ActiveDRPolicy(RetentionConfig()),
+            snapshot_fs=tiny_dataset.fresh_filesystem(),
+            replay_start=start, replay_end=end, known_uids=known)
+        return service.run(events)
+
+    baseline = run(dataset_event_stream(tiny_dataset))
+    sizes = {"jobs": len(tiny_dataset.jobs),
+             "publications": len(tiny_dataset.publications),
+             "accesses": len(tiny_dataset.accesses)}
+    rng = random.Random(4)
+    for _trial in range(3):
+        plan = _random_plan(rng, sizes)
+        quarantine = EventQuarantine()
+        faulty = run(_guarded_merge(tiny_dataset, plan, quarantine))
+        assert_results_equal(faulty, baseline)
+
+
+# ---------------------------------------------------------------- workspace
+
+def test_reliable_event_stream_survives_missing_file(tmp_path):
+    """A workspace losing one feed degrades; the merge still completes."""
+    from repro.cli.workspace import save_workspace
+    from repro.synth import TitanConfig, generate_dataset
+
+    ws = str(tmp_path / "ws")
+    save_workspace(generate_dataset(TitanConfig(n_users=15, seed=3)), ws,
+                   n_shards=1)
+    os.unlink(os.path.join(ws, "publications.txt.gz"))
+    stream = ReliableEventStream(
+        ws, retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                              jitter=0.0), sleep=lambda s: None)
+    events = list(stream)
+    assert events  # jobs + accesses still flowed
+    report = stream.report()
+    assert report["sources"]["publications"]["health"] == "dead"
+    assert "publications" in report["held_watermarks"]
+    assert report["sources"]["jobs"]["health"] == "ok"
+    assert stream.degraded

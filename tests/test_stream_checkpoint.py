@@ -14,6 +14,7 @@ from repro.emulation.metrics import DailyMetrics
 from repro.stream import atomic_write_npz, load_checkpoint
 from repro.stream.checkpoint import (
     CHECKPOINT_FORMAT,
+    CheckpointCorruption,
     CheckpointManager,
     activeness_from_arrays,
     activeness_to_arrays,
@@ -21,6 +22,7 @@ from repro.stream.checkpoint import (
     metrics_to_arrays,
     reports_from_jsonable,
     reports_to_jsonable,
+    verify_checkpoint,
 )
 
 
@@ -41,6 +43,8 @@ def test_npz_round_trip(tmp_path):
     }
     atomic_write_npz(path, manifest(lifetime=90.0, name="π"), arrays)
     loaded_manifest, loaded = load_checkpoint(path)
+    digests = loaded_manifest.pop("array_digests")
+    assert set(digests) == set(arrays)
     assert loaded_manifest == manifest(lifetime=90.0, name="π")
     for key, value in arrays.items():
         assert np.array_equal(loaded[key], value), key
@@ -133,15 +137,92 @@ def test_activeness_arrays_round_trip(tiny_dataset, tmp_path):
             assert np.array_equal(mine, theirs)
 
 
-def test_manager_rolls_single_file(tmp_path):
-    mgr = CheckpointManager(str(tmp_path / "ck"))
+def _tamper_array(path, name):
+    """Rewrite the npz with one array modified but the old digests."""
+    manifest, arrays = load_checkpoint(path, verify=False)
+    arrays[name] = np.asarray(arrays[name]) + 1
+    payload = dict(arrays)
+    payload["__manifest__"] = np.asarray(json.dumps(manifest))
+    np.savez_compressed(path, **payload)
+
+
+def test_load_detects_tampered_array(tmp_path):
+    path = str(tmp_path / "ck.npz")
+    atomic_write_npz(path, manifest(), {"a": np.arange(4),
+                                        "b": np.ones(3)})
+    _tamper_array(path, "b")
+    with pytest.raises(CheckpointCorruption) as exc:
+        verify_checkpoint(path)
+    assert exc.value.array == "b"
+    assert "digest mismatch" in exc.value.reason
+    assert "sha256" in exc.value.reason  # names the digests, not a trace
+    # Verification is opt-out for forensics.
+    loaded_manifest, arrays = load_checkpoint(path, verify=False)
+    assert np.array_equal(arrays["b"], np.ones(3) + 1)
+
+
+def test_load_detects_truncated_npz(tmp_path):
+    from repro.faults import corrupt_file
+    path = str(tmp_path / "ck.npz")
+    atomic_write_npz(path, manifest(), {"a": np.arange(100)})
+    corrupt_file(path, "truncate")
+    with pytest.raises(CheckpointCorruption) as exc:
+        load_checkpoint(path)
+    assert exc.value.path == path
+
+
+def test_load_detects_missing_array(tmp_path):
+    path = str(tmp_path / "ck.npz")
+    atomic_write_npz(path, manifest(), {"a": np.arange(4),
+                                        "b": np.ones(3)})
+    loaded_manifest, arrays = load_checkpoint(path, verify=False)
+    payload = {"a": arrays["a"],
+               "__manifest__": np.asarray(json.dumps(loaded_manifest))}
+    np.savez_compressed(path, **payload)
+    with pytest.raises(CheckpointCorruption) as exc:
+        load_checkpoint(path)
+    assert exc.value.array == "b"
+    assert "missing" in exc.value.reason
+
+
+def test_manager_keeps_bounded_chain(tmp_path):
+    mgr = CheckpointManager(str(tmp_path / "ck"), retain=3)
     assert mgr.latest() is None
     with pytest.raises(FileNotFoundError):
         mgr.load()
-    first = mgr.save(manifest(cursor=10), {"a": np.arange(2)})
-    second = mgr.save(manifest(cursor=20), {"a": np.arange(3)})
-    assert first == second == mgr.latest()
+    saved = [mgr.save(manifest(cursor=10 * i), {"a": np.arange(i + 2)})
+             for i in range(5)]
+    assert len(set(saved)) == 5  # every save is a distinct chain link
+    assert mgr.paths() == saved[-3:]  # GC keeps the newest `retain`
+    assert mgr.latest() == saved[-1]
     loaded_manifest, arrays = mgr.load()
-    assert loaded_manifest["cursor"] == 20
-    assert np.array_equal(arrays["a"], np.arange(3))
-    assert os.listdir(mgr.directory) == [CheckpointManager.FILENAME]
+    assert loaded_manifest["cursor"] == 40
+    assert np.array_equal(arrays["a"], np.arange(6))
+    assert sorted(os.listdir(mgr.directory)) == [
+        os.path.basename(p) for p in saved[-3:]]
+
+
+def test_manager_rolls_back_past_corrupt_head(tmp_path):
+    from repro.faults import corrupt_file
+    mgr = CheckpointManager(str(tmp_path / "ck"), retain=3)
+    for i in range(3):
+        mgr.save(manifest(cursor=i), {"a": np.arange(i + 2)})
+    corrupt_file(mgr.latest(), "truncate")
+    newest, failures = mgr.latest_verified()
+    assert newest == mgr.paths()[-2]
+    assert len(failures) == 1 and failures[0][0] == mgr.paths()[-1]
+    loaded_manifest, _arrays = mgr.load()
+    assert loaded_manifest["cursor"] == 1  # rolled back one link
+
+
+def test_manager_raises_when_nothing_verifies(tmp_path):
+    from repro.faults import corrupt_file
+    mgr = CheckpointManager(str(tmp_path / "ck"), retain=2)
+    for i in range(2):
+        mgr.save(manifest(cursor=i), {"a": np.arange(9)})
+    for path in mgr.paths():
+        corrupt_file(path, "truncate")
+    with pytest.raises(CheckpointCorruption, match="no checkpoint"):
+        mgr.load()
+    with pytest.raises(ValueError):
+        CheckpointManager(str(tmp_path / "x"), retain=0)
