@@ -21,6 +21,18 @@ Subcommands::
                        [--checkpoint-retain K] [--resume]
                        [--stop-after-events N] [--dead-letter FILE]
                        [--fault-plan FILE]
+                       [--listen ADDR] [--admin ADDR]
+                       [--tenant SPEC ...] [--expect-producers N]
+    activedr publish   --workspace DIR --connect ADDR
+                       [--sources jobs,publications,accesses]
+                       [--producer NAME] [--retry-for S]
+    activedr admin     --connect ADDR
+                       {status|health|tenants|metrics|query|
+                        tenants-add|tenants-remove} [--uid N]
+                       [--spec SPEC] [--name NAME] [--clone-from NAME]
+    activedr supervise --checkpoint-dir DIR [--max-restarts N]
+                       [--backoff-base S] [--healthy-seconds S]
+                       -- serve --workspace DIR ...
 
 ``generate`` writes a synthetic Titan workspace to disk; the other
 commands operate on any directory in that format (real traces can be
@@ -48,6 +60,17 @@ last ``--checkpoint-retain`` links.  Kill it mid-run, then ``serve
 verification (exit code 3 when none does) and finishes with results
 bit-identical to ``replay --engine fast``.  ``--fault-plan`` injects
 scripted ingest/checkpoint faults for chaos testing.
+
+With ``--listen`` (or any ``--tenant``) ``serve`` becomes the
+*networked multi-tenant server*: events arrive from concurrent
+``publish`` producers over a TCP or Unix socket instead of local files,
+any number of ``--tenant name=...,policy=...`` configurations share one
+event feed and one activeness state (evaluated once per trigger, not
+once per tenant), and ``--admin`` opens a query plane that ``admin``
+interrogates (``status``/``health``/``tenants``/``metrics``/``query``)
+while ingestion is running.  ``supervise`` wraps any serve command in a
+restart loop: crashes resume from the newest verifying checkpoint under
+seeded exponential backoff, with a bounded give-up.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -204,6 +227,68 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--fault-plan", default=None,
                      help="JSON fault plan injected into the ingest and "
                           "checkpoint paths (chaos/dev testing)")
+    srv.add_argument("--listen", default=None, metavar="ADDR",
+                     help="ingest events from producers on this socket "
+                          "(unix:/path or host:port) instead of the "
+                          "workspace's trace files")
+    srv.add_argument("--admin", default=None, metavar="ADDR",
+                     help="answer admin/query requests on this socket")
+    srv.add_argument("--tenant", action="append", default=None,
+                     metavar="SPEC",
+                     help="add a tenant: name=ID[,policy=K][,lifetime=D]"
+                          "[,target=U][,trigger=D][,period=D]; repeatable. "
+                          "Any --tenant (or --listen) switches serve to "
+                          "the multi-tenant server")
+    srv.add_argument("--expect-producers", type=int, default=1,
+                     help="producers that must publish each source before "
+                          "it is complete (--listen mode)")
+
+    pub = sub.add_parser("publish",
+                         help="publish a workspace's traces to a serve "
+                              "--listen socket")
+    pub.add_argument("--workspace", required=True)
+    pub.add_argument("--connect", required=True, metavar="ADDR",
+                     help="the server's ingest address "
+                          "(unix:/path or host:port)")
+    pub.add_argument("--sources", default="jobs,publications,accesses",
+                     help="comma-separated trace families to publish")
+    pub.add_argument("--producer", default="publish",
+                     help="producer name reported in the handshake")
+    pub.add_argument("--retry-for", type=float, default=0.0,
+                     help="keep retrying the whole publish for this many "
+                          "seconds when the server is down or restarting")
+
+    adm = sub.add_parser("admin",
+                         help="query a running server's admin plane")
+    adm.add_argument("--connect", required=True, metavar="ADDR")
+    adm.add_argument("request",
+                     choices=("status", "health", "tenants", "metrics",
+                              "query", "tenants-add", "tenants-remove"))
+    adm.add_argument("--uid", type=int, default=None,
+                     help="user id for 'query'")
+    adm.add_argument("--spec", default=None,
+                     help="tenant spec for 'tenants-add'")
+    adm.add_argument("--clone-from", default=None,
+                     help="donor tenant whose replay state the new tenant "
+                          "clones (default: the first tenant)")
+    adm.add_argument("--name", default=None,
+                     help="tenant name for 'tenants-remove'")
+
+    sup = sub.add_parser("supervise",
+                         help="run a serve command under supervised "
+                              "restarts with checkpoint auto-resume")
+    sup.add_argument("--checkpoint-dir", required=True,
+                     help="checkpoint directory the child writes to; "
+                          "--resume is appended once it holds a link")
+    sup.add_argument("--max-restarts", type=int, default=5)
+    sup.add_argument("--backoff-base", type=float, default=0.5)
+    sup.add_argument("--backoff-max", type=float, default=30.0)
+    sup.add_argument("--healthy-seconds", type=float, default=30.0)
+    sup.add_argument("--seed", type=int, default=0,
+                     help="seed for deterministic backoff jitter")
+    sup.add_argument("child", nargs=argparse.REMAINDER,
+                     help="the serve command to supervise (everything "
+                          "after '--')")
     return parser
 
 
@@ -454,6 +539,12 @@ def _serve_reliability_report(stream) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen or args.tenant:
+        return _cmd_serve_fleet(args)
+    return _cmd_serve_single(args)
+
+
+def _cmd_serve_single(args: argparse.Namespace) -> int:
     import json
     import os
 
@@ -568,6 +659,277 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_tenant_specs(args: argparse.Namespace):
+    """The tenant fleet: explicit --tenant specs, or one from --policy."""
+    from ..server import TenantSpec
+
+    if args.tenant:
+        return [TenantSpec.parse(text) for text in args.tenant]
+    return [TenantSpec(name=args.policy, policy=args.policy,
+                       lifetime_days=args.lifetime, target=args.target)]
+
+
+def _fleet_policy_factory(workspace: str):
+    """Build tenant policies, deriving cache residency from the workspace.
+
+    The job trace is loaded at most once, and only if some tenant (now
+    or added later through the admin plane) actually runs the
+    scratch-as-a-cache policy.
+    """
+    import os
+
+    from ..traces import read_jobs
+
+    residency_box: list = []
+
+    def factory(spec):
+        if spec.policy != "cache":
+            return spec.build_policy()
+        if not residency_box:
+            jobs = list(read_jobs(os.path.join(workspace, "jobs.txt.gz")))
+            residency_box.append(JobResidencyIndex(jobs))
+        return spec.build_policy(residency=residency_box[0])
+
+    return factory
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from ..faults import FaultPlan, FaultyIO
+    from ..server import AdminServer, MultiTenantService, SocketListener
+    from ..server.ingest import NetworkEventStream
+    from ..stream import (CheckpointCorruption, CheckpointManager,
+                          DeadLetterLog, ReliableEventStream, skip_events)
+    from ..traces import read_users
+    from ..vfs import load_filesystem
+
+    try:
+        specs = _fleet_tenant_specs(args)
+    except ValueError as exc:
+        print(f"bad --tenant: {exc}", file=sys.stderr)
+        return 1
+    if len({s.name for s in specs}) != len(specs):
+        print(f"duplicate tenant names in {[s.name for s in specs]}",
+              file=sys.stderr)
+        return 1
+    factory = _fleet_policy_factory(args.workspace)
+
+    plan = FaultPlan.from_json(args.fault_plan) if args.fault_plan else None
+    opener = None
+    if plan is not None and plan.has_target("checkpoint"):
+        def opener(path: str):
+            return FaultyIO(open(path, "wb"), plan, "checkpoint")
+
+    dead_letter_path = args.dead_letter
+    if dead_letter_path is None and args.checkpoint_dir:
+        dead_letter_path = os.path.join(args.checkpoint_dir,
+                                        "dead-letter.jsonl")
+    dead_letter = (DeadLetterLog(dead_letter_path)
+                   if dead_letter_path else None)
+
+    manager = (CheckpointManager(args.checkpoint_dir,
+                                 retain=max(1, args.checkpoint_retain),
+                                 opener=opener)
+               if args.checkpoint_dir else None)
+
+    listener = None
+    if args.listen:
+        listener = SocketListener(
+            args.listen,
+            expected={name: max(1, args.expect_producers)
+                      for name in ("jobs", "publications", "accesses")})
+        stream = NetworkEventStream(listener, dead_letter=dead_letter)
+    else:
+        stream = ReliableEventStream(args.workspace, plan=plan,
+                                     dead_letter=dead_letter)
+    events = iter(stream)
+
+    try:
+        if args.resume:
+            if manager is None:
+                print("--resume requires --checkpoint-dir", file=sys.stderr)
+                return 1
+            newest, failures = manager.latest_verified()
+            for failed_path, reason in failures:
+                print(f"checkpoint {failed_path} failed verification: "
+                      f"{reason}", file=sys.stderr)
+            if newest is None:
+                if not failures:
+                    print(f"no checkpoint in {args.checkpoint_dir}",
+                          file=sys.stderr)
+                    return 1
+                print(f"no checkpoint in {args.checkpoint_dir} verifies; "
+                      f"cannot resume.  Restore a checkpoint from backup "
+                      f"or start fresh without --resume.", file=sys.stderr)
+                return EXIT_CHECKPOINT_FAILURE
+            if failures:
+                print(f"rolling back to {newest}", file=sys.stderr)
+            try:
+                service = MultiTenantService.resume(
+                    newest, policy_factory=factory,
+                    checkpoint_every_days=args.checkpoint_every,
+                    checkpoint_manager=manager)
+            except (CheckpointCorruption, ValueError) as exc:
+                print(f"cannot resume from {newest}: {exc}",
+                      file=sys.stderr)
+                return EXIT_CHECKPOINT_FAILURE
+            if dead_letter is not None:
+                # Continue the crashed daemon's quarantine totals instead
+                # of restarting the forensic counters from zero.
+                stream.quarantine.resume_from(dead_letter)
+            events = skip_events(events, service.cursor)
+            print(f"resumed from {newest} at event {service.cursor}")
+        else:
+            with open(os.path.join(args.workspace, "meta.json")) as f:
+                meta = json.load(f)
+            fs = load_filesystem(os.path.join(args.workspace, "snapshot"),
+                                 size_seed=int(meta.get("size_seed", 2021)),
+                                 capacity_bytes=None)
+            known = [u.uid for u in read_users(
+                os.path.join(args.workspace, "users.txt.gz"))]
+            service = MultiTenantService(
+                [(spec, factory(spec)) for spec in specs],
+                snapshot_fs=fs,
+                replay_start=int(meta["replay_start"]),
+                replay_end=int(meta["replay_end"]),
+                known_uids=known,
+                checkpoint_every_days=args.checkpoint_every,
+                checkpoint_manager=manager,
+                policy_factory=factory)
+
+        admin = (AdminServer(args.admin, service, stream=stream)
+                 if args.admin else None)
+        try:
+            results = service.run(events,
+                                  stop_after_events=args.stop_after_events)
+        finally:
+            if admin is not None:
+                admin.close()
+    finally:
+        if listener is not None:
+            listener.close()
+
+    stats = service.stats
+    _serve_reliability_report(stream)
+    if dead_letter is not None:
+        dead_letter.close()
+    if results is None:
+        where = (f"; checkpoint: {service.checkpoints.latest()}"
+                 if service.checkpoints else "")
+        print(f"stopped after {service.cursor} events "
+              f"({stats['activeness_evals']} evaluations so far){where}")
+        return 0
+    print(f"ingested {service.cursor} events "
+          f"(jobs={stats['events_job']} pubs={stats['events_publication']} "
+          f"accesses={stats['events_access']}, "
+          f"{service.dropped_accesses} out-of-window), "
+          f"{len(service.tenants)} tenants, "
+          f"{stats['activeness_evals']} activeness evaluations, "
+          f"refolded {stats['eval_refolded']}/{stats['eval_users']} "
+          f"user-type histories")
+    for tenant in service.tenants:
+        print(f"=== tenant {tenant.name} "
+              f"[{tenant.spec.policy}] ===")
+        print(render_emulation_summary(results[tenant.name]))
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from ..server import publish_workspace
+
+    sources = tuple(s for s in args.sources.split(",") if s)
+    try:
+        counts = publish_workspace(args.connect, args.workspace,
+                                   sources=sources,
+                                   producer=args.producer,
+                                   retry_for=args.retry_for)
+    except (OSError, ConnectionError) as exc:
+        print(f"publish failed: {exc}", file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    detail = " ".join(f"{name}={counts[name]}" for name in sources)
+    print(f"published {total} events to {args.connect} ({detail})")
+    return 0
+
+
+def _cmd_admin(args: argparse.Namespace) -> int:
+    import json
+
+    from ..server import TenantSpec, admin_request
+
+    request: dict = {"cmd": args.request}
+    if args.request == "query":
+        if args.uid is None:
+            print("query needs --uid", file=sys.stderr)
+            return 1
+        request["uid"] = args.uid
+    elif args.request == "tenants-add":
+        if args.spec is None:
+            print("tenants-add needs --spec", file=sys.stderr)
+            return 1
+        try:
+            spec = TenantSpec.parse(args.spec)
+        except ValueError as exc:
+            print(f"bad --spec: {exc}", file=sys.stderr)
+            return 1
+        request = {"cmd": "tenants", "action": "add",
+                   "spec": spec.to_jsonable()}
+        if args.clone_from:
+            request["clone_from"] = args.clone_from
+    elif args.request == "tenants-remove":
+        if args.name is None:
+            print("tenants-remove needs --name", file=sys.stderr)
+            return 1
+        request = {"cmd": "tenants", "action": "remove", "name": args.name}
+
+    try:
+        response = admin_request(args.connect, request)
+    except (OSError, ConnectionError) as exc:
+        print(f"admin request failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True, default=repr))
+    return 0 if response.get("ok") else 1
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    import glob
+    import os
+
+    from ..server import BackoffPolicy, Supervisor
+
+    child = list(args.child)
+    if child and child[0] == "--":
+        child = child[1:]
+    if not child:
+        print("supervise needs a child command after '--', e.g. "
+              "supervise --checkpoint-dir ck -- serve --workspace ws ...",
+              file=sys.stderr)
+        return 1
+    if "--checkpoint-dir" not in child:
+        child += ["--checkpoint-dir", args.checkpoint_dir]
+    command = [sys.executable, "-m", "repro"] + child
+
+    def should_resume() -> bool:
+        pattern = os.path.join(args.checkpoint_dir, "checkpoint-*.npz")
+        return bool(glob.glob(pattern))
+
+    supervisor = Supervisor(
+        command,
+        backoff=BackoffPolicy(base=args.backoff_base,
+                              max_delay=args.backoff_max,
+                              seed=args.seed,
+                              max_restarts=args.max_restarts,
+                              healthy_seconds=args.healthy_seconds),
+        should_resume=should_resume)
+    rc = supervisor.run()
+    report = supervisor.report
+    print(f"supervisor: {len(report.attempts)} attempt(s), "
+          f"{report.restarts} restart(s), final rc={rc}", file=sys.stderr)
+    return rc
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "validate": _cmd_validate,
@@ -577,6 +939,9 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "calibrate": _cmd_calibrate,
     "serve": _cmd_serve,
+    "publish": _cmd_publish,
+    "admin": _cmd_admin,
+    "supervise": _cmd_supervise,
 }
 
 

@@ -14,7 +14,8 @@ plain file handles (:class:`FaultyIO`) and plain event iterators
 (:class:`FaultyStream`), and the reliability layer composes them in.
 """
 
-from .io import FaultyIO, FaultyStream, InjectedIOError, corrupt_file
+from .io import (FaultyIO, FaultyStream, InjectedIOError, corrupt_file,
+                 trace_writer_wrap)
 from .plan import (IO_READ_KINDS, IO_WRITE_KINDS, STREAM_KINDS, FaultPlan,
                    FaultSpec)
 
@@ -25,6 +26,7 @@ __all__ = [
     "FaultyStream",
     "InjectedIOError",
     "corrupt_file",
+    "trace_writer_wrap",
     "IO_READ_KINDS",
     "IO_WRITE_KINDS",
     "STREAM_KINDS",

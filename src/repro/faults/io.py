@@ -29,7 +29,8 @@ from typing import IO, Callable, Iterator
 
 from .plan import FaultPlan, FaultSpec
 
-__all__ = ["InjectedIOError", "FaultyIO", "FaultyStream", "corrupt_file"]
+__all__ = ["InjectedIOError", "FaultyIO", "FaultyStream", "corrupt_file",
+           "trace_writer_wrap"]
 
 
 class InjectedIOError(OSError):
@@ -87,6 +88,13 @@ class FaultyIO:
                               f"injected disk-full after partial write "
                               f"{index} of {self._target}")
         return self._fh.write(data)
+
+    def writelines(self, lines) -> None:
+        # The trace writers batch records through ``writelines``; routing
+        # each line through :meth:`write` keeps write-index fault specs
+        # meaningful (one index per record, not per 8192-record batch).
+        for line in lines:
+            self.write(line)
 
     def read(self, size: int = -1) -> bytes:
         if self._truncated:
@@ -207,19 +215,50 @@ class FaultyStream:
 _NOTHING = object()
 
 
+def trace_writer_wrap(plan: FaultPlan, target: str, *,
+                      sleep: Callable[[float], None] | None = None,
+                      kill: Callable[[], None] | None = None,
+                      ) -> Callable[[IO], IO]:
+    """A ``wrap`` hook for the trace writers, driven by a fault plan.
+
+    Pass the result as ``write_jobs(..., wrap=...)`` (or any other trace
+    writer / ``atomic_output``): every record the writer emits becomes
+    one counted write on ``{target}#w``, so a plan can script "EIO on
+    record 1000" or "SIGKILL while appending record 52_000" against a
+    trace *writer* exactly the way checkpoint plans script faults
+    against the checkpoint stream.  The atomic writers turn an injected
+    failure into an aborted tmp sibling (destination untouched); a
+    ``kill`` leaves the torn ``.tmp`` tail behind for crash-recovery
+    tests.
+    """
+    def wrap(fh: IO) -> IO:
+        return FaultyIO(fh, plan, target, sleep=sleep, kill=kill)
+    return wrap
+
+
 def corrupt_file(path: str, kind: str = "truncate", *, seed: int = 0,
                  frac: float = 0.5) -> None:
     """Corrupt an on-disk file in place (torn-write simulation).
 
     ``truncate`` keeps the first ``frac`` of the file -- what a crash
     between a partial write and the rename-barrier fsync can leave
-    behind; ``bitflip`` flips one seeded-random bit in place -- silent
-    media corruption.
+    behind; ``torn_tail`` chops a seeded-random sliver (1--64 bytes) off
+    the end -- the signature a killed appender leaves: a final record
+    cut mid-line, or a gzip member missing its end-of-stream marker;
+    ``bitflip`` flips one seeded-random bit in place -- silent media
+    corruption.
     """
     size = os.path.getsize(path)
     if kind == "truncate":
         with open(path, "r+b") as fh:
             fh.truncate(max(1, int(size * frac)))
+    elif kind == "torn_tail":
+        import random
+
+        rng = random.Random(f"{seed}|{path}|{size}")
+        cut = min(max(1, size - 1), rng.randrange(1, 65))
+        with open(path, "r+b") as fh:
+            fh.truncate(size - cut)
     elif kind == "bitflip":
         import random
 

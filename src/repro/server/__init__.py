@@ -1,0 +1,59 @@
+"""The networked multi-tenant retention server.
+
+``repro.stream`` turned the batch replay into a single-policy daemon fed
+from local trace files; this package turns that daemon into a *server*:
+
+* :mod:`~repro.server.protocol` -- the length-prefixed newline-JSON wire
+  protocol producers and admin clients speak;
+* :mod:`~repro.server.ingest` -- :class:`SocketListener` /
+  :class:`SocketSource`, which accept any number of concurrent producers
+  over TCP or Unix sockets and feed their events through the same
+  quarantined merge the file sources use;
+* :mod:`~repro.server.tenants` -- :class:`MultiTenantService`, N policy
+  configurations sharing ONE event feed and ONE incremental activeness
+  state, each bit-identical to an independent batch ``FastEmulator``;
+* :mod:`~repro.server.admin` -- the admin/query plane (``status``,
+  ``health``, ``tenants``, ``metrics``, ``query user``);
+* :mod:`~repro.server.supervisor` -- a supervised restart loop with
+  auto-resume from the newest verifying checkpoint and crash-loop
+  exponential backoff.
+"""
+
+from .admin import AdminServer, admin_request
+from .ingest import (NetworkEventStream, SocketListener, SocketSource,
+                     publish_events, publish_workspace)
+from .protocol import (PROTOCOL_VERSION, FrameError, FrameReader,
+                       connect_socket, create_listener, decode_event,
+                       encode_event, format_address, parse_address,
+                       read_frame, write_frame)
+from .supervisor import (EXIT_GIVE_UP, BackoffPolicy, Supervisor,
+                         SupervisorReport)
+from .tenants import MultiTenantService, Tenant, TenantSpec
+
+__all__ = [
+    "AdminServer",
+    "admin_request",
+    "NetworkEventStream",
+    "SocketListener",
+    "SocketSource",
+    "publish_events",
+    "publish_workspace",
+    "PROTOCOL_VERSION",
+    "FrameError",
+    "FrameReader",
+    "connect_socket",
+    "create_listener",
+    "decode_event",
+    "encode_event",
+    "format_address",
+    "parse_address",
+    "read_frame",
+    "write_frame",
+    "EXIT_GIVE_UP",
+    "BackoffPolicy",
+    "Supervisor",
+    "SupervisorReport",
+    "MultiTenantService",
+    "Tenant",
+    "TenantSpec",
+]

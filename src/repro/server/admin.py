@@ -1,0 +1,245 @@
+"""The admin/query plane: a second listener beside the ingest socket.
+
+Operators need to ask a running retention server questions -- is it
+healthy, how fast is it ingesting, which tenants exist, what does the
+fleet think of user 4711 -- without stopping (or even slowing) the event
+loop.  :class:`AdminServer` answers them over the same length-prefixed
+JSON frame protocol the ingest plane speaks, on its own socket:
+
+* every request is one frame ``{"cmd": ...}``, every answer one frame
+  ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``;
+* handlers only ever take **point-in-time reads** of the engine's
+  state (plain attribute loads, atomic under the GIL) or enqueue ops on
+  thread-safe queues (tenant add/remove) -- the ingest thread never
+  blocks on an admin request, which is what lets the plane answer
+  *during* active ingestion (pinned by ``tests/test_server.py``);
+* tenant mutations are asynchronous by design: ``tenants add`` returns
+  ``{"queued": true}`` and the engine applies the op at the next day
+  boundary, the only instant the replay state is quiescent.
+
+Commands: ``status``, ``health``, ``tenants`` (list/add/remove),
+``metrics`` (ingest rate, refold fraction, checkpoint age), ``query``
+(per-user activeness + per-tenant verdicts).  :func:`admin_request` is
+the one-call client used by ``repro admin``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Callable
+
+from .protocol import (FrameError, FrameReader, create_listener,
+                       connect_socket, format_address, parse_address,
+                       write_frame)
+from .tenants import MultiTenantService, TenantSpec
+
+__all__ = ["AdminServer", "admin_request"]
+
+
+class AdminServer:
+    """Answer operator queries about a :class:`MultiTenantService`.
+
+    ``stream`` (the :class:`~repro.server.ingest.NetworkEventStream`, when
+    the server ingests over sockets) enriches ``status``/``health`` with
+    listener and quarantine detail.  ``clock``/``wall`` are injectable
+    for tests.
+    """
+
+    def __init__(self, address: str, service: MultiTenantService, *,
+                 stream=None,
+                 clock: Callable[[], float] = time.monotonic,
+                 wall: Callable[[], float] = time.time) -> None:
+        self.service = service
+        self.stream = stream
+        self._clock = clock
+        self._wall = wall
+        self._started = clock()
+        # (monotonic, cursor) of the previous metrics call: ingest rate
+        # is measured between consecutive metrics requests.
+        self._rate_sample = (self._started, service.cursor)
+        self.requests = 0
+        self.errors = 0
+        self.closed = False
+        self._sock = create_listener(address)
+        self.address = format_address(parse_address(address))
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="admin-accept", daemon=True)
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "AdminServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while not self.closed:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        reader = FrameReader(conn)
+        try:
+            while True:
+                try:
+                    request = reader.read()
+                except FrameError as exc:
+                    write_frame(conn, {"ok": False,
+                                       "error": f"bad frame: {exc}"})
+                    return
+                if request is None:
+                    return
+                self.requests += 1
+                try:
+                    response = self.handle(request)
+                except Exception as exc:  # noqa: BLE001 -- must answer
+                    self.errors += 1
+                    response = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+                write_frame(conn, response)
+        except OSError:
+            pass  # client went away mid-answer
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # command dispatch
+
+    def handle(self, request: dict) -> dict:
+        """Answer one request dict (exposed directly for tests)."""
+        cmd = request.get("cmd")
+        handler = {
+            "status": self._cmd_status,
+            "health": self._cmd_health,
+            "tenants": self._cmd_tenants,
+            "metrics": self._cmd_metrics,
+            "query": self._cmd_query,
+        }.get(cmd)
+        if handler is None:
+            self.errors += 1
+            return {"ok": False, "error": f"unknown command {cmd!r}"}
+        return handler(request)
+
+    def _cmd_status(self, request: dict) -> dict:
+        out = {"ok": True, "uptime": self._clock() - self._started}
+        out.update(self.service.describe())
+        out["op_log"] = list(self.service.op_log[-20:])
+        if self.stream is not None:
+            out["reliability"] = self.stream.report()
+        return out
+
+    def _cmd_health(self, request: dict) -> dict:
+        service = self.service
+        degraded = bool(self.stream is not None and self.stream.degraded)
+        quarantined = (self.stream.quarantine.total
+                       if self.stream is not None else 0)
+        return {
+            "ok": True,
+            "healthy": not degraded,
+            "degraded": degraded,
+            "cursor": service.cursor,
+            "next_boundary": service._next_boundary,
+            "quarantined": quarantined,
+            "checkpoint_failures": service.stats["checkpoint_failures"],
+            "last_checkpoint_error": service.last_checkpoint_error,
+        }
+
+    def _cmd_tenants(self, request: dict) -> dict:
+        action = request.get("action", "list")
+        service = self.service
+        if action == "list":
+            return {"ok": True,
+                    "tenants": {t.name: t.describe()
+                                for t in list(service.tenants)}}
+        if action == "add":
+            spec = TenantSpec.from_jsonable(request["spec"])
+            service.request_add_tenant(spec,
+                                       clone_from=request.get("clone_from"))
+            return {"ok": True, "queued": True, "tenant": spec.name}
+        if action == "remove":
+            name = request["name"]
+            service.request_remove_tenant(name)
+            return {"ok": True, "queued": True, "tenant": name}
+        return {"ok": False, "error": f"unknown tenants action {action!r}"}
+
+    def _cmd_metrics(self, request: dict) -> dict:
+        service = self.service
+        now = self._clock()
+        cursor = service.cursor
+        then, before = self._rate_sample
+        self._rate_sample = (now, cursor)
+        elapsed = max(now - then, 1e-9)
+        stats = service.stats
+        eval_users = stats["eval_users"]
+        out = {
+            "ok": True,
+            "cursor": cursor,
+            "events_per_second": (cursor - before) / elapsed,
+            "rate_window_seconds": elapsed,
+            "activeness_evals": stats["activeness_evals"],
+            "refold_fraction": (stats["eval_refolded"] / eval_users
+                                if eval_users else 0.0),
+            "checkpoints_written": stats["checkpoints_written"],
+            "checkpoint_failures": stats["checkpoint_failures"],
+        }
+        manager = service.checkpoints
+        newest = manager.latest() if manager is not None else None
+        if newest is not None:
+            try:
+                out["checkpoint_age_seconds"] = (self._wall()
+                                                 - os.path.getmtime(newest))
+                out["checkpoint_path"] = newest
+            except OSError:
+                pass
+        if self.stream is not None:
+            out["quarantined"] = self.stream.quarantine.total
+        return out
+
+    def _cmd_query(self, request: dict) -> dict:
+        if "uid" not in request:
+            return {"ok": False, "error": "query needs a uid"}
+        out = {"ok": True}
+        out.update(self.service.query_user(int(request["uid"])))
+        return out
+
+
+def admin_request(address: str, request: dict, *,
+                  timeout: float = 10.0) -> dict:
+    """One admin round-trip: connect, send ``request``, return the answer."""
+    sock = connect_socket(address, timeout=timeout)
+    try:
+        write_frame(sock, request)
+        reader = FrameReader(sock)
+        response = reader.read()
+        if response is None:
+            raise ConnectionError(f"admin server at {address} closed the "
+                                  f"connection without answering")
+        return response
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

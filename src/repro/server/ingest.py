@@ -1,0 +1,490 @@
+"""Socket ingestion: many producers, one quarantined ordered merge.
+
+:class:`SocketListener` accepts producer connections on a TCP or Unix
+socket.  Each producer handshakes with a ``hello`` frame naming the
+**source** it feeds (``jobs``, ``publications``, ``accesses``, or any
+shard name the server was told to expect), then streams event frames.
+A reader thread per connection decodes frames and appends the events to
+that source's bounded queue -- the bound is the backpressure valve: when
+the engine falls behind, queues fill, reader threads block on ``put``,
+and TCP flow control pushes back on the producers.
+
+:class:`SocketSource` is the consuming half: a named, health-tracked
+iterator draining one source queue, satisfying the same contract the
+file-backed :class:`~repro.stream.reliability.sources.ResilientSource`
+satisfies, so :class:`NetworkEventStream` can reuse the reliability
+layer's quarantined ``heapq.merge`` unchanged.  **Out-of-order events
+hit the quarantine, never the engine**: every socket source is guarded
+by the shared :class:`~repro.stream.reliability.quarantine.EventQuarantine`
+before the merge, so a producer that regresses in time, redelivers a
+job id, or ships garbage gets its offending events dead-lettered while
+the stream stays clean.
+
+Determinism contract: with one producer per source, each source's event
+order is the producer's send order (TCP preserves it), and the merge
+breaks timestamp ties by source listing order -- so publishing a
+workspace's three trace files over three connections reconstructs
+*exactly* the sequence ``workspace_event_stream`` yields from disk,
+which is what keeps networked runs bit-identical to batch.  Multiple
+concurrent producers per source are accepted (their events interleave
+at queue order) for throughput workloads that do not need bit-identity.
+
+A source *finishes* when as many producers as the server expects have
+sent ``end`` frames; when every source has finished, the merge is
+exhausted and the engine finalizes.  A producer that reconnects to an
+already-finished source is refused with an error frame -- late
+re-publishes after a crash/resume cycle belong to a *restarted* server,
+whose sources are fresh.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..stream.events import StreamEvent, job_events, publication_events, access_events
+from ..stream.reliability.quarantine import REASON_UNPARSABLE
+from ..stream.reliability.sources import ReliableEventStream, SourceHealth
+from .protocol import (PROTOCOL_VERSION, FrameError, FrameReader,
+                       connect_socket, create_listener, decode_event,
+                       encode_event, write_frame)
+
+__all__ = ["DEFAULT_SOURCES", "SocketSource", "SocketListener",
+           "NetworkEventStream", "publish_events", "publish_workspace"]
+
+#: The canonical trace families, in merge tie-break order.
+DEFAULT_SOURCES = ("jobs", "publications", "accesses")
+
+_END = object()  # queue sentinel: the source has finished
+
+
+class SocketSource:
+    """One named event source fed by producer connections.
+
+    Iterating blocks on the queue until events arrive or the source
+    finishes.  ``pos``/``last_event``/``watermark``/``health`` mirror
+    :class:`ResilientSource` so the reliability report treats socket and
+    file sources uniformly.
+    """
+
+    def __init__(self, name: str, expected_producers: int = 1,
+                 queue_size: int = 10_000) -> None:
+        if expected_producers < 1:
+            raise ValueError("expected_producers must be >= 1")
+        self.name = name
+        self.expected_producers = expected_producers
+        self.queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self.pos = 0                 # events yielded to the merge
+        self.last_event: StreamEvent | None = None
+        self.watermark: int | None = None
+        self.health = SourceHealth.OK
+        self.episodes = 0            # kept 0: sockets have no retry loop
+        self.retries = 0
+        self.last_error: str | None = None
+        self.connected_producers = 0
+        self.ended_producers = 0
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+
+    # -- listener side -------------------------------------------------
+
+    def attach_producer(self) -> bool:
+        """Register one producer connection; False when already finished."""
+        with self._lock:
+            if self._finished.is_set():
+                return False
+            self.connected_producers += 1
+            return True
+
+    def producer_ended(self) -> None:
+        """One producer sent ``end``; finish the source at the quota."""
+        with self._lock:
+            self.ended_producers += 1
+            if self.ended_producers >= self.expected_producers:
+                self._finished.set()
+                self.queue.put(_END)
+
+    def push(self, event: object) -> None:
+        """Enqueue one decoded event (blocking -- the backpressure edge)."""
+        self.queue.put(event)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished.is_set()
+
+    # -- merge side ----------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        while True:
+            item = self.queue.get()
+            if item is _END:
+                return
+            self.pos += 1
+            self.last_event = item
+            ts = getattr(item, "ts", None)
+            if type(ts) is int:
+                self.watermark = ts
+            yield item
+
+    def describe(self) -> dict:
+        return {
+            "health": self.health.value,
+            "pos": self.pos,
+            "watermark": self.watermark,
+            "retries": self.retries,
+            "episodes": self.episodes,
+            "last_error": self.last_error,
+            "producers_connected": self.connected_producers,
+            "producers_ended": self.ended_producers,
+            "producers_expected": self.expected_producers,
+            "finished": self.finished,
+            "queued": self.queue.qsize(),
+        }
+
+
+class SocketListener:
+    """Accepts producer connections and routes their events to sources.
+
+    ``expected`` maps source name to the number of producers that must
+    ``end`` before that source is considered complete (default: the
+    three canonical trace families, one producer each).  Source listing
+    order is the merge tie-break order, so callers that need the
+    canonical activity-before-access ordering list jobs and publications
+    before accesses -- :data:`DEFAULT_SOURCES` already does.
+    """
+
+    def __init__(self, address: str, *,
+                 expected: Mapping[str, int] | Iterable[str] = DEFAULT_SOURCES,
+                 queue_size: int = 10_000, backlog: int = 16) -> None:
+        if not isinstance(expected, Mapping):
+            expected = {name: 1 for name in expected}
+        if not expected:
+            raise ValueError("a listener needs at least one expected source")
+        self.address = address
+        self._sources: dict[str, SocketSource] = {
+            name: SocketSource(name, count, queue_size)
+            for name, count in expected.items()}
+        #: ``on_decode_error(source_name, detail, raw)`` -- wired to the
+        #: quarantine by :class:`NetworkEventStream`; a bare listener
+        #: counts decode errors but has nowhere to divert them.
+        self.on_decode_error: Callable[[str, str, object], None] | None = None
+        self.decode_errors = 0
+        self.connections_accepted = 0
+        self.connections_refused = 0
+        self._sock = create_listener(address, backlog)
+        self._closed = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"listener:{address}",
+            daemon=True)
+        self._accept_thread.start()
+
+    # -- sources -------------------------------------------------------
+
+    def sources(self) -> list[SocketSource]:
+        """The expected sources, in declaration (= tie-break) order."""
+        return list(self._sources.values())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self) -> None:
+        """Stop accepting; finish every unfinished source."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for source in self._sources.values():
+            if not source.finished:
+                source._finished.set()
+                source.queue.put(_END)
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- connection handling -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            self.connections_accepted += 1
+            thread = threading.Thread(
+                target=self._serve_producer, args=(conn,),
+                name=f"producer:{self.address}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _divert(self, source_name: str, detail: str, raw: object) -> None:
+        self.decode_errors += 1
+        hook = self.on_decode_error
+        if hook is not None:
+            hook(source_name, detail, raw)
+
+    def _handshake(self, conn: socket.socket,
+                   reader: FrameReader) -> SocketSource | None:
+        hello = reader.read()
+        if hello is None:
+            return None
+        if hello.get("type") != "hello":
+            write_frame(conn, {"type": "error",
+                               "reason": "expected a hello frame"})
+            return None
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            write_frame(conn, {"type": "error",
+                               "reason": f"unsupported protocol "
+                                         f"{hello.get('protocol')!r}"})
+            return None
+        name = hello.get("source")
+        source = self._sources.get(name)
+        if source is None:
+            self.connections_refused += 1
+            write_frame(conn, {"type": "error",
+                               "reason": f"unexpected source {name!r} "
+                                         f"(expected "
+                                         f"{sorted(self._sources)})"})
+            return None
+        if not source.attach_producer():
+            self.connections_refused += 1
+            write_frame(conn, {"type": "error",
+                               "reason": f"source {name!r} already "
+                                         f"finished"})
+            return None
+        write_frame(conn, {"type": "ok", "protocol": PROTOCOL_VERSION,
+                           "source": name})
+        return source
+
+    def _serve_producer(self, conn: socket.socket) -> None:
+        received = 0
+        source: SocketSource | None = None
+        try:
+            reader = FrameReader(conn)
+            try:
+                source = self._handshake(conn, reader)
+            except (FrameError, OSError):
+                return
+            if source is None:
+                return
+            while True:
+                try:
+                    frame = reader.read()
+                except FrameError as exc:
+                    # A torn or garbled frame ends the connection: past
+                    # the tear there is no sync point, so everything
+                    # already decoded stays delivered and the rest is
+                    # one diverted record, not a poisoned stream.
+                    self._divert(source.name, f"FrameError: {exc}", None)
+                    return
+                if frame is None:
+                    return  # producer vanished without end; may reconnect
+                ftype = frame.get("type")
+                if ftype == "event":
+                    try:
+                        event = decode_event(frame)
+                    except (KeyError, ValueError, TypeError) as exc:
+                        self._divert(source.name,
+                                     f"{type(exc).__name__}: {exc}", frame)
+                        continue
+                    received += 1
+                    source.push(event)
+                elif ftype == "end":
+                    try:
+                        write_frame(conn, {"type": "ok",
+                                           "received": received})
+                    except OSError:
+                        pass
+                    source.producer_ended()
+                    return
+                else:
+                    self._divert(source.name,
+                                 f"unknown frame type {ftype!r}", frame)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def describe(self) -> dict:
+        return {
+            "address": self.address,
+            "closed": self.closed,
+            "connections_accepted": self.connections_accepted,
+            "connections_refused": self.connections_refused,
+            "decode_errors": self.decode_errors,
+            "sources": {name: src.describe()
+                        for name, src in self._sources.items()},
+        }
+
+
+class NetworkEventStream(ReliableEventStream):
+    """A listener's sources behind the standard quarantined merge.
+
+    Construction wires the listener's decode-error hook into the shared
+    quarantine (reason code ``unparsable_row``, same as a malformed
+    trace line), then defers to :class:`ReliableEventStream`'s generic
+    source path -- guard every source, merge by timestamp, tie-break by
+    listing order.  ``report()`` therefore has the same shape for
+    socket-fed and file-fed servers.
+    """
+
+    def __init__(self, listener: SocketListener, *,
+                 quarantine=None, known_uids=None, dead_letter=None) -> None:
+        super().__init__(sources=listener.sources(), quarantine=quarantine,
+                         known_uids=known_uids, dead_letter=dead_letter)
+        self.listener = listener
+
+        def on_decode_error(source: str, detail: str, raw: object) -> None:
+            self.quarantine.divert(source, REASON_UNPARSABLE, detail, raw)
+
+        listener.on_decode_error = on_decode_error
+
+    def report(self) -> dict:
+        out = super().report()
+        out["listener"] = {
+            "address": self.listener.address,
+            "closed": self.listener.closed,
+            "connections_accepted": self.listener.connections_accepted,
+            "connections_refused": self.listener.connections_refused,
+            "decode_errors": self.listener.decode_errors,
+        }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the producing side: the publish client
+
+
+def publish_events(address: str, source: str,
+                   events: Iterable[StreamEvent] | Callable[[], Iterable],
+                   *, producer: str = "publish",
+                   retry_for: float = 0.0, retry_interval: float = 0.2,
+                   connect_timeout: float = 10.0,
+                   sleep: Callable[[float], None] = time.sleep,
+                   clock: Callable[[], float] = time.monotonic) -> int:
+    """Stream ``events`` to a server as one producer of ``source``.
+
+    ``events`` may be an iterable or (for retryable publishes) a
+    zero-argument factory returning a fresh iterable per attempt.  With
+    ``retry_for > 0`` the whole publish is retried from the start --
+    connect, hello, every event, end -- until a full round is acked or
+    the window closes: the server-side resume cursor skips everything a
+    previous incarnation already consumed, so whole-stream replay is the
+    correct (and simplest) recovery after a server crash.  Returns the
+    number of events sent in the successful round.
+    """
+    factory = events if callable(events) else None
+    deadline = clock() + retry_for
+    while True:
+        try:
+            return _publish_once(address, source,
+                                 factory() if factory else events,
+                                 producer, connect_timeout)
+        except (OSError, FrameError, PublishRefused):
+            if factory is None or clock() >= deadline:
+                raise
+            sleep(retry_interval)
+
+
+class PublishRefused(ConnectionError):
+    """The server answered the handshake or end with an error frame."""
+
+
+def _publish_once(address: str, source: str, events: Iterable,
+                  producer: str, connect_timeout: float) -> int:
+    sock = connect_socket(address, timeout=connect_timeout)
+    try:
+        reader = FrameReader(sock)
+        write_frame(sock, {"type": "hello", "protocol": PROTOCOL_VERSION,
+                           "source": source, "producer": producer})
+        ack = reader.read()
+        if ack is None or ack.get("type") != "ok":
+            raise PublishRefused(
+                f"server refused producer of {source!r}: "
+                f"{(ack or {}).get('reason', 'connection closed')}")
+        sock.settimeout(None)  # streaming may block on backpressure
+        sent = 0
+        for event in events:
+            write_frame(sock, encode_event(event))
+            sent += 1
+        write_frame(sock, {"type": "end"})
+        ack = reader.read()
+        if ack is None or ack.get("type") != "ok":
+            raise PublishRefused(
+                f"server did not ack end of {source!r}: "
+                f"{(ack or {}).get('reason', 'connection closed')}")
+        return sent
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def workspace_source_factory(directory: str,
+                             source: str) -> Callable[[], Iterator]:
+    """A replayable event factory for one of a workspace's trace files."""
+    import os
+
+    from ..traces.io import read_app_log, read_jobs, read_publications
+
+    if source == "jobs":
+        return lambda: job_events(
+            read_jobs(os.path.join(directory, "jobs.txt.gz")))
+    if source == "publications":
+        return lambda: publication_events(
+            read_publications(os.path.join(directory,
+                                           "publications.txt.gz")))
+    if source == "accesses":
+        return lambda: access_events(
+            read_app_log(os.path.join(directory, "app_log.txt.gz")))
+    raise ValueError(f"unknown workspace source {source!r} "
+                     f"(expected one of {DEFAULT_SOURCES})")
+
+
+def publish_workspace(address: str, directory: str, *,
+                      sources: Iterable[str] = DEFAULT_SOURCES,
+                      producer: str = "publish",
+                      retry_for: float = 0.0,
+                      retry_interval: float = 0.2) -> dict[str, int]:
+    """Publish a workspace's trace files concurrently, one per source.
+
+    Concurrency is load-bearing, not an optimization: the server's merge
+    needs the head event of *every* source before it can emit anything,
+    so a sequential publish of a trace larger than one queue bound would
+    deadlock against backpressure.  Returns ``{source: events_sent}``;
+    re-raises the first failure after all threads have stopped.
+    """
+    results: dict[str, int] = {}
+    errors: list[BaseException] = []
+
+    def worker(name: str) -> None:
+        try:
+            results[name] = publish_events(
+                address, name, workspace_source_factory(directory, name),
+                producer=f"{producer}:{name}", retry_for=retry_for,
+                retry_interval=retry_interval)
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(name,),
+                                name=f"publish:{name}", daemon=True)
+               for name in sources]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results

@@ -1,0 +1,299 @@
+"""The retention server's wire protocol: length-prefixed newline-JSON.
+
+Every message on every server socket -- producer feeds and the admin
+plane alike -- is one **frame**::
+
+    <decimal byte length of body>\\n<body bytes>\\n
+
+The body is a single UTF-8 JSON object with no embedded newlines (the
+encoder enforces it).  The redundant trailing newline is deliberate: a
+reader that has lost sync can abort immediately instead of consuming a
+corrupted length's worth of garbage, and a human can still eyeball a
+captured stream.  Frames are bounded by :data:`MAX_FRAME_BYTES`; an
+oversized length prefix is a protocol error, not an allocation.
+
+Message vocabulary
+------------------
+Producer side (``repro publish`` -> ``serve --listen``)::
+
+    {"type": "hello", "protocol": 1, "source": "jobs", "producer": "..."}
+    {"type": "event", "kind": "job"|"publication"|"access", ...payload}
+    {"type": "end"}
+
+The server answers ``hello`` and ``end`` with ``{"type": "ok", ...}`` or
+``{"type": "error", "reason": ...}``.  Event frames are *not* acked
+individually -- producers stream at full speed and TCP provides the
+ordering and backpressure; a frame the server cannot decode is diverted
+to the event quarantine (with its dead-letter reason code), never
+answered, exactly like a malformed row in a trace file.
+
+Admin side (``repro admin`` -> the admin listener)::
+
+    {"type": "request", "cmd": "status" | "health" | "tenants" |
+                               "metrics" | "query", ...args}
+    {"type": "response", "ok": true, ...}  |  {"type": "response",
+                                               "ok": false, "error": ...}
+
+Event payload codecs translate :class:`~repro.stream.events.StreamEvent`
+to and from plain dicts, field for field, so a trace file replayed over
+the wire reconstructs the exact record objects the file readers produce
+-- the first link in the chain that keeps networked runs bit-identical
+to batch.
+
+Addresses are spelled ``unix:/path/to.sock``, ``tcp:host:port``, or bare
+``host:port``; :func:`parse_address` normalizes all three.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Union
+
+from ..stream.events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
+                             StreamEvent)
+from ..traces.schema import AppAccessRecord, JobRecord, PublicationRecord
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "FrameError",
+           "encode_frame", "write_frame", "FrameReader", "read_frame",
+           "encode_event", "decode_event",
+           "parse_address", "format_address", "create_listener",
+           "connect_socket"]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's body.  Paths dominate event size and are
+#: filesystem-limited to a few KiB; a megabyte means a corrupt or
+#: hostile length prefix, so the reader refuses rather than buffering.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class FrameError(ValueError):
+    """A malformed frame: bad length prefix, bad JSON, missing newline."""
+
+
+# ---------------------------------------------------------------------------
+# framing
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one message dict to its wire frame."""
+    body = json.dumps(obj, separators=(",", ":"), ensure_ascii=False,
+                      ).encode("utf-8")
+    if b"\n" in body:
+        raise FrameError("frame body cannot contain newlines")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds "
+                         f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+    return b"%d\n%s\n" % (len(body), body)
+
+
+def write_frame(sock: socket.socket, obj: dict) -> None:
+    """Send one frame over a connected socket (blocking, all-or-error)."""
+    sock.sendall(encode_frame(obj))
+
+
+class FrameReader:
+    """Incremental frame decoder over a connected socket.
+
+    Buffers socket reads and yields one decoded dict per
+    :meth:`read` call; ``None`` means orderly EOF at a frame boundary.
+    EOF *inside* a frame -- the torn tail a killed producer leaves -- and
+    any framing violation raise :class:`FrameError` so the caller can
+    quarantine rather than mis-parse everything after the tear.
+    """
+
+    def __init__(self, sock: socket.socket, chunk_size: int = 65536) -> None:
+        self._sock = sock
+        self._chunk = chunk_size
+        self._buf = bytearray()
+        self._eof = False
+
+    def _fill(self) -> bool:
+        """Pull one chunk into the buffer; False at EOF."""
+        if self._eof:
+            return False
+        data = self._sock.recv(self._chunk)
+        if not data:
+            self._eof = True
+            return False
+        self._buf += data
+        return True
+
+    def _read_until_newline(self, limit: int) -> bytes | None:
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx >= 0:
+                line = bytes(self._buf[:idx])
+                del self._buf[:idx + 1]
+                return line
+            if len(self._buf) > limit:
+                raise FrameError(
+                    f"no newline within {limit} bytes of frame start")
+            if not self._fill():
+                if self._buf:
+                    raise FrameError("connection closed mid frame header")
+                return None
+
+    def read(self) -> dict | None:
+        """Next message dict, or ``None`` on clean end of stream."""
+        header = self._read_until_newline(32)
+        if header is None:
+            return None
+        try:
+            length = int(header)
+        except ValueError:
+            raise FrameError(f"bad frame length prefix {header!r}") from None
+        if not 0 <= length <= MAX_FRAME_BYTES:
+            raise FrameError(f"frame length {length} out of range")
+        while len(self._buf) < length + 1:
+            if not self._fill():
+                raise FrameError("connection closed mid frame body")
+        body = bytes(self._buf[:length])
+        if self._buf[length:length + 1] != b"\n":
+            raise FrameError("frame body not newline-terminated")
+        del self._buf[:length + 1]
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"frame body is not JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise FrameError(
+                f"frame body must be a JSON object, got "
+                f"{type(obj).__name__}")
+        return obj
+
+
+def read_frame(reader: FrameReader) -> dict | None:
+    """Functional alias for :meth:`FrameReader.read`."""
+    return reader.read()
+
+
+# ---------------------------------------------------------------------------
+# event codec
+
+
+def encode_event(event: StreamEvent) -> dict:
+    """One event frame body for ``event`` (adds ``type: "event"``)."""
+    kind = event.kind
+    p = event.payload
+    if kind == EVENT_JOB:
+        return {"type": "event", "kind": kind, "job_id": p.job_id,
+                "uid": p.uid, "submit_ts": p.submit_ts,
+                "start_ts": p.start_ts, "end_ts": p.end_ts,
+                "num_nodes": p.num_nodes,
+                "cores_per_node": p.cores_per_node}
+    if kind == EVENT_PUBLICATION:
+        return {"type": "event", "kind": kind, "pub_id": p.pub_id,
+                "ts": p.ts, "citations": p.citations,
+                "author_uids": list(p.author_uids)}
+    if kind == EVENT_ACCESS:
+        return {"type": "event", "kind": kind, "ts": p.ts, "uid": p.uid,
+                "op": p.op, "path": p.path}
+    raise ValueError(f"cannot encode stream event of kind {kind!r}")
+
+
+def decode_event(obj: dict) -> StreamEvent:
+    """Rebuild the exact :class:`StreamEvent` an event frame encodes.
+
+    Schema violations (missing fields, wrong types, ``__post_init__``
+    failures) raise ``ValueError``/``TypeError``/``KeyError`` -- the
+    listener routes those to the quarantine as unparsable rows.
+    """
+    kind = obj.get("kind")
+    if kind == EVENT_JOB:
+        rec = JobRecord(int(obj["job_id"]), int(obj["uid"]),
+                        int(obj["submit_ts"]), int(obj["start_ts"]),
+                        int(obj["end_ts"]), int(obj["num_nodes"]),
+                        int(obj["cores_per_node"]))
+        return StreamEvent(rec.submit_ts, EVENT_JOB, rec)
+    if kind == EVENT_PUBLICATION:
+        rec = PublicationRecord(int(obj["pub_id"]), int(obj["ts"]),
+                                [int(u) for u in obj["author_uids"]],
+                                int(obj["citations"]))
+        return StreamEvent(rec.ts, EVENT_PUBLICATION, rec)
+    if kind == EVENT_ACCESS:
+        path = obj["path"]
+        if not isinstance(path, str):
+            raise ValueError(f"access path must be a string, "
+                             f"got {type(path).__name__}")
+        rec = AppAccessRecord(int(obj["ts"]), int(obj["uid"]), path,
+                              str(obj["op"]))
+        return StreamEvent(rec.ts, EVENT_ACCESS, rec)
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# addresses
+
+#: A parsed address: ``("unix", path)`` or ``("tcp", (host, port))``.
+Address = Union[tuple[str, str], tuple[str, tuple[str, int]]]
+
+
+def parse_address(spec: str) -> Address:
+    """Normalize ``unix:/path``, ``tcp:host:port``, or ``host:port``."""
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ValueError(f"empty unix socket path in {spec!r}")
+        return ("unix", path)
+    if spec.startswith("tcp:"):
+        spec = spec[len("tcp:"):]
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"cannot parse address {spec!r}: expected unix:/path, "
+            f"tcp:host:port, or host:port")
+    try:
+        return ("tcp", (host, int(port)))
+    except ValueError:
+        raise ValueError(f"bad port in address {spec!r}") from None
+
+
+def format_address(address: Address) -> str:
+    family, where = address
+    if family == "unix":
+        return f"unix:{where}"
+    host, port = where
+    return f"tcp:{host}:{port}"
+
+
+def create_listener(spec: str, backlog: int = 16) -> socket.socket:
+    """A bound, listening socket for ``spec``.
+
+    A pre-existing Unix socket path is unlinked first: the only thing
+    that leaves one behind is a dead server (crash before cleanup), and
+    a supervisor restarting into the same address must win the bind.
+    """
+    family, where = parse_address(spec)
+    if family == "unix":
+        try:
+            os.unlink(where)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(where)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(where)
+    sock.listen(backlog)
+    return sock
+
+
+def connect_socket(spec: str, timeout: float | None = None) -> socket.socket:
+    """A connected client socket for ``spec``."""
+    family, where = parse_address(spec)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        sock.connect(where)
+    except BaseException:
+        sock.close()
+        raise
+    return sock

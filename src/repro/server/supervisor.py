@@ -1,0 +1,174 @@
+"""Supervised restarts: keep the retention server alive across crashes.
+
+The durability story so far ends at the checkpoint chain -- a killed
+daemon *can* resume bit-identically, but something has to notice the
+death and restart it.  :class:`Supervisor` is that something: a parent
+loop that spawns the serve command, waits, and on an abnormal exit
+relaunches it with ``--resume`` appended (once the checkpoint directory
+has a link to resume from), under seeded exponential backoff.
+
+The state machine is deliberately small and fully injectable (``spawn``,
+``sleep``, ``clock``), so ``tests/test_supervisor.py`` drives it with a
+fake child and asserts the exact backoff schedule:
+
+* exit code 0 -- clean completion, supervisor returns 0;
+* non-retryable codes (default: 3, the serve CLI's
+  checkpoint-failure exit -- restarting cannot make an unwritable
+  checkpoint directory writable) -- supervisor passes the code through;
+* any other exit (including signal deaths, which ``subprocess`` reports
+  as negative codes) -- relaunch after ``base * multiplier**(n-1)``
+  seconds, jittered deterministically from the seed.  A child that
+  stayed up ``healthy_seconds`` resets the consecutive-crash counter;
+  ``max_restarts`` consecutive crashes means the service cannot hold and
+  the supervisor gives up with :data:`EXIT_GIVE_UP`.
+
+Real deployments run ``repro supervise -- serve --listen ...``; the
+chaos path (``repro.faults`` killing the child mid-ingest with a
+scripted ``kill -9``) exercises exactly this loop in CI.
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["EXIT_GIVE_UP", "BackoffPolicy", "Supervisor",
+           "SupervisorReport"]
+
+#: Exit code when ``max_restarts`` consecutive crashes exhaust the budget.
+EXIT_GIVE_UP = 4
+
+#: Child exit codes that restarting cannot fix (3 = the serve CLI's
+#: checkpoint-failure exit).
+NON_RETRYABLE = (3,)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with seeded jitter and a give-up bound."""
+
+    base: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+    max_restarts: int = 5
+    healthy_seconds: float = 30.0
+
+    def delays(self):
+        """The jittered delay sequence (an infinite generator)."""
+        rng = random.Random(self.seed)
+        n = 0
+        while True:
+            raw = min(self.max_delay, self.base * self.multiplier ** n)
+            yield raw * (1.0 + self.jitter * rng.random())
+            n += 1
+
+
+@dataclass
+class Attempt:
+    """One child lifetime, as the supervisor saw it."""
+
+    returncode: int
+    uptime: float
+    resumed: bool
+    delay: float | None = None  # backoff slept *after* this attempt
+
+
+@dataclass
+class SupervisorReport:
+    """Everything that happened across one :meth:`Supervisor.run`."""
+
+    attempts: list[Attempt] = field(default_factory=list)
+    final_returncode: int | None = None
+    gave_up: bool = False
+
+    @property
+    def restarts(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+
+def _default_spawn(command: Sequence[str]):
+    return subprocess.Popen(list(command))
+
+
+class Supervisor:
+    """Spawn-and-restart loop around one serve command.
+
+    ``command`` is the child argv.  ``resume_args`` (default
+    ``("--resume",)``) is appended when ``should_resume()`` says there is
+    a checkpoint to resume from -- by default, when the predicate is
+    given; the CLI passes one that checks the checkpoint directory for
+    ``checkpoint-*.npz`` links.  ``spawn`` must return an object with
+    ``wait() -> int``.
+    """
+
+    def __init__(self, command: Sequence[str], *,
+                 backoff: BackoffPolicy | None = None,
+                 resume_args: Sequence[str] = ("--resume",),
+                 should_resume: Callable[[], bool] | None = None,
+                 non_retryable: Sequence[int] = NON_RETRYABLE,
+                 spawn: Callable[[Sequence[str]], object] = _default_spawn,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic,
+                 log: Callable[[str], None] | None = None) -> None:
+        self.command = list(command)
+        self.backoff = backoff or BackoffPolicy()
+        self.resume_args = list(resume_args)
+        self.should_resume = should_resume
+        self.non_retryable = tuple(non_retryable)
+        self._spawn = spawn
+        self._sleep = sleep
+        self._clock = clock
+        self._log = log or (lambda line: print(line, file=sys.stderr))
+        self.report = SupervisorReport()
+
+    def _child_command(self) -> list[str]:
+        command = list(self.command)
+        if (self.resume_args and self.should_resume is not None
+                and self.should_resume()
+                and not any(arg in command for arg in self.resume_args)):
+            command += self.resume_args
+        return command
+
+    def run(self) -> int:
+        """Supervise until clean exit, non-retryable exit, or give-up."""
+        delays = self.backoff.delays()
+        consecutive = 0
+        while True:
+            command = self._child_command()
+            resumed = command != self.command
+            started = self._clock()
+            child = self._spawn(command)
+            rc = child.wait()
+            uptime = self._clock() - started
+            attempt = Attempt(returncode=rc, uptime=uptime, resumed=resumed)
+            self.report.attempts.append(attempt)
+            if rc == 0:
+                self.report.final_returncode = 0
+                return 0
+            if rc in self.non_retryable:
+                self._log(f"supervisor: child exited {rc} (non-retryable), "
+                          f"giving up")
+                self.report.final_returncode = rc
+                return rc
+            # A child that held steady long enough earns a fresh crash
+            # budget; an immediate flameout burns it down.
+            consecutive = (1 if uptime >= self.backoff.healthy_seconds
+                           else consecutive + 1)
+            if consecutive > self.backoff.max_restarts:
+                self._log(f"supervisor: {consecutive} consecutive crashes, "
+                          f"giving up")
+                self.report.final_returncode = EXIT_GIVE_UP
+                self.report.gave_up = True
+                return EXIT_GIVE_UP
+            delay = next(delays)
+            attempt.delay = delay
+            self._log(f"supervisor: child exited {rc} after {uptime:.1f}s; "
+                      f"restart {consecutive}/{self.backoff.max_restarts} "
+                      f"in {delay:.2f}s")
+            self._sleep(delay)

@@ -1,0 +1,846 @@
+"""N retention policies over ONE event feed and ONE activeness state.
+
+:class:`MultiTenantService` is the multi-policy counterpart of
+:class:`~repro.stream.service.OnlineRetentionService`.  Each *tenant* is
+one policy configuration (FLT / ActiveDR / ValueBased / ScratchAsCache,
+with its own lifetime, purge target, trigger cadence and activeness
+period) making independent purge decisions over its own replica of the
+replay state.  Everything that does not depend on the policy is shared:
+
+* the event feed, cursor and day buffers (one merge, consumed once);
+* the :class:`~repro.stream.state.PathCatalog` (pids are positional
+  identity, so one interner serves every tenant);
+* the :class:`~repro.stream.state.IncrementalActivenessState` -- and,
+  decisively, its *evaluation*: at a boundary where several tenants
+  trigger, activeness is refolded **once per distinct parameter set**,
+  not once per tenant (``stats["activeness_evals"]`` counts the folds;
+  four same-params tenants cost one).  Sharing the evaluation is sound
+  because the batch ``ComparisonRunner`` already shares one evaluation
+  per trigger across policies, and extra evaluation instants never
+  perturb later ones (flush/refresh are order-insensitive).
+
+Per tenant: the replay-state columns, daily metrics, purge reports,
+classification + group lookup (refreshed on the tenant's *own* trigger
+cadence, exactly as a standalone run would), and the trigger engine.
+Because the shared pieces are read-only to the per-tenant kernels and
+the per-tenant pieces replicate the standalone layout exactly, each
+tenant's finalized :class:`EmulationResult` is **bit-identical** to an
+independent batch ``FastEmulator`` run of the same policy (pinned by
+``tests/test_server.py``).
+
+Tenants are addable/removable at runtime: the admin plane enqueues ops
+(:meth:`request_add_tenant` / :meth:`request_remove_tenant`, thread-safe)
+and the engine applies them at the next day boundary -- the only place
+the replay state is quiescent.  A new tenant clones the replay state of
+a donor tenant (its scratch *as that tenant retained it*) and
+participates from the admission boundary on.
+
+Checkpoints pack every tenant into one digest-verified link of the
+existing chain (format ``repro-server-checkpoint/1``): shared arrays
+(catalog, activeness history) stored once, per-tenant arrays under a
+``t<i>__`` namespace prefix, per-tenant config fingerprints cross-checked
+on resume.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.activeness import ActivenessParams, UserActiveness
+from ..core.classification import UserClass, classify_all, group_counts
+from ..core.config import RetentionConfig
+from ..core.exemption import ExemptionList
+from ..core.policy import RetentionPolicy
+from ..emulation.compiled import (NEVER_POS, GroupLookup, TriggerEngine,
+                                  replay_day_columns)
+from ..emulation.emulator import EmulationResult, EmulatorConfig
+from ..emulation.metrics import DailyMetrics
+from ..vfs.file_meta import DAY_SECONDS
+from ..vfs.filesystem import VirtualFileSystem
+from ..stream.checkpoint import (SERVER_CHECKPOINT_FORMAT, CheckpointManager,
+                                 activeness_from_arrays, activeness_to_arrays,
+                                 load_checkpoint, metrics_from_arrays,
+                                 metrics_to_arrays, reports_from_jsonable,
+                                 reports_to_jsonable)
+from ..stream.events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
+                             StreamEvent)
+from ..stream.state import (GrowableReplayState, IncrementalActivenessState,
+                            PathCatalog)
+
+__all__ = ["TenantSpec", "Tenant", "MultiTenantService", "POLICY_KINDS"]
+
+_OP_CODES = {"access": 0, "create": 1, "touch": 2}  # mirrors compiled._OP_CODES
+
+#: Policy kinds a tenant spec can name.
+POLICY_KINDS = ("flt", "flt-target", "activedr", "value", "cache")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """The declarative identity of one tenant: policy kind + knobs.
+
+    A spec is everything needed (plus workspace-derived context such as
+    the job-residency index for ``cache``) to rebuild the tenant's
+    policy object -- which is why checkpoints store specs, not policies.
+    """
+
+    name: str
+    policy: str = "activedr"
+    lifetime_days: float = 90.0
+    target: float = 0.5
+    purge_trigger_days: int = 7
+    period_days: float = 7.0
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in ",=|\n"):
+            raise ValueError(f"bad tenant name {self.name!r}: must be "
+                             f"non-empty without ',', '=', '|' or newlines")
+        if self.policy not in POLICY_KINDS:
+            raise ValueError(f"unknown tenant policy {self.policy!r} "
+                             f"(expected one of {POLICY_KINDS})")
+
+    def retention_config(self) -> RetentionConfig:
+        return RetentionConfig(
+            lifetime_days=self.lifetime_days,
+            purge_target_utilization=self.target,
+            purge_trigger_days=self.purge_trigger_days,
+            activeness=ActivenessParams(period_days=self.period_days))
+
+    def build_policy(self, *, residency=None) -> RetentionPolicy:
+        """Instantiate the live policy object this spec describes.
+
+        ``residency`` (a :class:`~repro.core.JobResidencyIndex`) is
+        required for ``cache`` tenants and ignored by the rest.
+        """
+        from ..core import (ActiveDRPolicy, FixedLifetimePolicy,
+                            ScratchAsCachePolicy, ValueBasedPolicy)
+
+        config = self.retention_config()
+        if self.policy == "flt":
+            return FixedLifetimePolicy(config)
+        if self.policy == "flt-target":
+            return FixedLifetimePolicy(config, enforce_target=True)
+        if self.policy == "activedr":
+            return ActiveDRPolicy(config)
+        if self.policy == "value":
+            return ValueBasedPolicy(config)
+        if residency is None:
+            raise ValueError(
+                f"tenant {self.name!r} uses the cache policy, which needs "
+                f"a job-residency index")
+        return ScratchAsCachePolicy(config, residency=residency)
+
+    # -- serialization -------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {"name": self.name, "policy": self.policy,
+                "lifetime_days": self.lifetime_days, "target": self.target,
+                "purge_trigger_days": self.purge_trigger_days,
+                "period_days": self.period_days}
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "TenantSpec":
+        return cls(name=data["name"], policy=data["policy"],
+                   lifetime_days=float(data["lifetime_days"]),
+                   target=float(data["target"]),
+                   purge_trigger_days=int(data["purge_trigger_days"]),
+                   period_days=float(data["period_days"]))
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantSpec":
+        """Parse the CLI spelling: ``name=t1,policy=activedr,lifetime=90``.
+
+        Keys: ``name`` (required), ``policy``, ``lifetime``, ``target``,
+        ``trigger`` (purge-trigger days), ``period`` (activeness period
+        days).  Unknown keys are an error, not a silent default.
+        """
+        fields: dict = {}
+        keys = {"name": ("name", str), "policy": ("policy", str),
+                "lifetime": ("lifetime_days", float),
+                "target": ("target", float),
+                "trigger": ("purge_trigger_days", int),
+                "period": ("period_days", float)}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep or key not in keys:
+                raise ValueError(
+                    f"bad tenant spec field {part!r} (expected "
+                    f"key=value with key in {sorted(keys)})")
+            attr, cast = keys[key]
+            fields[attr] = cast(value)
+        if "name" not in fields:
+            raise ValueError(f"tenant spec {text!r} needs a name=<id> field")
+        return cls(**fields)
+
+
+@dataclass
+class Tenant:
+    """One policy's live state inside the multi-tenant engine."""
+
+    spec: TenantSpec
+    policy: RetentionPolicy
+    engine: TriggerEngine
+    state: GrowableReplayState
+    metrics: DailyMetrics
+    reports: list = field(default_factory=list)
+    group_count_history: list = field(default_factory=list)
+    classes: dict = field(default_factory=dict)
+    lookup: GroupLookup | None = None
+    add_pos: np.ndarray = field(
+        default_factory=lambda: np.full(0, NEVER_POS, dtype=np.int64))
+    admitted_boundary: int = 0
+    stats: dict = field(
+        default_factory=lambda: {"triggers": 0, "trigger_seconds": 0.0})
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def params(self) -> ActivenessParams:
+        return self.policy.config.activeness
+
+    @property
+    def params_key(self) -> tuple:
+        p = self.params
+        return (p.period_days, p.empty_period, p.epsilon, p.max_periods)
+
+    def describe(self) -> dict:
+        return {
+            "spec": self.spec.to_jsonable(),
+            "policy": self.policy.name,
+            "admitted_boundary": self.admitted_boundary,
+            "triggers": self.stats["triggers"],
+            "reports": len(self.reports),
+            "live_files": self.state.file_count,
+            "live_bytes": self.state.total_bytes,
+        }
+
+
+class MultiTenantService:
+    """Streaming retention for a fleet of policies over one event feed.
+
+    ``tenants`` is a sequence of ``(TenantSpec, RetentionPolicy)`` pairs
+    (build policies with :meth:`TenantSpec.build_policy`); the remaining
+    parameters mirror :class:`OnlineRetentionService`.  ``policy_factory``
+    builds policies for tenants added at runtime (it receives the new
+    tenant's spec); without one, runtime adds are refused.
+    """
+
+    def __init__(self, tenants: Sequence[tuple[TenantSpec, RetentionPolicy]],
+                 *,
+                 snapshot_fs: VirtualFileSystem | None = None,
+                 replay_start: int, replay_end: int,
+                 capacity_bytes: int | None = None,
+                 config: EmulatorConfig | None = None,
+                 exemptions: ExemptionList | None = None,
+                 known_uids: Iterable[int] = (),
+                 checkpoint_dir: str | None = None,
+                 checkpoint_every_days: int = 7,
+                 checkpoint_retain: int = 3,
+                 checkpoint_manager: CheckpointManager | None = None,
+                 policy_factory: Callable[[TenantSpec],
+                                          RetentionPolicy] | None = None,
+                 ) -> None:
+        if replay_end <= replay_start:
+            raise ValueError("replay_end must exceed replay_start")
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [spec.name for spec, _policy in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+
+        self.config = config or EmulatorConfig()
+        self.exemptions = exemptions
+        self.known_uids = [int(u) for u in known_uids]
+        self.policy_factory = policy_factory
+
+        self.replay_start = int(replay_start)
+        self.replay_end = int(replay_end)
+        self.n_days = -(-(self.replay_end - self.replay_start) // DAY_SECONDS)
+        self.window_end = self.replay_start + self.n_days * DAY_SECONDS
+
+        if capacity_bytes is None:
+            capacity_bytes = (snapshot_fs.capacity_bytes
+                              if snapshot_fs is not None else 0)
+        self.capacity_bytes = int(capacity_bytes)
+
+        self.catalog = PathCatalog()
+        self.activity = IncrementalActivenessState()
+        self.tenants: list[Tenant] = [
+            self._new_tenant(spec, policy) for spec, policy in tenants]
+
+        self._next_boundary = 0
+        self._consumed = 0
+        self.dropped_accesses = 0
+        self._buf_pid: list[int] = []
+        self._buf_uid: list[int] = []
+        self._buf_ts: list[int] = []
+        self._buf_op: list[int] = []
+        self._exempt: np.ndarray | None = (
+            np.empty(0, dtype=np.bool_) if exemptions is not None else None)
+        self._exempt_count = 0
+
+        # Runtime tenant ops, enqueued by the admin thread and applied
+        # at the next boundary (deque appends/pops are atomic).
+        self._pending_ops: deque = deque()
+        self.op_log: list[dict] = []
+
+        if checkpoint_manager is not None:
+            self.checkpoints: CheckpointManager | None = checkpoint_manager
+        else:
+            self.checkpoints = (
+                CheckpointManager(checkpoint_dir, retain=checkpoint_retain)
+                if checkpoint_dir else None)
+        self.checkpoint_every_days = int(checkpoint_every_days)
+
+        self.stats = {
+            "events_job": 0, "events_publication": 0, "events_access": 0,
+            "activeness_evals": 0, "eval_users": 0, "eval_refolded": 0,
+            "checkpoints_written": 0, "checkpoint_failures": 0,
+        }
+        self.last_checkpoint_error: str | None = None
+        #: params_key -> (t_c, activeness dict) of the newest evaluation,
+        #: kept for the admin plane's ``query user``.
+        self._last_eval: dict[tuple, tuple[int, dict[int,
+                                                     UserActiveness]]] = {}
+
+        if snapshot_fs is not None:
+            self.load_snapshot(snapshot_fs)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    def _new_tenant(self, spec: TenantSpec,
+                    policy: RetentionPolicy) -> Tenant:
+        return Tenant(spec=spec, policy=policy, engine=TriggerEngine(policy),
+                      state=GrowableReplayState(self.capacity_bytes),
+                      metrics=DailyMetrics(self.n_days))
+
+    def load_snapshot(self, fs: VirtualFileSystem) -> None:
+        """Intern the initial file system once; materialize per tenant."""
+        for path, meta in fs.iter_files():
+            pid = self.catalog.intern(path, snap_size=meta.size)
+            for tenant in self.tenants:
+                tenant.state.ensure(self.catalog.n_paths)
+                tenant.state.add_file(pid, meta.size, meta.atime, meta.uid)
+
+    def tenant(self, name: str) -> Tenant | None:
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        return None
+
+    # ------------------------------------------------------------------
+    # runtime tenant ops (admin thread -> boundary application)
+
+    def request_add_tenant(self, spec: TenantSpec,
+                           clone_from: str | None = None) -> None:
+        """Enqueue a tenant addition, applied at the next day boundary.
+
+        The new tenant clones the replay state of ``clone_from`` (the
+        first tenant when omitted) -- its scratch as that tenant has
+        retained it -- and participates in flushes and triggers from the
+        admission boundary on.
+        """
+        self._pending_ops.append(("add", spec, clone_from))
+
+    def request_remove_tenant(self, name: str) -> None:
+        """Enqueue a tenant removal, applied at the next day boundary."""
+        self._pending_ops.append(("remove", name, None))
+
+    def _apply_pending_ops(self, boundary: int) -> None:
+        while True:
+            try:
+                op, arg, extra = self._pending_ops.popleft()
+            except IndexError:
+                return
+            entry = {"op": op, "boundary": boundary, "ok": False}
+            try:
+                if op == "add":
+                    spec: TenantSpec = arg
+                    entry["tenant"] = spec.name
+                    self._apply_add(spec, extra, boundary)
+                else:
+                    entry["tenant"] = arg
+                    self._apply_remove(arg)
+                entry["ok"] = True
+            except ValueError as exc:
+                entry["error"] = str(exc)
+            self.op_log.append(entry)
+
+    def _apply_add(self, spec: TenantSpec, clone_from: str | None,
+                   boundary: int) -> None:
+        if self.tenant(spec.name) is not None:
+            raise ValueError(f"tenant {spec.name!r} already exists")
+        if self.policy_factory is None:
+            raise ValueError("service has no policy factory; runtime "
+                             "tenant addition is disabled")
+        donor = (self.tenant(clone_from) if clone_from is not None
+                 else (self.tenants[0] if self.tenants else None))
+        if donor is None:
+            raise ValueError(f"no donor tenant {clone_from!r} to clone")
+        tenant = self._new_tenant(spec, self.policy_factory(spec))
+        n = donor.state.n_paths
+        tenant.state.ensure(n)
+        tenant.state.live[:] = donor.state.live
+        tenant.state.atime[:] = donor.state.atime
+        tenant.state.size[:] = donor.state.size
+        tenant.state.owner[:] = donor.state.owner
+        tenant.state.total_bytes = donor.state.total_bytes
+        tenant.state.file_count = donor.state.file_count
+        tenant.add_pos = donor.add_pos.copy()
+        tenant.admitted_boundary = boundary
+        self.tenants.append(tenant)
+        # Give the newcomer a classification immediately -- unless its
+        # first trigger fires at this very boundary, which reclassifies
+        # anyway (a double reclassify would double-append the group
+        # history).
+        if not self._trigger_due(tenant, boundary):
+            t_c = self.replay_start + boundary * DAY_SECONDS
+            evals = self._evaluate_for([tenant], min(t_c, self.window_end))
+            self._reclassify_one(tenant, evals[tenant.params_key])
+
+    def _apply_remove(self, name: str) -> None:
+        tenant = self.tenant(name)
+        if tenant is None:
+            raise ValueError(f"no tenant {name!r}")
+        if len(self.tenants) == 1:
+            raise ValueError(f"cannot remove {name!r}: it is the last "
+                             f"tenant")
+        self.tenants.remove(tenant)
+
+    # ------------------------------------------------------------------
+    # ingestion
+
+    def ingest(self, event: StreamEvent) -> None:
+        """Consume one merged event; may fire any number of boundaries."""
+        kind = event.kind
+        # Counters bump only after boundaries fire, mirroring the
+        # single-tenant service: a checkpoint inside the cascade must
+        # not have counted the not-yet-consumed current event.
+        if kind == EVENT_ACCESS:
+            rec = event.payload
+            if self.replay_start <= rec.ts < self.window_end:
+                day = (rec.ts - self.replay_start) // DAY_SECONDS
+                self._advance_boundaries(day)
+                self.stats["events_access"] += 1
+                self._buf_pid.append(self.catalog.intern(rec.path))
+                self._buf_uid.append(rec.uid)
+                self._buf_ts.append(rec.ts)
+                self._buf_op.append(_OP_CODES[rec.op])
+            else:
+                self.stats["events_access"] += 1
+                self.dropped_accesses += 1
+        elif kind == EVENT_JOB:
+            self._advance_boundaries_before(event.ts)
+            self.stats["events_job"] += 1
+            self.activity.add_job(event.payload)
+        elif kind == EVENT_PUBLICATION:
+            self._advance_boundaries_before(event.ts)
+            self.stats["events_publication"] += 1
+            self.activity.add_publication(event.payload)
+        else:
+            raise ValueError(f"unknown stream event kind {kind!r}")
+        self._consumed += 1
+
+    def run(self, events: Iterator[StreamEvent],
+            stop_after_events: int | None = None,
+            ) -> dict[str, EmulationResult] | None:
+        """Drive the fleet from an event iterator (None = stopped early)."""
+        for event in events:
+            if (stop_after_events is not None
+                    and self._consumed >= stop_after_events):
+                return None
+            self.ingest(event)
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    # boundaries
+
+    def _advance_boundaries(self, day: int) -> None:
+        while self._next_boundary <= min(day, self.n_days):
+            self._boundary(self._next_boundary)
+
+    def _advance_boundaries_before(self, ts: int) -> None:
+        while (self._next_boundary <= self.n_days
+               and self.replay_start + self._next_boundary * DAY_SECONDS
+               < ts):
+            self._boundary(self._next_boundary)
+
+    def _trigger_due(self, tenant: Tenant, boundary: int) -> bool:
+        return (1 <= boundary < self.n_days
+                and boundary % tenant.policy.config.purge_trigger_days == 0)
+
+    def _boundary(self, boundary: int) -> None:
+        if boundary == 0:
+            evals = self._evaluate_for(self.tenants, self.replay_start)
+            for tenant in self.tenants:
+                self._reclassify_one(tenant, evals[tenant.params_key])
+        else:
+            self._flush_day(boundary - 1)
+        self._apply_pending_ops(boundary)
+        triggered = False
+        due = [t for t in self.tenants if self._trigger_due(t, boundary)]
+        if due:
+            t_c = self.replay_start + boundary * DAY_SECONDS
+            evals = self._evaluate_for(due, t_c)
+            for tenant in due:
+                started = time.perf_counter()
+                activeness = evals[tenant.params_key]
+                self._reclassify_one(tenant, activeness)
+                tenant.state.ensure(self.catalog.n_paths)
+                report = tenant.engine.trigger(
+                    self.catalog, tenant.state, t_c, activeness,
+                    tenant.lookup, self._exempt_mask())
+                tenant.reports.append(report)
+                tenant.stats["triggers"] += 1
+                tenant.stats["trigger_seconds"] += (time.perf_counter()
+                                                    - started)
+            triggered = True
+        self._next_boundary = boundary + 1
+        if (triggered and self.checkpoints is not None
+                and self.checkpoint_every_days > 0
+                and boundary % self.checkpoint_every_days == 0):
+            self._try_checkpoint()
+
+    def _evaluate_for(self, tenants: Iterable[Tenant], t_c: int,
+                      ) -> dict[tuple, dict[int, UserActiveness]]:
+        """One activeness fold per *distinct* parameter set at ``t_c``.
+
+        This is where multi-tenant sharing pays: same-params tenants
+        receive the same evaluation object (the batch ComparisonRunner
+        shares evaluations the same way, so downstream consumers are
+        known not to mutate it).
+        """
+        out: dict[tuple, dict[int, UserActiveness]] = {}
+        for tenant in tenants:
+            key = tenant.params_key
+            if key in out:
+                continue
+            result = self.activity.evaluate(t_c, tenant.params,
+                                            self.known_uids)
+            self.stats["activeness_evals"] += 1
+            self.stats["eval_users"] += self.activity.last_eval_users
+            self.stats["eval_refolded"] += self.activity.last_eval_refolded
+            out[key] = result
+            self._last_eval[key] = (t_c, result)
+        return out
+
+    def _reclassify_one(self, tenant: Tenant,
+                        activeness: dict[int, UserActiveness]) -> None:
+        tenant.classes = classify_all(activeness)
+        tenant.group_count_history.append(group_counts(tenant.classes))
+        tenant.lookup = GroupLookup(tenant.classes)
+
+    def _flush_day(self, day: int) -> None:
+        if not self._buf_pid:
+            return
+        pid = np.asarray(self._buf_pid, dtype=np.int64)
+        uid = np.asarray(self._buf_uid, dtype=np.int64)
+        ts = np.asarray(self._buf_ts, dtype=np.int64)
+        op = np.asarray(self._buf_op, dtype=np.int8)
+        self._buf_pid, self._buf_uid = [], []
+        self._buf_ts, self._buf_op = [], []
+        n = self.catalog.n_paths
+        det_size = self.catalog.det_size
+        for tenant in self.tenants:
+            if day < tenant.admitted_boundary:
+                continue
+            tenant.state.ensure(n)
+            if tenant.add_pos.size < n:
+                grown = np.full(max(n, tenant.add_pos.size * 2, 1024),
+                                NEVER_POS, dtype=np.int64)
+                grown[:tenant.add_pos.size] = tenant.add_pos
+                tenant.add_pos = grown
+            replay_day_columns(self.config, det_size, tenant.state, day,
+                               tenant.metrics, tenant.lookup, tenant.add_pos,
+                               pid, uid, ts, op)
+
+    def _exempt_mask(self) -> np.ndarray | None:
+        if self._exempt is None:
+            return None
+        n = self.catalog.n_paths
+        if self._exempt.size < n:
+            grown = np.zeros(max(n, self._exempt.size * 2, 1024),
+                             dtype=np.bool_)
+            grown[:self._exempt_count] = self._exempt[:self._exempt_count]
+            self._exempt = grown
+        if self._exempt_count < n:
+            for i in range(self._exempt_count, n):
+                self._exempt[i] = self.catalog.paths[i] in self.exemptions
+            self._exempt_count = n
+        return self._exempt[:n]
+
+    # ------------------------------------------------------------------
+    # completion
+
+    def finalize(self) -> dict[str, EmulationResult]:
+        """Flush the remaining boundaries; one result per tenant.
+
+        Each result is bit-identical to ``FastEmulator.run`` of that
+        tenant's policy alone over the same dataset.
+        """
+        self._advance_boundaries(self.n_days)
+        out: dict[str, EmulationResult] = {}
+        for tenant in self.tenants:
+            result = EmulationResult(
+                policy=tenant.policy.name,
+                lifetime_days=tenant.policy.config.lifetime_days,
+                metrics=tenant.metrics)
+            result.reports = tenant.reports
+            result.group_count_history = tenant.group_count_history
+            result.final_classes = tenant.classes
+            result.final_total_bytes = tenant.state.total_bytes
+            result.final_file_count = tenant.state.file_count
+            out[tenant.name] = result
+        if self.checkpoints is not None:
+            self._try_checkpoint()
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    @staticmethod
+    def _fingerprint_of(tenant: Tenant, config: EmulatorConfig) -> dict:
+        cfg = tenant.policy.config
+        p = tenant.params
+        return {
+            "policy": tenant.policy.name,
+            "lifetime_days": cfg.lifetime_days,
+            "purge_trigger_days": cfg.purge_trigger_days,
+            "period_days": p.period_days,
+            "empty_period": p.empty_period,
+            "epsilon": p.epsilon,
+            "max_periods": p.max_periods,
+            "apply_creates": config.apply_creates,
+            "restore_on_miss": config.restore_on_miss,
+        }
+
+    def _try_checkpoint(self) -> str | None:
+        try:
+            return self.save_checkpoint()
+        except OSError as exc:
+            self.stats["checkpoint_failures"] += 1
+            self.last_checkpoint_error = f"{type(exc).__name__}: {exc}"
+            return None
+
+    def save_checkpoint(self) -> str:
+        """One atomic link holding every tenant; returns the path.
+
+        Shared arrays (catalog, activeness history) are stored once;
+        per-tenant arrays live under a ``t<i>__`` prefix.  Pending
+        runtime ops are *not* checkpointed -- they are in-flight admin
+        requests, and the admin client re-issues on reconnect.
+        """
+        if self.checkpoints is None:
+            raise ValueError("service has no checkpoint directory")
+        if self._buf_pid:
+            raise ValueError("cannot checkpoint with a partial day buffered")
+        act_table, act_arrays = activeness_to_arrays(
+            self.activity.snapshot_state())
+        manifest = {
+            "format": SERVER_CHECKPOINT_FORMAT,
+            "cursor": self._consumed,
+            "next_boundary": self._next_boundary,
+            "n_days": self.n_days,
+            "replay_start": self.replay_start,
+            "replay_end": self.replay_end,
+            "capacity_bytes": self.capacity_bytes,
+            "dropped_accesses": self.dropped_accesses,
+            "known_uids": self.known_uids,
+            "activity_types": act_table,
+            "stats": {k: v for k, v in self.stats.items()},
+            "tenants": [],
+        }
+        arrays: dict[str, np.ndarray] = {
+            "paths": np.asarray(self.catalog.paths, dtype=np.str_),
+            "snap_size": self.catalog.snap_size.copy(),
+        }
+        arrays.update(act_arrays)
+        for i, tenant in enumerate(self.tenants):
+            manifest["tenants"].append({
+                "name": tenant.name,
+                "spec": tenant.spec.to_jsonable(),
+                "fingerprint": self._fingerprint_of(tenant, self.config),
+                "reports": reports_to_jsonable(tenant.reports),
+                "stats": dict(tenant.stats),
+                "admitted_boundary": tenant.admitted_boundary,
+                "total_bytes": tenant.state.total_bytes,
+                "file_count": tenant.state.file_count,
+            })
+            ghist = np.zeros((len(tenant.group_count_history), 4),
+                             dtype=np.int64)
+            for row, counts in enumerate(tenant.group_count_history):
+                ghist[row] = [counts[cls] for cls in counts]
+            prefix = f"t{i}__"
+            arrays[prefix + "live"] = tenant.state.live.copy()
+            arrays[prefix + "atime"] = tenant.state.atime.copy()
+            arrays[prefix + "size"] = tenant.state.size.copy()
+            arrays[prefix + "owner"] = tenant.state.owner.copy()
+            arrays[prefix + "class_uids"] = np.fromiter(
+                tenant.classes.keys(), np.int64, len(tenant.classes))
+            arrays[prefix + "class_codes"] = np.fromiter(
+                (c.value for c in tenant.classes.values()), np.int64,
+                len(tenant.classes))
+            arrays[prefix + "group_count_history"] = ghist
+            for key, value in metrics_to_arrays(tenant.metrics).items():
+                arrays[prefix + key] = value
+        path = self.checkpoints.save(manifest, arrays)
+        self.stats["checkpoints_written"] += 1
+        return path
+
+    @property
+    def cursor(self) -> int:
+        """Merged events fully consumed so far (the resume cursor)."""
+        return self._consumed
+
+    @classmethod
+    def resume(cls, checkpoint_path: str, *,
+               policy_factory: Callable[[TenantSpec], RetentionPolicy],
+               config: EmulatorConfig | None = None,
+               exemptions: ExemptionList | None = None,
+               checkpoint_dir: str | None = None,
+               checkpoint_every_days: int = 7,
+               checkpoint_retain: int = 3,
+               checkpoint_manager: CheckpointManager | None = None,
+               ) -> "MultiTenantService":
+        """Rebuild the whole fleet from one checkpoint link.
+
+        ``policy_factory`` turns each stored :class:`TenantSpec` back
+        into a live policy (supplying workspace-derived context such as
+        the job-residency index); the stored per-tenant fingerprints
+        cross-check the rebuilt policies and refuse any drift.  Feed the
+        resumed service ``skip_events(stream, service.cursor)`` of the
+        original deterministic merge to continue bit-identically.
+        """
+        manifest, arrays = load_checkpoint(checkpoint_path)
+        if manifest.get("format") != SERVER_CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"{checkpoint_path} is a {manifest.get('format')!r} "
+                f"checkpoint, not a multi-tenant server checkpoint "
+                f"(expected {SERVER_CHECKPOINT_FORMAT!r})")
+        specs = [TenantSpec.from_jsonable(t["spec"])
+                 for t in manifest["tenants"]]
+        pairs = [(spec, policy_factory(spec)) for spec in specs]
+        service = cls(pairs,
+                      replay_start=manifest["replay_start"],
+                      replay_end=manifest["replay_end"],
+                      capacity_bytes=manifest["capacity_bytes"],
+                      config=config, exemptions=exemptions,
+                      known_uids=manifest["known_uids"],
+                      checkpoint_dir=checkpoint_dir,
+                      checkpoint_every_days=checkpoint_every_days,
+                      checkpoint_retain=checkpoint_retain,
+                      checkpoint_manager=checkpoint_manager,
+                      policy_factory=policy_factory)
+
+        snap_size = np.asarray(arrays["snap_size"], dtype=np.int64)
+        for i, path in enumerate(arrays["paths"].tolist()):
+            service.catalog.intern(path, snap_size=int(snap_size[i]))
+        n = service.catalog.n_paths
+        for i, (tenant, stored) in enumerate(zip(service.tenants,
+                                                 manifest["tenants"])):
+            fingerprint = cls._fingerprint_of(tenant, service.config)
+            if stored["fingerprint"] != fingerprint:
+                diff = {k: (stored["fingerprint"].get(k), fingerprint.get(k))
+                        for k in set(stored["fingerprint"]) | set(fingerprint)
+                        if stored["fingerprint"].get(k)
+                        != fingerprint.get(k)}
+                raise ValueError(
+                    f"tenant {tenant.name!r}: checkpoint fingerprint "
+                    f"mismatch (stored vs rebuilt): {diff}")
+            prefix = f"t{i}__"
+            tenant.state.ensure(n)
+            tenant.state.live[:] = np.asarray(arrays[prefix + "live"],
+                                              dtype=np.bool_)
+            tenant.state.atime[:] = np.asarray(arrays[prefix + "atime"],
+                                               dtype=np.int64)
+            tenant.state.size[:] = np.asarray(arrays[prefix + "size"],
+                                              dtype=np.int64)
+            tenant.state.owner[:] = np.asarray(arrays[prefix + "owner"],
+                                               dtype=np.int64)
+            tenant.state.total_bytes = int(stored["total_bytes"])
+            tenant.state.file_count = int(stored["file_count"])
+            tenant.metrics = metrics_from_arrays({
+                key: arrays[prefix + key]
+                for key in ("metrics_accesses", "metrics_misses",
+                            "metrics_group_misses")})
+            tenant.reports = reports_from_jsonable(stored["reports"])
+            ghist = np.asarray(arrays[prefix + "group_count_history"],
+                               dtype=np.int64)
+            tenant.group_count_history = [
+                {cls: int(row[j]) for j, cls in enumerate(UserClass)}
+                for row in ghist]
+            tenant.classes = {
+                int(u): UserClass(int(c))
+                for u, c in zip(arrays[prefix + "class_uids"].tolist(),
+                                arrays[prefix + "class_codes"].tolist())}
+            tenant.lookup = GroupLookup(tenant.classes)
+            tenant.admitted_boundary = int(stored["admitted_boundary"])
+            tenant.stats.update(stored.get("stats", {}))
+
+        service.activity.restore_state(activeness_from_arrays(
+            manifest["activity_types"], arrays))
+        service._next_boundary = int(manifest["next_boundary"])
+        service._consumed = int(manifest["cursor"])
+        service.dropped_accesses = int(manifest["dropped_accesses"])
+        saved_stats = dict(manifest.get("stats", {}))
+        saved_stats.pop("checkpoints_written", None)
+        saved_stats.pop("checkpoint_failures", None)
+        service.stats.update(saved_stats)
+        return service
+
+    # ------------------------------------------------------------------
+    # introspection (read by the admin thread; point-in-time reads only)
+
+    def describe(self) -> dict:
+        return {
+            "cursor": self._consumed,
+            "next_boundary": self._next_boundary,
+            "n_days": self.n_days,
+            "replay_start": self.replay_start,
+            "replay_end": self.replay_end,
+            "dropped_accesses": self.dropped_accesses,
+            "stats": dict(self.stats),
+            # list() snapshots: the admin thread calls this while the
+            # ingest thread may add/remove tenants at a boundary.
+            "tenants": {t.name: t.describe() for t in list(self.tenants)},
+        }
+
+    def query_user(self, uid: int) -> dict:
+        """Activeness + per-tenant verdicts for one user (admin plane)."""
+        uid = int(uid)
+        out: dict = {"uid": uid, "tenants": {}}
+        for tenant in list(self.tenants):
+            info: dict = {}
+            cls = tenant.classes.get(uid)
+            info["class"] = cls.label if cls is not None else None
+            held = self._last_eval.get(tenant.params_key)
+            if held is not None:
+                t_c, activeness = held
+                ua = activeness.get(uid)
+                if ua is not None:
+                    info["evaluated_at"] = t_c
+                    info["op_rank"] = ua.op_rank
+                    info["oc_rank"] = ua.oc_rank
+            owner = tenant.state.owner
+            mask = (owner == uid) & tenant.state.live
+            info["live_files"] = int(np.count_nonzero(mask))
+            info["live_bytes"] = int(tenant.state.size[mask].sum())
+            last = tenant.reports[-1] if tenant.reports else None
+            if last is not None:
+                info["scanned_last_trigger"] = any(
+                    uid in g.users_scanned for g in last.groups.values())
+                info["purged_last_trigger"] = any(
+                    uid in g.users_purged for g in last.groups.values())
+            out["tenants"][tenant.name] = info
+        return out

@@ -55,7 +55,8 @@ from ..core.report import GroupTally, RetentionReport
 from ..emulation.metrics import DailyMetrics
 from ..traces.io import fsync_directory
 
-__all__ = ["CHECKPOINT_FORMAT", "CheckpointCorruption",
+__all__ = ["CHECKPOINT_FORMAT", "SERVER_CHECKPOINT_FORMAT",
+           "CheckpointCorruption",
            "atomic_write_npz", "load_checkpoint", "verify_checkpoint",
            "reports_to_jsonable", "reports_from_jsonable",
            "metrics_to_arrays", "metrics_from_arrays",
@@ -64,8 +65,14 @@ __all__ = ["CHECKPOINT_FORMAT", "CheckpointCorruption",
 
 CHECKPOINT_FORMAT = "repro-stream-checkpoint/2"
 
+#: The multi-tenant server checkpoint: same container (atomic npz link,
+#: per-array digests), different payload schema (shared arrays once,
+#: per-tenant arrays under a ``t<i>__`` prefix, a ``tenants`` manifest).
+SERVER_CHECKPOINT_FORMAT = "repro-server-checkpoint/1"
+
 #: Formats this reader still accepts; /1 predates per-array digests.
-_ACCEPTED_FORMATS = (CHECKPOINT_FORMAT, "repro-stream-checkpoint/1")
+_ACCEPTED_FORMATS = (CHECKPOINT_FORMAT, "repro-stream-checkpoint/1",
+                     SERVER_CHECKPOINT_FORMAT)
 
 _MANIFEST_KEY = "__manifest__"
 _DIGESTS_KEY = "array_digests"

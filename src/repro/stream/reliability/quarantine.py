@@ -144,13 +144,59 @@ class EventQuarantine:
         self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
         self.by_source[source] = self.by_source.get(source, 0) + 1
         if self.dead_letter is not None:
+            # reason_seq / source_seq are *cumulative* counters, not
+            # per-file: the newest surviving record therefore carries
+            # the exact lifetime totals even after rotation has dropped
+            # the oldest backup, which is what lets resume_from restore
+            # counts instead of recounting (undercountable) lines.
             self.dead_letter.append({
                 "seq": self.total,
                 "source": source,
                 "reason": reason,
+                "reason_seq": self.by_reason[reason],
+                "source_seq": self.by_source[source],
                 "detail": detail,
                 "event": repr(obj)[:300],
             })
+
+    def resume_from(self, dead_letter: DeadLetterLog) -> None:
+        """Restore lifetime counters from a dead-letter log's files.
+
+        Scans the live file and every surviving numbered backup and
+        takes the maximum of each cumulative counter (``seq`` for the
+        total, ``reason_seq`` / ``source_seq`` per key), so a restarted
+        daemon's quarantine summary continues the old daemon's counts
+        rather than restarting from zero.  Unreadable lines (the last
+        append may itself have been torn by the crash) are skipped.
+        """
+        paths = [f"{dead_letter.path}.{i}"
+                 for i in range(dead_letter.backups, 0, -1)]
+        paths.append(dead_letter.path)
+        for path in paths:
+            try:
+                fh = open(path)
+            except OSError:
+                continue
+            with fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(rec, dict):
+                        continue
+                    seq = rec.get("seq")
+                    if isinstance(seq, int):
+                        self.total = max(self.total, seq)
+                    for key, counts in (("reason", self.by_reason),
+                                        ("source", self.by_source)):
+                        name = rec.get(key)
+                        cum = rec.get(f"{key}_seq")
+                        if isinstance(name, str) and isinstance(cum, int):
+                            counts[name] = max(counts.get(name, 0), cum)
 
     def reader_hook(self, source: str) -> OnError:
         """An ``on_error`` callback for the trace readers of ``source``."""

@@ -36,6 +36,7 @@ import itertools
 import os
 import random
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
@@ -182,7 +183,15 @@ class ResilientSource:
             except StopIteration:
                 self._exhausted = True
                 return
-            except OSError as exc:
+            # EOFError / zlib.error are what a torn gzip tail raises --
+            # a writer killed mid-append leaves a truncated final
+            # member, and gzip reports that as EOFError ("compressed
+            # file ended before the end-of-stream marker") or a zlib
+            # decompression error, not as OSError.  They get the same
+            # retry -> DEAD ladder: the records before the tear were
+            # already delivered, and the merge continues without the
+            # dead source instead of crashing the daemon.
+            except (OSError, EOFError, zlib.error) as exc:
                 self.last_error = f"{type(exc).__name__}: {exc}"
                 self._it = None
                 if episode_start is None:
@@ -223,6 +232,24 @@ class TailingFileSource:
     growth is seen for ``idle_timeout`` seconds -- whichever comes
     first.  Plain text only: a gzip stream cannot be tailed mid-member.
 
+    Rotation and truncation are handled at the poll point, where the
+    path is re-stat'ed whenever the current handle hits EOF:
+
+    * **rotation** (the path now names a different inode -- the classic
+      ``logrotate`` rename-and-recreate): the old handle is closed and
+      the new file is read *from offset 0*.  Events already yielded from
+      the old file stay delivered exactly once; nothing in the new file
+      is skipped.
+    * **truncation** (same inode, ``st_size`` below the bytes already
+      consumed -- copytruncate-style rewrite in place): the handle seeks
+      back to 0 and parses the new content from its beginning.  Without
+      the check, the stale offset would silently swallow everything the
+      writer emits until the file regrows past it.
+
+    Either way a partial unterminated line buffered from the old
+    incarnation is a torn write that will never be completed; it is
+    routed to ``on_error`` (or raised), never spliced onto new content.
+
     As a factory it slots straight into :class:`ResilientSource`, whose
     reopen-and-skip recovery then also covers tail sources.
     """
@@ -245,30 +272,69 @@ class TailingFileSource:
         self.on_error = on_error
 
     def __call__(self) -> Iterator:
-        with open(self.path) as fh:
-            buffer = ""
+        # Binary mode throughout: a text handle's tell() is an opaque
+        # cookie, and detecting truncation requires comparing st_size
+        # against a true byte offset.
+        fh = open(self.path, "rb")
+        try:
+            st = os.fstat(fh.fileno())
+            identity = (st.st_dev, st.st_ino)
+            offset = 0          # bytes consumed from the current inode
+            buffer = b""
             idle_since: float | None = None
             while True:
                 chunk = fh.read(65536)
                 if chunk:
                     idle_since = None
+                    offset += len(chunk)
                     buffer += chunk
                     while True:
-                        line, sep, rest = buffer.partition("\n")
+                        raw, sep, rest = buffer.partition(b"\n")
                         if not sep:
                             break
                         buffer = rest
-                        if not line:
+                        if not raw:
                             continue
                         try:
-                            rec = self.parse(line)
+                            rec = self.parse(raw.decode("utf-8"))
                         except (ValueError, IndexError, TypeError) as exc:
                             if self.on_error is None:
                                 raise
-                            self.on_error(line, exc)
+                            self.on_error(raw.decode("utf-8", "replace"),
+                                          exc)
                             continue
                         yield rec
                     continue
+                # EOF on the current handle: did the path move on
+                # without us?
+                try:
+                    st = os.stat(self.path)
+                except OSError:
+                    st = None   # mid-rotation gap; poll again
+                if st is not None:
+                    rotated = (st.st_dev, st.st_ino) != identity
+                    shrunk = not rotated and st.st_size < offset
+                    if rotated or shrunk:
+                        if buffer:
+                            torn = buffer.decode("utf-8", "replace")
+                            buffer = b""
+                            exc = ValueError(
+                                "torn line abandoned by rotation"
+                                if rotated else
+                                "torn line abandoned by truncation")
+                            if self.on_error is None:
+                                raise exc
+                            self.on_error(torn, exc)
+                        if rotated:
+                            fh.close()
+                            fh = open(self.path, "rb")
+                            st = os.fstat(fh.fileno())
+                            identity = (st.st_dev, st.st_ino)
+                        else:
+                            fh.seek(0)
+                        offset = 0
+                        idle_since = None
+                        continue
                 if self.stop_when is not None and self.stop_when():
                     return
                 now = self._clock()
@@ -277,6 +343,8 @@ class TailingFileSource:
                 elif now - idle_since >= self.idle_timeout:
                     return
                 self._sleep(self.poll_interval)
+        finally:
+            fh.close()
 
 
 class ReliableEventStream:
@@ -298,7 +366,8 @@ class ReliableEventStream:
                 publication_events),
                ("accesses", "app_log.txt.gz", read_app_log, access_events))
 
-    def __init__(self, directory: str, *,
+    def __init__(self, directory: str | None = None, *,
+                 sources: Iterable | None = None,
                  plan=None,
                  quarantine: EventQuarantine | None = None,
                  retry: RetryPolicy | None = None,
@@ -311,6 +380,17 @@ class ReliableEventStream:
                                          known_uids=known_uids)
         self.quarantine = quarantine
         self.retry = retry or RetryPolicy()
+        if sources is not None:
+            # Pre-built sources (e.g. socket sources): anything with
+            # name / health / episodes / describe() and iterability.
+            # Listing order is the merge tie-break order, exactly as
+            # for the workspace files below.
+            self.sources = list(sources)
+            return
+        if directory is None:
+            raise ValueError(
+                "ReliableEventStream needs a workspace directory or "
+                "explicit sources")
         self.sources = [
             ResilientSource(
                 name,

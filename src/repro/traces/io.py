@@ -83,16 +83,22 @@ class atomic_output:
     and the destination is untouched.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str,
+                 wrap: Callable[[IO[str]], IO[str]] | None = None) -> None:
         self.path = path
         self._tmp = f"{path}.tmp"
         self._fh: IO[str] | None = None
+        self._wrap = wrap
 
     def __enter__(self) -> IO[str]:
         self._fh = (gzip.open(self._tmp, "wt")
                     if self.path.endswith(".gz")
                     else open(self._tmp, "w"))
-        return self._fh
+        # ``wrap`` decorates only what the caller writes through; close,
+        # fsync and rename still act on the raw handle underneath, so an
+        # injected failure mid-write aborts into the tmp-removal path
+        # and the destination stays untouched.
+        return self._wrap(self._fh) if self._wrap is not None else self._fh
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._fh.close()
@@ -114,8 +120,8 @@ class atomic_output:
                 pass
 
 
-def _open_write(path: str) -> atomic_output:
-    return atomic_output(path)
+def _open_write(path: str, wrap=None) -> atomic_output:
+    return atomic_output(path, wrap)
 
 
 def _open_read(path: str) -> IO[str]:
@@ -129,10 +135,11 @@ def _open_read(path: str) -> IO[str]:
 _WRITE_CHUNK_LINES = 8192
 
 
-def _write(path: str, records: Iterable[T], fmt: Callable[[T], str]) -> int:
+def _write(path: str, records: Iterable[T], fmt: Callable[[T], str],
+           wrap=None) -> int:
     n = 0
     buf: list[str] = []
-    with _open_write(path) as f:
+    with _open_write(path, wrap) as f:
         for rec in records:
             buf.append(fmt(rec))
             n += 1
@@ -168,13 +175,14 @@ def _read(path: str, parse: Callable[[str], T],
 
 # ---------------------------------------------------------------- users
 
-def write_users(path: str, users: Iterable[UserRecord]) -> int:
+def write_users(path: str, users: Iterable[UserRecord], *,
+                wrap=None) -> int:
     def fmt(u: UserRecord) -> str:
         if "|" in u.name or "\n" in u.name:
             raise ValueError(f"user name {u.name!r} cannot contain '|' or "
                              "newlines in the users trace format")
         return f"{u.uid}|{u.name}|{u.created_ts}\n"
-    return _write(path, users, fmt)
+    return _write(path, users, fmt, wrap)
 
 
 def read_users(path: str,
@@ -187,11 +195,12 @@ def read_users(path: str,
 
 # ---------------------------------------------------------------- jobs
 
-def write_jobs(path: str, jobs: Iterable[JobRecord]) -> int:
+def write_jobs(path: str, jobs: Iterable[JobRecord], *, wrap=None) -> int:
     return _write(
         path, jobs,
         lambda j: (f"{j.job_id}|{j.uid}|{j.submit_ts}|{j.start_ts}"
-                   f"|{j.end_ts}|{j.num_nodes}|{j.cores_per_node}\n"))
+                   f"|{j.end_ts}|{j.num_nodes}|{j.cores_per_node}\n"),
+        wrap)
 
 
 def read_jobs(path: str,
@@ -205,13 +214,14 @@ def read_jobs(path: str,
 
 # ---------------------------------------------------------------- app log
 
-def write_app_log(path: str, accesses: Iterable[AppAccessRecord]) -> int:
+def write_app_log(path: str, accesses: Iterable[AppAccessRecord], *,
+                  wrap=None) -> int:
     def fmt(a: AppAccessRecord) -> str:
         if "\n" in a.path:
             raise ValueError(f"path {a.path!r} cannot contain newlines in "
                              "the line-oriented app-log format")
         return f"{a.ts}|{a.uid}|{a.op}|{a.path}\n"
-    return _write(path, accesses, fmt)
+    return _write(path, accesses, fmt, wrap)
 
 
 def read_app_log(path: str,
@@ -225,11 +235,13 @@ def read_app_log(path: str,
 
 # ---------------------------------------------------------------- pubs
 
-def write_publications(path: str, pubs: Iterable[PublicationRecord]) -> int:
+def write_publications(path: str, pubs: Iterable[PublicationRecord], *,
+                       wrap=None) -> int:
     return _write(
         path, pubs,
         lambda p: (f"{p.pub_id}|{p.ts}|{p.citations}|"
-                   f"{','.join(str(u) for u in p.author_uids)}\n"))
+                   f"{','.join(str(u) for u in p.author_uids)}\n"),
+        wrap)
 
 
 def read_publications(path: str,

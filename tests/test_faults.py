@@ -15,7 +15,7 @@ import os
 import pytest
 
 from repro.faults import (FaultPlan, FaultSpec, FaultyIO, FaultyStream,
-                          InjectedIOError, corrupt_file)
+                          InjectedIOError, corrupt_file, trace_writer_wrap)
 
 
 # ---------------------------------------------------------------- plans
@@ -282,3 +282,114 @@ def test_corrupt_file_bitflip_deterministic(tmp_path):
     assert out[0] != bytes(range(256))
     with pytest.raises(ValueError, match="unknown corruption"):
         corrupt_file(path, "shred")
+
+
+def test_corrupt_file_torn_tail_chops_only_the_end(tmp_path):
+    path = str(tmp_path / "f.bin")
+    payload = bytes(range(256)) * 4
+    with open(path, "wb") as fh:
+        fh.write(payload)
+    corrupt_file(path, "torn_tail", seed=3)
+    size = os.path.getsize(path)
+    assert len(payload) - 64 <= size < len(payload)
+    # A pure tail chop: everything before the tear is byte-identical.
+    with open(path, "rb") as fh:
+        assert fh.read() == payload[:size]
+
+
+# ---------------------------------------------------------- trace writers
+
+def _jobs(n):
+    from repro.traces.schema import JobRecord
+    return [JobRecord(i + 1, 1, 100 + i, 100 + i, 200 + i, 1)
+            for i in range(n)]
+
+
+def test_trace_writer_eio_aborts_atomically(tmp_path):
+    from repro.traces.io import read_jobs, write_jobs
+
+    path = str(tmp_path / "jobs.txt")
+    write_jobs(path, _jobs(10))  # a good generation already on disk
+    plan = FaultPlan([{"target": "jobs_writer", "kind": "eio", "at": 4}])
+    with pytest.raises(OSError) as exc:
+        write_jobs(path, _jobs(8), wrap=trace_writer_wrap(plan, "jobs_writer"))
+    assert exc.value.errno == errno.EIO
+    # The atomic writer aborted into tmp removal: the previous
+    # generation survives intact and no torn sibling is left behind.
+    assert [j.job_id for j in read_jobs(path)] == list(range(1, 11))
+    assert not os.path.exists(path + ".tmp")
+
+
+def test_trace_writer_kill_fires_with_flushed_torn_tail(tmp_path):
+    from repro.traces.io import write_jobs
+
+    path = str(tmp_path / "jobs.txt")
+    ref = str(tmp_path / "ref.txt")
+    jobs = _jobs(6)
+    write_jobs(ref, jobs[:3])
+    observed = []
+
+    def kill():
+        # What a real SIGKILL would leave on disk at this instant: the
+        # flushed prefix in the .tmp sibling, no destination file yet.
+        observed.append((os.path.getsize(path + ".tmp"),
+                         os.path.exists(path)))
+
+    plan = FaultPlan([{"target": "jobs_writer", "kind": "kill", "at": 3}])
+    n = write_jobs(path, jobs,
+                   wrap=trace_writer_wrap(plan, "jobs_writer", kill=kill))
+    # The kill hook saw exactly the first three records, already flushed,
+    # and the destination untouched -- the torn-.tmp crash signature.
+    assert observed == [(os.path.getsize(ref), False)]
+    assert n == len(jobs)  # the surviving process finished normally
+
+
+def test_torn_gzip_trace_tail_survives_reliable_stream(tmp_path):
+    """The headline regression: a writer killed mid-append leaves a jobs
+    trace whose final gzip member is truncated.  The reliable stream must
+    deliver every record before the tear exactly once, let the torn
+    source die gracefully, and keep the other feeds flowing."""
+    from repro.cli.workspace import save_workspace
+    from repro.stream.events import EVENT_JOB
+    from repro.stream.reliability import ReliableEventStream, RetryPolicy
+    from repro.synth import TitanConfig, generate_dataset
+
+    dataset = generate_dataset(TitanConfig(n_users=15, seed=3))
+    clean_ws = str(tmp_path / "clean")
+    torn_ws = str(tmp_path / "torn")
+    for ws in (clean_ws, torn_ws):
+        save_workspace(dataset, ws, n_shards=1)
+
+    def stream(ws):
+        return ReliableEventStream(
+            ws, retry=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                  max_delay=0.0, jitter=0.0),
+            sleep=lambda s: None)
+
+    clean = list(stream(clean_ws))
+    jobs_path = os.path.join(torn_ws, "jobs.txt.gz")
+    # Tear repeatedly until the cut is deep enough to eat real records,
+    # not just the 8-byte gzip trailer.
+    size0 = os.path.getsize(jobs_path)
+    while size0 - os.path.getsize(jobs_path) < 256:
+        corrupt_file(jobs_path, "torn_tail", seed=13)
+
+    torn = stream(torn_ws)
+    events = list(torn)
+
+    clean_jobs = [ev for ev in clean if ev.kind == EVENT_JOB]
+    got_jobs = [ev for ev in events if ev.kind == EVENT_JOB]
+    # Every job decoded before the tear is delivered, in order, once.
+    assert got_jobs == clean_jobs[:len(got_jobs)]
+    assert 0 < len(got_jobs) < len(clean_jobs)
+    # The other feeds are untouched by the dying jobs source.
+    assert ([ev for ev in events if ev.kind != EVENT_JOB]
+            == [ev for ev in clean if ev.kind != EVENT_JOB])
+    report = torn.report()
+    jobs_info = report["sources"]["jobs"]
+    assert jobs_info["health"] == "dead"
+    assert "jobs" in report["held_watermarks"]
+    assert jobs_info["last_error"] is not None
+    assert torn.degraded
+    # A torn tail is an I/O failure, not bad data: nothing quarantined.
+    assert torn.quarantine.total == 0

@@ -182,6 +182,79 @@ def test_tailing_file_source_yields_complete_lines(tmp_path):
     assert list(itertools.islice(tail(), 2)) == [1, 2]
 
 
+def test_tailing_file_source_follows_rotation(tmp_path):
+    path = str(tmp_path / "feed.txt")
+    with open(path, "w") as fh:
+        fh.write("1\n2\n")
+    polls = []
+
+    def sleep(seconds):
+        polls.append(seconds)
+        if len(polls) == 1:
+            # Classic logrotate: rename the full file, recreate the path.
+            os.replace(path, path + ".1")
+            with open(path, "w") as fh:
+                fh.write("3\n4\n")
+
+    tail = TailingFileSource(path, int, poll_interval=0.01,
+                             stop_when=lambda: len(polls) >= 2,
+                             sleep=sleep, clock=lambda: 0.0)
+    # Old-incarnation lines delivered exactly once, new file read from
+    # offset 0 -- nothing duplicated, nothing skipped.
+    assert list(tail()) == [1, 2, 3, 4]
+
+
+def test_tailing_rotation_abandons_torn_line(tmp_path):
+    path = str(tmp_path / "feed.txt")
+    with open(path, "w") as fh:
+        fh.write("1\npart")  # "part" is a write in progress, never finished
+    polls = []
+    bad = []
+
+    def sleep(seconds):
+        polls.append(seconds)
+        if len(polls) == 1:
+            os.replace(path, path + ".1")
+            with open(path, "w") as fh:
+                fh.write("2\n")
+
+    tail = TailingFileSource(
+        path, int, poll_interval=0.01,
+        stop_when=lambda: len(polls) >= 2, sleep=sleep,
+        clock=lambda: 0.0,
+        on_error=lambda line, exc: bad.append((line, str(exc))))
+    # The torn fragment is routed to on_error, never spliced onto the
+    # new file's first line (which would parse as garbage like "part2").
+    assert list(tail()) == [1, 2]
+    assert bad == [("part", "torn line abandoned by rotation")]
+
+
+def test_tailing_file_source_detects_truncation(tmp_path):
+    path = str(tmp_path / "feed.txt")
+    with open(path, "w") as fh:
+        fh.write("100\n200\n20")  # trailing "20" torn by the rewrite
+    polls = []
+    bad = []
+
+    def sleep(seconds):
+        polls.append(seconds)
+        if len(polls) == 1:
+            # copytruncate-style rewrite in place: same inode, shorter.
+            with open(path, "w") as fh:
+                fh.write("3\n")
+
+    tail = TailingFileSource(
+        path, int, poll_interval=0.01,
+        stop_when=lambda: len(polls) >= 2, sleep=sleep,
+        clock=lambda: 0.0,
+        on_error=lambda line, exc: bad.append((line, str(exc))))
+    # Without the st_size check the stale 10-byte offset would swallow
+    # the new content entirely; with it, the handle rewinds and parses
+    # the rewritten file from its beginning.
+    assert list(tail()) == [100, 200, 3]
+    assert bad == [("20", "torn line abandoned by truncation")]
+
+
 def test_tailing_file_source_idle_timeout_and_on_error(tmp_path):
     path = str(tmp_path / "feed.txt")
     with open(path, "w") as fh:
@@ -265,6 +338,67 @@ def test_dead_letter_rotation(tmp_path):
     summary = quarantine.summary()
     assert summary["dead_letter"]["written"] == 20
     assert summary["dead_letter"]["rotations"] == log.rotations
+
+
+def test_dead_letter_rotation_boundary_is_strict(tmp_path):
+    # Measure one record's exact on-disk size with a probe log...
+    probe = DeadLetterLog(str(tmp_path / "probe.jsonl"), max_bytes=10_000)
+    EventQuarantine(dead_letter=probe).divert(
+        "jobs", REASON_NOT_EVENT, "d", "x")
+    probe.close()
+    size = os.path.getsize(probe.path)
+
+    # ...then set max_bytes to exactly that size: a file AT the limit
+    # must not rotate (the trigger is strictly greater-than).
+    path = str(tmp_path / "dead.jsonl")
+    log = DeadLetterLog(path, max_bytes=size, backups=1)
+    quarantine = EventQuarantine(dead_letter=log)
+    quarantine.divert("jobs", REASON_NOT_EVENT, "d", "x")
+    assert log.rotations == 0
+    quarantine.divert("jobs", REASON_NOT_EVENT, "d", "x")
+    assert log.rotations == 1
+    # The reopened live file keeps accepting appends after rotation.
+    quarantine.divert("jobs", REASON_NOT_EVENT, "d", "x")
+    log.close()
+    assert os.path.exists(path) and os.path.exists(f"{path}.1")
+    with open(path) as fh:
+        assert len(fh.readlines()) == 1
+    with open(f"{path}.1") as fh:
+        assert len(fh.readlines()) == 2
+
+
+def test_dead_letter_resume_from_restores_counts(tmp_path):
+    path = str(tmp_path / "dead.jsonl")
+    log = DeadLetterLog(path, max_bytes=300, backups=1)
+    quarantine = EventQuarantine(dead_letter=log)
+    for i in range(12):
+        # The final two records cover both sources and both reasons, so
+        # the newest surviving file always carries every lifetime max.
+        quarantine.divert("jobs" if i % 2 else "accesses",
+                          (REASON_UNPARSABLE if i % 3 == 2
+                           else REASON_NOT_EVENT),
+                          f"detail {i}", "x" * 30)
+    log.close()
+    # Rotation has dropped the oldest records -- the counts can no longer
+    # be recovered by counting surviving lines.
+    assert log.rotations >= 2
+    surviving = 0
+    for candidate in (path, f"{path}.1"):
+        with open(candidate) as fh:
+            surviving += len(fh.readlines())
+    assert surviving < 12
+    # The crash that ends a daemon can tear its final append mid-line;
+    # resume must skip it (a parsed seq of 99 would corrupt the total).
+    with open(path, "a") as fh:
+        fh.write('{"seq": 99, "reason"')
+
+    fresh = EventQuarantine()
+    fresh.resume_from(DeadLetterLog(path, max_bytes=300, backups=1))
+    # The cumulative per-record counters let the restarted quarantine
+    # continue the old daemon's lifetime totals exactly.
+    assert fresh.total == quarantine.total == 12
+    assert fresh.by_reason == quarantine.by_reason
+    assert fresh.by_source == quarantine.by_source
 
 
 def test_reader_hook_diverts_unparsable_rows(tmp_path):

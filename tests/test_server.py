@@ -1,0 +1,695 @@
+"""Networked multi-tenant server suite.
+
+The acceptance bar, pinned here end to end:
+
+1. every tenant of a fleet -- sharing ONE event feed and ONE incremental
+   activeness state -- finalizes **bit-identical** to an independent
+   batch ``FastEmulator`` run of its policy, for all four paper policies;
+2. the sharing is real: N same-params tenants refold activeness once per
+   trigger boundary, not N times;
+3. the same bit-identity holds when the events arrive over sockets from
+   concurrent producers, when a producer misbehaves (out-of-order events
+   hit the quarantine, never the engine), across a checkpoint / kill /
+   resume cycle, and through the real CLI under a supervised ``kill -9``;
+4. the admin plane answers during active ingestion without stalling the
+   event loop.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import render_emulation_summary
+from repro.core.cache_policy import JobResidencyIndex
+from repro.emulation import (EmulatorConfig, FastEmulator, compile_dataset,
+                             replay_bounds)
+from repro.server import (AdminServer, MultiTenantService,
+                          NetworkEventStream, SocketListener, TenantSpec,
+                          admin_request, publish_events)
+from repro.server.ingest import PublishRefused
+from repro.server.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                   FrameError, FrameReader, connect_socket,
+                                   decode_event, encode_event, encode_frame,
+                                   format_address, parse_address,
+                                   write_frame)
+from repro.stream import CheckpointManager, dataset_event_stream, skip_events
+from repro.stream.events import (EVENT_JOB, StreamEvent, access_events,
+                                 job_events, publication_events)
+from repro.stream.reliability.quarantine import REASON_REGRESSION
+from repro.cli.workspace import save_workspace
+from repro.synth import TitanConfig, generate_dataset
+
+from test_compiled_replay import assert_results_equal
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def build_policy(spec, dataset):
+    residency = (JobResidencyIndex(dataset.jobs)
+                 if spec.policy == "cache" else None)
+    return spec.build_policy(residency=residency)
+
+
+def make_fleet(dataset, specs, **kwargs):
+    start, end = replay_bounds(dataset)
+    pairs = [(spec, build_policy(spec, dataset)) for spec in specs]
+    return MultiTenantService(
+        pairs, snapshot_fs=dataset.filesystem,
+        replay_start=start, replay_end=end,
+        known_uids=[u.uid for u in dataset.users],
+        policy_factory=lambda spec: build_policy(spec, dataset),
+        **kwargs)
+
+
+def batch_result(dataset, compiled, spec):
+    """Independent single-policy FastEmulator run of one tenant's spec."""
+    policy = build_policy(spec, dataset)
+    known = [u.uid for u in dataset.users]
+    return FastEmulator(policy, spec.retention_config().activeness,
+                        EmulatorConfig()).run(compiled, known_uids=known)
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_dataset):
+    return tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def compiled(dataset):
+    return compile_dataset(dataset)
+
+
+@pytest.fixture(scope="module")
+def events(dataset):
+    return list(dataset_event_stream(dataset))
+
+
+ALL_KINDS = [
+    TenantSpec(name="flt", policy="flt"),
+    TenantSpec(name="flt-target", policy="flt-target"),
+    TenantSpec(name="activedr", policy="activedr"),
+    TenantSpec(name="value", policy="value"),
+    TenantSpec(name="cache", policy="cache"),
+]
+
+HETERO = [
+    TenantSpec(name="a", policy="activedr"),
+    TenantSpec(name="b", policy="activedr", purge_trigger_days=14,
+               period_days=14.0),
+    TenantSpec(name="c", policy="value", lifetime_days=30.0),
+    TenantSpec(name="d", policy="cache", target=0.6),
+]
+
+
+def _sock(tmp_path, name):
+    return f"unix:{tmp_path / name}"
+
+
+# ---------------------------------------------------------------------------
+# tenant specs
+
+
+def test_tenant_spec_parse_roundtrip():
+    spec = TenantSpec.parse("name=t1,policy=value,lifetime=30,target=0.6,"
+                            "trigger=14,period=14")
+    assert spec == TenantSpec(name="t1", policy="value", lifetime_days=30.0,
+                              target=0.6, purge_trigger_days=14,
+                              period_days=14.0)
+    assert TenantSpec.from_jsonable(spec.to_jsonable()) == spec
+    # Defaults apply for unspecified knobs.
+    assert TenantSpec.parse("name=x").policy == "activedr"
+
+
+@pytest.mark.parametrize("text", [
+    "policy=flt",                    # no name
+    "name=t1,flavor=spicy",          # unknown key
+    "name=t1,policy",                # not key=value
+    "name=t1,policy=lru",            # unknown policy kind
+    "name=a,b,policy=flt",           # comma inside a name
+])
+def test_tenant_spec_parse_rejects(text):
+    with pytest.raises(ValueError):
+        TenantSpec.parse(text)
+
+
+def test_tenant_spec_config_matches_knobs():
+    spec = TenantSpec(name="t", policy="flt", lifetime_days=30.0,
+                      target=0.7, purge_trigger_days=14, period_days=3.5)
+    cfg = spec.retention_config()
+    assert cfg.lifetime_days == 30.0
+    assert cfg.purge_target_utilization == 0.7
+    assert cfg.purge_trigger_days == 14
+    assert cfg.activeness.period_days == 3.5
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+
+
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        messages = [{"type": "hello", "protocol": PROTOCOL_VERSION},
+                    {"type": "event", "x": [1, 2, 3]},
+                    {"type": "end"}]
+        for msg in messages:
+            write_frame(a, msg)
+        a.close()
+        reader = FrameReader(b)
+        assert [reader.read() for _ in range(3)] == messages
+        assert reader.read() is None  # clean EOF
+    finally:
+        b.close()
+
+
+@pytest.mark.parametrize("payload", [
+    b"xyz\n{}\n",                    # non-numeric length prefix
+    b"5\n{}\n",                      # length longer than the body
+    b"2\n{}",                        # missing trailing newline
+    b"7\nnotjson\n",                 # body is not JSON
+    b"3\n[1]\n",                     # body is not an object
+    str(MAX_FRAME_BYTES + 1).encode() + b"\n",  # hostile length
+])
+def test_frame_reader_rejects_garbage(payload):
+    a, b = socket.socketpair()
+    try:
+        a.sendall(payload)
+        a.close()
+        with pytest.raises(FrameError):
+            FrameReader(b).read()
+    finally:
+        b.close()
+
+
+def test_frame_encode_escapes_newlines_and_rejects_oversize():
+    # JSON string escaping keeps the one-line-body invariant: embedded
+    # newlines ride as \n escapes, never as raw frame-breaking bytes.
+    frame = encode_frame({"k": "a\nb"})
+    assert frame.count(b"\n") == 2  # length prefix + trailing terminator
+    with pytest.raises(FrameError):
+        encode_frame({"k": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_event_codec_roundtrip(events):
+    by_kind = {}
+    for ev in events:
+        by_kind.setdefault(ev.kind, ev)
+    assert len(by_kind) == 3
+    for ev in by_kind.values():
+        frame = json.loads(json.dumps(encode_event(ev)))
+        got = decode_event(frame)
+        assert got == ev
+    with pytest.raises(ValueError):
+        decode_event({"kind": "meteor"})
+
+
+def test_parse_address_spellings():
+    assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_address("tcp:localhost:9000") == ("tcp", ("localhost", 9000))
+    assert parse_address("localhost:9000") == ("tcp", ("localhost", 9000))
+    assert format_address(parse_address("unix:/tmp/x.sock")) == \
+        "unix:/tmp/x.sock"
+    assert format_address(parse_address("localhost:9000")) == \
+        "tcp:localhost:9000"
+    for bad in ("unix:", "localhost", ":9000", "tcp:host:notaport"):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+# ---------------------------------------------------------------------------
+# in-process fleet: bit-identity + shared evaluation
+
+
+def test_fleet_matches_batch_per_policy(dataset, compiled, events):
+    service = make_fleet(dataset, ALL_KINDS)
+    results = service.run(iter(events))
+    for spec in ALL_KINDS:
+        assert_results_equal(results[spec.name],
+                             batch_result(dataset, compiled, spec))
+    # All five tenants share one params set: activeness is folded once
+    # per trigger boundary (+1 for the initial classification), not 5x.
+    triggers = max(t.stats["triggers"] for t in service.tenants)
+    assert triggers > 10
+    assert service.stats["activeness_evals"] == triggers + 1
+
+
+def test_heterogeneous_fleet_matches_batch(dataset, compiled, events):
+    service = make_fleet(dataset, HETERO)
+    results = service.run(iter(events))
+    for spec in HETERO:
+        assert_results_equal(results[spec.name],
+                             batch_result(dataset, compiled, spec))
+    # Two distinct params sets among four tenants: strictly fewer folds
+    # than the naive one-per-tenant-per-trigger accounting.
+    naive = sum(t.stats["triggers"] + 1 for t in service.tenants)
+    assert service.stats["activeness_evals"] < naive
+    by_cadence = {t.name: t.stats["triggers"] for t in service.tenants}
+    assert by_cadence["b"] * 2 == by_cadence["a"]  # 14-day vs 7-day cadence
+
+
+# ---------------------------------------------------------------------------
+# socket ingestion
+
+
+def _publish_dataset(address, dataset, *, jobs=None):
+    """Publish the dataset's three trace families over three connections."""
+    feeds = {
+        "jobs": jobs if jobs is not None else list(job_events(dataset.jobs)),
+        "publications": list(publication_events(dataset.publications)),
+        "accesses": list(access_events(dataset.accesses)),
+    }
+    errors = []
+
+    def worker(name):
+        try:
+            publish_events(address, name, feeds[name], retry_for=30.0)
+        except BaseException as exc:  # noqa: BLE001 -- reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(name,), daemon=True)
+               for name in feeds]
+    for t in threads:
+        t.start()
+    return threads, errors
+
+
+def test_socket_ingest_matches_batch(dataset, compiled, tmp_path):
+    address = _sock(tmp_path, "ingest.sock")
+    specs = HETERO[:2]
+    with SocketListener(address) as listener:
+        stream = NetworkEventStream(
+            listener, known_uids=[u.uid for u in dataset.users])
+        threads, errors = _publish_dataset(address, dataset)
+        service = make_fleet(dataset, specs)
+        results = service.run(iter(stream))
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        for spec in specs:
+            assert_results_equal(results[spec.name],
+                                 batch_result(dataset, compiled, spec))
+        report = stream.report()
+        assert report["quarantine"]["quarantined"] == 0
+        listing = listener.describe()
+        for info in listing["sources"].values():
+            assert info["finished"] and info["health"] == "ok"
+        assert listing["connections_accepted"] == 3
+
+
+def test_socket_out_of_order_event_is_quarantined(dataset, compiled,
+                                                  tmp_path):
+    # A producer that regresses in time: its offending event is diverted
+    # to the quarantine, never reaches the engine, and the run stays
+    # bit-identical to batch.
+    address = _sock(tmp_path, "ooo.sock")
+    jobs = list(job_events(dataset.jobs))
+    early = jobs[5].payload
+    bad_rec = replace(jobs[40].payload, job_id=999_999_999,
+                      submit_ts=early.submit_ts, start_ts=early.start_ts,
+                      end_ts=early.end_ts)
+    tainted = jobs[:41] + [StreamEvent(bad_rec.submit_ts, EVENT_JOB,
+                                       bad_rec)] + jobs[41:]
+    spec = TenantSpec(name="solo", policy="activedr")
+    with SocketListener(address) as listener:
+        stream = NetworkEventStream(
+            listener, known_uids=[u.uid for u in dataset.users])
+        threads, errors = _publish_dataset(address, dataset, jobs=tainted)
+        service = make_fleet(dataset, [spec])
+        results = service.run(iter(stream))
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+    assert stream.quarantine.total == 1
+    assert stream.quarantine.by_reason == {REASON_REGRESSION: 1}
+    assert_results_equal(results[spec.name],
+                         batch_result(dataset, compiled, spec))
+
+
+def test_listener_refuses_bad_handshakes(tmp_path):
+    address = _sock(tmp_path, "refuse.sock")
+    with SocketListener(address, expected={"jobs": 1}) as listener:
+        # Unknown source.
+        with pytest.raises(PublishRefused, match="unexpected source"):
+            publish_events(address, "meteors", [])
+        # Wrong protocol version.
+        sock = connect_socket(address, timeout=10)
+        try:
+            write_frame(sock, {"type": "hello", "protocol": 999,
+                               "source": "jobs"})
+            answer = FrameReader(sock).read()
+            assert answer["type"] == "error"
+            assert "protocol" in answer["reason"]
+        finally:
+            sock.close()
+        # A producer reconnecting to a finished source is refused:
+        # late re-publishes belong to a restarted server.
+        assert publish_events(address, "jobs", []) == 0
+        _wait_for(lambda: listener.sources()[0].finished, 10,
+                  "the jobs source to finish")
+        with pytest.raises(PublishRefused, match="already finished"):
+            publish_events(address, "jobs", [])
+        assert listener.connections_refused == 2
+
+
+# ---------------------------------------------------------------------------
+# runtime tenant add / remove
+
+
+def test_runtime_add_and_remove_tenant(dataset, events):
+    service = make_fleet(dataset, HETERO[:2])
+    half = len(events) // 2
+    for ev in events[:half]:
+        service.ingest(ev)
+    boundary_at_add = service._next_boundary
+    service.request_add_tenant(TenantSpec(name="late", policy="value"),
+                               clone_from="a")
+    service.request_remove_tenant("b")
+    results = service.run(iter(events[half:]))
+    assert set(results) == {"a", "late"}
+    ok_ops = [e for e in service.op_log if e["ok"]]
+    assert [e["op"] for e in ok_ops] == ["add", "remove"]
+    late = service.tenant("late")
+    assert late.admitted_boundary >= boundary_at_add
+    # The latecomer only triggered from its admission on.
+    assert 0 < late.stats["triggers"] < service.tenant("a").stats["triggers"]
+    # Its state genuinely diverged from the donor after admission.
+    assert len(late.reports) == late.stats["triggers"]
+
+
+def test_runtime_ops_refused_cases(dataset, events):
+    service = make_fleet(dataset, [TenantSpec(name="only", policy="flt")])
+    service.request_remove_tenant("only")       # last tenant
+    service.request_remove_tenant("ghost")      # no such tenant
+    service.request_add_tenant(TenantSpec(name="only", policy="value"))
+    for ev in events:                           # ops drain at a boundary
+        service.ingest(ev)
+        if len(service.op_log) >= 3:
+            break
+    errors = [e for e in service.op_log if not e["ok"]]
+    assert len(errors) == 3
+    assert "last" in errors[0]["error"]
+    assert "no tenant" in errors[1]["error"]
+    assert "already exists" in errors[2]["error"]
+    assert [t.name for t in service.tenants] == ["only"]
+
+
+def test_runtime_add_without_factory_is_refused(dataset, events):
+    start, end = replay_bounds(dataset)
+    spec = TenantSpec(name="t", policy="activedr")
+    service = MultiTenantService(
+        [(spec, build_policy(spec, dataset))],
+        snapshot_fs=dataset.filesystem, replay_start=start, replay_end=end,
+        known_uids=[u.uid for u in dataset.users])
+    service.request_add_tenant(TenantSpec(name="more", policy="flt"))
+    for ev in events:
+        service.ingest(ev)
+        if service.op_log:
+            break
+    errors = [e for e in service.op_log if not e["ok"]]
+    assert len(errors) == 1 and "policy factory" in errors[0]["error"]
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+
+
+def test_checkpoint_resume_is_bit_identical(dataset, compiled, events,
+                                            tmp_path):
+    ckdir = str(tmp_path / "ck")
+    service = make_fleet(dataset, HETERO, checkpoint_dir=ckdir)
+    assert service.run(iter(events), stop_after_events=len(events) // 2) \
+        is None
+    assert service.stats["checkpoints_written"] >= 1
+    newest, failures = CheckpointManager(ckdir).latest_verified()
+    assert newest is not None and not failures
+
+    resumed = MultiTenantService.resume(
+        newest, policy_factory=lambda spec: build_policy(spec, dataset),
+        checkpoint_dir=str(tmp_path / "ck2"))
+    assert resumed.cursor <= len(events) // 2
+    results = resumed.run(skip_events(iter(events), resumed.cursor))
+    for spec in HETERO:
+        assert_results_equal(results[spec.name],
+                             batch_result(dataset, compiled, spec))
+
+
+def test_resume_refuses_fingerprint_drift(dataset, events, tmp_path):
+    ckdir = str(tmp_path / "ck")
+    service = make_fleet(dataset, HETERO[:2], checkpoint_dir=ckdir)
+    service.run(iter(events), stop_after_events=len(events) // 2)
+    newest, _failures = CheckpointManager(ckdir).latest_verified()
+
+    def drifted_factory(spec):
+        return build_policy(replace(spec, lifetime_days=5.0), dataset)
+
+    with pytest.raises(ValueError, match="fingerprint mismatch"):
+        MultiTenantService.resume(newest, policy_factory=drifted_factory)
+
+
+def test_resume_refuses_partial_day_checkpoint(dataset, events, tmp_path):
+    service = make_fleet(dataset, HETERO[:1],
+                         checkpoint_dir=str(tmp_path / "ck"))
+    for ev in events:
+        service.ingest(ev)
+        if service._buf_pid:
+            break
+    with pytest.raises(ValueError, match="partial day"):
+        service.save_checkpoint()
+
+
+# ---------------------------------------------------------------------------
+# admin plane
+
+
+def test_admin_plane_answers_during_ingestion(dataset, compiled, events,
+                                              tmp_path):
+    service = make_fleet(dataset, HETERO[:2],
+                         checkpoint_dir=str(tmp_path / "ck"))
+    hold_at = len(events) // 3
+    holding = threading.Event()   # ingest thread parked at hold_at
+    release = threading.Event()   # admin side done with mid-flight queries
+
+    def gated():
+        for i, ev in enumerate(events):
+            if i == hold_at:
+                holding.set()
+                assert release.wait(60)
+            yield ev
+
+    address = _sock(tmp_path, "admin.sock")
+    with AdminServer(address, service) as admin:
+        thread = threading.Thread(target=service.run, args=(gated(),),
+                                  daemon=True)
+        thread.start()
+        # Query the plane while ingestion is demonstrably mid-flight
+        # (the feed is parked, not finished -- a stalled admin plane
+        # would deadlock here, failing the wait below).
+        assert holding.wait(60)
+        status = admin_request(address, {"cmd": "status"})
+        health = admin_request(address, {"cmd": "health"})
+        metrics = admin_request(address, {"cmd": "metrics"})
+        query = admin_request(
+            address, {"cmd": "query", "uid": dataset.users[0].uid})
+        for response in (status, health, metrics, query):
+            assert response["ok"], response
+        assert status["cursor"] == hold_at
+        assert set(status["tenants"]) == {"a", "b"}
+        assert health["healthy"] and health["quarantined"] == 0
+        assert metrics["cursor"] == hold_at
+        assert metrics["events_per_second"] >= 0.0
+        assert set(query["tenants"]) == {"a", "b"}
+        for info in query["tenants"].values():
+            assert info["class"] is not None
+            assert info["live_files"] >= 0
+        # Unknown commands answer, they do not disconnect.
+        bad = admin_request(address, {"cmd": "selfdestruct"})
+        assert bad == {"ok": False,
+                       "error": "unknown command 'selfdestruct'"}
+        assert admin.requests >= 5 and admin.errors >= 1
+        release.set()
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        after = admin_request(address, {"cmd": "metrics"})
+        assert after["checkpoints_written"] >= 1
+        assert "checkpoint_age_seconds" in after
+    # The run was not perturbed by the concurrent admin traffic.
+    results = service.finalize()
+    for spec in HETERO[:2]:
+        assert_results_equal(results[spec.name],
+                             batch_result(dataset, compiled, spec))
+
+
+def test_admin_tenant_ops_are_queued(dataset, events, tmp_path):
+    service = make_fleet(dataset, HETERO[:2])
+    address = _sock(tmp_path, "admin-ops.sock")
+    with AdminServer(address, service):
+        added = admin_request(address, {
+            "cmd": "tenants", "action": "add",
+            "spec": TenantSpec(name="late", policy="flt").to_jsonable(),
+            "clone_from": "a"})
+        assert added == {"ok": True, "queued": True, "tenant": "late"}
+        removed = admin_request(address, {"cmd": "tenants",
+                                          "action": "remove", "name": "b"})
+        assert removed["queued"]
+        # Ops apply at the next boundary, not immediately.
+        assert {t.name for t in service.tenants} == {"a", "b"}
+        results = service.run(iter(events))
+        assert set(results) == {"a", "late"}
+        listing = admin_request(address, {"cmd": "tenants"})
+        assert set(listing["tenants"]) == {"a", "late"}
+
+
+# ---------------------------------------------------------------------------
+# the full networked acceptance scenario, through the real CLI
+
+
+N_USERS, SEED = 30, 7
+SERVE_TENANTS = [
+    TenantSpec(name="flt", policy="flt"),
+    TenantSpec(name="activedr", policy="activedr"),
+    TenantSpec(name="value", policy="value"),
+    TenantSpec(name="cache", policy="cache"),
+]
+
+
+@pytest.fixture(scope="module")
+def server_workspace(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("server") / "ws")
+    save_workspace(generate_dataset(TitanConfig(n_users=N_USERS, seed=SEED)),
+                   directory, n_shards=1)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def server_batch_summaries(server_workspace):
+    from repro.cli.workspace import load_workspace
+
+    ws = load_workspace(server_workspace)
+    compiled = compile_dataset(ws)
+    return {spec.name: render_emulation_summary(
+        batch_result(ws, compiled, spec)) for spec in SERVE_TENANTS}
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    return env
+
+
+def _tenant_args():
+    out = []
+    for spec in SERVE_TENANTS:
+        out += ["--tenant", f"name={spec.name},policy={spec.policy}"]
+    return out
+
+
+def _tenant_summaries(stdout):
+    """Per-tenant summary blocks from fleet-serve stdout."""
+    blocks, name, lines = {}, None, []
+    for line in stdout.splitlines():
+        m = re.match(r"=== tenant (\S+) \[\S+\] ===", line)
+        if m:
+            if name is not None:
+                blocks[name] = "\n".join(lines).strip()
+            name, lines = m.group(1), []
+        elif line.startswith("supervisor:"):
+            break
+        elif name is not None:
+            lines.append(line)
+    if name is not None:
+        blocks[name] = "\n".join(lines).strip()
+    return blocks
+
+
+def _wait_for(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def test_supervised_kill9_resumes_bit_identical(server_workspace,
+                                                server_batch_summaries,
+                                                tmp_path):
+    """serve --listen under supervision: SIGKILL mid-ingest, auto-resume,
+    per-tenant summaries bit-identical to batch."""
+    ck = str(tmp_path / "ck")
+    ingest = _sock(tmp_path, "ingest.sock")
+    env = _cli_env()
+    supervise = subprocess.Popen(
+        [sys.executable, "-m", "repro", "supervise",
+         "--checkpoint-dir", ck, "--backoff-base", "0.05",
+         "--backoff-max", "0.5", "--healthy-seconds", "0",
+         "--", "serve", "--workspace", server_workspace,
+         "--listen", ingest, *(_tenant_args()),
+         "--checkpoint-dir", ck],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    def publish():
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "publish",
+             "--workspace", server_workspace, "--connect", ingest,
+             "--retry-for", "120"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env)
+
+    publisher = republisher = None
+    try:
+        publisher = publish()
+        # Kill the serve child (not the supervisor) once it has durably
+        # checkpointed part of the trace.  The producer dies with it
+        # (small feeds may already have been fully acked by the dead
+        # incarnation, so only a fresh whole-trace publish can feed the
+        # restarted server's fresh sources) -- publisher first, so its
+        # retry loop cannot race a half-publish against the resumed
+        # server before the re-publish below starts.
+        _wait_for(lambda: glob.glob(os.path.join(ck, "checkpoint-*.npz")),
+                  120, "a first checkpoint")
+        publisher.kill()
+        publisher.wait(timeout=60)
+        pgrep = subprocess.run(["pgrep", "-P", str(supervise.pid)],
+                               capture_output=True, text=True)
+        children = [int(p) for p in pgrep.stdout.split()]
+        assert children, "no serve child under the supervisor"
+        os.kill(children[0], signal.SIGKILL)
+
+        # The operator's (or init system's) response to the crash: run
+        # the publish again; --retry-for rides out the restart gap and
+        # the resumed server's cursor skips everything already consumed.
+        republisher = publish()
+        out, err = supervise.communicate(timeout=240)
+        pub_out, pub_err = republisher.communicate(timeout=60)
+    finally:
+        for proc in (publisher, republisher, supervise):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+    assert supervise.returncode == 0, (out, err)
+    assert republisher.returncode == 0, (pub_out, pub_err)
+    assert "published" in pub_out
+    # The second incarnation really resumed from the chain.
+    assert "resumed from" in out, (out, err)
+    assert "restart 1/" in err, err
+    summaries = _tenant_summaries(out)
+    assert set(summaries) == {spec.name for spec in SERVE_TENANTS}
+    for spec in SERVE_TENANTS:
+        assert summaries[spec.name] == \
+            server_batch_summaries[spec.name].strip(), spec.name

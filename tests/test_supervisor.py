@@ -1,0 +1,180 @@
+"""Supervisor state machine, driven with a fake child.
+
+Everything is injectable (spawn / sleep / clock), so these tests pin the
+exact behavior: the seeded backoff schedule, the non-retryable
+passthrough, the consecutive-crash give-up bound, the healthy-uptime
+reset, and the resume-flag handoff.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.server.supervisor import (EXIT_GIVE_UP, NON_RETRYABLE,
+                                     BackoffPolicy, Supervisor)
+
+
+def run_script(script, *, command=("serve",), backoff=None,
+               should_resume=None, on_spawn=None):
+    """Drive a Supervisor through ``script`` = [(returncode, uptime), ...].
+
+    Returns ``(exit_code, supervisor, sleeps, commands)``.
+    """
+    clock = [0.0]
+    sleeps: list[float] = []
+    commands: list[list[str]] = []
+    lifetimes = iter(script)
+
+    class FakeChild:
+        def __init__(self, rc, uptime):
+            self.rc, self.uptime = rc, uptime
+
+        def wait(self):
+            clock[0] += self.uptime
+            return self.rc
+
+    def spawn(cmd):
+        commands.append(list(cmd))
+        if on_spawn is not None:
+            on_spawn(len(commands))
+        rc, uptime = next(lifetimes)
+        return FakeChild(rc, uptime)
+
+    supervisor = Supervisor(
+        list(command), backoff=backoff, should_resume=should_resume,
+        spawn=spawn, sleep=sleeps.append, clock=lambda: clock[0],
+        log=lambda line: None)
+    return supervisor.run(), supervisor, sleeps, commands
+
+
+def test_clean_exit_passes_through():
+    rc, sup, sleeps, commands = run_script([(0, 1.0)])
+    assert rc == 0
+    assert sup.report.final_returncode == 0
+    assert sup.report.restarts == 0
+    assert not sup.report.gave_up
+    assert sleeps == []
+    assert commands == [["serve"]]
+
+
+def test_non_retryable_exit_is_not_restarted():
+    assert 3 in NON_RETRYABLE
+    rc, sup, sleeps, _ = run_script([(3, 1.0)])
+    assert rc == 3
+    assert sup.report.final_returncode == 3
+    assert len(sup.report.attempts) == 1
+    assert sleeps == []
+
+
+def test_crash_restarts_follow_seeded_backoff_schedule():
+    backoff = BackoffPolicy(base=0.5, multiplier=2.0, max_delay=30.0,
+                            jitter=0.1, seed=42, max_restarts=10,
+                            healthy_seconds=100.0)
+    crashes = [(1, 0.1)] * 4
+    rc, sup, sleeps, _ = run_script(crashes + [(0, 1.0)], backoff=backoff)
+    assert rc == 0
+    expected = list(itertools.islice(backoff.delays(), 4))
+    assert sleeps == expected
+    # Exponential shape under the jitter band, capped at max_delay.
+    for n, delay in enumerate(expected):
+        raw = min(30.0, 0.5 * 2.0 ** n)
+        assert raw <= delay <= raw * 1.1
+    # Each crashed attempt recorded the delay slept after it.
+    assert [a.delay for a in sup.report.attempts] == expected + [None]
+    # The schedule itself is deterministic per seed.
+    assert list(itertools.islice(backoff.delays(), 4)) == expected
+    other = BackoffPolicy(base=0.5, multiplier=2.0, max_delay=30.0,
+                          jitter=0.1, seed=43, max_restarts=10,
+                          healthy_seconds=100.0)
+    assert list(itertools.islice(other.delays(), 4)) != expected
+
+
+def test_signal_death_counts_as_crash():
+    # subprocess reports a SIGKILLed child as -9.
+    backoff = BackoffPolicy(healthy_seconds=100.0)
+    rc, sup, _, commands = run_script([(-9, 0.5), (0, 1.0)],
+                                      backoff=backoff)
+    assert rc == 0
+    assert [a.returncode for a in sup.report.attempts] == [-9, 0]
+    assert len(commands) == 2
+
+
+def test_gives_up_after_max_consecutive_crashes():
+    backoff = BackoffPolicy(base=0.0, max_delay=0.0, jitter=0.0,
+                            max_restarts=2, healthy_seconds=100.0)
+    rc, sup, sleeps, _ = run_script([(1, 0.1)] * 3, backoff=backoff)
+    assert rc == EXIT_GIVE_UP
+    assert sup.report.gave_up
+    assert sup.report.final_returncode == EXIT_GIVE_UP
+    assert len(sup.report.attempts) == 3   # max_restarts + 1 lifetimes
+    assert len(sleeps) == 2                # no sleep after the last crash
+
+
+def test_healthy_uptime_resets_the_crash_budget():
+    backoff = BackoffPolicy(base=0.0, max_delay=0.0, jitter=0.0,
+                            max_restarts=2, healthy_seconds=10.0)
+    # Crash, crash, healthy crash (budget resets), crash, crash -> only
+    # then does the consecutive count exceed max_restarts.
+    script = [(1, 0.1), (1, 0.1), (1, 20.0), (1, 0.1), (1, 0.1)]
+    rc, sup, _, _ = run_script(script, backoff=backoff)
+    assert rc == EXIT_GIVE_UP
+    assert len(sup.report.attempts) == 5
+    # Without the reset, the same script gives up two lifetimes sooner.
+    short = BackoffPolicy(base=0.0, max_delay=0.0, jitter=0.0,
+                          max_restarts=2, healthy_seconds=100.0)
+    rc2, sup2, _, _ = run_script(script, backoff=short)
+    assert rc2 == EXIT_GIVE_UP
+    assert len(sup2.report.attempts) == 3
+
+
+def test_resume_args_appended_once_checkpoint_exists():
+    backoff = BackoffPolicy(base=0.0, max_delay=0.0, jitter=0.0,
+                            max_restarts=10, healthy_seconds=100.0)
+    have_checkpoint = [False]
+
+    def on_spawn(count):
+        # The first incarnation writes a checkpoint before crashing.
+        have_checkpoint[0] = True
+
+    rc, sup, _, commands = run_script(
+        [(1, 0.1), (1, 0.1), (0, 1.0)], backoff=backoff,
+        should_resume=lambda: have_checkpoint[0], on_spawn=on_spawn)
+    assert rc == 0
+    assert commands[0] == ["serve"]
+    # Appended exactly once, never duplicated on later restarts.
+    assert commands[1] == ["serve", "--resume"]
+    assert commands[2] == ["serve", "--resume"]
+    assert [a.resumed for a in sup.report.attempts] == [False, True, True]
+
+
+def test_no_resume_without_predicate_or_checkpoint():
+    backoff = BackoffPolicy(base=0.0, max_delay=0.0, jitter=0.0,
+                            max_restarts=10, healthy_seconds=100.0)
+    rc, _, _, commands = run_script([(1, 0.1), (0, 1.0)], backoff=backoff)
+    assert commands == [["serve"], ["serve"]]
+    rc, _, _, commands = run_script([(1, 0.1), (0, 1.0)], backoff=backoff,
+                                    should_resume=lambda: False)
+    assert commands == [["serve"], ["serve"]]
+
+
+def test_backoff_policy_delay_generator_caps_at_max():
+    policy = BackoffPolicy(base=1.0, multiplier=10.0, max_delay=5.0,
+                           jitter=0.0, seed=1)
+    delays = list(itertools.islice(policy.delays(), 5))
+    assert delays == [1.0, 5.0, 5.0, 5.0, 5.0]
+
+
+def test_non_retryable_is_configurable():
+    clock = [0.0]
+
+    class Child:
+        def wait(self):
+            return 7
+
+    supervisor = Supervisor(["serve"], non_retryable=(7,),
+                            spawn=lambda cmd: Child(),
+                            sleep=lambda s: None,
+                            clock=lambda: clock[0],
+                            log=lambda line: None)
+    assert supervisor.run() == 7
+    assert len(supervisor.report.attempts) == 1
