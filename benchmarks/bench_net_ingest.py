@@ -4,19 +4,32 @@ Measures, on one seeded dataset:
 
 * merged-stream ingest throughput (events/sec) of the multi-tenant
   retention server fed from an in-memory file replay vs. over a Unix
-  socket -- with one producer connection and with four concurrent
-  producer shards;
+  socket, for both wire protocols -- v1 JSON-per-event frames and the
+  negotiated v2 binary columnar batch frames -- each with one producer
+  connection and with four concurrent producer shards.  Socket rows use
+  the standard load-generator methodology (iperf/wrk style): producers
+  pre-encode their wire bytes *outside* the timed window and then blast
+  them down the socket, so the clock measures the server's ingest
+  capacity -- accept, decode, validate, merge, retention engine -- and
+  not the generator's encode speed.  Producer-side encode cost is
+  measured separately and reported as ``producer_encode`` per protocol;
+* per-batch decode latency and per-trigger latency tails (p50/p95/p99)
+  on the binary path;
+* binary-path crash fidelity: a four-tenant server is stopped mid-feed,
+  resumed from its newest checkpoint, re-fed over fresh binary
+  connections, and every tenant's final state is asserted bit-identical
+  to the uninterrupted file replay;
 * the fleet-sharing overhead: wall time of a four-tenant server (one
   tenant per policy of the retention spectrum) against a single-tenant
   server over the same feed, plus the shared-activeness factor (a
   same-cadence fleet must fold the activeness state once per trigger,
   not once per tenant per trigger).
 
-The single-producer socket run is asserted bit-identical to the file
-replay before any number is reported, and the four-tenant run must stay
-well under 4x the single-tenant wall time -- the ``--smoke`` run doubles
-as the CI sharing gate.  Results go to ``BENCH_net_ingest.json`` at the
-repo root (override with ``--out``)::
+Single-producer socket runs are asserted bit-identical to the file
+replay before any number is reported; the ``--smoke`` run additionally
+gates binary x1 >= JSON x1 throughput and the <4x fleet-sharing factor
+for CI.  Results go to ``BENCH_net_ingest.json`` at the repo root
+(override with ``--out``)::
 
     PYTHONPATH=src python benchmarks/bench_net_ingest.py
     PYTHONPATH=src python benchmarks/bench_net_ingest.py --smoke
@@ -53,10 +66,17 @@ def assert_result_equal(got, want, context):
 def run_bench(n_users: int, seed: int) -> dict:
     from repro.core import JobResidencyIndex
     from repro.emulation import replay_bounds
-    from repro.server.ingest import (NetworkEventStream, SocketListener,
-                                     publish_events)
+    from repro.server.admin import _tail_stats
+    from repro.server.ingest import (DEFAULT_BATCH_EVENTS,
+                                     NetworkEventStream, SocketListener,
+                                     publish_batches, publish_events)
+    from repro.server.protocol import (PROTOCOL_V1, FrameReader,
+                                       connect_socket, encode_batch,
+                                       encode_event, encode_frame,
+                                       write_frame)
     from repro.server.tenants import MultiTenantService, TenantSpec
-    from repro.stream import dataset_event_stream
+    from repro.stream import dataset_event_stream, skip_stream_items
+    from repro.stream.batch import BatchBuilder
     from repro.synth import TitanConfig, generate_dataset
 
     t0 = time.perf_counter()
@@ -69,40 +89,121 @@ def run_bench(n_users: int, seed: int) -> dict:
     start, end = replay_bounds(dataset)
     residency = JobResidencyIndex(dataset.jobs)
 
-    def make_fleet(spec_texts):
+    def make_fleet(spec_texts, **kwargs):
         specs = [TenantSpec.parse(text) for text in spec_texts]
         return MultiTenantService(
             [(s, s.build_policy(residency=residency)) for s in specs],
             snapshot_fs=dataset.filesystem, replay_start=start,
-            replay_end=end, known_uids=known)
+            replay_end=end, known_uids=known,
+            policy_factory=lambda s: s.build_policy(residency=residency),
+            **kwargs)
+
+    # Scheduler noise on a shared box swings single runs by ~15%, which
+    # is larger than the socket-vs-file margin under test, so every
+    # throughput row reports the best of REPEATS runs.
+    REPEATS = 3
 
     # -- file replay baseline: the engine fed straight from memory -----
-    service = make_fleet(ONE_TENANT)
-    t0 = time.perf_counter()
-    file_results = service.run(iter(events))
-    file_seconds = time.perf_counter() - t0
+    file_seconds = file_results = None
+    for _ in range(REPEATS):
+        service = make_fleet(ONE_TENANT)
+        t0 = time.perf_counter()
+        results = service.run(iter(events))
+        elapsed = time.perf_counter() - t0
+        if file_seconds is None or elapsed < file_seconds:
+            file_seconds, file_results = elapsed, results
 
     # -- socket ingest: P concurrent producer shards -------------------
-    def socket_run(n_producers):
-        # Round-robin shards of a sorted list are themselves sorted, so
-        # every shard satisfies the per-source monotonicity contract and
-        # nothing lands in quarantine.  With one producer the socket
-        # order is exactly the file order (bit-identity); with four, the
-        # merge may reorder equal-timestamp ties across shards, which is
-        # the documented throughput-mode tradeoff.
-        shards = [events[i::n_producers] for i in range(n_producers)]
+    def shard(n_producers, contiguous):
+        # Both shard styles keep every shard internally time-sorted (any
+        # subsequence of a sorted list is sorted), satisfying the
+        # per-source monotonicity contract, so nothing lands in
+        # quarantine.  The JSON path keeps round-robin shards
+        # (fine-grained interleave); the binary path uses contiguous
+        # chunks, whose merge runs span whole batches instead of
+        # degenerating to single-row ping-pong between sources.
+        if contiguous:
+            return [events[i * n_events // n_producers:
+                           (i + 1) * n_events // n_producers]
+                    for i in range(n_producers)]
+        return [events[i::n_producers] for i in range(n_producers)]
+
+    # -- producer-side pre-encode (untimed by the ingest clock) --------
+    def preencode_binary(shards):
+        t0 = time.perf_counter()
+        per_shard = []
+        for rows in shards:
+            frames = []
+            for i in range(0, len(rows), DEFAULT_BATCH_EVENTS):
+                builder = BatchBuilder()
+                builder.extend(rows[i:i + DEFAULT_BATCH_EVENTS])
+                frames.append(encode_batch(builder.build()))
+            per_shard.append(frames)
+        return per_shard, time.perf_counter() - t0
+
+    def preencode_json(shards):
+        t0 = time.perf_counter()
+        per_shard = []
+        for rows in shards:
+            chunks, buf = [], bytearray()
+            for ev in rows:
+                buf += encode_frame(encode_event(ev))
+                if len(buf) >= 1 << 18:
+                    chunks.append(bytes(buf))
+                    buf = bytearray()
+            if buf:
+                chunks.append(bytes(buf))
+            per_shard.append(chunks)
+        return per_shard, time.perf_counter() - t0
+
+    def blast_json(address, source, chunks):
+        # The v1 twin of publish_batches: pipelined hello, pre-encoded
+        # event frames sent as raw byte chunks, acks collected last.
+        sock = connect_socket(address, timeout=10.0)
+        try:
+            reader = FrameReader(sock)
+            write_frame(sock, {"type": "hello", "source": source,
+                               "producer": "bench",
+                               "protocol": PROTOCOL_V1})
+            sock.settimeout(None)
+            try:
+                for chunk in chunks:
+                    sock.sendall(chunk)
+                write_frame(sock, {"type": "end"})
+            except OSError:
+                pass
+            for _ in ("hello", "end"):
+                ack = reader.read_message()
+                assert ack is not None and ack.get("type") == "ok", ack
+        finally:
+            sock.close()
+
+    def socket_run(per_shard, *, binary):
+        # With one producer the socket order is exactly the file order
+        # (bit-identity); with four, the merge may reorder
+        # equal-timestamp ties across shards, which is the documented
+        # throughput-mode tradeoff.
+        n_producers = len(per_shard)
         with tempfile.TemporaryDirectory() as sockdir:
             address = f"unix:{os.path.join(sockdir, 'ingest.sock')}"
             listener = SocketListener(
                 address,
                 expected={f"shard-{i}": 1 for i in range(n_producers)})
             stream = NetworkEventStream(listener, known_uids=known)
-            threads = [
-                threading.Thread(
-                    target=publish_events,
-                    args=(address, f"shard-{i}", shards[i]),
-                    kwargs={"producer": f"bench-{i}"}, daemon=True)
-                for i in range(n_producers)]
+            if binary:
+                threads = [
+                    threading.Thread(
+                        target=publish_batches,
+                        args=(address, f"shard-{i}", per_shard[i]),
+                        kwargs={"producer": f"bench-{i}"}, daemon=True)
+                    for i in range(n_producers)]
+            else:
+                threads = [
+                    threading.Thread(
+                        target=blast_json,
+                        args=(address, f"shard-{i}", per_shard[i]),
+                        daemon=True)
+                    for i in range(n_producers)]
             fleet = make_fleet(ONE_TENANT)
             t0 = time.perf_counter()
             for t in threads:
@@ -111,25 +212,107 @@ def run_bench(n_users: int, seed: int) -> dict:
             elapsed = time.perf_counter() - t0
             for t in threads:
                 t.join()
+            decode = _tail_stats(listener.decode_seconds)
             listener.close()
         assert fleet.cursor == n_events, (fleet.cursor, n_events)
         assert stream.quarantine.total == 0, stream.quarantine.summary()
-        return elapsed, results
+        return elapsed, results, fleet, decode
 
-    socket_rows = {}
-    for n_producers in (1, 4):
-        elapsed, results = socket_run(n_producers)
-        row = {
-            "seconds": round(elapsed, 3),
-            "events_per_sec": round(n_events / elapsed),
-            "socket_vs_file": round(elapsed / file_seconds, 2),
-            "quarantined": 0,
-        }
-        if n_producers == 1:
-            assert_result_equal(results["activedr"],
-                                file_results["activedr"], "socket-1")
-            row["bit_identical_to_file"] = True
-        socket_rows[str(n_producers)] = row
+    def socket_rows(*, binary):
+        rows, extras = {}, {}
+        label = "binary" if binary else "json"
+        preencode = preencode_binary if binary else preencode_json
+        for n_producers in (1, 4):
+            per_shard, encode_seconds = preencode(
+                shard(n_producers, contiguous=binary))
+            if n_producers == 1:
+                extras["producer_encode"] = {
+                    "seconds": round(encode_seconds, 3),
+                    "events_per_sec": round(n_events / encode_seconds),
+                }
+            elapsed = results = fleet = decode = None
+            for _ in range(REPEATS):
+                run = socket_run(per_shard, binary=binary)
+                if elapsed is None or run[0] < elapsed:
+                    elapsed, results, fleet, decode = run
+            row = {
+                "seconds": round(elapsed, 3),
+                "events_per_sec": round(n_events / elapsed),
+                "socket_vs_file": round(elapsed / file_seconds, 2),
+                "quarantined": 0,
+            }
+            if n_producers == 1:
+                assert_result_equal(results["activedr"],
+                                    file_results["activedr"],
+                                    f"socket-1-{label}")
+                row["bit_identical_to_file"] = True
+                if binary:
+                    extras["decode_latency"] = decode
+                    extras["trigger_latency"] = _tail_stats(
+                        [s for t in fleet.tenants
+                         for s in t.trigger_latency_log])
+            rows[str(n_producers)] = row
+        return rows, extras
+
+    json_rows, json_extras = socket_rows(binary=False)
+    binary_rows, binary_extras = socket_rows(binary=True)
+
+    # -- binary-path crash fidelity: stop a four-tenant server mid-feed,
+    #    resume from its newest checkpoint, re-feed over fresh binary
+    #    connections, and demand bit-identity for every tenant ----------
+    four_file_results = make_fleet(FOUR_TENANTS).run(iter(events))
+
+    def quiet_publish(address, name, feed):
+        try:
+            publish_events(address, name, feed, producer="bench-crash",
+                           retry_for=20.0)
+        except OSError:
+            pass  # the first server dies mid-feed by design
+
+    def binary_feed(address, n_producers=2):
+        shards = shard(n_producers, contiguous=True)
+        threads = [
+            threading.Thread(target=quiet_publish,
+                             args=(address, f"shard-{i}", shards[i]),
+                             daemon=True)
+            for i in range(n_producers)]
+        for t in threads:
+            t.start()
+        return threads
+
+    with tempfile.TemporaryDirectory() as workdir:
+        expected = {"shard-0": 1, "shard-1": 1}
+        address = f"unix:{os.path.join(workdir, 'crash.sock')}"
+        listener = SocketListener(address, expected=expected)
+        stream = NetworkEventStream(listener, known_uids=known)
+        fleet = make_fleet(FOUR_TENANTS,
+                           checkpoint_dir=os.path.join(workdir, "ckpt"),
+                           checkpoint_every_days=7)
+        binary_feed(address)
+        stopped = fleet.run(iter(stream), stop_after_events=n_events // 2)
+        assert stopped is None, "crash run unexpectedly drained the feed"
+        listener.close()
+
+        newest = fleet.checkpoints.latest()
+        assert newest is not None, "no checkpoint written before the stop"
+        resumed = MultiTenantService.resume(
+            newest,
+            policy_factory=lambda s: s.build_policy(residency=residency))
+        address = f"unix:{os.path.join(workdir, 'resume.sock')}"
+        listener = SocketListener(address, expected=expected)
+        stream = NetworkEventStream(listener, known_uids=known)
+        threads = binary_feed(address)
+        resumed_results = resumed.run(
+            skip_stream_items(iter(stream), resumed.cursor))
+        for t in threads:
+            t.join()
+        listener.close()
+    assert resumed.cursor == n_events, (resumed.cursor, n_events)
+    crash_row = {"stopped_after_events": int(n_events // 2), "tenants": {}}
+    for name, want in four_file_results.items():
+        assert_result_equal(resumed_results[name], want,
+                            f"crash-resume-{name}")
+        crash_row["tenants"][name] = {"bit_identical_to_file": True}
 
     # -- fleet overhead: 4 tenants sharing one feed and one activeness -
     def best_of(spec_texts, repeats=2):
@@ -167,7 +350,17 @@ def run_bench(n_users: int, seed: int) -> dict:
                 "seconds": round(file_seconds, 3),
                 "events_per_sec": round(n_events / file_seconds),
             },
-            "socket_by_producers": socket_rows,
+            "socket_by_producers": json_rows,
+            "producer_encode": {
+                "json": json_extras["producer_encode"],
+                "binary": binary_extras.pop("producer_encode"),
+            },
+            "binary": {
+                "batch_events": DEFAULT_BATCH_EVENTS,
+                "socket_by_producers": binary_rows,
+                "crash_resume": crash_row,
+                **binary_extras,
+            },
         },
         "fleet_overhead": {
             "one_tenant_seconds": round(one_seconds, 3),
@@ -205,6 +398,15 @@ def main(argv=None) -> int:
     result = run_bench(args.users, args.seed)
     result["smoke"] = args.smoke
 
+    if args.smoke:
+        # CI gate: the negotiated binary path must never be slower than
+        # the v1 JSON framing it replaced as the default.
+        json_x1 = result["ingest"]["socket_by_producers"]["1"]
+        bin_x1 = result["ingest"]["binary"]["socket_by_producers"]["1"]
+        assert bin_x1["events_per_sec"] >= json_x1["events_per_sec"], (
+            f"binary x1 {bin_x1['events_per_sec']} ev/s slower than "
+            f"JSON x1 {json_x1['events_per_sec']} ev/s")
+
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2)
         f.write("\n")
@@ -218,9 +420,28 @@ def main(argv=None) -> int:
     for count, row in result["ingest"]["socket_by_producers"].items():
         suffix = (" bit-identical to file"
                   if row.get("bit_identical_to_file") else "")
-        print(f"  socket x{count}: {row['seconds']}s "
+        print(f"  socket x{count} (json): {row['seconds']}s "
               f"({row['events_per_sec']} ev/s, "
               f"{row['socket_vs_file']}x file){suffix}")
+    binary = result["ingest"]["binary"]
+    for count, row in binary["socket_by_producers"].items():
+        suffix = (" bit-identical to file"
+                  if row.get("bit_identical_to_file") else "")
+        print(f"  socket x{count} (binary): {row['seconds']}s "
+              f"({row['events_per_sec']} ev/s, "
+              f"{row['socket_vs_file']}x file){suffix}")
+    encode = result["ingest"]["producer_encode"]
+    print(f"  producer encode: json {encode['json']['events_per_sec']} "
+          f"ev/s, binary {encode['binary']['events_per_sec']} ev/s "
+          f"(untimed by the ingest clock)")
+    decode = binary.get("decode_latency", {})
+    if decode.get("count"):
+        print(f"  binary decode: p50 {decode['p50'] * 1e6:.0f}us "
+              f"p99 {decode['p99'] * 1e6:.0f}us over {decode['count']} "
+              f"batches")
+    crash = binary["crash_resume"]
+    print(f"  crash resume: {len(crash['tenants'])} tenants bit-identical "
+          f"after stop at event {crash['stopped_after_events']}")
     fleet = result["fleet_overhead"]
     print(f"  fleet: 4 tenants at {fleet['overhead_x']}x one tenant "
           f"({fleet['activeness_evals_four_tenants']} activeness evals, "

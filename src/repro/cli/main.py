@@ -257,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     pub.add_argument("--retry-for", type=float, default=0.0,
                      help="keep retrying the whole publish for this many "
                           "seconds when the server is down or restarting")
+    pub.add_argument("--batch", type=int, default=None, metavar="N",
+                     help="events per binary batch frame (0 forces the "
+                          "v1 JSON-per-event path; default 2048)")
+    pub.add_argument("--compress", action="store_true",
+                     help="zlib-compress batch frames when the server "
+                          "grants the capability")
 
     adm = sub.add_parser("admin",
                          help="query a running server's admin plane")
@@ -701,7 +707,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     from ..server import AdminServer, MultiTenantService, SocketListener
     from ..server.ingest import NetworkEventStream
     from ..stream import (CheckpointCorruption, CheckpointManager,
-                          DeadLetterLog, ReliableEventStream, skip_events)
+                          DeadLetterLog, ReliableEventStream)
+    from ..stream.batch import skip_stream_items
     from ..traces import read_users
     from ..vfs import load_filesystem
 
@@ -779,7 +786,10 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 # Continue the crashed daemon's quarantine totals instead
                 # of restarting the forensic counters from zero.
                 stream.quarantine.resume_from(dead_letter)
-            events = skip_events(events, service.cursor)
+            # skip_stream_items counts batch runs by their row width, so
+            # the binary wire path resumes at the exact same cursor a
+            # per-event stream would.
+            events = skip_stream_items(events, service.cursor)
             print(f"resumed from {newest} at event {service.cursor}")
         else:
             with open(os.path.join(args.workspace, "meta.json")) as f:
@@ -838,13 +848,17 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_publish(args: argparse.Namespace) -> int:
     from ..server import publish_workspace
+    from ..server.ingest import DEFAULT_BATCH_EVENTS
 
     sources = tuple(s for s in args.sources.split(",") if s)
+    batch = DEFAULT_BATCH_EVENTS if args.batch is None else max(0, args.batch)
     try:
         counts = publish_workspace(args.connect, args.workspace,
                                    sources=sources,
                                    producer=args.producer,
-                                   retry_for=args.retry_for)
+                                   retry_for=args.retry_for,
+                                   batch_size=batch,
+                                   compress=args.compress)
     except (OSError, ConnectionError) as exc:
         print(f"publish failed: {exc}", file=sys.stderr)
         return 1

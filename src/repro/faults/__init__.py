@@ -15,7 +15,7 @@ plain file handles (:class:`FaultyIO`) and plain event iterators
 """
 
 from .io import (FaultyIO, FaultyStream, InjectedIOError, corrupt_file,
-                 trace_writer_wrap)
+                 corrupt_frame_bytes, trace_writer_wrap)
 from .plan import (IO_READ_KINDS, IO_WRITE_KINDS, STREAM_KINDS, FaultPlan,
                    FaultSpec)
 
@@ -26,6 +26,7 @@ __all__ = [
     "FaultyStream",
     "InjectedIOError",
     "corrupt_file",
+    "corrupt_frame_bytes",
     "trace_writer_wrap",
     "IO_READ_KINDS",
     "IO_WRITE_KINDS",

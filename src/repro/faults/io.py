@@ -30,7 +30,7 @@ from typing import IO, Callable, Iterator
 from .plan import FaultPlan, FaultSpec
 
 __all__ = ["InjectedIOError", "FaultyIO", "FaultyStream", "corrupt_file",
-           "trace_writer_wrap"]
+           "corrupt_frame_bytes", "trace_writer_wrap"]
 
 
 class InjectedIOError(OSError):
@@ -271,3 +271,34 @@ def corrupt_file(path: str, kind: str = "truncate", *, seed: int = 0,
             fh.write(bytes([byte[0] ^ (1 << rng.randrange(8))]))
     else:
         raise ValueError(f"unknown corruption kind {kind!r}")
+
+
+def corrupt_frame_bytes(frame: bytes, kind: str = "bitflip", *,
+                        seed: int = 0) -> bytes:
+    """Damage one encoded wire frame the way a faulty transport would.
+
+    ``bitflip`` flips one seeded-random bit inside the *payload* (never
+    the length header, so the frame stays parseable and the damage must
+    be caught by the CRC trailer); ``torn`` chops a seeded-random sliver
+    off the end -- what a producer killed mid-``sendall`` leaves in the
+    stream; ``crc`` flips the low bit of the payload's final byte --
+    the CRC trailer itself for a v2 binary batch frame.
+    """
+    import random
+
+    rng = random.Random(f"{seed}|frame|{len(frame)}")
+    head = frame.index(b"\n") + 1
+    if kind == "bitflip":
+        body = bytearray(frame)
+        # Payload spans [head, len-1); the final byte is the "\n" epilogue.
+        offset = head + rng.randrange(max(1, len(frame) - 1 - head))
+        body[offset] ^= 1 << rng.randrange(8)
+        return bytes(body)
+    if kind == "torn":
+        cut = rng.randrange(1, max(2, min(65, len(frame) - head)))
+        return frame[:len(frame) - cut]
+    if kind == "crc":
+        body = bytearray(frame)
+        body[len(frame) - 2] ^= 0x01
+        return bytes(body)
+    raise ValueError(f"unknown frame corruption kind {kind!r}")

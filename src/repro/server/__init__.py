@@ -4,7 +4,9 @@
 from local trace files; this package turns that daemon into a *server*:
 
 * :mod:`~repro.server.protocol` -- the length-prefixed newline-JSON wire
-  protocol producers and admin clients speak;
+  protocol producers and admin clients speak, plus the negotiated v2
+  binary columnar batch frames (CRC32-sealed, optionally zlib'd) that
+  close the wire-speed gap against local file replay;
 * :mod:`~repro.server.ingest` -- :class:`SocketListener` /
   :class:`SocketSource`, which accept any number of concurrent producers
   over TCP or Unix sockets and feed their events through the same
@@ -20,10 +22,13 @@ from local trace files; this package turns that daemon into a *server*:
 """
 
 from .admin import AdminServer, admin_request
-from .ingest import (NetworkEventStream, SocketListener, SocketSource,
+from .ingest import (DEFAULT_BATCH_EVENTS, NetworkEventStream,
+                     SocketListener, SocketSource, publish_batches,
                      publish_events, publish_workspace)
-from .protocol import (PROTOCOL_VERSION, FrameError, FrameReader,
-                       connect_socket, create_listener, decode_event,
+from .protocol import (PROTOCOL_VERSION, SUPPORTED_PROTOCOLS,
+                       BatchFormatError, FrameError, FrameReader,
+                       connect_socket, create_listener, decode_batch,
+                       decode_event, encode_batch, encode_batch_frame,
                        encode_event, format_address, parse_address,
                        read_frame, write_frame)
 from .supervisor import (EXIT_GIVE_UP, BackoffPolicy, Supervisor,
@@ -36,14 +41,21 @@ __all__ = [
     "NetworkEventStream",
     "SocketListener",
     "SocketSource",
+    "publish_batches",
     "publish_events",
     "publish_workspace",
+    "DEFAULT_BATCH_EVENTS",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
+    "BatchFormatError",
     "FrameError",
     "FrameReader",
     "connect_socket",
     "create_listener",
+    "decode_batch",
     "decode_event",
+    "encode_batch",
+    "encode_batch_frame",
     "encode_event",
     "format_address",
     "parse_address",

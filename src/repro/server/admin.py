@@ -29,7 +29,9 @@ import os
 import socket
 import threading
 import time
-from typing import Callable
+from typing import Callable, Iterable
+
+import numpy as np
 
 from .protocol import (FrameError, FrameReader, create_listener,
                        connect_socket, format_address, parse_address,
@@ -37,6 +39,18 @@ from .protocol import (FrameError, FrameReader, create_listener,
 from .tenants import MultiTenantService, TenantSpec
 
 __all__ = ["AdminServer", "admin_request"]
+
+
+def _tail_stats(samples: Iterable[float]) -> dict:
+    """TARE-style tail summary (count + p50/p95/p99/max) of a latency
+    log, in seconds.  Snapshot via ``list`` first: the deques grow on
+    other threads while we read."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0}
+    p50, p95, p99 = np.percentile(arr, (50.0, 95.0, 99.0))
+    return {"count": int(arr.size), "p50": float(p50), "p95": float(p95),
+            "p99": float(p99), "max": float(arr.max())}
 
 
 class AdminServer:
@@ -216,6 +230,13 @@ class AdminServer:
                 pass
         if self.stream is not None:
             out["quarantined"] = self.stream.quarantine.total
+            listener = getattr(self.stream, "listener", None)
+            if listener is not None:
+                out["batch_decode_latency"] = _tail_stats(
+                    listener.decode_seconds)
+        out["trigger_latency"] = _tail_stats(
+            [s for t in list(service.tenants)
+             for s in t.trigger_latency_log])
         return out
 
     def _cmd_query(self, request: dict) -> dict:

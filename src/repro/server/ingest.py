@@ -39,24 +39,41 @@ whose sources are fresh.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import socket
 import threading
 import time
+from collections import deque
 from typing import Callable, Iterable, Iterator, Mapping
 
+from ..stream.batch import BatchBuilder, EventBatch, merge_stream_items
 from ..stream.events import StreamEvent, job_events, publication_events, access_events
-from ..stream.reliability.quarantine import REASON_UNPARSABLE
+from ..stream.reliability.quarantine import (REASON_CORRUPT_FRAME,
+                                             REASON_UNPARSABLE)
 from ..stream.reliability.sources import ReliableEventStream, SourceHealth
-from .protocol import (PROTOCOL_VERSION, FrameError, FrameReader,
-                       connect_socket, create_listener, decode_event,
-                       encode_event, write_frame)
+from .protocol import (BATCH_MAX_FRAME_BYTES, CAP_BATCH, CAP_ZLIB,
+                       MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_V2,
+                       SUPPORTED_PROTOCOLS, BatchFormatError, BinaryFrame,
+                       FrameError, FrameReader, connect_socket,
+                       create_listener, decode_batch, decode_event,
+                       encode_batch, encode_batch_frame, encode_event,
+                       write_frame)
 
-__all__ = ["DEFAULT_SOURCES", "SocketSource", "SocketListener",
-           "NetworkEventStream", "publish_events", "publish_workspace"]
+__all__ = ["DEFAULT_SOURCES", "DEFAULT_BATCH_EVENTS", "SocketSource",
+           "SocketListener", "NetworkEventStream", "publish_events",
+           "publish_batches", "publish_workspace"]
 
 #: The canonical trace families, in merge tie-break order.
 DEFAULT_SOURCES = ("jobs", "publications", "accesses")
+
+#: Default events per binary batch frame.  Big enough to amortize the
+#: per-frame fixed costs (syscall, CRC, column headers, one validation
+#: and intern pass per batch) to noise, small enough that a batch stays
+#: well under the negotiated frame cap (a full batch encodes to well
+#: under half the v1 1 MiB bound) and the merge granularity stays far
+#: below a trigger day.
+DEFAULT_BATCH_EVENTS = 8192
 
 _END = object()  # queue sentinel: the source has finished
 
@@ -122,6 +139,12 @@ class SocketSource:
             item = self.queue.get()
             if item is _END:
                 return
+            if type(item) is EventBatch:
+                self.pos += item.n
+                if item.n:
+                    self.watermark = int(item.ts[-1])
+                yield item
+                continue
             self.pos += 1
             self.last_event = item
             ts = getattr(item, "ts", None)
@@ -158,22 +181,36 @@ class SocketListener:
 
     def __init__(self, address: str, *,
                  expected: Mapping[str, int] | Iterable[str] = DEFAULT_SOURCES,
-                 queue_size: int = 10_000, backlog: int = 16) -> None:
+                 queue_size: int = 10_000, backlog: int = 16,
+                 protocols: Iterable[int] = SUPPORTED_PROTOCOLS,
+                 max_batch_frame_bytes: int = BATCH_MAX_FRAME_BYTES) -> None:
         if not isinstance(expected, Mapping):
             expected = {name: 1 for name in expected}
         if not expected:
             raise ValueError("a listener needs at least one expected source")
         self.address = address
+        #: Protocol versions this listener will accept in ``hello``;
+        #: ``(1,)`` makes a v1-only server for fallback testing.
+        self.protocols = tuple(protocols)
+        #: Ceiling granted to v2 peers asking for a batch-frame cap.
+        self.max_batch_frame_bytes = int(max_batch_frame_bytes)
         self._sources: dict[str, SocketSource] = {
             name: SocketSource(name, count, queue_size)
             for name, count in expected.items()}
-        #: ``on_decode_error(source_name, detail, raw)`` -- wired to the
-        #: quarantine by :class:`NetworkEventStream`; a bare listener
-        #: counts decode errors but has nowhere to divert them.
-        self.on_decode_error: Callable[[str, str, object], None] | None = None
+        #: ``on_decode_error(source_name, detail, raw, reason)`` -- wired
+        #: to the quarantine by :class:`NetworkEventStream`; a bare
+        #: listener counts decode errors but has nowhere to divert them.
+        self.on_decode_error: Callable[[str, str, object, str],
+                                       None] | None = None
         self.decode_errors = 0
         self.connections_accepted = 0
         self.connections_refused = 0
+        #: Per-batch decode wall seconds, appended by reader threads
+        #: (deque appends are atomic); the admin plane and the bench
+        #: derive p50/p95/p99 tails from this window.
+        self.decode_seconds: deque[float] = deque(maxlen=4096)
+        self.batches_received = 0
+        self.batch_rows_received = 0
         self._sock = create_listener(address, backlog)
         self._closed = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -227,25 +264,39 @@ class SocketListener:
             thread.start()
             self._threads.append(thread)
 
-    def _divert(self, source_name: str, detail: str, raw: object) -> None:
+    def _divert(self, source_name: str, detail: str, raw: object,
+                reason: str = REASON_UNPARSABLE) -> None:
         self.decode_errors += 1
         hook = self.on_decode_error
         if hook is not None:
-            hook(source_name, detail, raw)
+            hook(source_name, detail, raw, reason)
 
-    def _handshake(self, conn: socket.socket,
-                   reader: FrameReader) -> SocketSource | None:
-        hello = reader.read()
+    def _handshake(self, conn: socket.socket, reader: FrameReader,
+                   ) -> tuple[SocketSource, bool] | None:
+        """Validate a hello; returns ``(source, batch_negotiated)``.
+
+        A v2 hello negotiates capabilities and the batch frame cap: the
+        reply echoes the intersection of what both sides support, and
+        ``reader.max_frame_bytes`` is raised to the granted cap only
+        after the hello is accepted.  Unknown capability tokens are
+        ignored on both sides, so a peer asking for something this
+        build does not know simply does not get it -- and a peer that
+        cannot speak any accepted protocol version gets an error frame
+        it can use to fall back to v1.
+        """
+        hello = reader.read_message()
         if hello is None:
             return None
         if hello.get("type") != "hello":
             write_frame(conn, {"type": "error",
                                "reason": "expected a hello frame"})
             return None
-        if hello.get("protocol") != PROTOCOL_VERSION:
+        proto = hello.get("protocol")
+        if proto not in self.protocols:
             write_frame(conn, {"type": "error",
                                "reason": f"unsupported protocol "
-                                         f"{hello.get('protocol')!r}"})
+                                         f"{proto!r} (accepted: "
+                                         f"{list(self.protocols)})"})
             return None
         name = hello.get("source")
         source = self._sources.get(name)
@@ -262,21 +313,37 @@ class SocketListener:
                                "reason": f"source {name!r} already "
                                          f"finished"})
             return None
-        write_frame(conn, {"type": "ok", "protocol": PROTOCOL_VERSION,
-                           "source": name})
-        return source
+        batch = False
+        ok: dict = {"type": "ok", "protocol": proto, "source": name}
+        if proto >= PROTOCOL_V2:
+            asked = hello.get("capabilities") or ()
+            granted = [c for c in (CAP_BATCH, CAP_ZLIB) if c in asked]
+            batch = CAP_BATCH in granted
+            try:
+                want = int(hello.get("max_frame_bytes", MAX_FRAME_BYTES))
+            except (TypeError, ValueError):
+                want = MAX_FRAME_BYTES
+            cap = max(4096, min(want, self.max_batch_frame_bytes))
+            ok["capabilities"] = granted
+            ok["max_frame_bytes"] = cap
+        write_frame(conn, ok)
+        if batch:
+            reader.max_frame_bytes = cap
+        return source, batch
 
     def _serve_producer(self, conn: socket.socket) -> None:
         received = 0
         source: SocketSource | None = None
+        perf = time.perf_counter
         try:
             reader = FrameReader(conn)
             try:
-                source = self._handshake(conn, reader)
+                negotiated = self._handshake(conn, reader)
             except (FrameError, OSError):
                 return
-            if source is None:
+            if negotiated is None:
                 return
+            source, allow_batch = negotiated
             while True:
                 try:
                     frame = reader.read()
@@ -289,6 +356,34 @@ class SocketListener:
                     return
                 if frame is None:
                     return  # producer vanished without end; may reconnect
+                if type(frame) is BinaryFrame:
+                    # Decode happens here, in this connection's reader
+                    # thread, *before* the merge: per-connection decode
+                    # is what lets multiple producers overlap instead of
+                    # serializing inside the engine loop.
+                    if not allow_batch:
+                        self._divert(source.name,
+                                     "binary frame without negotiated "
+                                     "batch capability", None,
+                                     REASON_CORRUPT_FRAME)
+                        continue
+                    t0 = perf()
+                    try:
+                        batch = decode_batch(frame)
+                    except BatchFormatError as exc:
+                        # The envelope framed the payload correctly, so
+                        # the stream is still in sync: divert the frame
+                        # as one dead-letter record and keep reading.
+                        self._divert(source.name,
+                                     f"BatchFormatError: {exc}", None,
+                                     REASON_CORRUPT_FRAME)
+                        continue
+                    self.decode_seconds.append(perf() - t0)
+                    self.batches_received += 1
+                    self.batch_rows_received += batch.n
+                    received += batch.n
+                    source.push(batch)
+                    continue
                 ftype = frame.get("type")
                 if ftype == "event":
                     try:
@@ -323,6 +418,8 @@ class SocketListener:
             "connections_accepted": self.connections_accepted,
             "connections_refused": self.connections_refused,
             "decode_errors": self.decode_errors,
+            "batches_received": self.batches_received,
+            "batch_rows_received": self.batch_rows_received,
             "sources": {name: src.describe()
                         for name, src in self._sources.items()},
         }
@@ -332,11 +429,15 @@ class NetworkEventStream(ReliableEventStream):
     """A listener's sources behind the standard quarantined merge.
 
     Construction wires the listener's decode-error hook into the shared
-    quarantine (reason code ``unparsable_row``, same as a malformed
-    trace line), then defers to :class:`ReliableEventStream`'s generic
-    source path -- guard every source, merge by timestamp, tie-break by
-    listing order.  ``report()`` therefore has the same shape for
-    socket-fed and file-fed servers.
+    quarantine (reason code ``unparsable_row`` for JSON rows, matching
+    a malformed trace line; ``corrupt_frame`` for a binary batch that
+    fails its CRC or self-checks), then overrides the merge with the
+    *hybrid* variant: each source is guarded by ``guard_hybrid`` (single
+    events and columnar batches alike) and merged by the run-granular
+    k-way merge, which yields ``StreamEvent`` and ``BatchRun`` items in
+    exactly the order the per-event merge would yield the underlying
+    events.  ``report()`` has the same shape for socket-fed and
+    file-fed servers.
     """
 
     def __init__(self, listener: SocketListener, *,
@@ -345,10 +446,16 @@ class NetworkEventStream(ReliableEventStream):
                          known_uids=known_uids, dead_letter=dead_letter)
         self.listener = listener
 
-        def on_decode_error(source: str, detail: str, raw: object) -> None:
-            self.quarantine.divert(source, REASON_UNPARSABLE, detail, raw)
+        def on_decode_error(source: str, detail: str, raw: object,
+                            reason: str = REASON_UNPARSABLE) -> None:
+            self.quarantine.divert(source, reason, detail, raw)
 
         listener.on_decode_error = on_decode_error
+
+    def __iter__(self) -> Iterator:
+        return merge_stream_items(
+            self.quarantine.guard_hybrid(source.name, source)
+            for source in self.sources)
 
     def report(self) -> dict:
         out = super().report()
@@ -358,6 +465,8 @@ class NetworkEventStream(ReliableEventStream):
             "connections_accepted": self.listener.connections_accepted,
             "connections_refused": self.listener.connections_refused,
             "decode_errors": self.listener.decode_errors,
+            "batches_received": self.listener.batches_received,
+            "batch_rows_received": self.listener.batch_rows_received,
         }
         return out
 
@@ -369,6 +478,8 @@ class NetworkEventStream(ReliableEventStream):
 def publish_events(address: str, source: str,
                    events: Iterable[StreamEvent] | Callable[[], Iterable],
                    *, producer: str = "publish",
+                   batch_size: int = DEFAULT_BATCH_EVENTS,
+                   compress: bool = False,
                    retry_for: float = 0.0, retry_interval: float = 0.2,
                    connect_timeout: float = 10.0,
                    sleep: Callable[[float], None] = time.sleep,
@@ -383,6 +494,13 @@ def publish_events(address: str, source: str,
     previous incarnation already consumed, so whole-stream replay is the
     correct (and simplest) recovery after a server crash.  Returns the
     number of events sent in the successful round.
+
+    ``batch_size > 0`` (the default) offers protocol v2: events are
+    accumulated into columnar binary batch frames of that many rows
+    (zlib-compressed when ``compress`` and the server grants the
+    capability).  A server that refuses v2, or acks without the batch
+    capability, gets v1 JSON event frames instead -- same events, same
+    order, just slower; ``batch_size=0`` forces that compat path.
     """
     factory = events if callable(events) else None
     deadline = clock() + retry_for
@@ -390,7 +508,8 @@ def publish_events(address: str, source: str,
         try:
             return _publish_once(address, source,
                                  factory() if factory else events,
-                                 producer, connect_timeout)
+                                 producer, connect_timeout,
+                                 batch_size, compress)
         except (OSError, FrameError, PublishRefused):
             if factory is None or clock() >= deadline:
                 raise
@@ -402,28 +521,136 @@ class PublishRefused(ConnectionError):
 
 
 def _publish_once(address: str, source: str, events: Iterable,
-                  producer: str, connect_timeout: float) -> int:
+                  producer: str, connect_timeout: float,
+                  batch_size: int = 0, compress: bool = False) -> int:
     sock = connect_socket(address, timeout=connect_timeout)
     try:
         reader = FrameReader(sock)
-        write_frame(sock, {"type": "hello", "protocol": PROTOCOL_VERSION,
-                           "source": source, "producer": producer})
-        ack = reader.read()
+        want_batch = batch_size > 0
+        hello: dict = {"type": "hello", "source": source,
+                       "producer": producer}
+        if want_batch:
+            hello["protocol"] = PROTOCOL_V2
+            hello["capabilities"] = ([CAP_BATCH, CAP_ZLIB] if compress
+                                     else [CAP_BATCH])
+            hello["max_frame_bytes"] = BATCH_MAX_FRAME_BYTES
+        else:
+            hello["protocol"] = PROTOCOL_V1
+        write_frame(sock, hello)
+        ack = reader.read_message()
         if ack is None or ack.get("type") != "ok":
+            refusal = (ack or {}).get("reason", "connection closed")
+            if want_batch and isinstance(refusal, str) \
+                    and "unsupported protocol" in refusal:
+                # v1-only server: reconnect on the compat path.
+                return _publish_once(address, source, events, producer,
+                                     connect_timeout, 0, False)
             raise PublishRefused(
-                f"server refused producer of {source!r}: "
-                f"{(ack or {}).get('reason', 'connection closed')}")
+                f"server refused producer of {source!r}: {refusal}")
+        granted = ack.get("capabilities") or ()
+        use_batch = (want_batch and CAP_BATCH in granted
+                     and ack.get("protocol") == PROTOCOL_V2)
         sock.settimeout(None)  # streaming may block on backpressure
         sent = 0
-        for event in events:
-            write_frame(sock, encode_event(event))
-            sent += 1
+        if use_batch:
+            try:
+                frame_cap = int(ack.get("max_frame_bytes",
+                                        MAX_FRAME_BYTES))
+            except (TypeError, ValueError):
+                frame_cap = MAX_FRAME_BYTES
+            use_zlib = compress and CAP_ZLIB in granted
+            # Flush early if the estimated payload nears the cap, so a
+            # pathological path-heavy batch never overflows the frame.
+            soft_cap = max(4096, frame_cap // 2)
+            builder = BatchBuilder()
+            # Accumulate in slabs so the per-event work runs in the
+            # builder's hoisted bulk loop; the cap checks between slabs
+            # keep frames within the negotiated budget.
+            slab = max(1, min(batch_size, 2048))
+            it = iter(events)
+            while True:
+                before = len(builder)
+                builder.extend(itertools.islice(it, slab))
+                added = len(builder) - before
+                if not added:
+                    break
+                sent += added
+                if len(builder) >= batch_size \
+                        or builder.approx_bytes >= soft_cap:
+                    sock.sendall(encode_batch_frame(
+                        encode_batch(builder.build(), compress=use_zlib),
+                        frame_cap))
+                    builder = BatchBuilder()
+            if len(builder):
+                sock.sendall(encode_batch_frame(
+                    encode_batch(builder.build(), compress=use_zlib),
+                    frame_cap))
+        else:
+            for event in events:
+                write_frame(sock, encode_event(event))
+                sent += 1
         write_frame(sock, {"type": "end"})
-        ack = reader.read()
+        ack = reader.read_message()
         if ack is None or ack.get("type") != "ok":
             raise PublishRefused(
                 f"server did not ack end of {source!r}: "
                 f"{(ack or {}).get('reason', 'connection closed')}")
+        return sent
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def publish_batches(address: str, source: str,
+                    batches: Iterable[EventBatch | bytes],
+                    *, producer: str = "publish",
+                    compress: bool = False,
+                    connect_timeout: float = 10.0,
+                    frame_cap: int = MAX_FRAME_BYTES) -> int:
+    """Stream pre-built columnar batches to a v2 server, hello pipelined.
+
+    The load-generator variant of :func:`publish_events`: the caller
+    already holds :class:`EventBatch` objects (or raw ``encode_batch``
+    payload bytes from a frame capture), so no per-event Python runs on
+    the wire path.  The ``hello`` is *pipelined* -- batch frames follow
+    it immediately without waiting for the ack, and both acks (hello,
+    end) are collected after the last frame.  That keeps a k-way server
+    merge from idling on per-connection handshake round-trips when many
+    producers connect at once.  No v1 fallback exists on this path: a
+    server that refuses protocol v2 fails the publish with
+    :class:`PublishRefused`.  Returns the number of events sent
+    (raw byte payloads count zero -- the caller already knows).
+    """
+    sock = connect_socket(address, timeout=connect_timeout)
+    try:
+        reader = FrameReader(sock)
+        write_frame(sock, {"type": "hello", "source": source,
+                           "producer": producer, "protocol": PROTOCOL_V2,
+                           "capabilities": ([CAP_BATCH, CAP_ZLIB]
+                                            if compress else [CAP_BATCH]),
+                           "max_frame_bytes": int(frame_cap)})
+        sock.settimeout(None)  # streaming may block on backpressure
+        sent = 0
+        try:
+            for batch in batches:
+                if isinstance(batch, (bytes, bytearray)):
+                    payload = bytes(batch)
+                else:
+                    sent += batch.n
+                    payload = encode_batch(batch, compress=compress)
+                sock.sendall(encode_batch_frame(payload, int(frame_cap)))
+            write_frame(sock, {"type": "end"})
+        except OSError:
+            pass  # a refusal closes the socket; the acks say why
+        for stage in ("hello", "end"):
+            ack = reader.read_message()
+            if ack is None or ack.get("type") != "ok":
+                raise PublishRefused(
+                    f"server refused {stage} of batch publish to "
+                    f"{source!r}: "
+                    f"{(ack or {}).get('reason', 'connection closed')}")
         return sent
     finally:
         try:
@@ -456,6 +683,8 @@ def workspace_source_factory(directory: str,
 def publish_workspace(address: str, directory: str, *,
                       sources: Iterable[str] = DEFAULT_SOURCES,
                       producer: str = "publish",
+                      batch_size: int = DEFAULT_BATCH_EVENTS,
+                      compress: bool = False,
                       retry_for: float = 0.0,
                       retry_interval: float = 0.2) -> dict[str, int]:
     """Publish a workspace's trace files concurrently, one per source.
@@ -473,7 +702,8 @@ def publish_workspace(address: str, directory: str, *,
         try:
             results[name] = publish_events(
                 address, name, workspace_source_factory(directory, name),
-                producer=f"{producer}:{name}", retry_for=retry_for,
+                producer=f"{producer}:{name}", batch_size=batch_size,
+                compress=compress, retry_for=retry_for,
                 retry_interval=retry_interval)
         except BaseException as exc:
             errors.append(exc)

@@ -1,31 +1,55 @@
-"""The retention server's wire protocol: length-prefixed newline-JSON.
+"""The retention server's wire protocol: JSON frames plus binary batches.
 
 Every message on every server socket -- producer feeds and the admin
-plane alike -- is one **frame**::
+plane alike -- is one **frame**.  Protocol v1 knows one frame shape::
 
     <decimal byte length of body>\\n<body bytes>\\n
 
-The body is a single UTF-8 JSON object with no embedded newlines (the
-encoder enforces it).  The redundant trailing newline is deliberate: a
-reader that has lost sync can abort immediately instead of consuming a
-corrupted length's worth of garbage, and a human can still eyeball a
-captured stream.  Frames are bounded by :data:`MAX_FRAME_BYTES`; an
+where the body is a single UTF-8 JSON object with no embedded newlines
+(the encoder enforces it).  The redundant trailing newline is
+deliberate: a reader that has lost sync can abort immediately instead
+of consuming a corrupted length's worth of garbage, and a human can
+still eyeball a captured stream.  Frames are bounded by the reader's
+frame cap (:data:`MAX_FRAME_BYTES` until negotiated otherwise); an
 oversized length prefix is a protocol error, not an allocation.
+
+Protocol v2 adds a second, *binary* frame shape for bulk event
+transport -- the length prefix is tagged with a leading ``b``::
+
+    b<decimal byte length of payload>\\n<payload bytes>\\n
+
+The payload is a columnar **batch**: magic, a flags byte, the packed
+column arrays of up to a few thousand events, and a CRC32 trailer (see
+:func:`encode_batch` for the exact layout, and DESIGN.md section 10 for
+the diagram).  Control messages (``hello``/``end``/acks) stay JSON in
+both protocol versions, so the handshake and teardown remain greppable
+on the wire.
 
 Message vocabulary
 ------------------
 Producer side (``repro publish`` -> ``serve --listen``)::
 
-    {"type": "hello", "protocol": 1, "source": "jobs", "producer": "..."}
+    {"type": "hello", "protocol": 1|2, "source": "jobs",
+     "producer": "...",
+     # protocol 2 only:
+     "capabilities": ["batch", "zlib"], "max_frame_bytes": N}
     {"type": "event", "kind": "job"|"publication"|"access", ...payload}
+    b<len>\\n<columnar batch payload>\\n            # protocol 2 only
     {"type": "end"}
 
 The server answers ``hello`` and ``end`` with ``{"type": "ok", ...}`` or
-``{"type": "error", "reason": ...}``.  Event frames are *not* acked
-individually -- producers stream at full speed and TCP provides the
-ordering and backpressure; a frame the server cannot decode is diverted
-to the event quarantine (with its dead-letter reason code), never
-answered, exactly like a malformed row in a trace file.
+``{"type": "error", "reason": ...}``.  A v2 ``ok`` echoes the
+*negotiated* capability set and frame cap (the intersection of what
+both sides support); a v2 client that is refused with an
+unsupported-protocol error reconnects speaking v1, so v1 JSON framing
+remains the debugging/compat path and unknown-capability peers fall
+back cleanly.  Event and batch frames are *not* acked individually --
+producers stream at full speed and TCP provides the ordering and
+backpressure (the per-stream ack is amortized into the ``end``
+exchange, which reports the total row count received); a frame the
+server cannot decode is diverted to the event quarantine (with its
+dead-letter reason code), never answered, exactly like a malformed row
+in a trace file.
 
 Admin side (``repro admin`` -> the admin listener)::
 
@@ -46,31 +70,80 @@ Addresses are spelled ``unix:/path/to.sock``, ``tcp:host:port``, or bare
 
 from __future__ import annotations
 
+import binascii
 import json
 import os
 import socket
+import struct
+import zlib
 from typing import Union
 
+import numpy as np
+
+from ..stream.batch import EventBatch
 from ..stream.events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
                              StreamEvent)
 from ..traces.schema import AppAccessRecord, JobRecord, PublicationRecord
 
-__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "FrameError",
+__all__ = ["PROTOCOL_V1", "PROTOCOL_V2", "PROTOCOL_VERSION",
+           "SUPPORTED_PROTOCOLS", "CAP_BATCH", "CAP_ZLIB",
+           "MAX_FRAME_BYTES", "BATCH_MAX_FRAME_BYTES",
+           "FrameError", "BatchFormatError", "BinaryFrame",
            "encode_frame", "write_frame", "FrameReader", "read_frame",
            "encode_event", "decode_event",
+           "encode_batch", "decode_batch", "encode_batch_frame",
            "parse_address", "format_address", "create_listener",
            "connect_socket"]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+#: The protocol this build speaks by default (v2: binary batch frames).
+PROTOCOL_VERSION = PROTOCOL_V2
+#: Protocols a stock listener accepts; v1 remains the compat path.
+SUPPORTED_PROTOCOLS = (PROTOCOL_V1, PROTOCOL_V2)
 
-#: Upper bound on one frame's body.  Paths dominate event size and are
-#: filesystem-limited to a few KiB; a megabyte means a corrupt or
-#: hostile length prefix, so the reader refuses rather than buffering.
+#: v2 hello capability tokens.  Unknown tokens are ignored by both
+#: sides, so future capabilities degrade to "not negotiated".
+CAP_BATCH = "batch"
+CAP_ZLIB = "zlib"
+
+#: Upper bound on one frame's body before negotiation.  Paths dominate
+#: JSON event size and are filesystem-limited to a few KiB; a megabyte
+#: means a corrupt or hostile length prefix, so the reader refuses
+#: rather than buffering.
 MAX_FRAME_BYTES = 1 << 20
+
+#: Ceiling a listener will grant a v2 peer for binary batch frames.
+#: The negotiated cap is ``min(client ask, server ceiling)`` and only
+#: raises the limit *after* a successful hello on that connection.
+BATCH_MAX_FRAME_BYTES = 8 << 20
+
+#: Floor for a negotiated cap -- control frames must always fit.
+MIN_FRAME_BYTES = 4096
 
 
 class FrameError(ValueError):
     """A malformed frame: bad length prefix, bad JSON, missing newline."""
+
+
+class BatchFormatError(FrameError):
+    """A binary batch payload that fails its own self-checks.
+
+    Unlike a raw :class:`FrameError` the *envelope* was intact -- the
+    length prefix and trailing newline framed the payload correctly --
+    so the connection is still in sync and the reader may continue with
+    the next frame after diverting this one.
+    """
+
+
+class BinaryFrame(bytes):
+    """A binary frame's payload, as returned by :meth:`FrameReader.read`.
+
+    A distinct type (rather than plain ``bytes``) so callers can
+    dispatch on frame shape with one ``isinstance`` check.
+    """
+
+    __slots__ = ()
 
 
 # ---------------------------------------------------------------------------
@@ -97,18 +170,26 @@ def write_frame(sock: socket.socket, obj: dict) -> None:
 class FrameReader:
     """Incremental frame decoder over a connected socket.
 
-    Buffers socket reads and yields one decoded dict per
-    :meth:`read` call; ``None`` means orderly EOF at a frame boundary.
-    EOF *inside* a frame -- the torn tail a killed producer leaves -- and
-    any framing violation raise :class:`FrameError` so the caller can
-    quarantine rather than mis-parse everything after the tear.
+    Buffers socket reads and yields one decoded dict (JSON frame) or
+    :class:`BinaryFrame` payload (``b``-tagged frame) per :meth:`read`
+    call; ``None`` means orderly EOF at a frame boundary.  EOF *inside*
+    a frame -- the torn tail a killed producer leaves -- and any framing
+    violation raise :class:`FrameError` so the caller can quarantine
+    rather than mis-parse everything after the tear.
+
+    ``max_frame_bytes`` starts at the v1 bound and is raised in place
+    after a successful v2 hello negotiates a larger batch-frame cap;
+    the length check always runs *before* any body bytes are buffered,
+    so an oversized prefix is refused, never allocated.
     """
 
-    def __init__(self, sock: socket.socket, chunk_size: int = 65536) -> None:
+    def __init__(self, sock: socket.socket, chunk_size: int = 65536,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._sock = sock
         self._chunk = chunk_size
         self._buf = bytearray()
         self._eof = False
+        self.max_frame_bytes = max_frame_bytes
 
     def _fill(self) -> bool:
         """Pull one chunk into the buffer; False at EOF."""
@@ -136,24 +217,53 @@ class FrameReader:
                     raise FrameError("connection closed mid frame header")
                 return None
 
-    def read(self) -> dict | None:
-        """Next message dict, or ``None`` on clean end of stream."""
+    def read(self) -> dict | BinaryFrame | None:
+        """Next message, or ``None`` on clean end of stream.
+
+        JSON frames decode to a dict; binary (``b``-prefixed) frames
+        return their raw payload as a :class:`BinaryFrame` for the
+        caller to hand to :func:`decode_batch`.
+        """
         header = self._read_until_newline(32)
         if header is None:
             return None
+        binary = header[:1] == b"b"
+        if binary:
+            header = header[1:]
         try:
             length = int(header)
         except ValueError:
             raise FrameError(f"bad frame length prefix {header!r}") from None
-        if not 0 <= length <= MAX_FRAME_BYTES:
-            raise FrameError(f"frame length {length} out of range")
-        while len(self._buf) < length + 1:
-            if not self._fill():
-                raise FrameError("connection closed mid frame body")
-        body = bytes(self._buf[:length])
-        if self._buf[length:length + 1] != b"\n":
-            raise FrameError("frame body not newline-terminated")
-        del self._buf[:length + 1]
+        if not 0 <= length <= self.max_frame_bytes:
+            raise FrameError(f"frame length {length} out of range "
+                             f"(cap {self.max_frame_bytes})")
+        have = len(self._buf)
+        need = length + 1
+        if have < need:
+            # Read the remaining body straight into one right-sized
+            # buffer: appending chunks to ``_buf`` and slicing them back
+            # out would copy every large batch frame twice more.
+            body_buf = bytearray(need)
+            view = memoryview(body_buf)
+            view[:have] = self._buf
+            self._buf.clear()
+            got = have
+            while got < need:
+                read = self._sock.recv_into(view[got:])
+                if not read:
+                    self._eof = True
+                    raise FrameError("connection closed mid frame body")
+                got += read
+            if body_buf[length] != 0x0A:
+                raise FrameError("frame body not newline-terminated")
+            body = bytes(view[:length])
+        else:
+            body = bytes(self._buf[:length])
+            if self._buf[length:length + 1] != b"\n":
+                raise FrameError("frame body not newline-terminated")
+            del self._buf[:length + 1]
+        if binary:
+            return BinaryFrame(body)
         try:
             obj = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -163,6 +273,18 @@ class FrameReader:
                 f"frame body must be a JSON object, got "
                 f"{type(obj).__name__}")
         return obj
+
+    def read_message(self) -> dict | None:
+        """Like :meth:`read` but only control messages are legal.
+
+        Used wherever the protocol state machine expects JSON (admin
+        plane, handshakes, acks); a binary frame there is a violation.
+        """
+        frame = self.read()
+        if isinstance(frame, BinaryFrame):
+            raise FrameError("unexpected binary frame; expected a JSON "
+                             "control message")
+        return frame
 
 
 def read_frame(reader: FrameReader) -> dict | None:
@@ -222,6 +344,170 @@ def decode_event(obj: dict) -> StreamEvent:
                               str(obj["op"]))
         return StreamEvent(rec.ts, EVENT_ACCESS, rec)
     raise ValueError(f"unknown event kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# batch codec (protocol v2)
+
+#: Leading magic of every batch payload: "Repro Event Batch, layout 2".
+BATCH_MAGIC = b"REB2"
+#: Flags byte, bit 0: the column body is zlib-compressed.
+BATCH_FLAG_ZLIB = 0x01
+_BATCH_KNOWN_FLAGS = BATCH_FLAG_ZLIB
+
+_HEADER = struct.Struct("<7I")  # n_rows n_jobs n_pubs n_acc n_auth n_pool blob
+_CRC = struct.Struct("<I")
+
+
+def _batch_columns(batch: EventBatch) -> bytes:
+    """The packed column body of ``batch`` (uncompressed form)."""
+    pool = [p.encode("utf-8") for p in batch.pool()]
+    blob = b"".join(pool)
+    pool_off = np.zeros(len(pool) + 1, np.uint32)
+    if pool:
+        np.cumsum([len(p) for p in pool], out=pool_off[1:])
+    parts = [
+        _HEADER.pack(batch.n, batch.n_jobs, batch.n_pubs, batch.n_acc,
+                     batch.pub_auth.size, len(pool), len(blob)),
+        batch.kinds.tobytes(), batch.ts.tobytes(),
+        batch.job_id.tobytes(), batch.job_uid.tobytes(),
+        batch.job_start.tobytes(), batch.job_end.tobytes(),
+        batch.job_nodes.tobytes(), batch.job_cores.tobytes(),
+        batch.pub_id.tobytes(), batch.pub_cit.tobytes(),
+        batch.pub_auth_off.tobytes(), batch.pub_auth.tobytes(),
+        batch.acc_uid.tobytes(), batch.acc_op.tobytes(),
+        batch.acc_path.tobytes(),
+        pool_off.tobytes(), blob,
+    ]
+    return b"".join(parts)
+
+
+def encode_batch(batch: EventBatch, *, compress: bool = False) -> bytes:
+    """Serialize ``batch`` to a binary frame payload.
+
+    Layout::
+
+        REB2 | flags:u8 | column body | crc32:u32le
+
+    The CRC covers everything before it (magic, flags, and the body *as
+    transmitted*, i.e. after compression), so a receiver verifies
+    integrity with one pass over the wire bytes before spending any
+    decompression or parsing work.  All integers are little-endian; the
+    column body is the fixed-order sequence of arrays documented in
+    :mod:`repro.stream.batch` (header counts, kinds, ts, job columns,
+    publication columns + ragged author offsets, access columns, then
+    the string-pool offsets and UTF-8 blob).
+    """
+    body = _batch_columns(batch)
+    flags = 0
+    if compress:
+        flags |= BATCH_FLAG_ZLIB
+        body = zlib.compress(body, 1)
+    head = BATCH_MAGIC + bytes((flags,)) + body
+    return head + _CRC.pack(binascii.crc32(head) & 0xFFFFFFFF)
+
+
+def _take(buf: memoryview, pos: int, nbytes: int, what: str):
+    end = pos + nbytes
+    if end > len(buf):
+        raise BatchFormatError(f"batch payload truncated in {what}")
+    return buf[pos:end], end
+
+
+def _col(buf: memoryview, pos: int, count: int, dtype, what: str):
+    raw, pos = _take(buf, pos, count * dtype().itemsize, what)
+    return np.frombuffer(raw, dtype=dtype), pos
+
+
+def decode_batch(payload: bytes) -> EventBatch:
+    """Decode one binary frame payload into an :class:`EventBatch`.
+
+    Verifies magic, flags, CRC (before decompressing), and the
+    structural consistency of every length field; any violation raises
+    :class:`BatchFormatError`.  Per-row *value* problems (bad op codes,
+    impossible job timestamps, unknown uids...) are deliberately left
+    to the quarantine's vectorized row validation -- one bad row must
+    divert that row, not the whole frame.
+    """
+    if len(payload) < len(BATCH_MAGIC) + 1 + _CRC.size:
+        raise BatchFormatError(f"batch payload of {len(payload)} bytes is "
+                               f"shorter than its envelope")
+    if payload[:4] != BATCH_MAGIC:
+        raise BatchFormatError(f"bad batch magic {payload[:4]!r}")
+    (crc_stored,) = _CRC.unpack_from(payload, len(payload) - _CRC.size)
+    crc_actual = binascii.crc32(payload[:-_CRC.size]) & 0xFFFFFFFF
+    if crc_stored != crc_actual:
+        raise BatchFormatError(
+            f"batch CRC mismatch: stored {crc_stored:#010x}, "
+            f"computed {crc_actual:#010x}")
+    flags = payload[4]
+    if flags & ~_BATCH_KNOWN_FLAGS:
+        raise BatchFormatError(f"unknown batch flags {flags:#04x}")
+    body = payload[5:-_CRC.size]
+    if flags & BATCH_FLAG_ZLIB:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as exc:
+            raise BatchFormatError(f"batch zlib body: {exc}") from exc
+    buf = memoryview(body)
+    if len(buf) < _HEADER.size:
+        raise BatchFormatError("batch body shorter than its header")
+    n, n_jobs, n_pubs, n_acc, n_auth, n_pool, blob_len = \
+        _HEADER.unpack_from(buf, 0)
+    pos = _HEADER.size
+    kinds, pos = _col(buf, pos, n, np.uint8, "kinds")
+    ts, pos = _col(buf, pos, n, np.int64, "ts")
+    job_id, pos = _col(buf, pos, n_jobs, np.int64, "job_id")
+    job_uid, pos = _col(buf, pos, n_jobs, np.int64, "job_uid")
+    job_start, pos = _col(buf, pos, n_jobs, np.int64, "job_start")
+    job_end, pos = _col(buf, pos, n_jobs, np.int64, "job_end")
+    job_nodes, pos = _col(buf, pos, n_jobs, np.int64, "job_nodes")
+    job_cores, pos = _col(buf, pos, n_jobs, np.int64, "job_cores")
+    pub_id, pos = _col(buf, pos, n_pubs, np.int64, "pub_id")
+    pub_cit, pos = _col(buf, pos, n_pubs, np.int64, "pub_cit")
+    auth_off, pos = _col(buf, pos, n_pubs + 1, np.int64, "author offsets")
+    pub_auth, pos = _col(buf, pos, n_auth, np.int64, "authors")
+    acc_uid, pos = _col(buf, pos, n_acc, np.int64, "acc_uid")
+    acc_op, pos = _col(buf, pos, n_acc, np.uint8, "acc_op")
+    acc_path, pos = _col(buf, pos, n_acc, np.uint32, "acc_path")
+    pool_off, pos = _col(buf, pos, n_pool + 1, np.uint32, "pool offsets")
+    blob_view, pos = _take(buf, pos, blob_len, "string pool")
+    if pos != len(buf):
+        raise BatchFormatError(f"{len(buf) - pos} trailing bytes after "
+                               f"batch columns")
+    if n and int(kinds.max()) > 2:
+        raise BatchFormatError("batch kinds column has unknown kind codes")
+    counts = np.bincount(kinds, minlength=3)
+    if (int(counts[0]), int(counts[1]), int(counts[2])) != \
+            (n_jobs, n_pubs, n_acc):
+        raise BatchFormatError(
+            f"kind counts {counts.tolist()} disagree with header "
+            f"({n_jobs} jobs, {n_pubs} pubs, {n_acc} accesses)")
+    if n_pubs and (np.diff(auth_off) < 0).any() or \
+            int(auth_off[0]) != 0 or int(auth_off[-1]) != n_auth:
+        raise BatchFormatError("publication author offsets are not a "
+                               "monotone 0..n_auth ramp")
+    if n_pool and (np.diff(pool_off.astype(np.int64)) < 0).any() or \
+            int(pool_off[0]) != 0 or int(pool_off[-1]) != blob_len:
+        raise BatchFormatError("string pool offsets are not a monotone "
+                               "0..blob ramp")
+    return EventBatch(
+        kinds, ts,
+        job_id=job_id, job_uid=job_uid, job_start=job_start,
+        job_end=job_end, job_nodes=job_nodes, job_cores=job_cores,
+        pub_id=pub_id, pub_cit=pub_cit,
+        pub_auth_off=auth_off, pub_auth=pub_auth,
+        acc_uid=acc_uid, acc_op=acc_op, acc_path=acc_path,
+        pool_off=pool_off, pool_blob=bytes(blob_view))
+
+
+def encode_batch_frame(payload: bytes,
+                       max_frame_bytes: int = BATCH_MAX_FRAME_BYTES) -> bytes:
+    """Wrap a batch payload in the ``b``-tagged frame envelope."""
+    if len(payload) > max_frame_bytes:
+        raise FrameError(f"batch payload of {len(payload)} bytes exceeds "
+                         f"the negotiated cap ({max_frame_bytes})")
+    return b"b%d\n" % len(payload) + payload + b"\n"
 
 
 # ---------------------------------------------------------------------------

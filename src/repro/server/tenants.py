@@ -67,10 +67,13 @@ from ..stream.checkpoint import (SERVER_CHECKPOINT_FORMAT, CheckpointManager,
                                  load_checkpoint, metrics_from_arrays,
                                  metrics_to_arrays, reports_from_jsonable,
                                  reports_to_jsonable)
+from ..stream.batch import (KIND_ACC_CODE, KIND_JOB_CODE, KIND_PUB_CODE,
+                            BatchRun, EventBatch)
 from ..stream.events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
                              StreamEvent)
 from ..stream.state import (GrowableReplayState, IncrementalActivenessState,
                             PathCatalog)
+from ..traces.schema import PublicationRecord
 
 __all__ = ["TenantSpec", "Tenant", "MultiTenantService", "POLICY_KINDS"]
 
@@ -199,6 +202,10 @@ class Tenant:
     admitted_boundary: int = 0
     stats: dict = field(
         default_factory=lambda: {"triggers": 0, "trigger_seconds": 0.0})
+    #: Recent per-trigger wall seconds (forensic tail-latency window for
+    #: ``admin metrics``; not checkpointed -- ``stats`` stays JSON-able).
+    trigger_latency_log: deque = field(
+        default_factory=lambda: deque(maxlen=512))
 
     @property
     def name(self) -> str:
@@ -452,15 +459,185 @@ class MultiTenantService:
             raise ValueError(f"unknown stream event kind {kind!r}")
         self._consumed += 1
 
-    def run(self, events: Iterator[StreamEvent],
+    def ingest_run(self, run: BatchRun) -> None:
+        """Consume one merged batch run columnarly -- no per-event objects.
+
+        Strategy: boundaries fire only at specific rows (the first
+        in-window access of a not-yet-flushed day; the first job or
+        publication whose timestamp passes the next pending boundary),
+        and *between* two firings every observable effect of
+        :meth:`ingest` commutes across kinds -- accesses only append to
+        the day buffers, jobs and publications only append to disjoint
+        pending activity lists, and the counters are sums.  So the run
+        is cut at the exact rows where the per-event path would fire a
+        boundary, each boundary-free span is ingested with three bulk
+        per-kind appends, and the firing row's own advance call is
+        issued verbatim.  The result -- boundary cascade order, buffer
+        contents, pid assignment order, float fold order, the
+        ``_consumed`` value any checkpoint inside a cascade observes --
+        is bit-identical to feeding the rows through :meth:`ingest` one
+        at a time.
+        """
+        batch = run.batch
+        lo, hi = run.lo, run.hi
+        ts_all = batch.ts
+        kinds = batch.kinds
+        rs, we = self.replay_start, self.window_end
+        n_days = self.n_days
+
+        # Per-kind row positions within the run (global), their sorted
+        # timestamps, and the kind-local column offset of the first one.
+        if batch.single_kind:
+            code = int(kinds[lo])
+            full = np.arange(lo, hi, dtype=np.int64)
+            empty = full[:0]
+            idx_acc = full if code == KIND_ACC_CODE else empty
+            idx_job = full if code == KIND_JOB_CODE else empty
+            idx_pub = full if code == KIND_PUB_CODE else empty
+        else:
+            k = kinds[lo:hi]
+            idx_acc = np.flatnonzero(k == KIND_ACC_CODE) + lo
+            idx_job = np.flatnonzero(k == KIND_JOB_CODE) + lo
+            idx_pub = np.flatnonzero(k == KIND_PUB_CODE) + lo
+        kpos = batch.kpos()
+        ts_acc = ts_all[idx_acc]
+        ts_job = ts_all[idx_job]
+        ts_pub = ts_all[idx_pub]
+        a0 = int(kpos[idx_acc[0]]) if idx_acc.size else 0
+        j0 = int(kpos[idx_job[0]]) if idx_job.size else 0
+        p0 = int(kpos[idx_pub[0]]) if idx_pub.size else 0
+        # The run's in-window access range: everything before aw0 is a
+        # pre-window drop, everything at/after aw1 a post-window drop.
+        aw0 = int(np.searchsorted(ts_acc, rs, side="left"))
+        aw1 = int(np.searchsorted(ts_acc, we, side="left"))
+
+        if idx_job.size:
+            b = j0 + idx_job.size
+            imp_job = (batch.job_nodes[j0:b] * batch.job_cores[j0:b]
+                       * (batch.job_end[j0:b] - batch.job_start[j0:b])
+                       ) / 3600.0
+        if aw1 > aw0:
+            # Pid assignment order is observable (purge tie-breaks,
+            # checkpoint fingerprints), so new paths must be interned in
+            # first-access order.  One ``np.unique`` over the run's
+            # in-window accesses yields every first occurrence; the
+            # spans below consume them through ``inext`` as their end
+            # position passes each first occurrence, which is exactly
+            # the per-event first-touch order.
+            pid_map = batch.pid_map
+            if pid_map is None:
+                pid_map = batch.pid_map = np.full(batch.n_pool, -1,
+                                                  dtype=np.int64)
+            pwin = batch.acc_path[a0 + aw0:a0 + aw1]
+            uniq, first = np.unique(pwin, return_index=True)
+            iorder = np.argsort(first, kind="stable")
+            iuniq = uniq[iorder].tolist()
+            ifirst = first[iorder].tolist()
+            n_uniq = len(iuniq)
+            inext = 0
+            pool = batch.pool()
+            intern = self.catalog.intern
+        stats = self.stats
+        pa = pj = pp = 0  # per-kind rows already consumed
+        cur = lo
+        while cur < hi:
+            # -- find the next row that fires a boundary ---------------
+            nb = self._next_boundary
+            nxt = hi
+            fire_kind = -1
+            if nb <= n_days:
+                bt = rs + nb * DAY_SECONDS
+                j = int(np.searchsorted(ts_acc, bt, side="left"))
+                if j < aw1:  # in-window access with day >= nb
+                    nxt = int(idx_acc[j])
+                    fire_kind = KIND_ACC_CODE
+                j = int(np.searchsorted(ts_job, bt, side="right"))
+                if j < ts_job.size and int(idx_job[j]) < nxt:
+                    nxt = int(idx_job[j])
+                    fire_kind = KIND_JOB_CODE
+                j = int(np.searchsorted(ts_pub, bt, side="right"))
+                if j < ts_pub.size and int(idx_pub[j]) < nxt:
+                    nxt = int(idx_pub[j])
+                    fire_kind = KIND_PUB_CODE
+            if nxt == cur:
+                # The row at ``cur`` fires before it is ingested --
+                # exactly the per-event advance calls, which also
+                # guarantee it cannot fire again for the new boundary.
+                t = int(ts_all[cur])
+                if fire_kind == KIND_ACC_CODE:
+                    self._advance_boundaries((t - rs) // DAY_SECONDS)
+                else:
+                    self._advance_boundaries_before(t)
+                continue
+
+            # -- bulk-ingest the boundary-free span [cur, nxt) ---------
+            pa2 = int(np.searchsorted(idx_acc, nxt, side="left"))
+            if pa2 > pa:
+                stats["events_access"] += pa2 - pa
+                s, e = max(pa, aw0), min(pa2, aw1)
+                if e > s:
+                    e_w = e - aw0
+                    while inext < n_uniq and ifirst[inext] < e_w:
+                        k = iuniq[inext]
+                        if pid_map[k] < 0:
+                            pid_map[k] = intern(pool[k])
+                        inext += 1
+                    pid = pid_map[pwin[s - aw0:e_w]]
+                    self._buf_pid.extend(pid.tolist())
+                    self._buf_uid.extend(
+                        batch.acc_uid[a0 + s:a0 + e].tolist())
+                    self._buf_ts.extend(ts_acc[s:e].tolist())
+                    self._buf_op.extend(
+                        batch.acc_op[a0 + s:a0 + e].tolist())
+                else:
+                    e = s
+                self.dropped_accesses += (pa2 - pa) - (e - s)
+                self._consumed += pa2 - pa
+                pa = pa2
+            pj2 = int(np.searchsorted(idx_job, nxt, side="left"))
+            if pj2 > pj:
+                stats["events_job"] += pj2 - pj
+                self.activity.add_jobs(batch.job_uid[j0 + pj:j0 + pj2],
+                                       ts_job[pj:pj2], imp_job[pj:pj2])
+                self._consumed += pj2 - pj
+                pj = pj2
+            pp2 = int(np.searchsorted(idx_pub, nxt, side="left"))
+            if pp2 > pp:
+                self._ingest_pub_run(batch, p0 + pp, p0 + pp2,
+                                     ts_pub[pp:pp2])
+                pp = pp2
+            cur = nxt
+
+    def _ingest_pub_run(self, batch: EventBatch, a: int, b: int,
+                        ts: np.ndarray) -> None:
+        """Publication rows ``[a, b)`` (kind-local) of a boundary-free
+        span: rare enough to reconstruct records per row (author-rank
+        scoring needs the author list anyway)."""
+        off = batch.pub_auth_off
+        for k in range(a, b):
+            self.stats["events_publication"] += 1
+            s, e = int(off[k]), int(off[k + 1])
+            rec = PublicationRecord(int(batch.pub_id[k]), int(ts[k - a]),
+                                    batch.pub_auth[s:e].tolist(),
+                                    int(batch.pub_cit[k]))
+            self.activity.add_publication(rec)
+            self._consumed += 1
+
+    def run(self, events: Iterator[StreamEvent | BatchRun],
             stop_after_events: int | None = None,
             ) -> dict[str, EmulationResult] | None:
-        """Drive the fleet from an event iterator (None = stopped early)."""
+        """Drive the fleet from an event/run iterator (None = stopped
+        early).  A stop can overshoot by at most one batch run: the
+        cursor reflects what was actually consumed, so resume stays
+        exact."""
         for event in events:
             if (stop_after_events is not None
                     and self._consumed >= stop_after_events):
                 return None
-            self.ingest(event)
+            if type(event) is BatchRun:
+                self.ingest_run(event)
+            else:
+                self.ingest(event)
         return self.finalize()
 
     # ------------------------------------------------------------------
@@ -503,8 +680,9 @@ class MultiTenantService:
                     tenant.lookup, self._exempt_mask())
                 tenant.reports.append(report)
                 tenant.stats["triggers"] += 1
-                tenant.stats["trigger_seconds"] += (time.perf_counter()
-                                                    - started)
+                elapsed = time.perf_counter() - started
+                tenant.stats["trigger_seconds"] += elapsed
+                tenant.trigger_latency_log.append(elapsed)
             triggered = True
         self._next_boundary = boundary + 1
         if (triggered and self.checkpoints is not None
@@ -719,8 +897,10 @@ class MultiTenantService:
         into a live policy (supplying workspace-derived context such as
         the job-residency index); the stored per-tenant fingerprints
         cross-check the rebuilt policies and refuse any drift.  Feed the
-        resumed service ``skip_events(stream, service.cursor)`` of the
-        original deterministic merge to continue bit-identically.
+        resumed service ``skip_stream_items(stream, service.cursor)`` of
+        the original deterministic merge to continue bit-identically
+        (``skip_events`` is equivalent on per-event streams; only
+        ``skip_stream_items`` counts binary batch runs by row width).
         """
         manifest, arrays = load_checkpoint(checkpoint_path)
         if manifest.get("format") != SERVER_CHECKPOINT_FORMAT:

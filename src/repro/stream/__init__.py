@@ -9,6 +9,8 @@ bit-identical to the batch ``FastEmulator`` across the full retention
 spectrum, including across a checkpoint / kill / resume cycle.
 """
 
+from .batch import (BatchBuilder, BatchRun, EventBatch, merge_stream_items,
+                    skip_stream_items)
 from .checkpoint import (CHECKPOINT_FORMAT, CheckpointCorruption,
                          CheckpointManager, atomic_write_npz,
                          load_checkpoint, verify_checkpoint)
@@ -23,6 +25,11 @@ from .state import (GrowableReplayState, IncrementalActivenessState,
                     PathCatalog)
 
 __all__ = [
+    "BatchBuilder",
+    "BatchRun",
+    "EventBatch",
+    "merge_stream_items",
+    "skip_stream_items",
     "CHECKPOINT_FORMAT",
     "CheckpointCorruption",
     "CheckpointManager",

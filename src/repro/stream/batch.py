@@ -1,0 +1,555 @@
+"""Columnar event batches: the in-memory form of protocol-v2 frames.
+
+Per-event JSON framing pays object, dict, and heap costs for every row
+on the wire; the retention engine, however, consumes day-granular
+*columns* (``replay_day_columns``, ``ColumnarActivityStore``).  An
+:class:`EventBatch` is the meeting point: one decoded binary frame's
+worth of events held as parallel NumPy arrays -- a row-order ``kinds``
+byte per event, a shared ``ts`` column, and per-kind payload columns --
+plus a string pool so each distinct path crosses the wire (and the
+decoder) once.
+
+The columnar layout is adapted from the paper's day/kind/user/type/size
+framing to this repo's three trace families:
+
+* **job** rows carry ``job_id, uid, start_ts, end_ts, num_nodes,
+  cores_per_node`` (the row ``ts`` *is* ``submit_ts``),
+* **publication** rows carry ``pub_id, citations`` and a ragged
+  ``author_uids`` list (offsets + flat array),
+* **access** rows carry ``uid``, an op code, and a pool index.
+
+Ordering contract: rows within a batch are non-decreasing in ``ts`` --
+the producer emits them straight off a merged (or per-source sorted)
+stream -- so a batch can participate in the k-way merge as a *run*, not
+row by row.  :func:`merge_stream_items` generalizes the stable
+``heapq.merge`` used for per-event streams: at every step the earliest
+head wins (listing order breaks ties), and a winning batch emits the
+longest prefix that cannot interleave with any other source's head,
+yielding :class:`BatchRun` slices instead of single events.  The emitted
+row order is exactly what ``heapq.merge`` would produce event by event
+-- the property the bit-identity contract rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from ..traces.schema import AppAccessRecord, JobRecord, PublicationRecord
+from .events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION, StreamEvent)
+
+__all__ = ["KIND_JOB_CODE", "KIND_PUB_CODE", "KIND_ACC_CODE",
+           "KIND_BY_CODE", "OP_BY_CODE", "OP_CODES",
+           "EventBatch", "BatchBuilder", "BatchRun",
+           "merge_stream_items", "skip_stream_items"]
+
+#: Row kind codes, in activity-before-access tie-break order.
+KIND_JOB_CODE = 0
+KIND_PUB_CODE = 1
+KIND_ACC_CODE = 2
+KIND_BY_CODE = (EVENT_JOB, EVENT_PUBLICATION, EVENT_ACCESS)
+KIND_CODES = {name: code for code, name in enumerate(KIND_BY_CODE)}
+
+#: Access op codes; values match ``server.tenants._OP_CODES`` and the
+#: compiled replay kernels, so decoded rows feed the engine unchanged.
+OP_BY_CODE = ("access", "create", "touch")
+OP_CODES = {name: code for code, name in enumerate(OP_BY_CODE)}
+
+_I64 = np.int64
+_EMPTY_I64 = np.zeros(0, _I64)
+_EMPTY_U8 = np.zeros(0, np.uint8)
+_EMPTY_U32 = np.zeros(0, np.uint32)
+
+
+class EventBatch:
+    """One frame's worth of events as parallel columns (see module doc).
+
+    Row arrays (length ``n``): ``kinds`` (uint8 codes) and ``ts``
+    (int64).  Kind-local arrays hold the payload columns for rows of
+    that kind, in row order; ``kpos()`` maps a row index to its
+    kind-local index.  The string pool is either a materialized
+    ``list[str]`` (producer side) or a lazy (offsets, utf-8 blob) pair
+    (decoder side) -- ``pool()`` materializes on first use, in the
+    engine thread, never per row.
+    """
+
+    #: Structural marker checked by the quarantine/merge layers, so the
+    #: reliability package needs no import of this module at its hot
+    #: per-event paths.
+    is_event_batch = True
+
+    __slots__ = ("kinds", "ts",
+                 "job_id", "job_uid", "job_start", "job_end", "job_nodes",
+                 "job_cores",
+                 "pub_id", "pub_cit", "pub_auth_off", "pub_auth",
+                 "acc_uid", "acc_op", "acc_path",
+                 "single_kind", "_pool", "_pool_off", "_pool_blob",
+                 "_kpos", "pid_map")
+
+    def __init__(self, kinds, ts, *,
+                 job_id=_EMPTY_I64, job_uid=_EMPTY_I64,
+                 job_start=_EMPTY_I64, job_end=_EMPTY_I64,
+                 job_nodes=_EMPTY_I64, job_cores=_EMPTY_I64,
+                 pub_id=_EMPTY_I64, pub_cit=_EMPTY_I64,
+                 pub_auth_off=None, pub_auth=_EMPTY_I64,
+                 acc_uid=_EMPTY_I64, acc_op=_EMPTY_U8,
+                 acc_path=_EMPTY_U32,
+                 pool=None, pool_off=None, pool_blob=None) -> None:
+        self.kinds = kinds
+        self.ts = ts
+        self.job_id = job_id
+        self.job_uid = job_uid
+        self.job_start = job_start
+        self.job_end = job_end
+        self.job_nodes = job_nodes
+        self.job_cores = job_cores
+        self.pub_id = pub_id
+        self.pub_cit = pub_cit
+        self.pub_auth_off = (pub_auth_off if pub_auth_off is not None
+                             else np.zeros(pub_id.size + 1, _I64))
+        self.pub_auth = pub_auth
+        self.acc_uid = acc_uid
+        self.acc_op = acc_op
+        self.acc_path = acc_path
+        self._pool = pool
+        self._pool_off = pool_off
+        self._pool_blob = pool_blob
+        self.single_kind = bool(
+            kinds.size == 0 or kinds[0] == kinds[-1]
+            and bool((kinds == kinds[0]).all()))
+        self._kpos = None
+        #: Per-batch path-interning cache (``pool index -> catalog pid``),
+        #: filled lazily by the consuming service.  A batch is consumed by
+        #: exactly one service, so the cache cannot leak across catalogs.
+        self.pid_map = None
+
+    # -- shape ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.kinds.size
+
+    #: Uniform "how many events does this stream item cover" protocol,
+    #: shared with :class:`BatchRun` (a plain ``StreamEvent`` counts 1).
+    @property
+    def n_rows(self) -> int:
+        return self.kinds.size
+
+    @property
+    def n_jobs(self) -> int:
+        return self.job_id.size
+
+    @property
+    def n_pubs(self) -> int:
+        return self.pub_id.size
+
+    @property
+    def n_acc(self) -> int:
+        return self.acc_uid.size
+
+    @property
+    def n_pool(self) -> int:
+        if self._pool is not None:
+            return len(self._pool)
+        return 0 if self._pool_off is None else self._pool_off.size - 1
+
+    def pool(self) -> list[str]:
+        """The materialized string pool (cached after first decode)."""
+        if self._pool is None:
+            off = self._pool_off
+            blob = self._pool_blob
+            if off is None:
+                self._pool = []
+            else:
+                offs = off.tolist()
+                self._pool = [blob[offs[i]:offs[i + 1]].decode("utf-8")
+                              for i in range(len(offs) - 1)]
+        return self._pool
+
+    def kpos(self):
+        """Kind-local index of each row (lazy; trivial if single-kind)."""
+        if self._kpos is None:
+            if self.single_kind:
+                self._kpos = np.arange(self.n, dtype=_I64)
+            else:
+                kpos = np.empty(self.n, dtype=_I64)
+                for code in (KIND_JOB_CODE, KIND_PUB_CODE, KIND_ACC_CODE):
+                    idx = np.flatnonzero(self.kinds == code)
+                    kpos[idx] = np.arange(idx.size)
+                self._kpos = kpos
+        return self._kpos
+
+    # -- row access -----------------------------------------------------
+
+    def compact(self, keep) -> "EventBatch":
+        """A new batch holding only rows where ``keep`` is True.
+
+        Used by the quarantine after diverting malformed rows: the
+        surviving rows stay columnar instead of falling back to
+        per-event objects.  The string pool is shared (indices stay
+        valid), so compaction is O(kept rows).
+        """
+        keep = np.asarray(keep, dtype=bool)
+        jk = keep[self.kinds == KIND_JOB_CODE]
+        pk = keep[self.kinds == KIND_PUB_CODE]
+        ak = keep[self.kinds == KIND_ACC_CODE]
+        auth_lens = np.diff(self.pub_auth_off)
+        kept_lens = auth_lens[pk]
+        new_off = np.zeros(int(pk.sum()) + 1, _I64)
+        np.cumsum(kept_lens, out=new_off[1:])
+        auth_keep = (np.repeat(pk, auth_lens)
+                     if self.pub_auth.size else np.zeros(0, bool))
+        return EventBatch(
+            self.kinds[keep], self.ts[keep],
+            job_id=self.job_id[jk], job_uid=self.job_uid[jk],
+            job_start=self.job_start[jk], job_end=self.job_end[jk],
+            job_nodes=self.job_nodes[jk], job_cores=self.job_cores[jk],
+            pub_id=self.pub_id[pk], pub_cit=self.pub_cit[pk],
+            pub_auth_off=new_off, pub_auth=self.pub_auth[auth_keep],
+            acc_uid=self.acc_uid[ak], acc_op=self.acc_op[ak],
+            acc_path=self.acc_path[ak],
+            pool=self._pool, pool_off=self._pool_off,
+            pool_blob=self._pool_blob)
+
+    def event_at(self, row: int) -> StreamEvent:
+        """Reconstruct the :class:`StreamEvent` of one row (slow path)."""
+        code = int(self.kinds[row])
+        k = int(self.kpos()[row])
+        ts = int(self.ts[row])
+        if code == KIND_ACC_CODE:
+            rec = AppAccessRecord(ts, int(self.acc_uid[k]),
+                                  self.pool()[int(self.acc_path[k])],
+                                  OP_BY_CODE[int(self.acc_op[k])])
+            return StreamEvent(ts, EVENT_ACCESS, rec)
+        if code == KIND_JOB_CODE:
+            rec = JobRecord(int(self.job_id[k]), int(self.job_uid[k]), ts,
+                            int(self.job_start[k]), int(self.job_end[k]),
+                            int(self.job_nodes[k]), int(self.job_cores[k]))
+            return StreamEvent(ts, EVENT_JOB, rec)
+        lo, hi = int(self.pub_auth_off[k]), int(self.pub_auth_off[k + 1])
+        rec = PublicationRecord(int(self.pub_id[k]), ts,
+                                self.pub_auth[lo:hi].tolist(),
+                                int(self.pub_cit[k]))
+        return StreamEvent(ts, EVENT_PUBLICATION, rec)
+
+    def iter_events(self, lo: int = 0, hi: int | None = None,
+                    ) -> Iterator[StreamEvent]:
+        """Rows ``[lo, hi)`` as reconstructed events (debug/compat path)."""
+        for row in range(lo, self.n if hi is None else hi):
+            yield self.event_at(row)
+
+    def row_debug(self, row: int) -> dict:
+        """A raw-column view of one row for dead-letter forensics.
+
+        Unlike :meth:`event_at` this never constructs records, so it is
+        safe on rows whose values violate the record invariants -- the
+        rows the quarantine is diverting.
+        """
+        code = int(self.kinds[row])
+        k = int(self.kpos()[row])
+        out = {"kind": KIND_BY_CODE[code] if code < 3 else code,
+               "ts": int(self.ts[row])}
+        if code == KIND_ACC_CODE:
+            pi = int(self.acc_path[k])
+            out.update(uid=int(self.acc_uid[k]), op=int(self.acc_op[k]),
+                       path=(self.pool()[pi] if pi < self.n_pool else pi))
+        elif code == KIND_JOB_CODE:
+            out.update(job_id=int(self.job_id[k]), uid=int(self.job_uid[k]),
+                       start_ts=int(self.job_start[k]),
+                       end_ts=int(self.job_end[k]),
+                       num_nodes=int(self.job_nodes[k]),
+                       cores_per_node=int(self.job_cores[k]))
+        elif code == KIND_PUB_CODE:
+            lo, hi = int(self.pub_auth_off[k]), int(self.pub_auth_off[k + 1])
+            out.update(pub_id=int(self.pub_id[k]),
+                       citations=int(self.pub_cit[k]),
+                       author_uids=self.pub_auth[lo:hi].tolist())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EventBatch(n={self.n}, jobs={self.n_jobs}, "
+                f"pubs={self.n_pubs}, accesses={self.n_acc}, "
+                f"pool={self.n_pool})")
+
+
+class BatchRun:
+    """A contiguous row slice ``[lo, hi)`` of one batch, post-merge.
+
+    This is what the hybrid merge hands the engine: the engine ingests
+    the slice columnarly (``MultiTenantService.ingest_run``) without the
+    rows ever becoming objects.
+    """
+
+    __slots__ = ("batch", "lo", "hi")
+
+    def __init__(self, batch: EventBatch, lo: int, hi: int) -> None:
+        self.batch = batch
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def n_rows(self) -> int:
+        return self.hi - self.lo
+
+    def tail(self, skip: int) -> "BatchRun":
+        """The run minus its first ``skip`` rows (resume positioning)."""
+        return BatchRun(self.batch, self.lo + skip, self.hi)
+
+    def iter_events(self) -> Iterator[StreamEvent]:
+        return self.batch.iter_events(self.lo, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchRun([{self.lo}:{self.hi}) of {self.batch!r})"
+
+
+class BatchBuilder:
+    """Producer-side accumulator: events in, :class:`EventBatch` out.
+
+    Appends are plain list operations (the producer hot loop); ``build``
+    converts to columns in bulk.  ``approx_bytes`` tracks a conservative
+    wire-size estimate so the publisher can flush before a frame would
+    exceed the negotiated cap.
+    """
+
+    __slots__ = ("_kinds", "_ts", "_jobs", "_pubs", "_acc",
+                 "_pool", "_pool_index", "approx_bytes")
+
+    #: Rough per-row wire cost (kind byte + ts + payload columns).
+    _ROW_COST = 40
+
+    def __init__(self) -> None:
+        self._kinds = bytearray()
+        self._ts: list[int] = []
+        self._jobs: list[tuple[int, int, int, int, int, int]] = []
+        self._pubs: list[tuple[int, int, list[int]]] = []
+        self._acc: list[tuple[int, int, int]] = []
+        self._pool: list[str] = []
+        self._pool_index: dict[str, int] = {}
+        self.approx_bytes = 64
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def append(self, event: StreamEvent) -> None:
+        kind = event.kind
+        p = event.payload
+        self._ts.append(event.ts)
+        if kind == EVENT_ACCESS:
+            self._kinds.append(KIND_ACC_CODE)
+            idx = self._pool_index.get(p.path)
+            if idx is None:
+                idx = len(self._pool)
+                self._pool_index[p.path] = idx
+                self._pool.append(p.path)
+                self.approx_bytes += len(p.path) + 8
+            self._acc.append((p.uid, OP_CODES[p.op], idx))
+            self.approx_bytes += self._ROW_COST
+        elif kind == EVENT_JOB:
+            self._kinds.append(KIND_JOB_CODE)
+            self._jobs.append((p.job_id, p.uid, p.start_ts, p.end_ts,
+                               p.num_nodes, p.cores_per_node))
+            self.approx_bytes += self._ROW_COST + 24
+        elif kind == EVENT_PUBLICATION:
+            self._kinds.append(KIND_PUB_CODE)
+            self._pubs.append((p.pub_id, p.citations, list(p.author_uids)))
+            self.approx_bytes += self._ROW_COST + 8 * len(p.author_uids)
+        else:
+            raise ValueError(f"cannot batch stream event of kind {kind!r}")
+
+    def extend(self, events: Iterable[StreamEvent]) -> None:
+        """Bulk :meth:`append` with the per-event costs hoisted.
+
+        The publisher hot loop spends its time here, competing with the
+        engine thread for the interpreter, so every loop iteration
+        avoids attribute lookups and defers the wire-size accounting to
+        one arithmetic update at the end.
+        """
+        kinds_append = self._kinds.append
+        ts_append = self._ts.append
+        acc_append = self._acc.append
+        jobs_append = self._jobs.append
+        pubs_append = self._pubs.append
+        pool_index = self._pool_index
+        pool = self._pool
+        op_codes = OP_CODES
+        n0 = len(self._ts)
+        n_jobs0, n_auth0 = len(self._jobs), 0
+        pool_chars = 0
+        for event in events:
+            kind = event.kind
+            p = event.payload
+            ts_append(event.ts)
+            if kind == EVENT_ACCESS:
+                kinds_append(KIND_ACC_CODE)
+                idx = pool_index.get(p.path)
+                if idx is None:
+                    idx = len(pool)
+                    pool_index[p.path] = idx
+                    pool.append(p.path)
+                    pool_chars += len(p.path) + 8
+                acc_append((p.uid, op_codes[p.op], idx))
+            elif kind == EVENT_JOB:
+                kinds_append(KIND_JOB_CODE)
+                jobs_append((p.job_id, p.uid, p.start_ts, p.end_ts,
+                             p.num_nodes, p.cores_per_node))
+            elif kind == EVENT_PUBLICATION:
+                kinds_append(KIND_PUB_CODE)
+                pubs_append((p.pub_id, p.citations, list(p.author_uids)))
+                n_auth0 += len(p.author_uids)
+            else:
+                raise ValueError(
+                    f"cannot batch stream event of kind {kind!r}")
+        self.approx_bytes += (
+            (len(self._ts) - n0) * self._ROW_COST + pool_chars
+            + (len(self._jobs) - n_jobs0) * 24 + 8 * n_auth0)
+
+    def build(self) -> EventBatch:
+        jobs = self._jobs
+        pubs = self._pubs
+        acc = self._acc
+        auth_off = np.zeros(len(pubs) + 1, _I64)
+        if pubs:
+            np.cumsum([len(a) for _, _, a in pubs], out=auth_off[1:])
+        flat_auth = ([u for _, _, a in pubs for u in a]
+                     if pubs else _EMPTY_I64)
+        return EventBatch(
+            np.frombuffer(bytes(self._kinds), dtype=np.uint8),
+            np.asarray(self._ts, dtype=_I64),
+            job_id=np.asarray([j[0] for j in jobs], dtype=_I64),
+            job_uid=np.asarray([j[1] for j in jobs], dtype=_I64),
+            job_start=np.asarray([j[2] for j in jobs], dtype=_I64),
+            job_end=np.asarray([j[3] for j in jobs], dtype=_I64),
+            job_nodes=np.asarray([j[4] for j in jobs], dtype=_I64),
+            job_cores=np.asarray([j[5] for j in jobs], dtype=_I64),
+            pub_id=np.asarray([p[0] for p in pubs], dtype=_I64),
+            pub_cit=np.asarray([p[1] for p in pubs], dtype=_I64),
+            pub_auth_off=auth_off,
+            pub_auth=np.asarray(flat_auth, dtype=_I64),
+            acc_uid=np.asarray([a[0] for a in acc], dtype=_I64),
+            acc_op=np.frombuffer(bytes(a[1] for a in acc), dtype=np.uint8),
+            acc_path=np.asarray([a[2] for a in acc], dtype=np.uint32),
+            pool=self._pool)
+
+
+# ---------------------------------------------------------------------------
+# hybrid merge and cursor skip
+
+_StreamItem = Union[StreamEvent, EventBatch]
+_RunItem = Union[StreamEvent, BatchRun]
+
+
+def _head_ts(item, off: int) -> int:
+    """Timestamp of a source head (event, or batch row at ``off``)."""
+    if type(item) is StreamEvent:
+        return item.ts
+    return int(item.ts[off])
+
+
+def merge_stream_items(sources: Iterable[Iterable[_StreamItem]],
+                       ) -> Iterator[_RunItem]:
+    """Stable k-way merge over sources yielding events *or* batches.
+
+    Semantics: identical to ``heapq.merge(key=ts)`` over the equivalent
+    per-event streams -- smallest head timestamp first, ties broken by
+    source listing order, original order kept within a source.  When the
+    winning head is a batch, the longest prefix that stays below every
+    *earlier* source's head (strictly) and at-or-below every *later*
+    source's head is emitted as one :class:`BatchRun`; the two
+    ``searchsorted`` bounds reproduce the heap's tie-break exactly.
+    """
+    iters = [iter(src) for src in sources]
+    heads: list[object] = []
+    offs: list[int] = []
+    order: list[int] = []
+
+    def _advance(slot: int, it) -> None:
+        for item in it:
+            if type(item) is not StreamEvent and item.n == 0:
+                continue  # empty batch: nothing to merge
+            heads[slot] = item
+            return
+        heads[slot] = None
+
+    for i, it in enumerate(iters):
+        heads.append(None)
+        offs.append(0)
+        order.append(i)
+        _advance(i, it)
+
+    while True:
+        active = [i for i in order if heads[i] is not None]
+        if not active:
+            return
+        if len(active) == 1:
+            # Sole surviving source: drain it without per-item scans.
+            i = active[0]
+            item = heads[i]
+            if type(item) is StreamEvent:
+                yield item
+            else:
+                yield BatchRun(item, offs[i], item.n)
+            offs[i] = 0
+            for item in iters[i]:
+                if type(item) is StreamEvent:
+                    yield item
+                elif item.n:
+                    yield BatchRun(item, 0, item.n)
+            return
+        best = active[0]
+        best_ts = _head_ts(heads[best], offs[best])
+        for i in active[1:]:
+            ts_i = _head_ts(heads[i], offs[i])
+            if ts_i < best_ts:
+                best, best_ts = i, ts_i
+        item = heads[best]
+        if type(item) is StreamEvent:
+            yield item
+            _advance(best, iters[best])
+            continue
+        # Batch head: emit the longest non-interleaving prefix as a run.
+        lo = offs[best]
+        hi = item.n
+        ts_col = item.ts
+        for i in active:
+            if i == best:
+                continue
+            other = _head_ts(heads[i], offs[i])
+            side = "left" if i < best else "right"
+            cut = int(np.searchsorted(ts_col, other, side=side))
+            if cut < hi:
+                hi = cut
+        if hi <= lo:
+            hi = lo + 1  # the winning row itself always qualifies
+        yield BatchRun(item, lo, hi)
+        if hi >= item.n:
+            offs[best] = 0
+            _advance(best, iters[best])
+        else:
+            offs[best] = hi
+
+
+def skip_stream_items(items: Iterable[_RunItem], n: int,
+                      ) -> Iterator[_RunItem]:
+    """Batch-aware cursor skip: drop the first ``n`` *events*.
+
+    The per-event twin is ``stream.events.skip_events``; this one
+    understands that a :class:`BatchRun` covers ``n_rows`` events and
+    slices the run the cursor lands inside instead of exploding it.
+    """
+    if n < 0:
+        raise ValueError("cursor must be non-negative")
+
+    def gen():
+        remaining = n
+        for item in items:
+            if remaining:
+                size = getattr(item, "n_rows", 1)
+                if size <= remaining:
+                    remaining -= size
+                    continue
+                item = item.tail(remaining)
+                remaining = 0
+            yield item
+
+    return gen()

@@ -139,7 +139,10 @@ def skip_events(events: Iterator[StreamEvent], n: int,
 
     The checkpoint manifest stores how many merged events the service
     consumed; replaying the deterministic merge and skipping that many
-    lands exactly on the next unprocessed event.
+    lands exactly on the next unprocessed event.  Streams that may carry
+    columnar batch runs (the binary wire path) must position with
+    :func:`repro.stream.batch.skip_stream_items` instead, which counts a
+    run by its row width.
     """
     if n < 0:
         raise ValueError("cursor must be non-negative")

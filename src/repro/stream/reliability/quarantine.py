@@ -32,16 +32,21 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from ...traces.io import OnError, fsync_directory
 from ...traces.schema import AppAccessRecord, JobRecord, PublicationRecord
+from ..batch import (KIND_ACC_CODE, KIND_JOB_CODE, KIND_PUB_CODE, OP_BY_CODE,
+                     EventBatch)
 from ..events import EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION, StreamEvent
 
 __all__ = ["DeadLetterLog", "EventQuarantine",
            "REASON_UNPARSABLE", "REASON_NOT_EVENT", "REASON_BAD_KIND",
            "REASON_BAD_PAYLOAD", "REASON_REGRESSION", "REASON_DUPLICATE",
-           "REASON_UNKNOWN_UID"]
+           "REASON_UNKNOWN_UID", "REASON_CORRUPT_FRAME"]
 
 REASON_UNPARSABLE = "unparsable_row"      # reader could not parse the line
 REASON_NOT_EVENT = "not_an_event"         # not a StreamEvent at all
@@ -50,6 +55,7 @@ REASON_BAD_PAYLOAD = "bad_payload"        # payload type does not match kind
 REASON_REGRESSION = "time_regression"     # ts precedes the source's clock
 REASON_DUPLICATE = "duplicate"            # identity already delivered
 REASON_UNKNOWN_UID = "unknown_uid"        # uid outside the known set
+REASON_CORRUPT_FRAME = "corrupt_frame"    # binary batch frame failed CRC/shape
 
 _PAYLOAD_TYPES = {
     EVENT_JOB: JobRecord,
@@ -134,30 +140,36 @@ class EventQuarantine:
         self.by_source: dict[str, int] = {}
         self._last_ts: dict[str, int] = {}
         self._seen_ids: dict[str, set] = {}
+        self._known_arr: np.ndarray | None = None
+        # Divert is called from the engine thread (guards) *and* from
+        # listener reader threads (frame-level corruption hooks); the
+        # counters and the dead-letter append must not interleave.
+        self._divert_lock = threading.Lock()
 
     # -- diversion -----------------------------------------------------
 
     def divert(self, source: str, reason: str, detail: str,
                obj: object = None) -> None:
         """Record one diverted item (and dead-letter it, when configured)."""
-        self.total += 1
-        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
-        self.by_source[source] = self.by_source.get(source, 0) + 1
-        if self.dead_letter is not None:
-            # reason_seq / source_seq are *cumulative* counters, not
-            # per-file: the newest surviving record therefore carries
-            # the exact lifetime totals even after rotation has dropped
-            # the oldest backup, which is what lets resume_from restore
-            # counts instead of recounting (undercountable) lines.
-            self.dead_letter.append({
-                "seq": self.total,
-                "source": source,
-                "reason": reason,
-                "reason_seq": self.by_reason[reason],
-                "source_seq": self.by_source[source],
-                "detail": detail,
-                "event": repr(obj)[:300],
-            })
+        with self._divert_lock:
+            self.total += 1
+            self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+            self.by_source[source] = self.by_source.get(source, 0) + 1
+            if self.dead_letter is not None:
+                # reason_seq / source_seq are *cumulative* counters, not
+                # per-file: the newest surviving record therefore carries
+                # the exact lifetime totals even after rotation has dropped
+                # the oldest backup, which is what lets resume_from restore
+                # counts instead of recounting (undercountable) lines.
+                self.dead_letter.append({
+                    "seq": self.total,
+                    "source": source,
+                    "reason": reason,
+                    "reason_seq": self.by_reason[reason],
+                    "source_seq": self.by_source[source],
+                    "detail": detail,
+                    "event": repr(obj)[:300],
+                })
 
     def resume_from(self, dead_letter: DeadLetterLog) -> None:
         """Restore lifetime counters from a dead-letter log's files.
@@ -262,6 +274,241 @@ class EventQuarantine:
         finally:
             if last is not None:
                 self._last_ts[source] = last
+
+    def guard_hybrid(self, source: str,
+                     items: Iterable[object]) -> Iterator[object]:
+        """Guard a stream mixing single events and columnar batches.
+
+        Events take the same inlined fast path as :meth:`guard` (the
+        two must stay in lockstep); an :class:`EventBatch` is validated
+        wholesale by :meth:`validate_batch` and re-emitted compacted.
+        Yields ``StreamEvent | EventBatch`` for the hybrid merge.
+        """
+        payload_types = _PAYLOAD_TYPES
+        known = self.known_uids
+        seen = self._seen_ids.setdefault(source, set())
+        last = self._last_ts.get(source)
+        try:
+            for obj in items:
+                if type(obj) is StreamEvent:
+                    ts = obj.ts
+                    kind = obj.kind
+                    expected = payload_types.get(kind)
+                    if (expected is not None
+                            and isinstance(obj.payload, expected)
+                            and type(ts) is int
+                            and (last is None or ts >= last)
+                            and (known is None
+                                 or not _unknown_uids(obj, known))):
+                        if kind == EVENT_ACCESS:
+                            last = ts
+                            yield obj
+                            continue
+                        ident = (("job", obj.payload.job_id)
+                                 if kind == EVENT_JOB
+                                 else ("pub", obj.payload.pub_id))
+                        if ident not in seen:
+                            seen.add(ident)
+                            last = ts
+                            yield obj
+                            continue
+                elif getattr(obj, "is_event_batch", False):
+                    # Batch validation reads/writes the shared per-source
+                    # clock, so sync the local one around the call.
+                    if last is not None:
+                        self._last_ts[source] = last
+                    out = self.validate_batch(source, obj)
+                    last = self._last_ts.get(source)
+                    if out is not None:
+                        yield out
+                    continue
+                if last is not None:
+                    self._last_ts[source] = last
+                reason = self._check(source, obj)
+                if reason is None:
+                    last = obj.ts
+                    ident = _identity(obj)
+                    if ident is not None:
+                        seen.add(ident)
+                    yield obj
+                    continue
+                self.divert(source, reason[0], reason[1], obj)
+        finally:
+            if last is not None:
+                self._last_ts[source] = last
+
+    def validate_batch(self, source: str,
+                       batch: EventBatch) -> EventBatch | None:
+        """Vectorized twin of :meth:`guard` for one columnar batch.
+
+        Applies the same accept conditions in the same canonical order
+        -- structural/record invariants, then unknown uids, then time
+        regression, then duplicate identities -- and diverts failing
+        rows *in row order* with the same reason codes, so a batched
+        source dead-letters exactly what the per-event source would.
+        Returns the surviving rows (compacted when any were diverted)
+        or ``None`` when nothing survived.
+
+        Equivalence argument for the vectorized regression check: the
+        sequential guard's clock only advances on *accepted* rows, and
+        any row rejected for regression has ``ts`` strictly below the
+        running maximum -- so including rejected rows in a running
+        maximum cannot change it, and ``ts[i] >= max(last, ts[:i])``
+        over all prior rows equals the sequential accept decision.
+        Batches carrying identities (jobs/publications) additionally
+        need the duplicate check's interaction with the clock, which is
+        order-sensitive; those take a bulk set test in the common
+        all-clean case and fall back to an exact sequential pass
+        otherwise.
+        """
+        n = batch.n
+        if n == 0:
+            return None
+        kinds = batch.kinds
+        ts = batch.ts
+        known = self.known_uids
+        keep = np.ones(n, dtype=bool)
+        reasons: dict[int, tuple[str, str]] = {}
+
+        def mark(rows: np.ndarray, reason: str, detail: str) -> None:
+            for r in rows.tolist():
+                if r not in reasons:
+                    reasons[r] = (reason, detail)
+                    keep[r] = False
+
+        jidx = pidx = None
+        # 1. record invariants (a v1 peer's decode_event would have
+        #    refused to construct these rows: same reason code).
+        if batch.n_jobs:
+            jidx = np.flatnonzero(kinds == KIND_JOB_CODE)
+            jbad = ((batch.job_end < batch.job_start)
+                    | (batch.job_start < ts[jidx])
+                    | (batch.job_nodes < 1) | (batch.job_cores < 1))
+            if jbad.any():
+                mark(jidx[jbad], REASON_UNPARSABLE,
+                     "job row violates record invariants")
+        if batch.n_acc:
+            aidx = np.flatnonzero(kinds == KIND_ACC_CODE)
+            abad = ((batch.acc_op >= len(OP_BY_CODE))
+                    | (batch.acc_path >= batch.n_pool))
+            if abad.any():
+                mark(aidx[abad], REASON_UNPARSABLE,
+                     "access row has bad op code or pool index")
+        if batch.n_pubs:
+            pidx = np.flatnonzero(kinds == KIND_PUB_CODE)
+            off = batch.pub_auth_off
+            pbad = batch.pub_cit < 0
+            for k in range(batch.n_pubs):
+                lo, hi = int(off[k]), int(off[k + 1])
+                if hi - lo > 1 and \
+                        np.unique(batch.pub_auth[lo:hi]).size != hi - lo:
+                    pbad[k] = True
+            if pbad.any():
+                mark(pidx[pbad], REASON_UNPARSABLE,
+                     "publication row violates record invariants")
+
+        # 2. unknown uids.
+        if known is not None:
+            karr = self._known_arr
+            if karr is None:
+                karr = self._known_arr = np.asarray(sorted(known), np.int64)
+            if batch.n_jobs:
+                ju = ~np.isin(batch.job_uid, karr)
+                if ju.any():
+                    mark(jidx[ju], REASON_UNKNOWN_UID,
+                         "job row uid outside the known set")
+            if batch.n_acc:
+                au = ~np.isin(batch.acc_uid, karr)
+                if au.any():
+                    mark(aidx[au], REASON_UNKNOWN_UID,
+                         "access row uid outside the known set")
+            if batch.n_pubs and batch.pub_auth.size:
+                auth_known = np.isin(batch.pub_auth, karr)
+                if not auth_known.all():
+                    lens = np.diff(batch.pub_auth_off)
+                    grp = np.repeat(np.arange(batch.n_pubs), lens)
+                    pu = np.zeros(batch.n_pubs, dtype=bool)
+                    np.logical_or.at(pu, grp[~auth_known], True)
+                    mark(pidx[pu], REASON_UNKNOWN_UID,
+                         "publication row author outside the known set")
+
+        # 3. time regression (+ duplicates for identity-carrying rows).
+        last = self._last_ts.get(source)
+        sidx = np.flatnonzero(keep)
+        if sidx.size:
+            sts = ts[sidx]
+            monotone = bool((sts[1:] >= sts[:-1]).all()) and \
+                (last is None or int(sts[0]) >= last)
+            if not (batch.n_jobs or batch.n_pubs):
+                if monotone:
+                    self._last_ts[source] = int(sts[-1])
+                else:
+                    run = np.maximum.accumulate(sts)
+                    prev = np.empty_like(sts)
+                    prev[0] = sts[0] if last is None else last
+                    prev[1:] = run[:-1]
+                    if last is not None:
+                        np.maximum(prev, last, out=prev)
+                    ok = sts >= prev
+                    mark(sidx[~ok], REASON_REGRESSION,
+                         "ts precedes the source clock")
+                    if ok.any():
+                        self._last_ts[source] = int(sts[np.flatnonzero(ok)[-1]])
+            else:
+                seen = self._seen_ids.setdefault(source, set())
+                accepted_all = False
+                if monotone:
+                    jsel = keep[jidx] if batch.n_jobs else None
+                    psel = keep[pidx] if batch.n_pubs else None
+                    idents = []
+                    if batch.n_jobs:
+                        idents += [("job", i)
+                                   for i in batch.job_id[jsel].tolist()]
+                    if batch.n_pubs:
+                        idents += [("pub", i)
+                                   for i in batch.pub_id[psel].tolist()]
+                    if len(set(idents)) == len(idents) \
+                            and seen.isdisjoint(idents):
+                        seen.update(idents)
+                        self._last_ts[source] = int(sts[-1])
+                        accepted_all = True
+                if not accepted_all:
+                    # Exact sequential replay of the guard's clock and
+                    # identity logic over the surviving rows.
+                    kpos = batch.kpos()
+                    for r in sidx.tolist():
+                        t = int(ts[r])
+                        if last is not None and t < last:
+                            reasons[r] = (REASON_REGRESSION,
+                                          f"ts {t} after {last} from {source}")
+                            keep[r] = False
+                            continue
+                        code = int(kinds[r])
+                        if code == KIND_JOB_CODE:
+                            ident = ("job", int(batch.job_id[kpos[r]]))
+                        elif code == KIND_PUB_CODE:
+                            ident = ("pub", int(batch.pub_id[kpos[r]]))
+                        else:
+                            ident = None
+                        if ident is not None:
+                            if ident in seen:
+                                reasons[r] = (REASON_DUPLICATE,
+                                              f"id {ident[1]} redelivered")
+                                keep[r] = False
+                                continue
+                            seen.add(ident)
+                        last = t
+                    if last is not None:
+                        self._last_ts[source] = last
+
+        if reasons:
+            for r in sorted(reasons):
+                reason, detail = reasons[r]
+                self.divert(source, reason, detail, batch.row_debug(r))
+            if not keep.any():
+                return None
+            return batch.compact(keep)
+        return batch
 
     def _check(self, source: str,
                obj: object) -> tuple[str, str] | None:

@@ -66,10 +66,12 @@ class PathCatalog:
     """
 
     __slots__ = ("_paths", "_pid_of", "_det_size", "_snap_size",
-                 "version", "_scan_rank", "_order_rank", "_ranks_version")
+                 "version", "_scan_rank", "_order_rank", "_ranks_version",
+                 "_scan_keys")
 
     def __init__(self) -> None:
         self._paths: list[str] = []
+        self._scan_keys: list[str] = []
         self._pid_of: dict[str, int] = {}
         self._det_size = np.empty(_MIN_CAPACITY, dtype=np.int64)
         self._snap_size = np.zeros(_MIN_CAPACITY, dtype=np.int64)
@@ -99,14 +101,25 @@ class PathCatalog:
     def _ranks(self) -> tuple[np.ndarray, np.ndarray]:
         if self._ranks_version != self.version:
             n = len(self._paths)
-            # Plain-string order (iter_user_files / value tie-breaks).
-            order = sorted(range(n), key=self._paths.__getitem__)
-            order_rank = np.empty(n, dtype=np.int64)
-            order_rank[order] = np.arange(n, dtype=np.int64)
-            # Prefix-trie order (the FLT system scan).
-            trie = sorted(range(n), key=lambda i: split_path(self._paths[i]))
-            scan_rank = np.empty(n, dtype=np.int64)
-            scan_rank[trie] = np.arange(n, dtype=np.int64)
+            if n == 0:
+                order_rank = scan_rank = np.empty(0, dtype=np.int64)
+            else:
+                # Plain-string order (iter_user_files / value
+                # tie-breaks).  Paths are unique, so the stable numpy
+                # argsort reproduces ``sorted()`` exactly while staying
+                # out of the interpreter -- this runs once per trigger
+                # over the whole catalog.
+                order = np.argsort(np.asarray(self._paths), kind="stable")
+                order_rank = np.empty(n, dtype=np.int64)
+                order_rank[order] = np.arange(n, dtype=np.int64)
+                # Prefix-trie order (the FLT system scan): component
+                # tuples compare identically to the components joined on
+                # NUL (below every path character), and those keys are
+                # built once per path at intern time.
+                trie = np.argsort(np.asarray(self._scan_keys),
+                                  kind="stable")
+                scan_rank = np.empty(n, dtype=np.int64)
+                scan_rank[trie] = np.arange(n, dtype=np.int64)
             self._order_rank, self._scan_rank = order_rank, scan_rank
             self._ranks_version = self.version
         return self._order_rank, self._scan_rank
@@ -132,6 +145,7 @@ class PathCatalog:
             self._det_size = _grown(self._det_size, capacity, 0)
             self._snap_size = _grown(self._snap_size, capacity, 0)
         self._paths.append(path)
+        self._scan_keys.append("\x00".join(split_path(path)))
         self._pid_of[path] = pid
         self._det_size[pid] = deterministic_file_size(path)
         self._snap_size[pid] = snap_size
@@ -327,6 +341,22 @@ class IncrementalActivenessState:
         state.pend_uid.append(job.uid)
         state.pend_ts.append(job.submit_ts)
         state.pend_imp.append(job.core_hours() * activity_type.weight)
+
+    def add_jobs(self, uids: np.ndarray, ts: np.ndarray,
+                 core_hours: np.ndarray,
+                 activity_type: ActivityType = JOB_SUBMISSION) -> None:
+        """Bulk :meth:`add_job` for a columnar run of job rows.
+
+        ``core_hours`` carries each job's unweighted core-hour impact;
+        the weight multiply happens here so the per-row float is the
+        same ``core_hours() * weight`` expression (same operand order)
+        that :meth:`add_job` computes, keeping the pending-buffer
+        contents -- and every fold downstream -- bit-identical.
+        """
+        state = self._types.setdefault(activity_type, _TypeState())
+        state.pend_uid.extend(uids.tolist())
+        state.pend_ts.extend(ts.tolist())
+        state.pend_imp.extend((core_hours * activity_type.weight).tolist())
 
     def add_publication(self, pub: PublicationRecord,
                         activity_type: ActivityType = PUBLICATION) -> None:
