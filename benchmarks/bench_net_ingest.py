@@ -18,7 +18,10 @@ Measures, on one seeded dataset:
 * binary-path crash fidelity: a four-tenant server is stopped mid-feed,
   resumed from its newest checkpoint, re-fed over fresh binary
   connections, and every tenant's final state is asserted bit-identical
-  to the uninterrupted file replay;
+  to the uninterrupted file replay; the crash fleet also carries a
+  :class:`MetricsHistory`, so the run reports how many per-boundary
+  samples were rewound on resume and the latency of rendering the full
+  Prometheus exposition over the finished fleet;
 * the fleet-sharing overhead: wall time of a four-tenant server (one
   tenant per policy of the retention spectrum) against a single-tenant
   server over the same feed, plus the shared-activeness factor (a
@@ -67,6 +70,7 @@ def run_bench(n_users: int, seed: int) -> dict:
     from repro.core import JobResidencyIndex
     from repro.emulation import replay_bounds
     from repro.server.admin import _tail_stats
+    from repro.server.metrics import MetricsHistory, render_prometheus
     from repro.server.ingest import (DEFAULT_BATCH_EVENTS,
                                      NetworkEventStream, SocketListener,
                                      publish_batches, publish_events)
@@ -285,19 +289,26 @@ def run_bench(n_users: int, seed: int) -> dict:
         address = f"unix:{os.path.join(workdir, 'crash.sock')}"
         listener = SocketListener(address, expected=expected)
         stream = NetworkEventStream(listener, known_uids=known)
+        history = MetricsHistory(os.path.join(workdir, "hist.jsonl"))
         fleet = make_fleet(FOUR_TENANTS,
                            checkpoint_dir=os.path.join(workdir, "ckpt"),
-                           checkpoint_every_days=7)
+                           checkpoint_every_days=7,
+                           metrics_history=history)
         binary_feed(address)
         stopped = fleet.run(iter(stream), stop_after_events=n_events // 2)
         assert stopped is None, "crash run unexpectedly drained the feed"
         listener.close()
+        samples_before_crash = history.seq
+        history.close()
 
         newest = fleet.checkpoints.latest()
         assert newest is not None, "no checkpoint written before the stop"
+        history = MetricsHistory(os.path.join(workdir, "hist.jsonl"))
         resumed = MultiTenantService.resume(
             newest,
-            policy_factory=lambda s: s.build_policy(residency=residency))
+            policy_factory=lambda s: s.build_policy(residency=residency),
+            metrics_history=history)
+        samples_rewound = samples_before_crash - history.seq
         address = f"unix:{os.path.join(workdir, 'resume.sock')}"
         listener = SocketListener(address, expected=expected)
         stream = NetworkEventStream(listener, known_uids=known)
@@ -307,6 +318,23 @@ def run_bench(n_users: int, seed: int) -> dict:
         for t in threads:
             t.join()
         listener.close()
+
+        # -- observability overhead: exposition render latency over the
+        #    finished four-tenant fleet with its full history attached --
+        render_times = []
+        for _ in range(20):
+            t0 = time.perf_counter()
+            text = render_prometheus(resumed, history=history,
+                                     rate=0.0, uptime=1.0)
+            render_times.append(time.perf_counter() - t0)
+        observability_row = {
+            "history_samples_before_crash": samples_before_crash,
+            "history_samples_rewound_on_resume": samples_rewound,
+            "history_samples_final": history.seq,
+            "exposition_bytes": len(text),
+            "exposition_render": _tail_stats(render_times),
+        }
+        history.close()
     assert resumed.cursor == n_events, (resumed.cursor, n_events)
     crash_row = {"stopped_after_events": int(n_events // 2), "tenants": {}}
     for name, want in four_file_results.items():
@@ -362,6 +390,7 @@ def run_bench(n_users: int, seed: int) -> dict:
                 **binary_extras,
             },
         },
+        "observability": observability_row,
         "fleet_overhead": {
             "one_tenant_seconds": round(one_seconds, 3),
             "four_tenant_seconds": round(four_seconds, 3),
@@ -442,6 +471,12 @@ def main(argv=None) -> int:
     crash = binary["crash_resume"]
     print(f"  crash resume: {len(crash['tenants'])} tenants bit-identical "
           f"after stop at event {crash['stopped_after_events']}")
+    obs = result["observability"]
+    render = obs["exposition_render"]
+    print(f"  observability: {obs['history_samples_final']} history "
+          f"samples ({obs['history_samples_rewound_on_resume']} rewound "
+          f"on resume), /metrics render p50 {render['p50'] * 1e3:.1f}ms "
+          f"over {obs['exposition_bytes']} bytes")
     fleet = result["fleet_overhead"]
     print(f"  fleet: 4 tenants at {fleet['overhead_x']}x one tenant "
           f"({fleet['activeness_evals_four_tenants']} activeness evals, "

@@ -27,9 +27,12 @@ Subcommands::
                        [--sources jobs,publications,accesses]
                        [--producer NAME] [--retry-for S]
     activedr admin     --connect ADDR
-                       {status|health|tenants|metrics|query|
-                        tenants-add|tenants-remove} [--uid N]
+                       {status|health|tenants|metrics|activity|export|
+                        query|tenants-add|tenants-remove} [--uid N]
+                       [--history N] [--prom]
                        [--spec SPEC] [--name NAME] [--clone-from NAME]
+    activedr dashboard [--connect ADDR | --history-file FILE]
+                       [--out FILE.html] [--samples N]
     activedr supervise --checkpoint-dir DIR [--max-restarts N]
                        [--backoff-base S] [--healthy-seconds S]
                        -- serve --workspace DIR ...
@@ -68,7 +71,15 @@ any number of ``--tenant name=...,policy=...`` configurations share one
 event feed and one activeness state (evaluated once per trigger, not
 once per tenant), and ``--admin`` opens a query plane that ``admin``
 interrogates (``status``/``health``/``tenants``/``metrics``/``query``)
-while ingestion is running.  ``supervise`` wraps any serve command in a
+while ingestion is running.  The engine appends an observability sample
+to a rotating metrics-history ring at every day boundary
+(``--metrics-history``, defaulting into ``--checkpoint-dir``); ``admin
+metrics --history N`` returns the newest samples, ``admin export
+--prom`` (or a plain HTTP ``GET /metrics`` against the admin socket)
+emits the Prometheus text exposition, and ``dashboard`` renders a
+terminal or static-HTML view of activeness distributions and per-tenant
+purge pressure from the live socket or an offline history file.
+``supervise`` wraps any serve command in a
 restart loop: crashes resume from the newest verifying checkpoint under
 seeded exponential backoff, with a bounded give-up.
 
@@ -242,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--expect-producers", type=int, default=1,
                      help="producers that must publish each source before "
                           "it is complete (--listen mode)")
+    srv.add_argument("--metrics-history", default=None, metavar="FILE",
+                     help="rotating JSONL ring of per-boundary "
+                          "observability samples (default: "
+                          "metrics-history.jsonl in --checkpoint-dir, "
+                          "if set; multi-tenant serve only)")
 
     pub = sub.add_parser("publish",
                          help="publish a workspace's traces to a serve "
@@ -269,9 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
     adm.add_argument("--connect", required=True, metavar="ADDR")
     adm.add_argument("request",
                      choices=("status", "health", "tenants", "metrics",
-                              "query", "tenants-add", "tenants-remove"))
+                              "activity", "export", "query",
+                              "tenants-add", "tenants-remove"))
     adm.add_argument("--uid", type=int, default=None,
                      help="user id for 'query'")
+    adm.add_argument("--history", type=int, default=None, metavar="N",
+                     help="with 'metrics': include the newest N "
+                          "metrics-history samples")
+    adm.add_argument("--prom", action="store_true",
+                     help="with 'export': print the raw Prometheus text "
+                          "exposition (this is also the default format)")
     adm.add_argument("--spec", default=None,
                      help="tenant spec for 'tenants-add'")
     adm.add_argument("--clone-from", default=None,
@@ -279,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "clones (default: the first tenant)")
     adm.add_argument("--name", default=None,
                      help="tenant name for 'tenants-remove'")
+
+    dash = sub.add_parser("dashboard",
+                          help="render a dashboard of a running (or "
+                               "crashed) retention server")
+    dash.add_argument("--connect", default=None, metavar="ADDR",
+                      help="a running server's admin socket")
+    dash.add_argument("--history-file", default=None, metavar="FILE",
+                      help="render offline from this metrics-history "
+                           "JSONL file instead of a live socket")
+    dash.add_argument("--out", default=None, metavar="FILE",
+                      help="write a static self-contained HTML page here "
+                           "instead of printing the terminal view")
+    dash.add_argument("--samples", type=int, default=120,
+                      help="history samples to fetch/render (default 120)")
 
     sup = sub.add_parser("supervise",
                          help="run a serve command under supervised "
@@ -704,7 +741,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     import os
 
     from ..faults import FaultPlan, FaultyIO
-    from ..server import AdminServer, MultiTenantService, SocketListener
+    from ..server import (AdminServer, MetricsHistory, MultiTenantService,
+                          SocketListener)
     from ..server.ingest import NetworkEventStream
     from ..stream import (CheckpointCorruption, CheckpointManager,
                           DeadLetterLog, ReliableEventStream)
@@ -740,6 +778,12 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                                  retain=max(1, args.checkpoint_retain),
                                  opener=opener)
                if args.checkpoint_dir else None)
+
+    history_path = args.metrics_history
+    if history_path is None and args.checkpoint_dir:
+        history_path = os.path.join(args.checkpoint_dir,
+                                    "metrics-history.jsonl")
+    history = MetricsHistory(history_path) if history_path else None
 
     listener = None
     if args.listen:
@@ -777,7 +821,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 service = MultiTenantService.resume(
                     newest, policy_factory=factory,
                     checkpoint_every_days=args.checkpoint_every,
-                    checkpoint_manager=manager)
+                    checkpoint_manager=manager,
+                    metrics_history=history)
             except (CheckpointCorruption, ValueError) as exc:
                 print(f"cannot resume from {newest}: {exc}",
                       file=sys.stderr)
@@ -807,7 +852,23 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 known_uids=known,
                 checkpoint_every_days=args.checkpoint_every,
                 checkpoint_manager=manager,
-                policy_factory=factory)
+                policy_factory=factory,
+                metrics_history=history)
+
+        if history is not None:
+            def sample_extra(stream=stream, listener=listener):
+                extra = {"quarantined": int(stream.quarantine.total)}
+                if listener is not None:
+                    extra.update(
+                        decode_errors=int(listener.decode_errors),
+                        batches_received=int(listener.batches_received),
+                        batch_rows_received=int(
+                            listener.batch_rows_received),
+                        queued={src.name: src.queue.qsize()
+                                for src in listener.sources()})
+                return extra
+
+            service.sample_extra = sample_extra
 
         admin = (AdminServer(args.admin, service, stream=stream)
                  if args.admin else None)
@@ -820,6 +881,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     finally:
         if listener is not None:
             listener.close()
+        if history is not None:
+            history.close()
 
     stats = service.stats
     _serve_reliability_report(stream)
@@ -879,6 +942,10 @@ def _cmd_admin(args: argparse.Namespace) -> int:
             print("query needs --uid", file=sys.stderr)
             return 1
         request["uid"] = args.uid
+    elif args.request == "metrics" and args.history:
+        request["history"] = args.history
+    elif args.request == "export":
+        request["format"] = "prom"  # --prom is the (only) default format
     elif args.request == "tenants-add":
         if args.spec is None:
             print("tenants-add needs --spec", file=sys.stderr)
@@ -903,8 +970,39 @@ def _cmd_admin(args: argparse.Namespace) -> int:
     except (OSError, ConnectionError) as exc:
         print(f"admin request failed: {exc}", file=sys.stderr)
         return 1
+    if args.request == "export" and response.get("ok"):
+        # The exposition is already a text document: print it raw so
+        # the output pipes straight into promtool or a file.
+        print(response.get("text", ""), end="")
+        return 0
     print(json.dumps(response, indent=2, sort_keys=True, default=repr))
     return 0 if response.get("ok") else 1
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from ..server import fetch_dashboard_data, load_history_data
+    from ..server import render_html, render_terminal
+
+    if bool(args.connect) == bool(args.history_file):
+        print("dashboard needs exactly one of --connect or --history-file",
+              file=sys.stderr)
+        return 1
+    samples = max(2, args.samples)
+    try:
+        if args.connect:
+            data = fetch_dashboard_data(args.connect, samples=samples)
+        else:
+            data = load_history_data(args.history_file, samples=samples)
+    except (OSError, ConnectionError) as exc:
+        print(f"dashboard data fetch failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(render_html(data))
+        print(f"dashboard written to {args.out}")
+        return 0
+    print(render_terminal(data), end="")
+    return 0
 
 
 def _cmd_supervise(args: argparse.Namespace) -> int:
@@ -955,6 +1053,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "publish": _cmd_publish,
     "admin": _cmd_admin,
+    "dashboard": _cmd_dashboard,
     "supervise": _cmd_supervise,
 }
 

@@ -15,13 +15,24 @@ from local trace files; this package turns that daemon into a *server*:
   configurations sharing ONE event feed and ONE incremental activeness
   state, each bit-identical to an independent batch ``FastEmulator``;
 * :mod:`~repro.server.admin` -- the admin/query plane (``status``,
-  ``health``, ``tenants``, ``metrics``, ``query user``);
+  ``health``, ``tenants``, ``metrics``, ``activity``, ``export``,
+  ``query user``), whose socket doubles as a Prometheus ``GET /metrics``
+  scrape target;
+* :mod:`~repro.server.metrics` -- the observability substrate:
+  thread-safe :class:`Counter`, the rotating crash-safe
+  :class:`MetricsHistory` ring of per-boundary samples, and the
+  Prometheus text exposition;
+* :mod:`~repro.server.dashboard` -- ``repro dashboard``: terminal or
+  static-HTML rendering of activeness distributions, purge pressure and
+  capacity forecasts from a live server or an offline history file;
 * :mod:`~repro.server.supervisor` -- a supervised restart loop with
   auto-resume from the newest verifying checkpoint and crash-loop
   exponential backoff.
 """
 
-from .admin import AdminServer, admin_request
+from .admin import AdminServer, admin_request, scrape_metrics
+from .dashboard import (fetch_dashboard_data, load_history_data,
+                        render_html, render_terminal)
 from .ingest import (DEFAULT_BATCH_EVENTS, NetworkEventStream,
                      SocketListener, SocketSource, publish_batches,
                      publish_events, publish_workspace)
@@ -31,6 +42,8 @@ from .protocol import (PROTOCOL_VERSION, SUPPORTED_PROTOCOLS,
                        decode_event, encode_batch, encode_batch_frame,
                        encode_event, format_address, parse_address,
                        read_frame, write_frame)
+from .metrics import (Counter, MetricsHistory, render_prometheus,
+                      tail_stats)
 from .supervisor import (EXIT_GIVE_UP, BackoffPolicy, Supervisor,
                          SupervisorReport)
 from .tenants import MultiTenantService, Tenant, TenantSpec
@@ -38,6 +51,15 @@ from .tenants import MultiTenantService, Tenant, TenantSpec
 __all__ = [
     "AdminServer",
     "admin_request",
+    "scrape_metrics",
+    "Counter",
+    "MetricsHistory",
+    "render_prometheus",
+    "tail_stats",
+    "fetch_dashboard_data",
+    "load_history_data",
+    "render_html",
+    "render_terminal",
     "NetworkEventStream",
     "SocketListener",
     "SocketSource",

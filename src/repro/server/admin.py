@@ -17,40 +17,52 @@ JSON frame protocol the ingest plane speaks, on its own socket:
   ``{"queued": true}`` and the engine applies the op at the next day
   boundary, the only instant the replay state is quiescent.
 
+The same socket doubles as a **Prometheus scrape target**: a connection
+whose first byte is ``G`` (an HTTP ``GET``) is answered with the text
+exposition of :func:`~repro.server.metrics.render_prometheus` and
+closed -- ``GET /metrics`` works from any HTTP client, frames work from
+any frame client, and the listener never needs a second port.
+
+Rate series are derived from the engine's :class:`MetricsHistory` ring
+(timestamped, immutable samples) rather than a per-server mutable
+window: any number of concurrent ``metrics`` pollers observe the same
+anchor and therefore consistent ``events_per_second`` -- the old shared
+``(then, before)`` tuple made two interleaved pollers clobber each
+other's window and report garbage.
+
 Commands: ``status``, ``health``, ``tenants`` (list/add/remove),
-``metrics`` (ingest rate, refold fraction, checkpoint age), ``query``
-(per-user activeness + per-tenant verdicts).  :func:`admin_request` is
-the one-call client used by ``repro admin``.
+``metrics`` (ingest rate, refold fraction, checkpoint age; ``history``
+returns the newest N ring samples), ``activity`` (rank distributions +
+class counts for the dashboard), ``export`` (the Prometheus text body
+in a frame, for ``repro admin export --prom``), ``query`` (per-user
+activeness + per-tenant verdicts).  :func:`admin_request` is the
+one-call client used by ``repro admin``.
 """
 
 from __future__ import annotations
 
-import os
 import socket
 import threading
 import time
 from typing import Callable, Iterable
 
-import numpy as np
-
+from .metrics import (Counter, MetricsHistory, render_prometheus,
+                      tail_stats)
 from .protocol import (FrameError, FrameReader, create_listener,
                        connect_socket, format_address, parse_address,
                        write_frame)
 from .tenants import MultiTenantService, TenantSpec
 
-__all__ = ["AdminServer", "admin_request"]
+__all__ = ["AdminServer", "admin_request", "scrape_metrics"]
+
+#: Content type of the ``GET /metrics`` exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _tail_stats(samples: Iterable[float]) -> dict:
-    """TARE-style tail summary (count + p50/p95/p99/max) of a latency
-    log, in seconds.  Snapshot via ``list`` first: the deques grow on
-    other threads while we read."""
-    arr = np.asarray(list(samples), dtype=np.float64)
-    if arr.size == 0:
-        return {"count": 0}
-    p50, p95, p99 = np.percentile(arr, (50.0, 95.0, 99.0))
-    return {"count": int(arr.size), "p50": float(p50), "p95": float(p95),
-            "p99": float(p99), "max": float(arr.max())}
+    """Back-compat alias: the implementation moved to ``server.metrics``
+    so the engine's boundary sampler can share it."""
+    return tail_stats(samples)
 
 
 class AdminServer:
@@ -58,30 +70,34 @@ class AdminServer:
 
     ``stream`` (the :class:`~repro.server.ingest.NetworkEventStream`, when
     the server ingests over sockets) enriches ``status``/``health`` with
-    listener and quarantine detail.  ``clock``/``wall`` are injectable
-    for tests.
+    listener and quarantine detail.  ``clock`` is injectable for tests
+    and must share a timebase with the service's metrics history (both
+    default to ``time.monotonic``).
     """
 
     def __init__(self, address: str, service: MultiTenantService, *,
                  stream=None,
-                 clock: Callable[[], float] = time.monotonic,
-                 wall: Callable[[], float] = time.time) -> None:
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.service = service
         self.stream = stream
         self._clock = clock
-        self._wall = wall
         self._started = clock()
-        # (monotonic, cursor) of the previous metrics call: ingest rate
-        # is measured between consecutive metrics requests.
-        self._rate_sample = (self._started, service.cursor)
-        self.requests = 0
-        self.errors = 0
+        # Immutable fallback rate anchor: before the first boundary
+        # sample exists, events/s is the average since the plane opened.
+        self._cursor0 = service.cursor
+        self.requests = Counter()
+        self.errors = Counter()
+        self.http_requests = Counter()
         self.closed = False
         self._sock = create_listener(address)
         self.address = format_address(parse_address(address))
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="admin-accept", daemon=True)
         self._accept_thread.start()
+
+    @property
+    def history(self) -> MetricsHistory | None:
+        return self.service.metrics_history
 
     # ------------------------------------------------------------------
     # plumbing
@@ -112,6 +128,25 @@ class AdminServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            # Dual protocol on one socket: frames start with a decimal
+            # length prefix, HTTP requests with a method -- one peeked
+            # byte disambiguates without consuming anything.
+            try:
+                head = conn.recv(1, socket.MSG_PEEK)
+            except OSError:
+                return
+            if head in (b"G", b"H"):
+                self._serve_http(conn)
+                return
+            self._serve_frames(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _serve_frames(self, conn: socket.socket) -> None:
         reader = FrameReader(conn)
         try:
             while True:
@@ -133,11 +168,59 @@ class AdminServer:
                 write_frame(conn, response)
         except OSError:
             pass  # client went away mid-answer
-        finally:
+
+    def _serve_http(self, conn: socket.socket) -> None:
+        """One HTTP/1.0-style exchange: request, response, close."""
+        self.requests += 1
+        self.http_requests += 1
+        try:
+            conn.settimeout(10.0)
+            data = b""
+            while b"\r\n\r\n" not in data and b"\n\n" not in data:
+                chunk = conn.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+                if len(data) > 65536:
+                    break
+            line = data.split(b"\r\n", 1)[0].split(b"\n", 1)[0]
+            parts = line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1] if len(parts) > 1 else "/"
+            if method not in ("GET", "HEAD"):
+                self._http_response(conn, "405 Method Not Allowed",
+                                    "only GET is served here\n")
+                return
+            if path.split("?", 1)[0] != "/metrics":
+                self.errors += 1
+                self._http_response(conn, "404 Not Found",
+                                    "try GET /metrics\n")
+                return
+            body = self.render_metrics()
+            self._http_response(conn, "200 OK", body,
+                                content_type=PROMETHEUS_CONTENT_TYPE,
+                                head_only=(method == "HEAD"))
+        except Exception as exc:  # noqa: BLE001 -- must answer
+            self.errors += 1
             try:
-                conn.close()
+                self._http_response(conn, "500 Internal Server Error",
+                                    f"{type(exc).__name__}: {exc}\n")
             except OSError:
                 pass
+
+    @staticmethod
+    def _http_response(conn: socket.socket, status: str, body: str,
+                       content_type: str = "text/plain; charset=utf-8",
+                       head_only: bool = False) -> None:
+        payload = body.encode("utf-8")
+        header = (f"HTTP/1.0 {status}\r\n"
+                  f"Content-Type: {content_type}\r\n"
+                  f"Content-Length: {len(payload)}\r\n"
+                  f"Connection: close\r\n\r\n").encode("latin-1")
+        try:
+            conn.sendall(header if head_only else header + payload)
+        except OSError:
+            pass  # scraper went away
 
     # ------------------------------------------------------------------
     # command dispatch
@@ -150,6 +233,8 @@ class AdminServer:
             "health": self._cmd_health,
             "tenants": self._cmd_tenants,
             "metrics": self._cmd_metrics,
+            "activity": self._cmd_activity,
+            "export": self._cmd_export,
             "query": self._cmd_query,
         }.get(cmd)
         if handler is None:
@@ -168,14 +253,14 @@ class AdminServer:
     def _cmd_health(self, request: dict) -> dict:
         service = self.service
         degraded = bool(self.stream is not None and self.stream.degraded)
-        quarantined = (self.stream.quarantine.total
+        quarantined = (int(self.stream.quarantine.total)
                        if self.stream is not None else 0)
         return {
             "ok": True,
             "healthy": not degraded,
             "degraded": degraded,
             "cursor": service.cursor,
-            "next_boundary": service._next_boundary,
+            "next_boundary": service.next_boundary,
             "quarantined": quarantined,
             "checkpoint_failures": service.stats["checkpoint_failures"],
             "last_checkpoint_error": service.last_checkpoint_error,
@@ -199,45 +284,85 @@ class AdminServer:
             return {"ok": True, "queued": True, "tenant": name}
         return {"ok": False, "error": f"unknown tenants action {action!r}"}
 
+    def ingest_rate(self) -> tuple[float, float]:
+        """``(events_per_second, window_seconds)`` from the history ring.
+
+        The anchor is an immutable timestamped sample (or, before any
+        sample exists this incarnation, the plane's own start), so
+        concurrent pollers compute against the same window instead of
+        racing over shared state.  Negative deltas (a rewound injected
+        clock) clamp to zero.
+        """
+        now = self._clock()
+        cursor = self.service.cursor
+        history = self.history
+        anchor = history.rate_anchor(now) if history is not None else None
+        if anchor is None:
+            anchor = (self._started, self._cursor0)
+        elapsed = max(now - anchor[0], 1e-9)
+        return max(0.0, (cursor - anchor[1]) / elapsed), elapsed
+
     def _cmd_metrics(self, request: dict) -> dict:
         service = self.service
-        now = self._clock()
         cursor = service.cursor
-        then, before = self._rate_sample
-        self._rate_sample = (now, cursor)
-        elapsed = max(now - then, 1e-9)
         stats = service.stats
         eval_users = stats["eval_users"]
+        rate, window = self.ingest_rate()
         out = {
             "ok": True,
             "cursor": cursor,
-            "events_per_second": (cursor - before) / elapsed,
-            "rate_window_seconds": elapsed,
+            "next_boundary": service.next_boundary,
+            "events_per_second": rate,
+            "rate_window_seconds": window,
             "activeness_evals": stats["activeness_evals"],
             "refold_fraction": (stats["eval_refolded"] / eval_users
                                 if eval_users else 0.0),
             "checkpoints_written": stats["checkpoints_written"],
             "checkpoint_failures": stats["checkpoint_failures"],
         }
-        manager = service.checkpoints
-        newest = manager.latest() if manager is not None else None
-        if newest is not None:
-            try:
-                out["checkpoint_age_seconds"] = (self._wall()
-                                                 - os.path.getmtime(newest))
-                out["checkpoint_path"] = newest
-            except OSError:
-                pass
+        age = service.checkpoint_age()
+        if age is not None:
+            out["checkpoint_age_seconds"] = age
+            out["checkpoint_path"] = service.checkpoints.latest()
         if self.stream is not None:
-            out["quarantined"] = self.stream.quarantine.total
+            out["quarantined"] = int(self.stream.quarantine.total)
             listener = getattr(self.stream, "listener", None)
             if listener is not None:
-                out["batch_decode_latency"] = _tail_stats(
+                out["batch_decode_latency"] = tail_stats(
                     listener.decode_seconds)
-        out["trigger_latency"] = _tail_stats(
+        out["trigger_latency"] = tail_stats(
             [s for t in list(service.tenants)
              for s in t.trigger_latency_log])
+        history = self.history
+        if history is not None:
+            out["history_samples"] = history.seq
+            n = request.get("history")
+            if n:
+                out["history"] = history.tail(int(n))
         return out
+
+    def _cmd_activity(self, request: dict) -> dict:
+        out = {"ok": True}
+        out.update(self.service.activity_summary())
+        return out
+
+    def render_metrics(self) -> str:
+        """The Prometheus text body (shared by HTTP and ``export``)."""
+        rate, _window = self.ingest_rate()
+        return render_prometheus(
+            self.service, stream=self.stream, admin=self,
+            history=self.history, rate=rate,
+            uptime=self._clock() - self._started)
+
+    def _cmd_export(self, request: dict) -> dict:
+        fmt = request.get("format", "prom")
+        if fmt != "prom":
+            return {"ok": False,
+                    "error": f"unknown export format {fmt!r} "
+                             f"(expected 'prom')"}
+        return {"ok": True, "format": "prom",
+                "content_type": PROMETHEUS_CONTENT_TYPE,
+                "text": self.render_metrics()}
 
     def _cmd_query(self, request: dict) -> dict:
         if "uid" not in request:
@@ -264,3 +389,34 @@ def admin_request(address: str, request: dict, *,
             sock.close()
         except OSError:
             pass
+
+
+def scrape_metrics(address: str, *, timeout: float = 10.0) -> str:
+    """One HTTP ``GET /metrics`` against the admin socket; the text body.
+
+    Raises :class:`ConnectionError` on a non-200 status, so CI smoke
+    gates read as one call + assertions on the body.
+    """
+    sock = connect_socket(address, timeout=timeout)
+    try:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n"
+                     b"Host: repro-admin\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    raw = b"".join(chunks)
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        head, sep, body = raw.partition(b"\n\n")
+    status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    if " 200 " not in f"{status} ":
+        raise ConnectionError(f"scrape of {address} failed: {status!r}")
+    return body.decode("utf-8", "replace")

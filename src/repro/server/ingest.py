@@ -52,6 +52,7 @@ from ..stream.events import StreamEvent, job_events, publication_events, access_
 from ..stream.reliability.quarantine import (REASON_CORRUPT_FRAME,
                                              REASON_UNPARSABLE)
 from ..stream.reliability.sources import ReliableEventStream, SourceHealth
+from .metrics import Counter
 from .protocol import (BATCH_MAX_FRAME_BYTES, CAP_BATCH, CAP_ZLIB,
                        MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_V2,
                        SUPPORTED_PROTOCOLS, BatchFormatError, BinaryFrame,
@@ -202,15 +203,18 @@ class SocketListener:
         #: listener counts decode errors but has nowhere to divert them.
         self.on_decode_error: Callable[[str, str, object, str],
                                        None] | None = None
-        self.decode_errors = 0
-        self.connections_accepted = 0
-        self.connections_refused = 0
+        # Lock-guarded counters: each is bumped from many concurrent
+        # reader threads, where a plain int += would be a lost-update
+        # race (int() them for JSON).
+        self.decode_errors = Counter()
+        self.connections_accepted = Counter()
+        self.connections_refused = Counter()
         #: Per-batch decode wall seconds, appended by reader threads
         #: (deque appends are atomic); the admin plane and the bench
         #: derive p50/p95/p99 tails from this window.
         self.decode_seconds: deque[float] = deque(maxlen=4096)
-        self.batches_received = 0
-        self.batch_rows_received = 0
+        self.batches_received = Counter()
+        self.batch_rows_received = Counter()
         self._sock = create_listener(address, backlog)
         self._closed = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -415,11 +419,11 @@ class SocketListener:
         return {
             "address": self.address,
             "closed": self.closed,
-            "connections_accepted": self.connections_accepted,
-            "connections_refused": self.connections_refused,
-            "decode_errors": self.decode_errors,
-            "batches_received": self.batches_received,
-            "batch_rows_received": self.batch_rows_received,
+            "connections_accepted": int(self.connections_accepted),
+            "connections_refused": int(self.connections_refused),
+            "decode_errors": int(self.decode_errors),
+            "batches_received": int(self.batches_received),
+            "batch_rows_received": int(self.batch_rows_received),
             "sources": {name: src.describe()
                         for name, src in self._sources.items()},
         }
@@ -462,11 +466,11 @@ class NetworkEventStream(ReliableEventStream):
         out["listener"] = {
             "address": self.listener.address,
             "closed": self.listener.closed,
-            "connections_accepted": self.listener.connections_accepted,
-            "connections_refused": self.listener.connections_refused,
-            "decode_errors": self.listener.decode_errors,
-            "batches_received": self.listener.batches_received,
-            "batch_rows_received": self.listener.batch_rows_received,
+            "connections_accepted": int(self.listener.connections_accepted),
+            "connections_refused": int(self.listener.connections_refused),
+            "decode_errors": int(self.listener.decode_errors),
+            "batches_received": int(self.listener.batches_received),
+            "batch_rows_received": int(self.listener.batch_rows_received),
         }
         return out
 

@@ -44,6 +44,7 @@ on resume.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -74,6 +75,7 @@ from ..stream.events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
 from ..stream.state import (GrowableReplayState, IncrementalActivenessState,
                             PathCatalog)
 from ..traces.schema import PublicationRecord
+from .metrics import MetricsHistory, tail_stats
 
 __all__ = ["TenantSpec", "Tenant", "MultiTenantService", "POLICY_KINDS"]
 
@@ -201,7 +203,9 @@ class Tenant:
         default_factory=lambda: np.full(0, NEVER_POS, dtype=np.int64))
     admitted_boundary: int = 0
     stats: dict = field(
-        default_factory=lambda: {"triggers": 0, "trigger_seconds": 0.0})
+        default_factory=lambda: {"triggers": 0, "trigger_seconds": 0.0,
+                                 "purged_bytes": 0, "purged_files": 0,
+                                 "target_misses": 0})
     #: Recent per-trigger wall seconds (forensic tail-latency window for
     #: ``admin metrics``; not checkpointed -- ``stats`` stays JSON-able).
     trigger_latency_log: deque = field(
@@ -256,6 +260,8 @@ class MultiTenantService:
                  checkpoint_manager: CheckpointManager | None = None,
                  policy_factory: Callable[[TenantSpec],
                                           RetentionPolicy] | None = None,
+                 metrics_history: MetricsHistory | None = None,
+                 wall: Callable[[], float] = time.time,
                  ) -> None:
         if replay_end <= replay_start:
             raise ValueError("replay_end must exceed replay_start")
@@ -319,6 +325,18 @@ class MultiTenantService:
         #: kept for the admin plane's ``query user``.
         self._last_eval: dict[tuple, tuple[int, dict[int,
                                                      UserActiveness]]] = {}
+
+        #: The observability plane's sample store: one sample appended at
+        #: every day boundary.  ``sample_extra`` (set by the serve
+        #: wiring) merges stream/listener counters into each sample.
+        self.metrics_history = metrics_history
+        self.sample_extra: Callable[[], dict] | None = None
+        self.last_metrics_error: str | None = None
+        self._wall = wall
+        # (wall stamp, path) of the newest checkpoint *we* wrote; both
+        # sides of checkpoint_age() then read the same clock source.
+        self._last_checkpoint_wall: float | None = None
+        self._last_checkpoint_path: str | None = None
 
         if snapshot_fs is not None:
             self.load_snapshot(snapshot_fs)
@@ -680,6 +698,15 @@ class MultiTenantService:
                     tenant.lookup, self._exempt_mask())
                 tenant.reports.append(report)
                 tenant.stats["triggers"] += 1
+                tenant.stats["purged_bytes"] = (
+                    tenant.stats.get("purged_bytes", 0)
+                    + report.purged_bytes_total)
+                tenant.stats["purged_files"] = (
+                    tenant.stats.get("purged_files", 0)
+                    + report.purged_files_total)
+                if not report.target_met:
+                    tenant.stats["target_misses"] = (
+                        tenant.stats.get("target_misses", 0) + 1)
                 elapsed = time.perf_counter() - started
                 tenant.stats["trigger_seconds"] += elapsed
                 tenant.trigger_latency_log.append(elapsed)
@@ -689,6 +716,9 @@ class MultiTenantService:
                 and self.checkpoint_every_days > 0
                 and boundary % self.checkpoint_every_days == 0):
             self._try_checkpoint()
+        # Sampled after the checkpoint attempt so the chain counters in
+        # the sample reflect this boundary's own write.
+        self._sample_metrics(boundary)
 
     def _evaluate_for(self, tenants: Iterable[Tenant], t_c: int,
                       ) -> dict[tuple, dict[int, UserActiveness]]:
@@ -757,6 +787,121 @@ class MultiTenantService:
                 self._exempt[i] = self.catalog.paths[i] in self.exemptions
             self._exempt_count = n
         return self._exempt[:n]
+
+    # ------------------------------------------------------------------
+    # observability sampling
+
+    def _sample_metrics(self, boundary: int) -> None:
+        """Append one observability sample for a just-fired boundary.
+
+        Samples carry the engine cursor and boundary (the rewind keys a
+        resume uses to keep history and checkpoint chain in agreement),
+        cumulative event/eval/checkpoint counters, and a per-tenant
+        block with live state, cumulative purge totals, trigger-latency
+        tails, and a linear days-to-capacity forecast against the
+        previous sample.  A failed append never stops the engine: the
+        history is evidence, not state.
+        """
+        history = self.metrics_history
+        if history is None:
+            return
+        stats = self.stats
+        eval_users = stats["eval_users"]
+        prev = history.last()
+        prev_tenants = (prev.get("tenants") or {}) if prev else {}
+        prev_boundary = prev.get("boundary") if prev else None
+        capacity = self.capacity_bytes
+        tenants: dict = {}
+        for tenant in self.tenants:
+            live_bytes = tenant.state.total_bytes
+            info: dict = {
+                "triggers": tenant.stats["triggers"],
+                "live_files": tenant.state.file_count,
+                "live_bytes": live_bytes,
+                "utilization": ((live_bytes / capacity)
+                                if capacity else 0.0),
+                "purged_bytes": tenant.stats.get("purged_bytes", 0),
+                "purged_files": tenant.stats.get("purged_files", 0),
+                "target_misses": tenant.stats.get("target_misses", 0),
+                "trigger_latency": tail_stats(tenant.trigger_latency_log),
+            }
+            if tenant.reports:
+                info["target_met"] = bool(tenant.reports[-1].target_met)
+            prev_info = prev_tenants.get(tenant.name)
+            if (capacity and prev_info
+                    and isinstance(prev_boundary, int)
+                    and boundary > prev_boundary):
+                growth = (live_bytes
+                          - prev_info.get("live_bytes", live_bytes)
+                          ) / (boundary - prev_boundary)
+                if growth > 0:
+                    info["forecast_days_to_capacity"] = max(
+                        0.0, (capacity - live_bytes) / growth)
+            tenants[tenant.name] = info
+        sample = {
+            "boundary": boundary,
+            "cursor": self._consumed,
+            "events_job": stats["events_job"],
+            "events_publication": stats["events_publication"],
+            "events_access": stats["events_access"],
+            "dropped_accesses": self.dropped_accesses,
+            "activeness_evals": stats["activeness_evals"],
+            "refold_fraction": (stats["eval_refolded"] / eval_users
+                                if eval_users else 0.0),
+            "checkpoints_written": stats["checkpoints_written"],
+            "checkpoint_failures": stats["checkpoint_failures"],
+            "tenants": tenants,
+        }
+        if self._exempt is not None:
+            sample["exempt_paths"] = int(np.count_nonzero(
+                self._exempt[:self._exempt_count]))
+        extra = self.sample_extra
+        if extra is not None:
+            sample["stream"] = extra()
+        try:
+            history.append(sample)
+        except (OSError, ValueError) as exc:
+            self.last_metrics_error = f"{type(exc).__name__}: {exc}"
+
+    def activity_summary(self) -> dict:
+        """Rank distributions + class counts for the dashboard/admin.
+
+        Per distinct activeness parameter set: user count, active counts
+        and percentiles of the operation/outcome ranks from the newest
+        evaluation.  Per tenant: the latest classification's group
+        counts.  Point-in-time reads only (admin-thread safe).
+        """
+        out: dict = {"params": {}, "tenants": {}}
+        for key, (t_c, activeness) in list(self._last_eval.items()):
+            op = np.asarray([ua.op_rank for ua in activeness.values()],
+                            dtype=np.float64)
+            oc = np.asarray([ua.oc_rank for ua in activeness.values()],
+                            dtype=np.float64)
+            entry: dict = {
+                "period_days": key[0],
+                "evaluated_at": t_c,
+                "users": int(op.size),
+                "op_active": int(np.count_nonzero(op >= 1.0)),
+                "oc_active": int(np.count_nonzero(oc >= 1.0)),
+            }
+            if op.size:
+                qs = (10.0, 25.0, 50.0, 75.0, 90.0, 99.0)
+                entry["op_rank_percentiles"] = {
+                    f"p{int(q)}": float(v)
+                    for q, v in zip(qs, np.percentile(op, qs))}
+                entry["oc_rank_percentiles"] = {
+                    f"p{int(q)}": float(v)
+                    for q, v in zip(qs, np.percentile(oc, qs))}
+            out["params"][f"period={key[0]:g}"] = entry
+        for tenant in list(self.tenants):
+            history = tenant.group_count_history
+            counts = history[-1] if history else {}
+            out["tenants"][tenant.name] = {
+                "classes": {cls.label: int(n)
+                            for cls, n in counts.items()},
+                "triggers": tenant.stats["triggers"],
+            }
+        return out
 
     # ------------------------------------------------------------------
     # completion
@@ -874,12 +1019,44 @@ class MultiTenantService:
                 arrays[prefix + key] = value
         path = self.checkpoints.save(manifest, arrays)
         self.stats["checkpoints_written"] += 1
+        self._last_checkpoint_wall = self._wall()
+        self._last_checkpoint_path = path
         return path
 
     @property
     def cursor(self) -> int:
         """Merged events fully consumed so far (the resume cursor)."""
         return self._consumed
+
+    @property
+    def next_boundary(self) -> int:
+        """The next day boundary the engine will fire (0..n_days+1)."""
+        return self._next_boundary
+
+    def checkpoint_age(self) -> float | None:
+        """Seconds since the newest checkpoint link, clamped at >= 0.
+
+        For links written by this process both the stamp and *now* come
+        from the same injectable ``wall`` source, so an injected clock
+        can never produce a negative age.  For links inherited from a
+        dead incarnation the file mtime is the only evidence; the clamp
+        still guarantees non-negative output if the filesystem clock
+        disagrees with ours.
+        """
+        manager = self.checkpoints
+        if manager is None:
+            return None
+        newest = manager.latest()
+        if newest is None:
+            return None
+        if (newest == self._last_checkpoint_path
+                and self._last_checkpoint_wall is not None):
+            return max(0.0, self._wall() - self._last_checkpoint_wall)
+        try:
+            mtime = os.path.getmtime(newest)
+        except OSError:
+            return None
+        return max(0.0, self._wall() - mtime)
 
     @classmethod
     def resume(cls, checkpoint_path: str, *,
@@ -890,6 +1067,8 @@ class MultiTenantService:
                checkpoint_every_days: int = 7,
                checkpoint_retain: int = 3,
                checkpoint_manager: CheckpointManager | None = None,
+               metrics_history: MetricsHistory | None = None,
+               wall: Callable[[], float] = time.time,
                ) -> "MultiTenantService":
         """Rebuild the whole fleet from one checkpoint link.
 
@@ -921,7 +1100,8 @@ class MultiTenantService:
                       checkpoint_every_days=checkpoint_every_days,
                       checkpoint_retain=checkpoint_retain,
                       checkpoint_manager=checkpoint_manager,
-                      policy_factory=policy_factory)
+                      policy_factory=policy_factory,
+                      metrics_history=metrics_history, wall=wall)
 
         snap_size = np.asarray(arrays["snap_size"], dtype=np.int64)
         for i, path in enumerate(arrays["paths"].tolist()):
@@ -977,6 +1157,12 @@ class MultiTenantService:
         saved_stats.pop("checkpoints_written", None)
         saved_stats.pop("checkpoint_failures", None)
         service.stats.update(saved_stats)
+        if metrics_history is not None:
+            # History must not fork from the checkpoint chain: drop every
+            # sample the rollback un-happened; the resumed engine re-fires
+            # (and re-samples) boundaries from ``next_boundary`` on.
+            metrics_history.rewind(service._consumed,
+                                   service._next_boundary)
         return service
 
     # ------------------------------------------------------------------
