@@ -250,9 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "[,target=U][,trigger=D][,period=D]; repeatable. "
                           "Any --tenant (or --listen) switches serve to "
                           "the multi-tenant server")
-    srv.add_argument("--expect-producers", type=int, default=1,
+    srv.add_argument("--expect-producers", default="1",
                      help="producers that must publish each source before "
-                          "it is complete (--listen mode)")
+                          "it is complete (--listen mode): a count "
+                          "applied to every source, or per-source "
+                          "'jobs=1,publications=1,accesses=2' for relay "
+                          "topologies")
+    srv.add_argument("--auth-token", default=None, metavar="SECRET",
+                     help="require this shared secret in every producer "
+                          "hello (mismatches are refused 'unauthorized')")
+    srv.add_argument("--max-connections", type=int, default=None,
+                     metavar="N",
+                     help="ingest connection quota; excess producers get "
+                          "a retryable 'busy' refusal")
+    srv.add_argument("--write-deadline", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="evict a producer whose ack write blocks "
+                          "longer than this (0 disables)")
     srv.add_argument("--metrics-history", default=None, metavar="FILE",
                      help="rotating JSONL ring of per-boundary "
                           "observability samples (default: "
@@ -279,6 +293,25 @@ def build_parser() -> argparse.ArgumentParser:
     pub.add_argument("--compress", action="store_true",
                      help="zlib-compress batch frames when the server "
                           "grants the capability")
+    pub.add_argument("--auth-token", default=None, metavar="SECRET",
+                     help="shared secret offered in the hello (must "
+                          "match the server's --auth-token)")
+    pub.add_argument("--retry-seed", type=int, default=None,
+                     help="seed the jittered reconnect backoff (for "
+                          "deterministic chaos runs)")
+
+    chp = sub.add_parser("chaos-proxy",
+                         help="run a FaultPlan-scripted chaos proxy "
+                              "between publishers and a serve --listen "
+                              "socket")
+    chp.add_argument("--listen", required=True, metavar="ADDR",
+                     help="address publishers connect to")
+    chp.add_argument("--upstream", required=True, metavar="ADDR",
+                     help="the real server's ingest address")
+    chp.add_argument("--fault-plan", required=True,
+                     help="JSON fault plan with net:<source> targets")
+    chp.add_argument("--name", default="net",
+                     help="fault target prefix (default 'net')")
 
     adm = sub.add_parser("admin",
                          help="query a running server's admin plane")
@@ -736,6 +769,22 @@ def _fleet_policy_factory(workspace: str):
     return factory
 
 
+def _parse_expect_producers(value: str) -> dict[str, int]:
+    """``"2"`` or ``"jobs=1,publications=1,accesses=2"`` to a mapping."""
+    sources = ("jobs", "publications", "accesses")
+    if "=" not in value:
+        return {name: max(1, int(value)) for name in sources}
+    expected = {name: 1 for name in sources}
+    for part in value.split(","):
+        name, _, count = part.partition("=")
+        name = name.strip()
+        if name not in expected:
+            raise ValueError(f"unknown source {name!r} "
+                             f"(known: {', '.join(sources)})")
+        expected[name] = max(1, int(count))
+    return expected
+
+
 def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     import json
     import os
@@ -745,7 +794,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                           SocketListener)
     from ..server.ingest import NetworkEventStream
     from ..stream import (CheckpointCorruption, CheckpointManager,
-                          DeadLetterLog, ReliableEventStream)
+                          DeadLetterLog, ReliableEventStream,
+                          ingest_cursors)
     from ..stream.batch import skip_stream_items
     from ..traces import read_users
     from ..vfs import load_filesystem
@@ -786,18 +836,11 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     history = MetricsHistory(history_path) if history_path else None
 
     listener = None
-    if args.listen:
-        listener = SocketListener(
-            args.listen,
-            expected={name: max(1, args.expect_producers)
-                      for name in ("jobs", "publications", "accesses")})
-        stream = NetworkEventStream(listener, dead_letter=dead_letter)
-    else:
-        stream = ReliableEventStream(args.workspace, plan=plan,
-                                     dead_letter=dead_letter)
-    events = iter(stream)
+    stream = None
 
     try:
+        service = None
+        resumed = False
         if args.resume:
             if manager is None:
                 print("--resume requires --checkpoint-dir", file=sys.stderr)
@@ -827,14 +870,7 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 print(f"cannot resume from {newest}: {exc}",
                       file=sys.stderr)
                 return EXIT_CHECKPOINT_FAILURE
-            if dead_letter is not None:
-                # Continue the crashed daemon's quarantine totals instead
-                # of restarting the forensic counters from zero.
-                stream.quarantine.resume_from(dead_letter)
-            # skip_stream_items counts batch runs by their row width, so
-            # the binary wire path resumes at the exact same cursor a
-            # per-event stream would.
-            events = skip_stream_items(events, service.cursor)
+            resumed = True
             print(f"resumed from {newest} at event {service.cursor}")
         else:
             with open(os.path.join(args.workspace, "meta.json")) as f:
@@ -854,6 +890,58 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 checkpoint_manager=manager,
                 policy_factory=factory,
                 metrics_history=history)
+
+        # The event feed is built AFTER the service so a listening
+        # server can seed its per-source edge cursors from the resumed
+        # checkpoint's ingest section: reconnecting producers then learn
+        # the durable cursor in their hello ack and resend only the
+        # suffix the crash lost, with the edge discarding any overlap.
+        if args.listen:
+            cursors = {}
+            if resumed and service.resumed_ingest is not None:
+                cursors = ingest_cursors({"ingest": service.resumed_ingest})
+            try:
+                expected = _parse_expect_producers(args.expect_producers)
+            except ValueError as exc:
+                print(f"bad --expect-producers: {exc}", file=sys.stderr)
+                return 1
+            listener = SocketListener(
+                args.listen,
+                expected=expected,
+                initial_cursors=cursors,
+                auth_token=args.auth_token,
+                max_connections=args.max_connections,
+                write_deadline=(args.write_deadline
+                                if args.write_deadline > 0 else None))
+            stream = NetworkEventStream(listener, dead_letter=dead_letter)
+            events = iter(stream)
+            if resumed:
+                if dead_letter is not None:
+                    stream.quarantine.resume_from(dead_letter)
+                if service.resumed_ingest is not None:
+                    # Exactly-once resume: the edge discards replayed
+                    # rows by sequence number, so no global skip -- and
+                    # the ledger must count from the resumed cursor.
+                    stream.origin = service.cursor
+                else:
+                    # Pre-sequencing checkpoint: fall back to the global
+                    # skip (producers must republish from the start).
+                    events = skip_stream_items(events, service.cursor)
+            if service.resumed_ingest is not None or not resumed:
+                service.ingest_snapshot = stream.sequence_snapshot
+        else:
+            stream = ReliableEventStream(args.workspace, plan=plan,
+                                         dead_letter=dead_letter)
+            events = iter(stream)
+            if resumed:
+                if dead_letter is not None:
+                    # Continue the crashed daemon's quarantine totals
+                    # instead of restarting the forensic counters.
+                    stream.quarantine.resume_from(dead_letter)
+                # skip_stream_items counts batch runs by their row
+                # width, so the binary wire path resumes at the exact
+                # same cursor a per-event stream would.
+                events = skip_stream_items(events, service.cursor)
 
         if history is not None:
             def sample_extra(stream=stream, listener=listener):
@@ -920,8 +1008,10 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                                    sources=sources,
                                    producer=args.producer,
                                    retry_for=args.retry_for,
+                                   retry_seed=args.retry_seed,
                                    batch_size=batch,
-                                   compress=args.compress)
+                                   compress=args.compress,
+                                   auth_token=args.auth_token)
     except (OSError, ConnectionError) as exc:
         print(f"publish failed: {exc}", file=sys.stderr)
         return 1
@@ -1042,6 +1132,31 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_chaos_proxy(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from ..faults import ChaosProxy, FaultPlan
+
+    plan = FaultPlan.from_json(args.fault_plan)
+    proxy = ChaosProxy(args.listen, args.upstream, plan, name=args.name)
+    print(f"chaos proxy on {proxy.address} -> {args.upstream} "
+          f"({len(plan.specs)} fault spec(s), seed {plan.seed})",
+          flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    proxy.close()
+    report = proxy.describe()
+    print("chaos proxy: " + " ".join(
+        f"{key}={report[key]}"
+        for key in ("connections", "severed", "stalled", "corrupted",
+                    "dropped_bytes", "splits", "forwarded_bytes")),
+        flush=True)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "validate": _cmd_validate,
@@ -1052,6 +1167,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "serve": _cmd_serve,
     "publish": _cmd_publish,
+    "chaos-proxy": _cmd_chaos_proxy,
     "admin": _cmd_admin,
     "dashboard": _cmd_dashboard,
     "supervise": _cmd_supervise,

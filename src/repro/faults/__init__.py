@@ -12,14 +12,19 @@ from the plan's seed, never from wall-clock entropy.
 The package deliberately knows nothing about ``repro.stream``: it wraps
 plain file handles (:class:`FaultyIO`) and plain event iterators
 (:class:`FaultyStream`), and the reliability layer composes them in.
+:class:`ChaosProxy` extends the same scripting to the network: a
+man-in-the-middle TCP proxy that severs, stalls, corrupts, drops, or
+splits the client->server byte stream at seeded byte offsets.
 """
 
 from .io import (FaultyIO, FaultyStream, InjectedIOError, corrupt_file,
                  corrupt_frame_bytes, trace_writer_wrap)
-from .plan import (IO_READ_KINDS, IO_WRITE_KINDS, STREAM_KINDS, FaultPlan,
-                   FaultSpec)
+from .net import ChaosProxy
+from .plan import (IO_READ_KINDS, IO_WRITE_KINDS, NET_KINDS, STREAM_KINDS,
+                   FaultPlan, FaultSpec)
 
 __all__ = [
+    "ChaosProxy",
     "FaultPlan",
     "FaultSpec",
     "FaultyIO",
@@ -30,5 +35,6 @@ __all__ = [
     "trace_writer_wrap",
     "IO_READ_KINDS",
     "IO_WRITE_KINDS",
+    "NET_KINDS",
     "STREAM_KINDS",
 ]

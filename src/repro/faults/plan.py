@@ -29,8 +29,8 @@ import json
 import random
 from dataclasses import asdict, dataclass
 
-__all__ = ["STREAM_KINDS", "IO_WRITE_KINDS", "IO_READ_KINDS", "FaultSpec",
-           "FaultPlan"]
+__all__ = ["STREAM_KINDS", "IO_WRITE_KINDS", "IO_READ_KINDS", "NET_KINDS",
+           "FaultSpec", "FaultPlan"]
 
 #: Faults a :class:`~repro.faults.io.FaultyStream` understands.
 STREAM_KINDS = frozenset({"stall", "eio", "malformed", "duplicate",
@@ -39,8 +39,12 @@ STREAM_KINDS = frozenset({"stall", "eio", "malformed", "duplicate",
 IO_WRITE_KINDS = frozenset({"eio", "stall", "kill", "partial_write"})
 #: Faults a :class:`~repro.faults.io.FaultyIO` applies to ``read`` calls.
 IO_READ_KINDS = frozenset({"eio", "stall", "truncate", "bitflip"})
+#: Faults the :class:`~repro.faults.net.ChaosProxy` applies to a
+#: proxied connection's client->server byte stream; ``at`` is the
+#: cumulative byte offset per proxy target (``net:<source>``).
+NET_KINDS = frozenset({"sever", "stall", "corrupt", "drop", "split"})
 
-_KNOWN_KINDS = STREAM_KINDS | IO_WRITE_KINDS | IO_READ_KINDS
+_KNOWN_KINDS = STREAM_KINDS | IO_WRITE_KINDS | IO_READ_KINDS | NET_KINDS
 
 
 @dataclass(frozen=True)

@@ -34,8 +34,9 @@ from .admin import AdminServer, admin_request, scrape_metrics
 from .dashboard import (fetch_dashboard_data, load_history_data,
                         render_html, render_terminal)
 from .ingest import (DEFAULT_BATCH_EVENTS, NetworkEventStream,
-                     SocketListener, SocketSource, publish_batches,
-                     publish_events, publish_workspace)
+                     PublishRefused, SequenceLedger, SocketListener,
+                     SocketSource, publish_batches, publish_events,
+                     publish_workspace)
 from .protocol import (PROTOCOL_VERSION, SUPPORTED_PROTOCOLS,
                        BatchFormatError, FrameError, FrameReader,
                        connect_socket, create_listener, decode_batch,
@@ -61,6 +62,8 @@ __all__ = [
     "render_html",
     "render_terminal",
     "NetworkEventStream",
+    "PublishRefused",
+    "SequenceLedger",
     "SocketListener",
     "SocketSource",
     "publish_batches",

@@ -31,23 +31,50 @@ at queue order) for throughput workloads that do not need bit-identity.
 
 A source *finishes* when as many producers as the server expects have
 sent ``end`` frames; when every source has finished, the merge is
-exhausted and the engine finalizes.  A producer that reconnects to an
-already-finished source is refused with an error frame -- late
-re-publishes after a crash/resume cycle belong to a *restarted* server,
-whose sources are fresh.
+exhausted and the engine finalizes.  ``end`` is idempotent per producer
+*session*: a client that lost the end-ack and retries is acked again
+without double-counting toward the quota.
+
+Exactly-once sequencing
+-----------------------
+Each source keeps an **acked cursor**: the highest per-source sequence
+number received contiguously from seq 1 (or from the durable cursor a
+resumed server was constructed with).  The hello ack reports it, so a
+reconnecting producer resumes from ``cursor + 1`` instead of replaying
+its round.  At the edge, a frame whose sequence numbers are entirely at
+or below the cursor is discarded as a duplicate (counted, never
+decoded for batches); a batch that *straddles* the cursor has its
+already-seen prefix rows dropped; a frame that would leave a gap gets
+an error frame and a closed connection -- the producer backs off,
+reconnects, and relearns the cursor.  Unsequenced frames (legacy
+producers) are assigned ``cursor + 1`` implicitly, so the cursor is
+always meaningful.  The engine-side :class:`SequenceLedger` maps the
+service's global consumed-event cursor back to exact per-source
+sequence numbers at every checkpoint, which is what makes the cursor
+*durable* across kill -9 + resume.
+
+Overload protection: a listener constructed with ``max_connections``
+refuses excess connections with a retryable ``busy`` error frame
+(clients back off with jittered exponential delays), and every ack
+write runs under ``write_deadline`` -- a producer that stops draining
+its socket is evicted instead of wedging a reader thread.
 """
 
 from __future__ import annotations
 
+import hmac
 import itertools
+import os
 import queue
+import random
 import socket
 import threading
 import time
 from collections import deque
 from typing import Callable, Iterable, Iterator, Mapping
 
-from ..stream.batch import BatchBuilder, EventBatch, merge_stream_items
+from ..stream.batch import (BatchBuilder, BatchRun, EventBatch,
+                            merge_stream_items)
 from ..stream.events import StreamEvent, job_events, publication_events, access_events
 from ..stream.reliability.quarantine import (REASON_CORRUPT_FRAME,
                                              REASON_UNPARSABLE)
@@ -62,8 +89,9 @@ from .protocol import (BATCH_MAX_FRAME_BYTES, CAP_BATCH, CAP_ZLIB,
                        write_frame)
 
 __all__ = ["DEFAULT_SOURCES", "DEFAULT_BATCH_EVENTS", "SocketSource",
-           "SocketListener", "NetworkEventStream", "publish_events",
-           "publish_batches", "publish_workspace"]
+           "SocketListener", "NetworkEventStream", "SequenceLedger",
+           "PublishRefused", "publish_events", "publish_batches",
+           "publish_workspace"]
 
 #: The canonical trace families, in merge tie-break order.
 DEFAULT_SOURCES = ("jobs", "publications", "accesses")
@@ -86,10 +114,18 @@ class SocketSource:
     finishes.  ``pos``/``last_event``/``watermark``/``health`` mirror
     :class:`ResilientSource` so the reliability report treats socket and
     file sources uniformly.
+
+    The source owns the edge half of exactly-once ingestion:
+    ``acked_seq`` is the highest contiguously received per-source
+    sequence number (starting at ``start_seq``, the durable cursor of a
+    resumed server), and :meth:`admit_event`/:meth:`admit_batch` decide
+    -- atomically with the queue push, so concurrent producer
+    connections cannot interleave out of sequence order -- whether an
+    incoming frame extends the stream, duplicates it, or leaves a gap.
     """
 
     def __init__(self, name: str, expected_producers: int = 1,
-                 queue_size: int = 10_000) -> None:
+                 queue_size: int = 10_000, start_seq: int = 0) -> None:
         if expected_producers < 1:
             raise ValueError("expected_producers must be >= 1")
         self.name = name
@@ -104,30 +140,122 @@ class SocketSource:
         self.last_error: str | None = None
         self.connected_producers = 0
         self.ended_producers = 0
+        #: Sessions whose ``end`` has been acked: makes ``end``
+        #: idempotent under reconnect (a retried end is re-acked, not
+        #: double-counted toward ``expected_producers``).
+        self.ended_sessions: set[str] = set()
+        #: Highest contiguously received sequence number.
+        self.start_seq = int(start_seq)
+        self.acked_seq = int(start_seq)
+        #: Sequence number of the last item *yielded to the merge*
+        #: (i.e. covering every row pulled so far); the SequenceLedger
+        #: samples this at guard exit.
+        self.last_seq = int(start_seq)
+        self.duplicate_rows = 0      # resent rows discarded at the edge
+        self.sequence_gaps = 0       # frames refused for leaving a gap
         self._lock = threading.Lock()
         self._finished = threading.Event()
 
     # -- listener side -------------------------------------------------
 
-    def attach_producer(self) -> bool:
-        """Register one producer connection; False when already finished."""
+    def attach_producer(self, session: str | None = None) -> bool:
+        """Register one producer connection; False when already finished.
+
+        A session that already ended may still reattach to a finished
+        source -- everything it can send is a duplicate or a retried
+        (idempotent) ``end``, which lets a producer that lost its
+        end-ack confirm completion instead of erroring forever.
+        """
         with self._lock:
             if self._finished.is_set():
-                return False
+                return session is not None and session in self.ended_sessions
             self.connected_producers += 1
             return True
 
-    def producer_ended(self) -> None:
+    def producer_ended(self, session: str | None = None) -> None:
         """One producer sent ``end``; finish the source at the quota."""
         with self._lock:
+            if session is not None:
+                if session in self.ended_sessions:
+                    return  # retried end: already counted
+                self.ended_sessions.add(session)
+            if self._finished.is_set():
+                return
             self.ended_producers += 1
             if self.ended_producers >= self.expected_producers:
                 self._finished.set()
                 self.queue.put(_END)
 
     def push(self, event: object) -> None:
-        """Enqueue one decoded event (blocking -- the backpressure edge)."""
-        self.queue.put(event)
+        """Enqueue one item, auto-assigning its sequence numbers.
+
+        Compat entry point (tests, custom feeders): equivalent to
+        :meth:`admit_event`/:meth:`admit_batch` with no explicit seq.
+        """
+        if type(event) is EventBatch:
+            self.admit_batch(event, None)
+        else:
+            self.admit_event(event, None)
+
+    def admit_event(self, event: object, seq: int | None) -> str:
+        """Admit one event with per-source sequence number ``seq``.
+
+        Returns ``"ok"`` (pushed), ``"dup"`` (already received,
+        discarded), or ``"gap"`` (would skip sequence numbers; the
+        caller must refuse the connection).  ``seq=None`` auto-assigns
+        the next number (unsequenced legacy producers).
+        """
+        with self._lock:
+            if seq is None:
+                seq = self.acked_seq + 1
+            if seq <= self.acked_seq:
+                self.duplicate_rows += 1
+                return "dup"
+            if seq > self.acked_seq + 1:
+                self.sequence_gaps += 1
+                return "gap"
+            if self._finished.is_set():
+                return "finished"  # merge already saw _END; never push
+            self.acked_seq = seq
+            # Push under the lock: admission order IS queue order, even
+            # with concurrent producer connections on one source.
+            self.queue.put((seq, event))
+        return "ok"
+
+    def admit_batch(self, batch: EventBatch, first_seq: int | None,
+                    ) -> tuple[str, int]:
+        """Admit one decoded batch whose first row is ``first_seq``.
+
+        Returns ``(disposition, dup_rows)`` where disposition is
+        ``"ok"``/``"dup"``/``"gap"`` and ``dup_rows`` counts rows
+        discarded as duplicates (the whole batch, or the already-seen
+        prefix of a batch straddling the cursor -- the surviving suffix
+        is pushed with its seq provenance intact).
+        """
+        n = batch.n
+        if n == 0:
+            return "ok", 0
+        with self._lock:
+            if first_seq is None:
+                first_seq = self.acked_seq + 1
+            end_seq = first_seq + n - 1
+            if end_seq <= self.acked_seq:
+                self.duplicate_rows += n
+                return "dup", n
+            if first_seq > self.acked_seq + 1:
+                self.sequence_gaps += 1
+                return "gap", 0
+            if self._finished.is_set():
+                return "finished", 0
+            batch.first_seq = int(first_seq)
+            batch.seq_width = n
+            dup = self.acked_seq + 1 - first_seq
+            if dup > 0:
+                self.duplicate_rows += dup
+                batch = batch.drop_seq_prefix(dup)
+            self.acked_seq = end_seq
+            self.queue.put((end_seq, batch))
+        return "ok", max(dup, 0)
 
     @property
     def finished(self) -> bool:
@@ -137,9 +265,11 @@ class SocketSource:
 
     def __iter__(self) -> Iterator:
         while True:
-            item = self.queue.get()
-            if item is _END:
+            entry = self.queue.get()
+            if entry is _END:
                 return
+            seq, item = entry
+            self.last_seq = seq
             if type(item) is EventBatch:
                 self.pos += item.n
                 if item.n:
@@ -166,6 +296,10 @@ class SocketSource:
             "producers_expected": self.expected_producers,
             "finished": self.finished,
             "queued": self.queue.qsize(),
+            "acked_seq": self.acked_seq,
+            "start_seq": self.start_seq,
+            "duplicate_rows": self.duplicate_rows,
+            "sequence_gaps": self.sequence_gaps,
         }
 
 
@@ -184,7 +318,11 @@ class SocketListener:
                  expected: Mapping[str, int] | Iterable[str] = DEFAULT_SOURCES,
                  queue_size: int = 10_000, backlog: int = 16,
                  protocols: Iterable[int] = SUPPORTED_PROTOCOLS,
-                 max_batch_frame_bytes: int = BATCH_MAX_FRAME_BYTES) -> None:
+                 max_batch_frame_bytes: int = BATCH_MAX_FRAME_BYTES,
+                 initial_cursors: Mapping[str, int] | None = None,
+                 auth_token: str | None = None,
+                 max_connections: int | None = None,
+                 write_deadline: float | None = 30.0) -> None:
         if not isinstance(expected, Mapping):
             expected = {name: 1 for name in expected}
         if not expected:
@@ -195,8 +333,19 @@ class SocketListener:
         self.protocols = tuple(protocols)
         #: Ceiling granted to v2 peers asking for a batch-frame cap.
         self.max_batch_frame_bytes = int(max_batch_frame_bytes)
+        #: Shared-secret required in every hello when set (compared
+        #: constant-time; mismatches are refused ``unauthorized``).
+        self.auth_token = auth_token
+        #: Connection quota: excess producers get a retryable ``busy``
+        #: refusal instead of a reader thread.
+        self.max_connections = max_connections
+        #: Seconds an ack write may block before the client is judged
+        #: stuck and evicted (None disables the deadline).
+        self.write_deadline = write_deadline
+        initial_cursors = dict(initial_cursors or {})
         self._sources: dict[str, SocketSource] = {
-            name: SocketSource(name, count, queue_size)
+            name: SocketSource(name, count, queue_size,
+                               start_seq=int(initial_cursors.get(name, 0)))
             for name, count in expected.items()}
         #: ``on_decode_error(source_name, detail, raw, reason)`` -- wired
         #: to the quarantine by :class:`NetworkEventStream`; a bare
@@ -215,7 +364,18 @@ class SocketListener:
         self.decode_seconds: deque[float] = deque(maxlen=4096)
         self.batches_received = Counter()
         self.batch_rows_received = Counter()
+        self.duplicates_discarded = Counter()   # resent rows dropped
+        self.sequence_gaps = Counter()          # connections gap-refused
+        self.busy_refusals = Counter()          # quota refusals
+        self.auth_failures = Counter()          # bad/missing auth tokens
+        self.slow_clients_evicted = Counter()   # write-deadline evictions
+        self._active_connections = Counter()
         self._sock = create_listener(address, backlog)
+        if not address.startswith("unix:"):
+            # Resolve "host:0" to the actual bound port so tests (and
+            # proxies) can dial the listener from its ``.address``.
+            host, port = self._sock.getsockname()[:2]
+            self.address = f"{host}:{port}"
         self._closed = threading.Event()
         self._threads: list[threading.Thread] = []
         self._accept_thread = threading.Thread(
@@ -261,12 +421,58 @@ class SocketListener:
                 conn, _addr = self._sock.accept()
             except OSError:
                 return  # listener closed
+            if self.max_connections is not None and \
+                    int(self._active_connections) >= self.max_connections:
+                self.connections_refused += 1
+                self.busy_refusals += 1
+                try:
+                    conn.settimeout(1.0)
+                    write_frame(conn, {
+                        "type": "error", "retryable": True,
+                        "reason": f"busy: {int(self._active_connections)} "
+                                  f"active connections (quota "
+                                  f"{self.max_connections})"})
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            self._active_connections += 1
             self.connections_accepted += 1
             thread = threading.Thread(
                 target=self._serve_producer, args=(conn,),
                 name=f"producer:{self.address}", daemon=True)
             thread.start()
             self._threads.append(thread)
+
+    def _write(self, conn: socket.socket, obj: dict) -> bool:
+        """Write one ack/error frame under the write deadline.
+
+        Returns False (after counting the eviction) when the client
+        stopped draining its socket for ``write_deadline`` seconds --
+        the caller must drop the connection instead of wedging its
+        reader thread on a dead peer.
+        """
+        if self.write_deadline is not None:
+            try:
+                conn.settimeout(self.write_deadline)
+            except OSError:
+                return False
+        try:
+            write_frame(conn, obj)
+            return True
+        except socket.timeout:
+            self.slow_clients_evicted += 1
+            return False
+        except OSError:
+            return False
+        finally:
+            try:
+                conn.settimeout(None)
+            except OSError:
+                pass
 
     def _divert(self, source_name: str, detail: str, raw: object,
                 reason: str = REASON_UNPARSABLE) -> None:
@@ -276,8 +482,8 @@ class SocketListener:
             hook(source_name, detail, raw, reason)
 
     def _handshake(self, conn: socket.socket, reader: FrameReader,
-                   ) -> tuple[SocketSource, bool] | None:
-        """Validate a hello; returns ``(source, batch_negotiated)``.
+                   ) -> tuple[SocketSource, bool, str | None] | None:
+        """Validate a hello; returns ``(source, batch, session)``.
 
         A v2 hello negotiates capabilities and the batch frame cap: the
         reply echoes the intersection of what both sides support, and
@@ -287,17 +493,34 @@ class SocketListener:
         build does not know simply does not get it -- and a peer that
         cannot speak any accepted protocol version gets an error frame
         it can use to fall back to v1.
+
+        The ok ack always carries ``"cursor"``, the source's highest
+        contiguously received sequence number: a reconnecting producer
+        resumes from ``cursor + 1``.  When the listener holds an auth
+        token, the hello's ``"auth"`` must match it (constant-time
+        compare) or the connection is refused ``unauthorized``.
         """
         hello = reader.read_message()
         if hello is None:
             return None
         if hello.get("type") != "hello":
-            write_frame(conn, {"type": "error",
+            self._write(conn, {"type": "error",
                                "reason": "expected a hello frame"})
             return None
+        if self.auth_token is not None:
+            offered = hello.get("auth")
+            if not isinstance(offered, str) or not hmac.compare_digest(
+                    offered.encode("utf-8"),
+                    self.auth_token.encode("utf-8")):
+                self.auth_failures += 1
+                self.connections_refused += 1
+                self._write(conn, {"type": "error",
+                                   "reason": "unauthorized: hello auth "
+                                             "token missing or wrong"})
+                return None
         proto = hello.get("protocol")
         if proto not in self.protocols:
-            write_frame(conn, {"type": "error",
+            self._write(conn, {"type": "error",
                                "reason": f"unsupported protocol "
                                          f"{proto!r} (accepted: "
                                          f"{list(self.protocols)})"})
@@ -306,19 +529,25 @@ class SocketListener:
         source = self._sources.get(name)
         if source is None:
             self.connections_refused += 1
-            write_frame(conn, {"type": "error",
+            self._write(conn, {"type": "error",
                                "reason": f"unexpected source {name!r} "
                                          f"(expected "
                                          f"{sorted(self._sources)})"})
             return None
-        if not source.attach_producer():
+        session = hello.get("session")
+        if session is not None:
+            session = str(session)
+        if not source.attach_producer(session):
             self.connections_refused += 1
-            write_frame(conn, {"type": "error",
+            self._write(conn, {"type": "error",
                                "reason": f"source {name!r} already "
                                          f"finished"})
             return None
         batch = False
-        ok: dict = {"type": "ok", "protocol": proto, "source": name}
+        ok: dict = {"type": "ok", "protocol": proto, "source": name,
+                    "cursor": source.acked_seq}
+        if session is not None:
+            ok["session"] = session
         if proto >= PROTOCOL_V2:
             asked = hello.get("capabilities") or ()
             granted = [c for c in (CAP_BATCH, CAP_ZLIB) if c in asked]
@@ -330,10 +559,31 @@ class SocketListener:
             cap = max(4096, min(want, self.max_batch_frame_bytes))
             ok["capabilities"] = granted
             ok["max_frame_bytes"] = cap
-        write_frame(conn, ok)
+        if not self._write(conn, ok):
+            return None
         if batch:
             reader.max_frame_bytes = cap
-        return source, batch
+        return source, batch, session
+
+    def _refuse_seq(self, conn: socket.socket, source: SocketSource,
+                    disposition: str, seq: object) -> None:
+        """Answer a gap/finished admission and drop the connection.
+
+        A gap means the producer and server disagree about the cursor
+        (e.g. a relay producer racing ahead of its predecessor, or a
+        resend past a corrupt frame): the refusal carries the cursor so
+        a well-behaved client backs off, reconnects, and resumes from
+        the right place.
+        """
+        if disposition == "gap":
+            self.sequence_gaps += 1
+            reason = (f"sequence gap on {source.name!r}: got seq {seq!r} "
+                      f"with cursor {source.acked_seq}")
+        else:
+            reason = f"source {source.name!r} already finished"
+        self._write(conn, {"type": "error", "reason": reason,
+                           "retryable": True,
+                           "cursor": source.acked_seq})
 
     def _serve_producer(self, conn: socket.socket) -> None:
         received = 0
@@ -347,7 +597,7 @@ class SocketListener:
                 return
             if negotiated is None:
                 return
-            source, allow_batch = negotiated
+            source, allow_batch, session = negotiated
             while True:
                 try:
                     frame = reader.read()
@@ -355,7 +605,9 @@ class SocketListener:
                     # A torn or garbled frame ends the connection: past
                     # the tear there is no sync point, so everything
                     # already decoded stays delivered and the rest is
-                    # one diverted record, not a poisoned stream.
+                    # one diverted record, not a poisoned stream.  A
+                    # sequenced producer reconnects, learns the cursor,
+                    # and resends from the tear -- nothing is lost.
                     self._divert(source.name, f"FrameError: {exc}", None)
                     return
                 if frame is None:
@@ -378,38 +630,76 @@ class SocketListener:
                         # The envelope framed the payload correctly, so
                         # the stream is still in sync: divert the frame
                         # as one dead-letter record and keep reading.
+                        # (If the batch was sequenced, its seq was
+                        # unreadable too, so the *next* frame leaves a
+                        # gap and the producer resends past the damage
+                        # on a fresh connection -- corruption costs a
+                        # round-trip, never an event.)
                         self._divert(source.name,
                                      f"BatchFormatError: {exc}", None,
                                      REASON_CORRUPT_FRAME)
                         continue
                     self.decode_seconds.append(perf() - t0)
+                    disposition, dup_rows = source.admit_batch(
+                        batch, batch.first_seq)
+                    if dup_rows:
+                        self.duplicates_discarded += dup_rows
+                    if disposition in ("gap", "finished"):
+                        self._refuse_seq(conn, source, disposition,
+                                         batch.first_seq)
+                        return
                     self.batches_received += 1
                     self.batch_rows_received += batch.n
                     received += batch.n
-                    source.push(batch)
                     continue
                 ftype = frame.get("type")
                 if ftype == "event":
+                    seq = frame.get("seq")
+                    if seq is not None:
+                        try:
+                            seq = int(seq)
+                        except (TypeError, ValueError):
+                            self._divert(source.name,
+                                         f"bad seq {seq!r}", frame)
+                            continue
+                        if seq <= source.acked_seq:
+                            # Cheap dedupe before any decode work.
+                            source.duplicate_rows += 1
+                            self.duplicates_discarded += 1
+                            continue
                     try:
                         event = decode_event(frame)
                     except (KeyError, ValueError, TypeError) as exc:
+                        # Divert WITHOUT advancing the cursor: the next
+                        # in-sequence frame now leaves a gap, the
+                        # connection is refused, and the producer
+                        # resends this event on reconnect -- so a
+                        # transiently corrupted value costs one
+                        # dead-letter record and a round-trip, not the
+                        # event.
                         self._divert(source.name,
                                      f"{type(exc).__name__}: {exc}", frame)
                         continue
+                    disposition = source.admit_event(event, seq)
+                    if disposition == "dup":
+                        self.duplicates_discarded += 1
+                        continue
+                    if disposition in ("gap", "finished"):
+                        self._refuse_seq(conn, source, disposition, seq)
+                        return
                     received += 1
-                    source.push(event)
                 elif ftype == "end":
-                    try:
-                        write_frame(conn, {"type": "ok",
-                                           "received": received})
-                    except OSError:
-                        pass
-                    source.producer_ended()
+                    if not self._write(conn, {"type": "ok",
+                                              "received": received,
+                                              "cursor": source.acked_seq}):
+                        return  # ack undeliverable; end not counted
+                    source.producer_ended(session)
                     return
                 else:
                     self._divert(source.name,
                                  f"unknown frame type {ftype!r}", frame)
         finally:
+            self._active_connections += -1
             try:
                 conn.close()
             except OSError:
@@ -424,9 +714,105 @@ class SocketListener:
             "decode_errors": int(self.decode_errors),
             "batches_received": int(self.batches_received),
             "batch_rows_received": int(self.batch_rows_received),
+            "duplicates_discarded": int(self.duplicates_discarded),
+            "sequence_gaps": int(self.sequence_gaps),
+            "busy_refusals": int(self.busy_refusals),
+            "auth_failures": int(self.auth_failures),
+            "slow_clients_evicted": int(self.slow_clients_evicted),
+            "active_connections": int(self._active_connections),
             "sources": {name: src.describe()
                         for name, src in self._sources.items()},
         }
+
+
+class SequenceLedger:
+    """Maps the engine's global consumed-event count to per-source seqs.
+
+    The durable cursor problem: a checkpoint stores *one* number -- how
+    many merged events the service consumed -- but producers resume by
+    *per-source* sequence number.  Engine counters cannot be decomposed
+    after the fact (events sitting in merge heads or diverted rows
+    would be mis-attributed), so the ledger records the decomposition
+    as it happens: the stream wrapper notes which source every merged
+    item came from and which sequence number consuming it (and any
+    quarantine-diverted rows before it) covers, and
+    :meth:`snapshot` walks those entries up to the checkpoint's
+    consumed count to produce exact per-source cursors -- including a
+    cut *inside* a batch run, where ``orig_rows`` recovers the wire
+    offset of the k-th surviving row.
+
+    Single-threaded by construction: entries are appended by the
+    engine thread as it pulls the merge, and snapshots run inside the
+    engine's checkpoint hook.  Consecutive single events from one
+    source with contiguous seqs coalesce into one entry, so the ledger
+    stays O(batches + diversion boundaries), not O(events).
+    """
+
+    def __init__(self, names: Iterable[str],
+                 start_seqs: Mapping[str, int]) -> None:
+        self.watermarks: dict[str, int] = {
+            name: int(start_seqs.get(name, 0)) for name in names}
+        #: Consumed-count offset: the service's ``cursor`` at the point
+        #: this ledger started observing the stream (resume support).
+        self.origin = 0
+        # Entry: (cum_end, source, wm_full, first_seq, orig_rows, lo).
+        # ``first_seq is None`` marks a coalesced run of single events
+        # (contiguous seqs ending at wm_full).
+        self._entries: deque = deque()
+        self._cum = 0    # rows yielded to the engine since origin
+        self._done = 0   # cum_end of the last fully resolved entry
+
+    def note_run(self, name: str, run) -> None:
+        """Record one merged :class:`BatchRun` in engine order."""
+        batch = run.batch
+        hi = run.hi
+        orig = batch.orig_rows
+        if hi >= batch.n:
+            # The last run of a batch also covers any trailing diverted
+            # rows: the whole wire width is consumed once this run is.
+            wm = batch.first_seq + batch.seq_width - 1
+        else:
+            wm = batch.first_seq + (int(orig[hi - 1]) if orig is not None
+                                    else hi - 1)
+        self._cum += run.n_rows
+        self._entries.append((self._cum, name, wm, batch.first_seq,
+                              orig, run.lo))
+
+    def note_event(self, name: str, seq: int) -> None:
+        """Record one merged single event whose consumption covers
+        sequence numbers up to ``seq`` (diverted predecessors included).
+        """
+        self._cum += 1
+        entries = self._entries
+        if entries:
+            last = entries[-1]
+            if last[1] == name and last[3] is None and last[2] == seq - 1:
+                entries[-1] = (self._cum, name, seq, None, None, 0)
+                return
+        entries.append((self._cum, name, seq, None, None, 0))
+
+    def snapshot(self, consumed: int) -> dict:
+        """Per-source cursors after the engine consumed ``consumed``
+        merged events (the number a checkpoint stores as ``cursor``).
+        """
+        c = consumed - self.origin
+        dq = self._entries
+        wm = self.watermarks
+        while dq and dq[0][0] <= c:
+            cum_end, name, wm_full, _fs, _orig, _lo = dq.popleft()
+            wm[name] = wm_full
+            self._done = cum_end
+        if dq and c > self._done:
+            cum_end, name, wm_full, fs, orig, lo = dq[0]
+            if fs is None:
+                # Coalesced single events with contiguous seqs.
+                wm[name] = wm_full - (cum_end - c)
+            else:
+                row = lo + (c - self._done) - 1
+                wm[name] = fs + (int(orig[row]) if orig is not None
+                                 else row)
+        return {"source_seqs": {k: int(v) for k, v in wm.items()},
+                "cursor": int(consumed)}
 
 
 class NetworkEventStream(ReliableEventStream):
@@ -442,6 +828,12 @@ class NetworkEventStream(ReliableEventStream):
     exactly the order the per-event merge would yield the underlying
     events.  ``report()`` has the same shape for socket-fed and
     file-fed servers.
+
+    The stream also feeds the :class:`SequenceLedger`:
+    ``sequence_snapshot`` is the hook a
+    :class:`~repro.server.tenants.MultiTenantService` calls at every
+    checkpoint to persist per-source cursors.  On a resumed server,
+    set :attr:`origin` to the restored service cursor before iterating.
     """
 
     def __init__(self, listener: SocketListener, *,
@@ -449,6 +841,9 @@ class NetworkEventStream(ReliableEventStream):
         super().__init__(sources=listener.sources(), quarantine=quarantine,
                          known_uids=known_uids, dead_letter=dead_letter)
         self.listener = listener
+        self.ledger = SequenceLedger(
+            (s.name for s in self.sources),
+            {s.name: s.start_seq for s in self.sources})
 
         def on_decode_error(source: str, detail: str, raw: object,
                             reason: str = REASON_UNPARSABLE) -> None:
@@ -456,10 +851,52 @@ class NetworkEventStream(ReliableEventStream):
 
         listener.on_decode_error = on_decode_error
 
+    @property
+    def origin(self) -> int:
+        return self.ledger.origin
+
+    @origin.setter
+    def origin(self, consumed: int) -> None:
+        self.ledger.origin = int(consumed)
+
+    def sequence_snapshot(self, consumed: int) -> dict:
+        """Checkpoint hook: exact per-source cursors at ``consumed``."""
+        return self.ledger.snapshot(consumed)
+
+    def _provenance(self, source: SocketSource,
+                    guarded: Iterator, pending: dict) -> Iterator:
+        """Tag every guarded item with its source + covered seq."""
+        for item in guarded:
+            if type(item) is EventBatch:
+                pending[id(item)] = source.name
+            else:
+                # ``last_seq`` covers this event and every row the
+                # quarantine diverted before it (the guard has no
+                # lookahead, so the source's counter is exact here).
+                pending[id(item)] = (source.name, source.last_seq)
+            yield item
+
+    def _sequenced(self, merged: Iterator, pending: dict) -> Iterator:
+        ledger = self.ledger
+        for item in merged:
+            if type(item) is BatchRun:
+                batch = item.batch
+                name = pending[id(batch)]
+                ledger.note_run(name, item)
+                if item.hi >= batch.n:
+                    del pending[id(batch)]
+            else:
+                name, seq = pending.pop(id(item))
+                ledger.note_event(name, seq)
+            yield item
+
     def __iter__(self) -> Iterator:
-        return merge_stream_items(
-            self.quarantine.guard_hybrid(source.name, source)
+        pending: dict = {}
+        merged = merge_stream_items(
+            self._provenance(source, self.quarantine.guard_hybrid(
+                source.name, source), pending)
             for source in self.sources)
+        return self._sequenced(merged, pending)
 
     def report(self) -> dict:
         out = super().report()
@@ -471,6 +908,12 @@ class NetworkEventStream(ReliableEventStream):
             "decode_errors": int(self.listener.decode_errors),
             "batches_received": int(self.listener.batches_received),
             "batch_rows_received": int(self.listener.batch_rows_received),
+            "duplicates_discarded": int(self.listener.duplicates_discarded),
+            "sequence_gaps": int(self.listener.sequence_gaps),
+            "busy_refusals": int(self.listener.busy_refusals),
+            "auth_failures": int(self.listener.auth_failures),
+            "slow_clients_evicted":
+                int(self.listener.slow_clients_evicted),
         }
         return out
 
@@ -479,25 +922,79 @@ class NetworkEventStream(ReliableEventStream):
 # the producing side: the publish client
 
 
+class PublishRefused(ConnectionError):
+    """The server answered the handshake or end with an error frame.
+
+    ``retryable`` says whether backing off and reconnecting can help:
+    True for ``busy`` (quota), gaps, and transient refusals; False for
+    ``unauthorized`` and ``unexpected source``, where retrying the same
+    credentials/config would loop forever.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+_FATAL_REFUSALS = ("unauthorized", "unexpected source")
+
+
+def _refusal_error(context: str, refusal: object) -> PublishRefused:
+    text = refusal if isinstance(refusal, str) else repr(refusal)
+    retryable = not any(marker in text for marker in _FATAL_REFUSALS)
+    return PublishRefused(f"{context}: {text}", retryable=retryable)
+
+
+def _backoff_delays(interval: float, cap: float,
+                    rng: random.Random) -> Iterator[float]:
+    """Jittered exponential backoff: ``interval * 2^k`` capped at
+    ``cap``, each scaled by a uniform factor in [0.5, 1.0)."""
+    attempt = 0
+    while True:
+        base = min(cap, interval * (1 << min(attempt, 16)))
+        yield base * (0.5 + 0.5 * rng.random())
+        attempt += 1
+
+
 def publish_events(address: str, source: str,
                    events: Iterable[StreamEvent] | Callable[[], Iterable],
                    *, producer: str = "publish",
                    batch_size: int = DEFAULT_BATCH_EVENTS,
                    compress: bool = False,
                    retry_for: float = 0.0, retry_interval: float = 0.2,
+                   retry_cap: float = 5.0, retry_seed: int | None = None,
                    connect_timeout: float = 10.0,
+                   session: str | None = None, seq_offset: int = 0,
+                   auth_token: str | None = None,
+                   stats: dict | None = None,
                    sleep: Callable[[float], None] = time.sleep,
                    clock: Callable[[], float] = time.monotonic) -> int:
     """Stream ``events`` to a server as one producer of ``source``.
 
     ``events`` may be an iterable or (for retryable publishes) a
-    zero-argument factory returning a fresh iterable per attempt.  With
-    ``retry_for > 0`` the whole publish is retried from the start --
-    connect, hello, every event, end -- until a full round is acked or
-    the window closes: the server-side resume cursor skips everything a
-    previous incarnation already consumed, so whole-stream replay is the
-    correct (and simplest) recovery after a server crash.  Returns the
-    number of events sent in the successful round.
+    zero-argument factory returning a fresh iterable per attempt; plain
+    lists/tuples are re-iterated automatically.  Events are numbered
+    ``seq_offset + 1, seq_offset + 2, ...`` on the wire, and each
+    attempt *resumes from the server's cursor*: the hello ack reports
+    the highest sequence number the server holds contiguously, the
+    client skips that many events, and sends the rest -- so with
+    ``retry_for > 0`` a dropped connection (or a server crash-and-
+    resume) costs a reconnect, not a replay, and every event still
+    lands exactly once.  Failed attempts back off with jittered
+    exponential delays (``retry_interval * 2^k`` capped at
+    ``retry_cap``; seed ``retry_seed`` for deterministic schedules in
+    tests) until the ``retry_for`` window closes.  Non-retryable
+    refusals (``unauthorized``, unknown source) raise immediately.
+
+    ``seq_offset`` supports relay/handoff topologies: a producer
+    carrying the *second* slice of a source (events ``k+1 .. n``)
+    publishes with ``seq_offset=k`` and is automatically held off
+    (retryable refusal) until its predecessor's slice is ingested.
+
+    ``stats``, when given, collects client-side chaos telemetry:
+    ``attempts``, ``retries``, and ``recovery_seconds`` (failure ->
+    next successful handshake latencies, the reconnect-recovery tail
+    the net-ingest bench reports).
 
     ``batch_size > 0`` (the default) offers protocol v2: events are
     accumulated into columnar binary batch frames of that many rows
@@ -505,34 +1002,65 @@ def publish_events(address: str, source: str,
     capability).  A server that refuses v2, or acks without the batch
     capability, gets v1 JSON event frames instead -- same events, same
     order, just slower; ``batch_size=0`` forces that compat path.
+
+    Returns the number of events of this producer's range the server
+    acked at ``end`` (i.e. everything landed, however many attempts it
+    took).
     """
-    factory = events if callable(events) else None
+    factory = (events if callable(events)
+               else (lambda: events) if isinstance(events, (list, tuple))
+               else None)
+    if session is None:
+        session = f"{producer}:{os.getpid():x}:{os.urandom(4).hex()}"
+    delays = _backoff_delays(retry_interval, retry_cap,
+                             random.Random(retry_seed))
     deadline = clock() + retry_for
+    last_failure: list[float | None] = [None]
+
+    def on_connected() -> None:
+        if stats is not None:
+            stats["attempts"] = stats.get("attempts", 0) + 1
+            if last_failure[0] is not None:
+                stats.setdefault("recovery_seconds", []).append(
+                    clock() - last_failure[0])
+        last_failure[0] = None
+
     while True:
         try:
             return _publish_once(address, source,
                                  factory() if factory else events,
                                  producer, connect_timeout,
-                                 batch_size, compress)
-        except (OSError, FrameError, PublishRefused):
+                                 batch_size, compress,
+                                 session=session, seq_offset=seq_offset,
+                                 auth_token=auth_token,
+                                 on_connected=on_connected)
+        except (OSError, FrameError, PublishRefused) as exc:
+            if isinstance(exc, PublishRefused) and not exc.retryable:
+                raise
             if factory is None or clock() >= deadline:
                 raise
-            sleep(retry_interval)
-
-
-class PublishRefused(ConnectionError):
-    """The server answered the handshake or end with an error frame."""
+            last_failure[0] = clock()
+            if stats is not None:
+                stats["retries"] = stats.get("retries", 0) + 1
+            sleep(next(delays))
 
 
 def _publish_once(address: str, source: str, events: Iterable,
                   producer: str, connect_timeout: float,
-                  batch_size: int = 0, compress: bool = False) -> int:
+                  batch_size: int = 0, compress: bool = False, *,
+                  session: str | None = None, seq_offset: int = 0,
+                  auth_token: str | None = None,
+                  on_connected: Callable[[], None] | None = None) -> int:
     sock = connect_socket(address, timeout=connect_timeout)
     try:
         reader = FrameReader(sock)
         want_batch = batch_size > 0
         hello: dict = {"type": "hello", "source": source,
                        "producer": producer}
+        if session is not None:
+            hello["session"] = session
+        if auth_token is not None:
+            hello["auth"] = auth_token
         if want_batch:
             hello["protocol"] = PROTOCOL_V2
             hello["capabilities"] = ([CAP_BATCH, CAP_ZLIB] if compress
@@ -548,14 +1076,35 @@ def _publish_once(address: str, source: str, events: Iterable,
                     and "unsupported protocol" in refusal:
                 # v1-only server: reconnect on the compat path.
                 return _publish_once(address, source, events, producer,
-                                     connect_timeout, 0, False)
+                                     connect_timeout, 0, False,
+                                     session=session,
+                                     seq_offset=seq_offset,
+                                     auth_token=auth_token,
+                                     on_connected=on_connected)
+            raise _refusal_error(
+                f"server refused producer of {source!r}", refusal)
+        cursor = int(ack.get("cursor", seq_offset))
+        skip = cursor - seq_offset
+        if skip < 0:
+            # Relay topology: our slice starts after the server cursor;
+            # the predecessor producer has not caught up yet.  Back off
+            # and retry rather than punching a sequence gap.
             raise PublishRefused(
-                f"server refused producer of {source!r}: {refusal}")
+                f"server cursor {cursor} for {source!r} is behind this "
+                f"producer's seq offset {seq_offset}; predecessor still "
+                f"publishing", retryable=True)
+        if on_connected is not None:
+            on_connected()
         granted = ack.get("capabilities") or ()
         use_batch = (want_batch and CAP_BATCH in granted
                      and ack.get("protocol") == PROTOCOL_V2)
         sock.settimeout(None)  # streaming may block on backpressure
-        sent = 0
+        it = iter(events)
+        if skip:
+            # Already delivered (a previous attempt/incarnation):
+            # resume from cursor + 1 instead of resending.
+            next(itertools.islice(it, skip - 1, skip), None)
+        next_seq = cursor + 1
         if use_batch:
             try:
                 frame_cap = int(ack.get("max_frame_bytes",
@@ -571,35 +1120,39 @@ def _publish_once(address: str, source: str, events: Iterable,
             # builder's hoisted bulk loop; the cap checks between slabs
             # keep frames within the negotiated budget.
             slab = max(1, min(batch_size, 2048))
-            it = iter(events)
             while True:
                 before = len(builder)
                 builder.extend(itertools.islice(it, slab))
                 added = len(builder) - before
                 if not added:
                     break
-                sent += added
                 if len(builder) >= batch_size \
                         or builder.approx_bytes >= soft_cap:
                     sock.sendall(encode_batch_frame(
-                        encode_batch(builder.build(), compress=use_zlib),
+                        encode_batch(builder.build(), compress=use_zlib,
+                                     seq=next_seq),
                         frame_cap))
+                    next_seq += len(builder)
                     builder = BatchBuilder()
             if len(builder):
                 sock.sendall(encode_batch_frame(
-                    encode_batch(builder.build(), compress=use_zlib),
+                    encode_batch(builder.build(), compress=use_zlib,
+                                 seq=next_seq),
                     frame_cap))
+                next_seq += len(builder)
         else:
-            for event in events:
-                write_frame(sock, encode_event(event))
-                sent += 1
+            for event in it:
+                frame = encode_event(event)
+                frame["seq"] = next_seq
+                write_frame(sock, frame)
+                next_seq += 1
         write_frame(sock, {"type": "end"})
         ack = reader.read_message()
         if ack is None or ack.get("type") != "ok":
-            raise PublishRefused(
-                f"server did not ack end of {source!r}: "
-                f"{(ack or {}).get('reason', 'connection closed')}")
-        return sent
+            raise _refusal_error(
+                f"server did not ack end of {source!r}",
+                (ack or {}).get("reason", "connection closed"))
+        return int(ack.get("cursor", next_seq - 1)) - seq_offset
     finally:
         try:
             sock.close()
@@ -608,11 +1161,18 @@ def _publish_once(address: str, source: str, events: Iterable,
 
 
 def publish_batches(address: str, source: str,
-                    batches: Iterable[EventBatch | bytes],
+                    batches: Iterable[EventBatch | bytes] |
+                    Callable[[], Iterable],
                     *, producer: str = "publish",
                     compress: bool = False,
                     connect_timeout: float = 10.0,
-                    frame_cap: int = MAX_FRAME_BYTES) -> int:
+                    frame_cap: int = MAX_FRAME_BYTES,
+                    session: str | None = None, seq_offset: int = 0,
+                    auth_token: str | None = None, sequenced: bool = True,
+                    retry_for: float = 0.0, retry_interval: float = 0.2,
+                    retry_cap: float = 5.0, retry_seed: int | None = None,
+                    sleep: Callable[[float], None] = time.sleep,
+                    clock: Callable[[], float] = time.monotonic) -> int:
     """Stream pre-built columnar batches to a v2 server, hello pipelined.
 
     The load-generator variant of :func:`publish_events`: the caller
@@ -622,28 +1182,77 @@ def publish_batches(address: str, source: str,
     it immediately without waiting for the ack, and both acks (hello,
     end) are collected after the last frame.  That keeps a k-way server
     merge from idling on per-connection handshake round-trips when many
-    producers connect at once.  No v1 fallback exists on this path: a
-    server that refuses protocol v2 fails the publish with
-    :class:`PublishRefused`.  Returns the number of events sent
-    (raw byte payloads count zero -- the caller already knows).
+    producers connect at once.
+
+    With ``sequenced`` (the default), :class:`EventBatch` items are
+    numbered cumulatively from ``seq_offset`` so pipelining stays
+    exactly-once: a retried publish resends everything and the server's
+    edge dedupe discards the rows it already holds -- no cursor
+    round-trip needed before streaming.  Raw byte payloads travel
+    verbatim (their seq, if any, was baked in by ``encode_batch``).
+    ``retry_for > 0`` retries failed publishes with the same jittered
+    exponential backoff as :func:`publish_events` (requires a callable
+    ``batches`` factory or a re-iterable list/tuple).
+
+    No v1 fallback exists on this path: a server that refuses protocol
+    v2 fails the publish with :class:`PublishRefused`.  Returns the
+    number of events sent (raw byte payloads count zero -- the caller
+    already knows).
     """
+    factory = (batches if callable(batches)
+               else (lambda: batches)
+               if isinstance(batches, (list, tuple)) else None)
+    if session is None:
+        session = f"{producer}:{os.getpid():x}:{os.urandom(4).hex()}"
+    delays = _backoff_delays(retry_interval, retry_cap,
+                             random.Random(retry_seed))
+    deadline = clock() + retry_for
+    while True:
+        try:
+            return _publish_batches_once(
+                address, source, factory() if factory else batches,
+                producer, compress, connect_timeout, frame_cap,
+                session=session, seq_offset=seq_offset,
+                auth_token=auth_token, sequenced=sequenced)
+        except (OSError, FrameError, PublishRefused) as exc:
+            if isinstance(exc, PublishRefused) and not exc.retryable:
+                raise
+            if factory is None or clock() >= deadline:
+                raise
+            sleep(next(delays))
+
+
+def _publish_batches_once(address: str, source: str, batches: Iterable,
+                          producer: str, compress: bool,
+                          connect_timeout: float, frame_cap: int, *,
+                          session: str | None, seq_offset: int,
+                          auth_token: str | None, sequenced: bool) -> int:
     sock = connect_socket(address, timeout=connect_timeout)
     try:
         reader = FrameReader(sock)
-        write_frame(sock, {"type": "hello", "source": source,
-                           "producer": producer, "protocol": PROTOCOL_V2,
-                           "capabilities": ([CAP_BATCH, CAP_ZLIB]
-                                            if compress else [CAP_BATCH]),
-                           "max_frame_bytes": int(frame_cap)})
+        hello: dict = {"type": "hello", "source": source,
+                       "producer": producer, "protocol": PROTOCOL_V2,
+                       "capabilities": ([CAP_BATCH, CAP_ZLIB]
+                                        if compress else [CAP_BATCH]),
+                       "max_frame_bytes": int(frame_cap)}
+        if session is not None:
+            hello["session"] = session
+        if auth_token is not None:
+            hello["auth"] = auth_token
+        write_frame(sock, hello)
         sock.settimeout(None)  # streaming may block on backpressure
         sent = 0
+        next_seq = seq_offset + 1
         try:
             for batch in batches:
                 if isinstance(batch, (bytes, bytearray)):
                     payload = bytes(batch)
                 else:
                     sent += batch.n
-                    payload = encode_batch(batch, compress=compress)
+                    payload = encode_batch(
+                        batch, compress=compress,
+                        seq=next_seq if sequenced else None)
+                    next_seq += batch.n
                 sock.sendall(encode_batch_frame(payload, int(frame_cap)))
             write_frame(sock, {"type": "end"})
         except OSError:
@@ -651,10 +1260,10 @@ def publish_batches(address: str, source: str,
         for stage in ("hello", "end"):
             ack = reader.read_message()
             if ack is None or ack.get("type") != "ok":
-                raise PublishRefused(
+                raise _refusal_error(
                     f"server refused {stage} of batch publish to "
-                    f"{source!r}: "
-                    f"{(ack or {}).get('reason', 'connection closed')}")
+                    f"{source!r}",
+                    (ack or {}).get("reason", "connection closed"))
         return sent
     finally:
         try:
@@ -690,7 +1299,11 @@ def publish_workspace(address: str, directory: str, *,
                       batch_size: int = DEFAULT_BATCH_EVENTS,
                       compress: bool = False,
                       retry_for: float = 0.0,
-                      retry_interval: float = 0.2) -> dict[str, int]:
+                      retry_interval: float = 0.2,
+                      retry_cap: float = 5.0,
+                      retry_seed: int | None = None,
+                      auth_token: str | None = None,
+                      stats: dict | None = None) -> dict[str, int]:
     """Publish a workspace's trace files concurrently, one per source.
 
     Concurrency is load-bearing, not an optimization: the server's merge
@@ -698,17 +1311,24 @@ def publish_workspace(address: str, directory: str, *,
     so a sequential publish of a trace larger than one queue bound would
     deadlock against backpressure.  Returns ``{source: events_sent}``;
     re-raises the first failure after all threads have stopped.
+    ``stats``, when given, gains one per-source sub-dict of client
+    retry/recovery telemetry (see :func:`publish_events`).
     """
     results: dict[str, int] = {}
     errors: list[BaseException] = []
 
     def worker(name: str) -> None:
         try:
+            source_stats: dict | None = None
+            if stats is not None:
+                source_stats = stats.setdefault(name, {})
             results[name] = publish_events(
                 address, name, workspace_source_factory(directory, name),
                 producer=f"{producer}:{name}", batch_size=batch_size,
                 compress=compress, retry_for=retry_for,
-                retry_interval=retry_interval)
+                retry_interval=retry_interval, retry_cap=retry_cap,
+                retry_seed=retry_seed, auth_token=auth_token,
+                stats=source_stats)
         except BaseException as exc:
             errors.append(exc)
 

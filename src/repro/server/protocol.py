@@ -30,10 +30,10 @@ Message vocabulary
 Producer side (``repro publish`` -> ``serve --listen``)::
 
     {"type": "hello", "protocol": 1|2, "source": "jobs",
-     "producer": "...",
+     "producer": "...", "session": "...", "auth": "...",
      # protocol 2 only:
      "capabilities": ["batch", "zlib"], "max_frame_bytes": N}
-    {"type": "event", "kind": "job"|"publication"|"access", ...payload}
+    {"type": "event", "kind": "job"|..., "seq": K, ...payload}
     b<len>\\n<columnar batch payload>\\n            # protocol 2 only
     {"type": "end"}
 
@@ -50,6 +50,22 @@ exchange, which reports the total row count received); a frame the
 server cannot decode is diverted to the event quarantine (with its
 dead-letter reason code), never answered, exactly like a malformed row
 in a trace file.
+
+Exactly-once sequencing (both protocol versions): a producer numbers
+its events ``1, 2, 3, ...`` per source -- ``"seq"`` on v1 event frames,
+a :data:`BATCH_FLAG_SEQ` u64 (the sequence number of the batch's first
+row) on v2 batch payloads -- and the hello/end acks carry ``"cursor"``,
+the highest *contiguously received* sequence number for that source.
+A reconnecting producer resumes from ``cursor + 1`` instead of
+replaying the round; the server discards any already-seen sequence
+numbers, so connection churn (and a server crash-and-resume, whose
+checkpoint restores the durable cursors) can duplicate bytes on the
+wire but never events in the fold.  ``"session"`` identifies one
+logical producer across its reconnects, making ``end`` idempotent.
+``"auth"`` carries the optional shared secret; a mismatch is refused
+with reason ``unauthorized``.  A listener over its connection quota
+refuses with a reason starting ``busy`` and ``"retryable": true`` --
+clients back off (jittered exponential) and retry.
 
 Admin side (``repro admin`` -> the admin listener)::
 
@@ -353,10 +369,14 @@ def decode_event(obj: dict) -> StreamEvent:
 BATCH_MAGIC = b"REB2"
 #: Flags byte, bit 0: the column body is zlib-compressed.
 BATCH_FLAG_ZLIB = 0x01
-_BATCH_KNOWN_FLAGS = BATCH_FLAG_ZLIB
+#: Flags byte, bit 1: a u64le sequence number (of the batch's first row)
+#: follows the flags byte, before the column body.
+BATCH_FLAG_SEQ = 0x02
+_BATCH_KNOWN_FLAGS = BATCH_FLAG_ZLIB | BATCH_FLAG_SEQ
 
 _HEADER = struct.Struct("<7I")  # n_rows n_jobs n_pubs n_acc n_auth n_pool blob
 _CRC = struct.Struct("<I")
+_SEQ = struct.Struct("<Q")
 
 
 def _batch_columns(batch: EventBatch) -> bytes:
@@ -382,28 +402,42 @@ def _batch_columns(batch: EventBatch) -> bytes:
     return b"".join(parts)
 
 
-def encode_batch(batch: EventBatch, *, compress: bool = False) -> bytes:
+def encode_batch(batch: EventBatch, *, compress: bool = False,
+                 seq: int | None = None) -> bytes:
     """Serialize ``batch`` to a binary frame payload.
 
     Layout::
 
-        REB2 | flags:u8 | column body | crc32:u32le
+        REB2 | flags:u8 | [first_seq:u64le] | column body | crc32:u32le
 
-    The CRC covers everything before it (magic, flags, and the body *as
-    transmitted*, i.e. after compression), so a receiver verifies
-    integrity with one pass over the wire bytes before spending any
-    decompression or parsing work.  All integers are little-endian; the
-    column body is the fixed-order sequence of arrays documented in
-    :mod:`repro.stream.batch` (header counts, kinds, ts, job columns,
-    publication columns + ragged author offsets, access columns, then
-    the string-pool offsets and UTF-8 blob).
+    The CRC covers everything before it (magic, flags, optional
+    sequence number, and the body *as transmitted*, i.e. after
+    compression), so a receiver verifies integrity with one pass over
+    the wire bytes before spending any decompression or parsing work.
+    All integers are little-endian; the column body is the fixed-order
+    sequence of arrays documented in :mod:`repro.stream.batch` (header
+    counts, kinds, ts, job columns, publication columns + ragged author
+    offsets, access columns, then the string-pool offsets and UTF-8
+    blob).
+
+    ``seq``, when given, is the 1-based per-source sequence number of
+    the batch's *first* row (rows cover ``seq .. seq + n - 1``); it is
+    stored outside the compressed body so the receiving edge can dedupe
+    without decompressing.
     """
     body = _batch_columns(batch)
     flags = 0
     if compress:
         flags |= BATCH_FLAG_ZLIB
         body = zlib.compress(body, 1)
-    head = BATCH_MAGIC + bytes((flags,)) + body
+    head = BATCH_MAGIC
+    if seq is not None:
+        if seq < 1:
+            raise ValueError(f"batch seq must be >= 1, got {seq}")
+        head += bytes((flags | BATCH_FLAG_SEQ,)) + _SEQ.pack(seq)
+    else:
+        head += bytes((flags,))
+    head += body
     return head + _CRC.pack(binascii.crc32(head) & 0xFFFFFFFF)
 
 
@@ -443,7 +477,16 @@ def decode_batch(payload: bytes) -> EventBatch:
     flags = payload[4]
     if flags & ~_BATCH_KNOWN_FLAGS:
         raise BatchFormatError(f"unknown batch flags {flags:#04x}")
-    body = payload[5:-_CRC.size]
+    pos0 = 5
+    first_seq = None
+    if flags & BATCH_FLAG_SEQ:
+        if len(payload) < pos0 + _SEQ.size + _CRC.size:
+            raise BatchFormatError("batch payload truncated in seq field")
+        (first_seq,) = _SEQ.unpack_from(payload, pos0)
+        pos0 += _SEQ.size
+        if first_seq < 1:
+            raise BatchFormatError(f"batch first_seq {first_seq} out of range")
+    body = payload[pos0:-_CRC.size]
     if flags & BATCH_FLAG_ZLIB:
         try:
             body = zlib.decompress(body)
@@ -491,7 +534,7 @@ def decode_batch(payload: bytes) -> EventBatch:
             int(pool_off[0]) != 0 or int(pool_off[-1]) != blob_len:
         raise BatchFormatError("string pool offsets are not a monotone "
                                "0..blob ramp")
-    return EventBatch(
+    batch = EventBatch(
         kinds, ts,
         job_id=job_id, job_uid=job_uid, job_start=job_start,
         job_end=job_end, job_nodes=job_nodes, job_cores=job_cores,
@@ -499,6 +542,10 @@ def decode_batch(payload: bytes) -> EventBatch:
         pub_auth_off=auth_off, pub_auth=pub_auth,
         acc_uid=acc_uid, acc_op=acc_op, acc_path=acc_path,
         pool_off=pool_off, pool_blob=bytes(blob_view))
+    if first_seq is not None:
+        batch.first_seq = int(first_seq)
+        batch.seq_width = n
+    return batch
 
 
 def encode_batch_frame(payload: bytes,

@@ -294,6 +294,15 @@ class MultiTenantService:
         self._next_boundary = 0
         self._consumed = 0
         self.dropped_accesses = 0
+        #: Optional hook ``consumed -> dict`` supplying an ``ingest``
+        #: section for every checkpoint manifest (the networked stream
+        #: wires its SequenceLedger snapshot here, making per-source
+        #: producer cursors durable across kill -9 + resume).
+        self.ingest_snapshot: Callable[[int], dict] | None = None
+        #: The ``ingest`` section of the manifest this service was
+        #: resumed from (None on a fresh service or an old checkpoint):
+        #: the CLI seeds the listener's initial cursors from it.
+        self.resumed_ingest: dict | None = None
         self._buf_pid: list[int] = []
         self._buf_uid: list[int] = []
         self._buf_ts: list[int] = []
@@ -984,6 +993,12 @@ class MultiTenantService:
             "stats": {k: v for k, v in self.stats.items()},
             "tenants": [],
         }
+        if self.ingest_snapshot is not None:
+            # Per-source producer cursors at exactly this consumed
+            # count: a resumed server hands them to its listener so
+            # reconnecting producers resume mid-stream instead of
+            # replaying (exactly-once across kill -9).
+            manifest["ingest"] = self.ingest_snapshot(self._consumed)
         arrays: dict[str, np.ndarray] = {
             "paths": np.asarray(self.catalog.paths, dtype=np.str_),
             "snap_size": self.catalog.snap_size.copy(),
@@ -1152,6 +1167,7 @@ class MultiTenantService:
             manifest["activity_types"], arrays))
         service._next_boundary = int(manifest["next_boundary"])
         service._consumed = int(manifest["cursor"])
+        service.resumed_ingest = manifest.get("ingest")
         service.dropped_accesses = int(manifest["dropped_accesses"])
         saved_stats = dict(manifest.get("stats", {}))
         saved_stats.pop("checkpoints_written", None)

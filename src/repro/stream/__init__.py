@@ -13,7 +13,8 @@ from .batch import (BatchBuilder, BatchRun, EventBatch, merge_stream_items,
                     skip_stream_items)
 from .checkpoint import (CHECKPOINT_FORMAT, CheckpointCorruption,
                          CheckpointManager, atomic_write_npz,
-                         load_checkpoint, verify_checkpoint)
+                         ingest_cursors, load_checkpoint,
+                         verify_checkpoint)
 from .events import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION, StreamEvent,
                      dataset_event_stream, merge_event_streams, skip_events,
                      workspace_event_stream)
@@ -34,6 +35,7 @@ __all__ = [
     "CheckpointCorruption",
     "CheckpointManager",
     "atomic_write_npz",
+    "ingest_cursors",
     "load_checkpoint",
     "verify_checkpoint",
     "EVENT_ACCESS",

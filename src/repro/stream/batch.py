@@ -85,7 +85,8 @@ class EventBatch:
                  "pub_id", "pub_cit", "pub_auth_off", "pub_auth",
                  "acc_uid", "acc_op", "acc_path",
                  "single_kind", "_pool", "_pool_off", "_pool_blob",
-                 "_kpos", "pid_map")
+                 "_kpos", "pid_map",
+                 "first_seq", "seq_width", "orig_rows")
 
     def __init__(self, kinds, ts, *,
                  job_id=_EMPTY_I64, job_uid=_EMPTY_I64,
@@ -123,6 +124,19 @@ class EventBatch:
         #: filled lazily by the consuming service.  A batch is consumed by
         #: exactly one service, so the cache cannot leak across catalogs.
         self.pid_map = None
+        #: Sequencing provenance (networked exactly-once ingest).
+        #: ``first_seq`` is the 1-based per-source sequence number of the
+        #: batch's *original* row 0 as it crossed the wire; ``seq_width``
+        #: the original row count (so the batch covered sequence numbers
+        #: ``first_seq .. first_seq + seq_width - 1``); ``orig_rows`` maps
+        #: each current row back to its original row offset after
+        #: compactions (``None`` = identity).  All three stay constant
+        #: under :meth:`compact` so checkpoint cursors can name the exact
+        #: wire position of any surviving row.  ``None`` on unsequenced
+        #: batches.
+        self.first_seq = None
+        self.seq_width = None
+        self.orig_rows = None
 
     # -- shape ----------------------------------------------------------
 
@@ -200,7 +214,7 @@ class EventBatch:
         np.cumsum(kept_lens, out=new_off[1:])
         auth_keep = (np.repeat(pk, auth_lens)
                      if self.pub_auth.size else np.zeros(0, bool))
-        return EventBatch(
+        out = EventBatch(
             self.kinds[keep], self.ts[keep],
             job_id=self.job_id[jk], job_uid=self.job_uid[jk],
             job_start=self.job_start[jk], job_end=self.job_end[jk],
@@ -211,6 +225,25 @@ class EventBatch:
             acc_path=self.acc_path[ak],
             pool=self._pool, pool_off=self._pool_off,
             pool_blob=self._pool_blob)
+        if self.first_seq is not None:
+            out.first_seq = self.first_seq
+            out.seq_width = self.seq_width
+            out.orig_rows = (self.orig_rows[keep]
+                             if self.orig_rows is not None
+                             else np.flatnonzero(keep))
+        return out
+
+    def drop_seq_prefix(self, k: int) -> "EventBatch":
+        """Drop the first ``k`` rows (already-received duplicates).
+
+        Used at the ingest edge when a resent batch partially overlaps
+        the source cursor; ``first_seq``/``seq_width`` are preserved and
+        ``orig_rows`` keeps naming the surviving rows' original wire
+        offsets, so per-source checkpoint cursors stay exact.
+        """
+        keep = np.ones(self.n, dtype=bool)
+        keep[:k] = False
+        return self.compact(keep)
 
     def event_at(self, row: int) -> StreamEvent:
         """Reconstruct the :class:`StreamEvent` of one row (slow path)."""

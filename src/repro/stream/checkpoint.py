@@ -61,7 +61,7 @@ __all__ = ["CHECKPOINT_FORMAT", "SERVER_CHECKPOINT_FORMAT",
            "reports_to_jsonable", "reports_from_jsonable",
            "metrics_to_arrays", "metrics_from_arrays",
            "activeness_to_arrays", "activeness_from_arrays",
-           "CheckpointManager"]
+           "ingest_cursors", "CheckpointManager"]
 
 CHECKPOINT_FORMAT = "repro-stream-checkpoint/2"
 
@@ -328,6 +328,21 @@ def activeness_from_arrays(table: list[dict],
                       np.asarray(arrays[f"act_{i}_ts"], dtype=np.int64),
                       np.asarray(arrays[f"act_{i}_imp"], dtype=np.float64))
     return out
+
+
+def ingest_cursors(manifest: Mapping[str, Any]) -> dict[str, int]:
+    """Per-source producer cursors stored in a server checkpoint.
+
+    The networked server's checkpoints carry an ``ingest`` section
+    (written by the SequenceLedger via the service's
+    ``ingest_snapshot`` hook) mapping each socket source to the highest
+    per-source sequence number the checkpointed fold covers.  Returns
+    ``{}`` for file-fed or pre-sequencing checkpoints, which resume by
+    global cursor skip instead.
+    """
+    section = manifest.get("ingest") or {}
+    seqs = section.get("source_seqs") or {}
+    return {str(name): int(seq) for name, seq in seqs.items()}
 
 
 # ---------------------------------------------------------------------------
