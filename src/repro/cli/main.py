@@ -3,6 +3,7 @@
 Subcommands::
 
     activedr generate  --out DIR [--users N] [--seed S] [--shards K]
+                       [--chunk-users N]
     activedr validate  --workspace DIR
     activedr evaluate  --workspace DIR [--at-day D] [--period-days P] [--top K]
     activedr retain    --workspace DIR [--policy activedr|flt]
@@ -22,15 +23,20 @@ Subcommands::
                        [--stop-after-events N] [--dead-letter FILE]
                        [--fault-plan FILE]
                        [--listen ADDR] [--admin ADDR]
+                       [--tls-cert PEM] [--tls-key PEM]
                        [--tenant SPEC ...] [--expect-producers N]
+                       [--shards N] [--fleet-dir DIR]
     activedr publish   --workspace DIR --connect ADDR
                        [--sources jobs,publications,accesses]
                        [--producer NAME] [--retry-for S]
+                       [--tls-ca PEM]
     activedr admin     --connect ADDR
                        {status|health|tenants|metrics|activity|export|
-                        query|tenants-add|tenants-remove} [--uid N]
+                        query|tenants-add|tenants-remove|shards|
+                        shards-rebalance} [--uid N]
                        [--history N] [--prom]
                        [--spec SPEC] [--name NAME] [--clone-from NAME]
+                       [--donor NAME]
     activedr dashboard [--connect ADDR | --history-file FILE]
                        [--out FILE.html] [--samples N]
     activedr supervise --checkpoint-dir DIR [--max-restarts N]
@@ -83,6 +89,21 @@ purge pressure from the live socket or an offline history file.
 restart loop: crashes resume from the newest verifying checkpoint under
 seeded exponential backoff, with a bounded give-up.
 
+``serve --shards N`` scales the networked server horizontally: a
+consistent-hash shard router listens on ``--listen`` and forwards each
+event to the worker process owning its user (publications fan out to
+every co-author's shard), ``--admin`` becomes a scatter/gather plane
+that merges ``status``/``health``/``metrics``/``activity`` across the
+fleet while keeping per-shard trigger-latency and miss tails visible,
+and ``admin shards-rebalance`` splits the busiest (or ``--donor``)
+shard at the next day boundary by cloning its checkpoint into a new
+worker and flipping the ring atomically.  The merged per-tenant
+results are bit-identical to a single-process ``serve`` over the same
+feed.  ``--tls-cert``/``--tls-key`` wrap the ingest socket (single or
+sharded) in TLS; producers pin the CA with ``publish --tls-ca``.
+``generate --chunk-users N`` streams workspace generation in N-user
+chunks so 100k-1M user populations fit in laptop memory.
+
 Also runnable as ``python -m repro ...``.
 """
 
@@ -120,7 +141,8 @@ from ..emulation import (ACTIVEDR, FLT, SCRATCHCACHE, VALUEBASED,
                          ComparisonRunner, Emulator, FastEmulator,
                          advance_filesystem, compile_dataset,
                          run_lifetime_sweep)
-from ..synth import TitanConfig, generate_dataset
+from ..synth import (TitanConfig, generate_dataset,
+                     generate_workspace_streamed)
 from ..traces import validate_dataset
 from ..vfs import DAY_SECONDS
 from .workspace import Workspace, load_workspace, save_workspace
@@ -142,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=2021)
     gen.add_argument("--shards", type=int, default=4,
                      help="snapshot shard count")
+    gen.add_argument("--chunk-users", type=int, default=0, metavar="N",
+                     help="generate in chunks of N users, streaming each "
+                          "trace to disk (0 = auto: in-memory below 50k "
+                          "users, 25k-user chunks at or above; required "
+                          "head-room for 100k-1M user workspaces)")
 
     val = sub.add_parser("validate", help="validate a workspace's traces")
     val.add_argument("--workspace", required=True)
@@ -272,6 +299,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "observability samples (default: "
                           "metrics-history.jsonl in --checkpoint-dir, "
                           "if set; multi-tenant serve only)")
+    srv.add_argument("--tls-cert", default=None, metavar="PEM",
+                     help="serve the ingest socket over TLS with this "
+                          "certificate (PEM; may include the key)")
+    srv.add_argument("--tls-key", default=None, metavar="PEM",
+                     help="private key for --tls-cert (when separate)")
+    srv.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="run a horizontally sharded fleet: N worker "
+                          "processes each owning a consistent-hash slice "
+                          "of the users, behind a shard router on "
+                          "--listen and a scatter/gather admin plane on "
+                          "--admin")
+    srv.add_argument("--fleet-dir", default=None, metavar="DIR",
+                     help="fleet working directory: worker sockets, "
+                          "checkpoint chains, logs, results (default: "
+                          "--checkpoint-dir, else WORKSPACE/fleet)")
+    srv.add_argument("--shard-name", default=None, metavar="NAME",
+                     help=argparse.SUPPRESS)  # internal: fleet worker id
+    srv.add_argument("--shard-ring", default=None, metavar="FILE",
+                     help=argparse.SUPPRESS)  # internal: ring JSON path
+    srv.add_argument("--result-json", default=None, metavar="FILE",
+                     help="write the per-tenant emulation results as "
+                          "JSON (the sharded fleet merges these)")
 
     pub = sub.add_parser("publish",
                          help="publish a workspace's traces to a serve "
@@ -299,6 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
     pub.add_argument("--retry-seed", type=int, default=None,
                      help="seed the jittered reconnect backoff (for "
                           "deterministic chaos runs)")
+    pub.add_argument("--tls", action="store_true",
+                     help="connect over TLS (without --tls-ca the "
+                          "server certificate is not verified)")
+    pub.add_argument("--tls-ca", default=None, metavar="PEM",
+                     help="trust anchor for the server certificate "
+                          "(implies --tls; typically the server's own "
+                          "self-signed --tls-cert file)")
 
     chp = sub.add_parser("chaos-proxy",
                          help="run a FaultPlan-scripted chaos proxy "
@@ -319,7 +375,8 @@ def build_parser() -> argparse.ArgumentParser:
     adm.add_argument("request",
                      choices=("status", "health", "tenants", "metrics",
                               "activity", "export", "query",
-                              "tenants-add", "tenants-remove"))
+                              "tenants-add", "tenants-remove",
+                              "shards", "shards-rebalance"))
     adm.add_argument("--uid", type=int, default=None,
                      help="user id for 'query'")
     adm.add_argument("--history", type=int, default=None, metavar="N",
@@ -334,7 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="donor tenant whose replay state the new tenant "
                           "clones (default: the first tenant)")
     adm.add_argument("--name", default=None,
-                     help="tenant name for 'tenants-remove'")
+                     help="tenant name for 'tenants-remove', or the new "
+                          "shard's name for 'shards-rebalance'")
+    adm.add_argument("--donor", default=None,
+                     help="with 'shards-rebalance': the shard to split "
+                          "(default: the one routed the most rows)")
 
     dash = sub.add_parser("dashboard",
                           help="render a dashboard of a running (or "
@@ -372,10 +433,19 @@ def build_parser() -> argparse.ArgumentParser:
 # command implementations
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    dataset = generate_dataset(TitanConfig(n_users=args.users,
-                                           seed=args.seed))
-    save_workspace(dataset, args.out, n_shards=args.shards)
-    summary = dataset.summary()
+    chunk = args.chunk_users
+    if chunk == 0 and args.users >= 50_000:
+        chunk = 25_000
+    if chunk:
+        summary = generate_workspace_streamed(
+            TitanConfig(n_users=args.users, seed=args.seed), args.out,
+            chunk_users=chunk, n_shards=args.shards,
+            log=lambda msg: print(f"generate: {msg}", file=sys.stderr))
+    else:
+        dataset = generate_dataset(TitanConfig(n_users=args.users,
+                                               seed=args.seed))
+        save_workspace(dataset, args.out, n_shards=args.shards)
+        summary = dataset.summary()
     print(f"workspace written to {args.out}")
     print(f"  users={summary['users']}  jobs={summary['jobs']}  "
           f"pubs={summary['publications']}  accesses={summary['accesses']}")
@@ -615,6 +685,8 @@ def _serve_reliability_report(stream) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.shards:
+        return _cmd_serve_sharded(args)
     if args.listen or args.tenant:
         return _cmd_serve_fleet(args)
     return _cmd_serve_single(args)
@@ -811,6 +883,29 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         return 1
     factory = _fleet_policy_factory(args.workspace)
 
+    # Shard-worker mode (spawned by `serve --shards N`): this process
+    # owns one consistent-hash slice of the users.  The authoritative
+    # ring for a resumed worker is the one in its checkpoint manifest
+    # (it may be newer than the file after a rebalance).
+    shard_name = args.shard_name
+    shard_ring = None
+    shard_ring_json = None
+    if shard_name:
+        from ..server import HashRing
+        if not args.shard_ring:
+            print("--shard-name requires --shard-ring", file=sys.stderr)
+            return 1
+        with open(args.shard_ring) as f:
+            shard_ring_json = json.load(f)
+        shard_ring = HashRing.from_jsonable(shard_ring_json)
+        if shard_name not in shard_ring.shards and not args.resume:
+            # On --resume the checkpoint manifest's ring wins (it may
+            # be newer than the file -- e.g. a rebalance clone), so the
+            # membership check moves past the resume override below.
+            print(f"shard {shard_name!r} is not in the ring "
+                  f"({shard_ring.shards})", file=sys.stderr)
+            return 1
+
     plan = FaultPlan.from_json(args.fault_plan) if args.fault_plan else None
     opener = None
     if plan is not None and plan.has_target("checkpoint"):
@@ -872,14 +967,38 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 return EXIT_CHECKPOINT_FAILURE
             resumed = True
             print(f"resumed from {newest} at event {service.cursor}")
+            if service.resumed_shard is not None:
+                # The checkpointed shard section wins over --shard-ring:
+                # a rebalance may have narrowed this worker after the
+                # ring file was written (donor), or this may be the
+                # first resume of a rebalance clone (seed pending).
+                from ..server import HashRing
+                shard_name = service.resumed_shard["name"]
+                shard_ring_json = service.resumed_shard["ring"]
+                shard_ring = HashRing.from_jsonable(shard_ring_json)
+            if service.resumed_seed_pending:
+                dropped = service.restrict_users(
+                    shard_ring.keep_mask(shard_name))
+                service.reset_measurements()
+                print(f"seeded shard {shard_name} from rebalance clone "
+                      f"(shed {dropped['dropped_users']} users, "
+                      f"{dropped['dropped_files']} files)",
+                      file=sys.stderr)
         else:
             with open(os.path.join(args.workspace, "meta.json")) as f:
                 meta = json.load(f)
             fs = load_filesystem(os.path.join(args.workspace, "snapshot"),
                                  size_seed=int(meta.get("size_seed", 2021)),
-                                 capacity_bytes=None)
+                                 capacity_bytes=None,
+                                 uid_filter=(shard_ring.uid_filter(shard_name)
+                                             if shard_ring else None))
             known = [u.uid for u in read_users(
                 os.path.join(args.workspace, "users.txt.gz"))]
+            if shard_ring is not None:
+                import numpy as np
+                uids = np.asarray(known, dtype=np.int64)
+                mask = shard_ring.member_mask(shard_name, uids)
+                known = [int(u) for u in uids[mask].tolist()]
             service = MultiTenantService(
                 [(spec, factory(spec)) for spec in specs],
                 snapshot_fs=fs,
@@ -891,6 +1010,16 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 policy_factory=factory,
                 metrics_history=history)
 
+        if shard_ring is not None:
+            if shard_name not in shard_ring.shards:
+                print(f"shard {shard_name!r} is not in the ring "
+                      f"({shard_ring.shards})", file=sys.stderr)
+                return 1
+            ring, name, ring_json = shard_ring, shard_name, shard_ring_json
+            service.owned_filter = ring.owned_filter(name)
+            service.manifest_extra = lambda: {
+                "shard": {"name": name, "ring": ring_json}}
+
         # The event feed is built AFTER the service so a listening
         # server can seed its per-source edge cursors from the resumed
         # checkpoint's ingest section: reconnecting producers then learn
@@ -898,13 +1027,22 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         # suffix the crash lost, with the edge discarding any overlap.
         if args.listen:
             cursors = {}
-            if resumed and service.resumed_ingest is not None:
+            if (resumed and service.resumed_ingest is not None
+                    and not service.resumed_seed_pending):
+                # A rebalance clone's ingest section belongs to the
+                # DONOR's lane sequence domain; the seeded worker's
+                # lanes start a fresh one, so its edge starts empty.
                 cursors = ingest_cursors({"ingest": service.resumed_ingest})
             try:
                 expected = _parse_expect_producers(args.expect_producers)
             except ValueError as exc:
                 print(f"bad --expect-producers: {exc}", file=sys.stderr)
                 return 1
+            ssl_context = None
+            if args.tls_cert:
+                from ..server.protocol import make_server_ssl_context
+                ssl_context = make_server_ssl_context(args.tls_cert,
+                                                      args.tls_key)
             listener = SocketListener(
                 args.listen,
                 expected=expected,
@@ -912,7 +1050,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                 auth_token=args.auth_token,
                 max_connections=args.max_connections,
                 write_deadline=(args.write_deadline
-                                if args.write_deadline > 0 else None))
+                                if args.write_deadline > 0 else None),
+                ssl_context=ssl_context)
             stream = NetworkEventStream(listener, dead_letter=dead_letter)
             events = iter(stream)
             if resumed:
@@ -958,7 +1097,49 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
             service.sample_extra = sample_extra
 
-        admin = (AdminServer(args.admin, service, stream=stream)
+        extra_commands = None
+        if shard_name:
+            def _shard_split(request: dict,
+                             service=service) -> dict:
+                from ..server import HashRing
+                try:
+                    boundary = int(request["at_boundary"])
+                    dest_dir = request["dest_dir"]
+                    new_ring_json = request["ring"]
+                    new_shard = request["new_shard"]
+                except (KeyError, TypeError, ValueError) as exc:
+                    return {"ok": False,
+                            "error": f"bad shard-split request: {exc}"}
+                if boundary < service.next_boundary:
+                    return {"ok": False,
+                            "error": f"boundary {boundary} already "
+                                     f"passed (next is "
+                                     f"{service.next_boundary})"}
+                if boundary >= service.n_days:
+                    return {"ok": False,
+                            "error": f"boundary {boundary} is past the "
+                                     f"{service.n_days}-day window"}
+                new_ring = HashRing.from_jsonable(new_ring_json)
+                if (shard_name not in new_ring.shards
+                        or new_shard not in new_ring.shards):
+                    return {"ok": False,
+                            "error": "post-split ring must contain both "
+                                     "the donor and the new shard"}
+                service.request_split(
+                    at_boundary=boundary, dest_dir=dest_dir,
+                    keep_mask=new_ring.keep_mask(shard_name),
+                    owned_filter=new_ring.owned_filter(shard_name),
+                    extra={"shard": {"name": new_shard,
+                                     "ring": new_ring_json}},
+                    donor_extra={"shard": {"name": shard_name,
+                                           "ring": new_ring_json}})
+                return {"ok": True, "queued": True,
+                        "at_boundary": boundary, "dest_dir": dest_dir}
+
+            extra_commands = {"shard-split": _shard_split}
+
+        admin = (AdminServer(args.admin, service, stream=stream,
+                             extra_commands=extra_commands)
                  if args.admin else None)
         try:
             results = service.run(events,
@@ -982,6 +1163,14 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         print(f"stopped after {service.cursor} events "
               f"({stats['activeness_evals']} evaluations so far){where}")
         return 0
+    if args.result_json:
+        payload = {"tenants": {
+            t.name: _result_to_jsonable(results[t.name])
+            for t in service.tenants}}
+        tmp = f"{args.result_json}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, args.result_json)
     print(f"ingested {service.cursor} events "
           f"(jobs={stats['events_job']} pubs={stats['events_publication']} "
           f"accesses={stats['events_access']}, "
@@ -997,12 +1186,184 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _result_to_jsonable(result) -> dict:
+    """The mergeable subset of an :class:`EmulationResult` as JSON.
+
+    Everything here is either additive across user-disjoint shards
+    (daily ledgers, totals) or mergeable by trigger time (reports); see
+    ``repro.server.shard.merge_tenant_results`` for the inverse.
+    """
+    from ..stream.checkpoint import reports_to_jsonable
+
+    metrics = result.metrics
+    return {
+        "policy": result.policy,
+        "lifetime_days": result.lifetime_days,
+        "n_days": int(metrics.n_days),
+        "accesses": metrics.accesses.tolist(),
+        "misses": metrics.misses.tolist(),
+        "group_misses": {str(cls.value): series.tolist()
+                         for cls, series in metrics.group_misses.items()},
+        "reports": reports_to_jsonable(result.reports),
+        "final_total_bytes": int(result.final_total_bytes),
+        "final_file_count": int(result.final_file_count),
+    }
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: the horizontally sharded fleet.
+
+    This process runs the shard router (on ``--listen``) and the
+    scatter/gather fleet admin plane (on ``--admin``); the N workers
+    are child ``serve`` processes on private unix sockets, each under
+    a supervised crash loop.  When ingestion completes everywhere the
+    per-worker result JSONs are merged and printed in the same format
+    as a single-process ``serve``.
+    """
+    import json
+    import os
+
+    from ..server import (FleetAdmin, HashRing, ShardFleet, ShardRouter,
+                          WorkerSpec)
+
+    if not args.listen:
+        print("--shards requires --listen (the fleet's ingest front)",
+              file=sys.stderr)
+        return 1
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 1
+    if args.resume:
+        print("--shards does not support --resume at the fleet level "
+              "(workers auto-resume their own checkpoints)",
+              file=sys.stderr)
+        return 1
+    try:
+        expected = _parse_expect_producers(args.expect_producers)
+    except ValueError as exc:
+        print(f"bad --expect-producers: {exc}", file=sys.stderr)
+        return 1
+
+    with open(os.path.join(args.workspace, "meta.json")) as f:
+        meta = json.load(f)
+    replay_start = int(meta["replay_start"])
+    n_days = (int(meta["replay_end"]) - replay_start) // DAY_SECONDS
+
+    fleet_dir = (args.fleet_dir or args.checkpoint_dir
+                 or os.path.join(args.workspace, "fleet"))
+    os.makedirs(fleet_dir, exist_ok=True)
+
+    names = [f"s{i:02d}" for i in range(args.shards)]
+    ring = HashRing(names)
+    ring_path = os.path.join(fleet_dir, "ring.json")
+    with open(ring_path, "w") as f:
+        json.dump(ring.to_jsonable(), f)
+
+    def make_spec(name: str) -> WorkerSpec:
+        ck_dir = os.path.join(fleet_dir, f"{name}-ck")
+        spec = WorkerSpec(
+            name=name,
+            ingest_address=f"unix:{os.path.join(fleet_dir, name)}.sock",
+            admin_address=f"unix:{os.path.join(fleet_dir, name)}-admin.sock",
+            checkpoint_dir=ck_dir,
+            result_path=os.path.join(fleet_dir, f"{name}-result.json"),
+            log_path=os.path.join(fleet_dir, f"{name}.log"))
+        command = [sys.executable, "-m", "repro", "serve",
+                   "--workspace", args.workspace,
+                   "--listen", spec.ingest_address,
+                   "--admin", spec.admin_address,
+                   "--checkpoint-dir", ck_dir,
+                   "--checkpoint-every", str(args.checkpoint_every),
+                   "--checkpoint-retain", str(args.checkpoint_retain),
+                   "--shard-name", name,
+                   "--shard-ring", ring_path,
+                   "--result-json", spec.result_path,
+                   "--expect-producers", "1",
+                   "--policy", args.policy,
+                   "--lifetime", str(args.lifetime),
+                   "--target", str(args.target)]
+        for tenant in args.tenant or ():
+            command += ["--tenant", tenant]
+        spec.command = command
+        return spec
+
+    specs = [make_spec(name) for name in names]
+
+    ssl_context = None
+    if args.tls_cert:
+        from ..server.protocol import make_server_ssl_context
+        ssl_context = make_server_ssl_context(args.tls_cert, args.tls_key)
+
+    router = ShardRouter(
+        args.listen,
+        workers={s.name: s.ingest_address for s in specs},
+        ring=ring,
+        expected=expected,
+        auth_token=args.auth_token,
+        ssl_context=ssl_context,
+        max_connections=args.max_connections,
+        write_deadline=(args.write_deadline
+                        if args.write_deadline > 0 else None))
+    fleet = ShardFleet(router, specs, directory=fleet_dir,
+                       replay_start=replay_start, n_days=n_days,
+                       worker_factory=make_spec, poll_interval=0.5,
+                       log=lambda line: print(f"fleet: {line}",
+                                              file=sys.stderr, flush=True))
+    admin = FleetAdmin(args.admin, fleet) if args.admin else None
+    print(f"fleet: {args.shards} shard(s) behind {router.address} "
+          f"(dir {fleet_dir})", flush=True)
+    try:
+        fleet.start()
+        completed = fleet.wait()
+        if completed:
+            router.join(timeout=60.0)
+    finally:
+        if admin is not None:
+            admin.close()
+        fleet.stop()
+
+    failed = [name for name, report in fleet.reports.items()
+              if getattr(report, "final_returncode", 1) != 0]
+    if failed:
+        print(f"fleet: worker(s) {', '.join(sorted(failed))} failed; "
+              f"see logs in {fleet_dir}", file=sys.stderr)
+        return 1
+    try:
+        merged = fleet.collect_results()
+    except RuntimeError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 1
+    restarts = sum(getattr(r, "restarts", 0)
+                   for r in fleet.reports.values())
+    print(f"fleet: ingested {sum(router.rows_routed.values())} routed "
+          f"rows across {len(fleet.worker_names())} shard(s), "
+          f"{restarts} worker restart(s), "
+          f"{len(fleet.rebalance_log())} rebalance(s)", file=sys.stderr)
+    # Header format matches the single-process multi-tenant serve
+    # byte-for-byte, so identity checks can diff from the first
+    # "=== tenant" line.
+    tenant_specs = _fleet_tenant_specs(args)
+    ordered = [s.name for s in tenant_specs if s.name in merged]
+    ordered += [n for n in sorted(merged) if n not in ordered]
+    spec_policies = {s.name: s.policy for s in tenant_specs}
+    for name in ordered:
+        result = merged[name]
+        policy = spec_policies.get(name, result.policy)
+        print(f"=== tenant {name} [{policy}] ===")
+        print(render_emulation_summary(result))
+    return 0
+
+
 def _cmd_publish(args: argparse.Namespace) -> int:
     from ..server import publish_workspace
     from ..server.ingest import DEFAULT_BATCH_EVENTS
 
     sources = tuple(s for s in args.sources.split(",") if s)
     batch = DEFAULT_BATCH_EVENTS if args.batch is None else max(0, args.batch)
+    ssl_context = None
+    if args.tls or args.tls_ca:
+        from ..server.protocol import make_client_ssl_context
+        ssl_context = make_client_ssl_context(args.tls_ca)
     try:
         counts = publish_workspace(args.connect, args.workspace,
                                    sources=sources,
@@ -1011,7 +1372,8 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                                    retry_seed=args.retry_seed,
                                    batch_size=batch,
                                    compress=args.compress,
-                                   auth_token=args.auth_token)
+                                   auth_token=args.auth_token,
+                                   ssl_context=ssl_context)
     except (OSError, ConnectionError) as exc:
         print(f"publish failed: {exc}", file=sys.stderr)
         return 1
@@ -1054,6 +1416,11 @@ def _cmd_admin(args: argparse.Namespace) -> int:
             print("tenants-remove needs --name", file=sys.stderr)
             return 1
         request = {"cmd": "tenants", "action": "remove", "name": args.name}
+    elif args.request == "shards-rebalance":
+        if args.donor:
+            request["donor"] = args.donor
+        if args.name:
+            request["name"] = args.name
 
     try:
         response = admin_request(args.connect, request)

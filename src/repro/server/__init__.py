@@ -27,7 +27,12 @@ from local trace files; this package turns that daemon into a *server*:
   capacity forecasts from a live server or an offline history file;
 * :mod:`~repro.server.supervisor` -- a supervised restart loop with
   auto-resume from the newest verifying checkpoint and crash-loop
-  exponential backoff.
+  exponential backoff;
+* :mod:`~repro.server.shard` -- the horizontally sharded fleet: a
+  consistent-hash :class:`HashRing` over users, the
+  :class:`ShardRouter` forwarding ingest to owning workers with
+  exactly-once lanes, the scatter/gather :class:`FleetAdmin` plane, and
+  :class:`ShardFleet` orchestration including day-boundary rebalances.
 """
 
 from .admin import AdminServer, admin_request, scrape_metrics
@@ -45,6 +50,9 @@ from .protocol import (PROTOCOL_VERSION, SUPPORTED_PROTOCOLS,
                        read_frame, write_frame)
 from .metrics import (Counter, MetricsHistory, render_prometheus,
                       tail_stats)
+from .shard import (FleetAdmin, HashRing, ShardFleet, ShardLane,
+                    ShardRouter, WorkerSpec, merge_tenant_results,
+                    splitmix64)
 from .supervisor import (EXIT_GIVE_UP, BackoffPolicy, Supervisor,
                          SupervisorReport)
 from .tenants import MultiTenantService, Tenant, TenantSpec
@@ -86,6 +94,14 @@ __all__ = [
     "parse_address",
     "read_frame",
     "write_frame",
+    "FleetAdmin",
+    "HashRing",
+    "ShardFleet",
+    "ShardLane",
+    "ShardRouter",
+    "WorkerSpec",
+    "merge_tenant_results",
+    "splitmix64",
     "EXIT_GIVE_UP",
     "BackoffPolicy",
     "Supervisor",

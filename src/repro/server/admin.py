@@ -77,9 +77,15 @@ class AdminServer:
 
     def __init__(self, address: str, service: MultiTenantService, *,
                  stream=None,
+                 extra_commands: dict[str, Callable[[dict], dict]]
+                 | None = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.service = service
         self.stream = stream
+        #: Deployment-specific verbs (e.g. the shard fleet's
+        #: ``shard-split``) merged into dispatch -- the admin plane
+        #: stays ignorant of what registered them.
+        self.extra_commands = dict(extra_commands or {})
         self._clock = clock
         self._started = clock()
         # Immutable fallback rate anchor: before the first boundary
@@ -236,6 +242,7 @@ class AdminServer:
             "activity": self._cmd_activity,
             "export": self._cmd_export,
             "query": self._cmd_query,
+            **self.extra_commands,
         }.get(cmd)
         if handler is None:
             self.errors += 1
@@ -264,6 +271,11 @@ class AdminServer:
             "quarantined": quarantined,
             "checkpoint_failures": service.stats["checkpoint_failures"],
             "last_checkpoint_error": service.last_checkpoint_error,
+            # Newest *durable* per-source cursors (from the last
+            # checkpoint): a shard router trims its resend lanes up to
+            # these -- rows at or below them survive a kill -9.
+            "ingest_cursors": getattr(service, "last_durable_ingest",
+                                      None),
         }
 
     def _cmd_tenants(self, request: dict) -> dict:
@@ -333,6 +345,13 @@ class AdminServer:
         out["trigger_latency"] = tail_stats(
             [s for t in list(service.tenants)
              for s in t.trigger_latency_log])
+        # TARE-style daily-miss tails per tenant over *settled* days
+        # only; the fleet admin merges these per shard so hot shards
+        # stay visible behind fleet-level means.
+        settled = min(service.next_boundary, service.n_days)
+        out["miss_tails"] = {
+            t.name: tail_stats(t.metrics.misses[:settled].tolist())
+            for t in list(service.tenants)}
         history = self.history
         if history is not None:
             out["history_samples"] = history.seq

@@ -322,7 +322,8 @@ class SocketListener:
                  initial_cursors: Mapping[str, int] | None = None,
                  auth_token: str | None = None,
                  max_connections: int | None = None,
-                 write_deadline: float | None = 30.0) -> None:
+                 write_deadline: float | None = 30.0,
+                 ssl_context=None) -> None:
         if not isinstance(expected, Mapping):
             expected = {name: 1 for name in expected}
         if not expected:
@@ -342,6 +343,10 @@ class SocketListener:
         #: Seconds an ack write may block before the client is judged
         #: stuck and evicted (None disables the deadline).
         self.write_deadline = write_deadline
+        #: Server-side :class:`ssl.SSLContext`; accepted connections are
+        #: wrapped (handshake in the reader thread, so a stalled
+        #: handshake never blocks the accept loop).
+        self.ssl_context = ssl_context
         initial_cursors = dict(initial_cursors or {})
         self._sources: dict[str, SocketSource] = {
             name: SocketSource(name, count, queue_size,
@@ -369,6 +374,7 @@ class SocketListener:
         self.busy_refusals = Counter()          # quota refusals
         self.auth_failures = Counter()          # bad/missing auth tokens
         self.slow_clients_evicted = Counter()   # write-deadline evictions
+        self.tls_handshake_failures = Counter()  # failed/absent TLS hellos
         self._active_connections = Counter()
         self._sock = create_listener(address, backlog)
         if not address.startswith("unix:"):
@@ -427,6 +433,9 @@ class SocketListener:
                 self.busy_refusals += 1
                 try:
                     conn.settimeout(1.0)
+                    if self.ssl_context is not None:
+                        conn = self.ssl_context.wrap_socket(
+                            conn, server_side=True)
                     write_frame(conn, {
                         "type": "error", "retryable": True,
                         "reason": f"busy: {int(self._active_connections)} "
@@ -590,6 +599,18 @@ class SocketListener:
         source: SocketSource | None = None
         perf = time.perf_counter
         try:
+            if self.ssl_context is not None:
+                try:
+                    conn.settimeout(self.write_deadline or 30.0)
+                    conn = self.ssl_context.wrap_socket(conn,
+                                                        server_side=True)
+                    conn.settimeout(None)
+                except OSError:
+                    # A plaintext or mis-certified client: there is no
+                    # channel to answer on, so count and drop.
+                    self.tls_handshake_failures += 1
+                    self.connections_refused += 1
+                    return
             reader = FrameReader(conn)
             try:
                 negotiated = self._handshake(conn, reader)
@@ -719,6 +740,7 @@ class SocketListener:
             "busy_refusals": int(self.busy_refusals),
             "auth_failures": int(self.auth_failures),
             "slow_clients_evicted": int(self.slow_clients_evicted),
+            "tls_handshake_failures": int(self.tls_handshake_failures),
             "active_connections": int(self._active_connections),
             "sources": {name: src.describe()
                         for name, src in self._sources.items()},
@@ -966,6 +988,7 @@ def publish_events(address: str, source: str,
                    connect_timeout: float = 10.0,
                    session: str | None = None, seq_offset: int = 0,
                    auth_token: str | None = None,
+                   ssl_context=None,
                    stats: dict | None = None,
                    sleep: Callable[[float], None] = time.sleep,
                    clock: Callable[[], float] = time.monotonic) -> int:
@@ -1033,6 +1056,7 @@ def publish_events(address: str, source: str,
                                  batch_size, compress,
                                  session=session, seq_offset=seq_offset,
                                  auth_token=auth_token,
+                                 ssl_context=ssl_context,
                                  on_connected=on_connected)
         except (OSError, FrameError, PublishRefused) as exc:
             if isinstance(exc, PublishRefused) and not exc.retryable:
@@ -1049,9 +1073,10 @@ def _publish_once(address: str, source: str, events: Iterable,
                   producer: str, connect_timeout: float,
                   batch_size: int = 0, compress: bool = False, *,
                   session: str | None = None, seq_offset: int = 0,
-                  auth_token: str | None = None,
+                  auth_token: str | None = None, ssl_context=None,
                   on_connected: Callable[[], None] | None = None) -> int:
-    sock = connect_socket(address, timeout=connect_timeout)
+    sock = connect_socket(address, timeout=connect_timeout,
+                          ssl_context=ssl_context)
     try:
         reader = FrameReader(sock)
         want_batch = batch_size > 0
@@ -1080,6 +1105,7 @@ def _publish_once(address: str, source: str, events: Iterable,
                                      session=session,
                                      seq_offset=seq_offset,
                                      auth_token=auth_token,
+                                     ssl_context=ssl_context,
                                      on_connected=on_connected)
             raise _refusal_error(
                 f"server refused producer of {source!r}", refusal)
@@ -1168,7 +1194,8 @@ def publish_batches(address: str, source: str,
                     connect_timeout: float = 10.0,
                     frame_cap: int = MAX_FRAME_BYTES,
                     session: str | None = None, seq_offset: int = 0,
-                    auth_token: str | None = None, sequenced: bool = True,
+                    auth_token: str | None = None, ssl_context=None,
+                    sequenced: bool = True,
                     retry_for: float = 0.0, retry_interval: float = 0.2,
                     retry_cap: float = 5.0, retry_seed: int | None = None,
                     sleep: Callable[[float], None] = time.sleep,
@@ -1213,7 +1240,8 @@ def publish_batches(address: str, source: str,
                 address, source, factory() if factory else batches,
                 producer, compress, connect_timeout, frame_cap,
                 session=session, seq_offset=seq_offset,
-                auth_token=auth_token, sequenced=sequenced)
+                auth_token=auth_token, ssl_context=ssl_context,
+                sequenced=sequenced)
         except (OSError, FrameError, PublishRefused) as exc:
             if isinstance(exc, PublishRefused) and not exc.retryable:
                 raise
@@ -1226,8 +1254,10 @@ def _publish_batches_once(address: str, source: str, batches: Iterable,
                           producer: str, compress: bool,
                           connect_timeout: float, frame_cap: int, *,
                           session: str | None, seq_offset: int,
-                          auth_token: str | None, sequenced: bool) -> int:
-    sock = connect_socket(address, timeout=connect_timeout)
+                          auth_token: str | None, ssl_context,
+                          sequenced: bool) -> int:
+    sock = connect_socket(address, timeout=connect_timeout,
+                          ssl_context=ssl_context)
     try:
         reader = FrameReader(sock)
         hello: dict = {"type": "hello", "source": source,
@@ -1303,6 +1333,7 @@ def publish_workspace(address: str, directory: str, *,
                       retry_cap: float = 5.0,
                       retry_seed: int | None = None,
                       auth_token: str | None = None,
+                      ssl_context=None,
                       stats: dict | None = None) -> dict[str, int]:
     """Publish a workspace's trace files concurrently, one per source.
 
@@ -1328,7 +1359,7 @@ def publish_workspace(address: str, directory: str, *,
                 compress=compress, retry_for=retry_for,
                 retry_interval=retry_interval, retry_cap=retry_cap,
                 retry_seed=retry_seed, auth_token=auth_token,
-                stats=source_stats)
+                ssl_context=ssl_context, stats=source_stats)
         except BaseException as exc:
             errors.append(exc)
 

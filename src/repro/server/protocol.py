@@ -90,6 +90,7 @@ import binascii
 import json
 import os
 import socket
+import ssl
 import struct
 import zlib
 from typing import Union
@@ -109,7 +110,8 @@ __all__ = ["PROTOCOL_V1", "PROTOCOL_V2", "PROTOCOL_VERSION",
            "encode_event", "decode_event",
            "encode_batch", "decode_batch", "encode_batch_frame",
            "parse_address", "format_address", "create_listener",
-           "connect_socket"]
+           "connect_socket", "make_server_ssl_context",
+           "make_client_ssl_context"]
 
 PROTOCOL_V1 = 1
 PROTOCOL_V2 = 2
@@ -615,8 +617,16 @@ def create_listener(spec: str, backlog: int = 16) -> socket.socket:
     return sock
 
 
-def connect_socket(spec: str, timeout: float | None = None) -> socket.socket:
-    """A connected client socket for ``spec``."""
+def connect_socket(spec: str, timeout: float | None = None,
+                   ssl_context: ssl.SSLContext | None = None,
+                   ) -> socket.socket:
+    """A connected client socket for ``spec``.
+
+    With ``ssl_context``, the TCP connection is wrapped in TLS before
+    return (the handshake runs under the same ``timeout``); unix-socket
+    addresses never wrap -- they are same-host transport and the fleet
+    uses them for router->worker hops inside one machine.
+    """
     family, where = parse_address(spec)
     if family == "unix":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -626,7 +636,46 @@ def connect_socket(spec: str, timeout: float | None = None) -> socket.socket:
         sock.settimeout(timeout)
     try:
         sock.connect(where)
+        if ssl_context is not None and family != "unix":
+            sock = ssl_context.wrap_socket(sock, server_hostname=where[0])
     except BaseException:
         sock.close()
         raise
     return sock
+
+
+# ---------------------------------------------------------------------------
+# TLS
+
+def make_server_ssl_context(certfile: str,
+                            keyfile: str | None = None) -> ssl.SSLContext:
+    """A server-side TLS context for the ingest socket.
+
+    ``certfile``/``keyfile`` come from ``serve --tls-cert/--tls-key``;
+    the listener wraps every accepted TCP connection before any frame
+    is read, so refuse-before-allocate semantics are unchanged (the
+    frame cap applies to the decrypted stream).
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    return context
+
+
+def make_client_ssl_context(cafile: str | None = None) -> ssl.SSLContext:
+    """A client-side TLS context (``publish``/``admin --tls-ca``).
+
+    Trust is pinned to ``cafile`` (typically the server's self-signed
+    certificate itself): certificate verification is required against
+    exactly that anchor, while hostname matching is disabled --
+    deployments address servers by IP/socket path and the pinned CA is
+    the identity.  Without ``cafile`` the channel is encrypted but
+    unauthenticated (still useful against passive snooping in tests).
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.check_hostname = False
+    if cafile:
+        context.load_verify_locations(cafile)
+        context.verify_mode = ssl.CERT_REQUIRED
+    else:
+        context.verify_mode = ssl.CERT_NONE
+    return context

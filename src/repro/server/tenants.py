@@ -303,6 +303,28 @@ class MultiTenantService:
         #: resumed from (None on a fresh service or an old checkpoint):
         #: the CLI seeds the listener's initial cursors from it.
         self.resumed_ingest: dict | None = None
+        #: The newest *durable* per-source ingest cursors -- what the
+        #: last checkpoint on our own chain recorded.  A shard router
+        #: polls this (via ``admin health``) to trim its resend-retention
+        #: lanes: rows at or below these cursors survive a kill -9.
+        self.last_durable_ingest: dict | None = None
+        #: Optional hook returning extra manifest keys for every
+        #: checkpoint (shard workers stamp a ``shard`` provenance
+        #: section: shard name + ring digest).
+        self.manifest_extra: Callable[[], dict] | None = None
+        #: Optional post-evaluation filter ``activeness_dict -> dict``
+        #: restricting classification to the users this shard owns
+        #: (publication rows are duplicated to every co-author's shard,
+        #: so un-owned authors acquire activity here; without the filter
+        #: they would be classified on several shards at once).
+        self.owned_filter: Callable[[dict[int, UserActiveness]],
+                                    dict[int, UserActiveness]] | None = None
+        #: True when this service was resumed from a donor's rebalance
+        #: clone that has not yet been narrowed to this shard's users
+        #: (manifest flag ``shard_seed_pending``); the serve wiring then
+        #: calls :meth:`restrict_users` + :meth:`reset_measurements`.
+        self.resumed_seed_pending = False
+        self.resumed_shard: dict | None = None
         self._buf_pid: list[int] = []
         self._buf_uid: list[int] = []
         self._buf_ts: list[int] = []
@@ -391,25 +413,143 @@ class MultiTenantService:
         """Enqueue a tenant removal, applied at the next day boundary."""
         self._pending_ops.append(("remove", name, None))
 
+    def request_split(self, *, at_boundary: int, dest_dir: str,
+                      keep_mask, owned_filter=None,
+                      extra: Mapping | None = None,
+                      donor_extra: Mapping | None = None) -> None:
+        """Enqueue a shard split, applied exactly at ``at_boundary``.
+
+        At that boundary -- after the previous day's flush, before the
+        boundary's own triggers, with the engine quiescent -- the full
+        service state is checkpointed into ``dest_dir`` (the *new*
+        worker's chain; the manifest carries ``shard_seed_pending`` plus
+        ``extra``), then this service is narrowed in place to the users
+        ``keep_mask`` retains and ``owned_filter`` (the post-split
+        ownership filter) is installed.  The seeded worker resumes the
+        clone with ``next_boundary == at_boundary``, so it re-fires the
+        boundary's triggers for *its* users while the donor's cover only
+        the kept ones: every user triggers exactly once.
+        """
+        self._pending_ops.append(("split", {
+            "at_boundary": int(at_boundary), "dest_dir": dest_dir,
+            "keep_mask": keep_mask, "owned_filter": owned_filter,
+            "extra": dict(extra or {}),
+            "donor_extra": (dict(donor_extra)
+                            if donor_extra is not None else None)}, None))
+
     def _apply_pending_ops(self, boundary: int) -> None:
+        deferred = []
         while True:
             try:
                 op, arg, extra = self._pending_ops.popleft()
             except IndexError:
-                return
+                break
+            if (op == "split" and arg["at_boundary"] > boundary):
+                deferred.append((op, arg, extra))
+                continue
             entry = {"op": op, "boundary": boundary, "ok": False}
             try:
                 if op == "add":
                     spec: TenantSpec = arg
                     entry["tenant"] = spec.name
                     self._apply_add(spec, extra, boundary)
+                elif op == "split":
+                    entry["dest"] = arg["dest_dir"]
+                    if arg["at_boundary"] < boundary:
+                        raise ValueError(
+                            f"split scheduled for boundary "
+                            f"{arg['at_boundary']} but the engine is "
+                            f"already at {boundary}")
+                    self._apply_split(arg)
                 else:
                     entry["tenant"] = arg
                     self._apply_remove(arg)
                 entry["ok"] = True
-            except ValueError as exc:
+            except (ValueError, OSError) as exc:
                 entry["error"] = str(exc)
             self.op_log.append(entry)
+        # Ops scheduled for a later boundary wait their turn (order
+        # within the queue is preserved).
+        for item in reversed(deferred):
+            self._pending_ops.appendleft(item)
+
+    def _apply_split(self, payload: Mapping) -> None:
+        extra = dict(payload["extra"])
+        extra["shard_seed_pending"] = True
+        dest = CheckpointManager(payload["dest_dir"])
+        self.save_checkpoint(manager=dest, extra=extra)
+        self.restrict_users(payload["keep_mask"])
+        if payload.get("owned_filter") is not None:
+            self.owned_filter = payload["owned_filter"]
+        if payload.get("donor_extra") is not None:
+            # The donor's own manifests must stamp the *post-split*
+            # shard section from this boundary on, or a donor crash
+            # after the split would resume with pre-split ownership.
+            donor_extra = dict(payload["donor_extra"])
+            self.manifest_extra = lambda: dict(donor_extra)
+
+    # ------------------------------------------------------------------
+    # shard restriction (rebalance donor / seeded worker)
+
+    def restrict_users(self, keep_mask) -> dict:
+        """Narrow this service, in place, to the users ``keep_mask`` keeps.
+
+        ``keep_mask`` maps an int64 uid array to a boolean keep mask.
+        Live files owned by shed users are dropped from every tenant's
+        replay state (with byte/count fixups), their activity histories
+        are removed, classifications are filtered, and cached
+        evaluations are invalidated.  Returns drop counters.
+        """
+        uids = np.asarray(self.known_uids, dtype=np.int64)
+        if uids.size:
+            kept = uids[np.asarray(keep_mask(uids), dtype=bool)]
+            self.known_uids = [int(u) for u in kept.tolist()]
+        dropped_users = self.activity.restrict_users(keep_mask)
+        dropped_files = dropped_bytes = 0
+        for tenant in self.tenants:
+            state = tenant.state
+            if state.n_paths:
+                keep = np.asarray(keep_mask(state.owner), dtype=bool)
+                drop = state.live & ~keep
+                n_drop = int(np.count_nonzero(drop))
+                if n_drop:
+                    bytes_drop = int(state.size[drop].sum())
+                    state.live[drop] = False
+                    state.total_bytes -= bytes_drop
+                    state.file_count -= n_drop
+                    dropped_files += n_drop
+                    dropped_bytes += bytes_drop
+            if tenant.classes:
+                cu = np.fromiter(tenant.classes.keys(), np.int64,
+                                 len(tenant.classes))
+                m = np.asarray(keep_mask(cu), dtype=bool)
+                if not m.all():
+                    tenant.classes = {int(u): tenant.classes[int(u)]
+                                      for u in cu[m].tolist()}
+                    tenant.lookup = GroupLookup(tenant.classes)
+        self._last_eval.clear()
+        return {"dropped_users": dropped_users,
+                "dropped_files": dropped_files,
+                "dropped_bytes": dropped_bytes}
+
+    def reset_measurements(self) -> None:
+        """Zero every *additive* measurement (seeded-worker admission).
+
+        A worker seeded from a donor's rebalance clone inherits the
+        donor's metrics, reports and purge totals -- all of which the
+        donor keeps reporting.  The fleet merge sums per-shard
+        contributions, so the newcomer must start its own ledgers at
+        zero and contribute only what happens from the cut boundary on.
+        """
+        for tenant in self.tenants:
+            tenant.metrics = DailyMetrics(self.n_days)
+            tenant.reports = []
+            tenant.group_count_history = []
+            tenant.trigger_latency_log.clear()
+            tenant.stats = {"triggers": 0, "trigger_seconds": 0.0,
+                            "purged_bytes": 0, "purged_files": 0,
+                            "target_misses": 0}
+        self.dropped_accesses = 0
 
     def _apply_add(self, spec: TenantSpec, clone_from: str | None,
                    boundary: int) -> None:
@@ -745,6 +885,10 @@ class MultiTenantService:
                 continue
             result = self.activity.evaluate(t_c, tenant.params,
                                             self.known_uids)
+            if self.owned_filter is not None:
+                # Shard workers classify only the users they own; see
+                # the ``owned_filter`` attribute doc.
+                result = self.owned_filter(result)
             self.stats["activeness_evals"] += 1
             self.stats["eval_users"] += self.activity.last_eval_users
             self.stats["eval_refolded"] += self.activity.last_eval_refolded
@@ -965,15 +1109,23 @@ class MultiTenantService:
             self.last_checkpoint_error = f"{type(exc).__name__}: {exc}"
             return None
 
-    def save_checkpoint(self) -> str:
+    def save_checkpoint(self, *, manager: CheckpointManager | None = None,
+                        extra: Mapping | None = None) -> str:
         """One atomic link holding every tenant; returns the path.
 
         Shared arrays (catalog, activeness history) are stored once;
         per-tenant arrays live under a ``t<i>__`` prefix.  Pending
         runtime ops are *not* checkpointed -- they are in-flight admin
         requests, and the admin client re-issues on reconnect.
+
+        ``manager`` redirects the write to a foreign chain (the
+        rebalance clone into a new worker's directory) without touching
+        this service's own chain bookkeeping; ``extra`` merges extra
+        manifest keys on top of ``manifest_extra``.
         """
-        if self.checkpoints is None:
+        own_chain = manager is None
+        manager = self.checkpoints if manager is None else manager
+        if manager is None:
             raise ValueError("service has no checkpoint directory")
         if self._buf_pid:
             raise ValueError("cannot checkpoint with a partial day buffered")
@@ -999,6 +1151,10 @@ class MultiTenantService:
             # reconnecting producers resume mid-stream instead of
             # replaying (exactly-once across kill -9).
             manifest["ingest"] = self.ingest_snapshot(self._consumed)
+        if self.manifest_extra is not None:
+            manifest.update(self.manifest_extra())
+        if extra:
+            manifest.update(extra)
         arrays: dict[str, np.ndarray] = {
             "paths": np.asarray(self.catalog.paths, dtype=np.str_),
             "snap_size": self.catalog.snap_size.copy(),
@@ -1032,10 +1188,12 @@ class MultiTenantService:
             arrays[prefix + "group_count_history"] = ghist
             for key, value in metrics_to_arrays(tenant.metrics).items():
                 arrays[prefix + key] = value
-        path = self.checkpoints.save(manifest, arrays)
-        self.stats["checkpoints_written"] += 1
-        self._last_checkpoint_wall = self._wall()
-        self._last_checkpoint_path = path
+        path = manager.save(manifest, arrays)
+        if own_chain:
+            self.stats["checkpoints_written"] += 1
+            self._last_checkpoint_wall = self._wall()
+            self._last_checkpoint_path = path
+            self.last_durable_ingest = manifest.get("ingest")
         return path
 
     @property
@@ -1168,6 +1326,10 @@ class MultiTenantService:
         service._next_boundary = int(manifest["next_boundary"])
         service._consumed = int(manifest["cursor"])
         service.resumed_ingest = manifest.get("ingest")
+        service.last_durable_ingest = manifest.get("ingest")
+        service.resumed_seed_pending = bool(
+            manifest.get("shard_seed_pending"))
+        service.resumed_shard = manifest.get("shard")
         service.dropped_accesses = int(manifest["dropped_accesses"])
         saved_stats = dict(manifest.get("stats", {}))
         saved_stats.pop("checkpoints_written", None)

@@ -233,6 +233,44 @@ class EventBatch:
                              else np.flatnonzero(keep))
         return out
 
+    def subset(self, keep) -> "EventBatch":
+        """Like :meth:`compact`, but with the string pool pruned.
+
+        :meth:`compact` shares the full pool (indices stay valid), which
+        is right for in-process quarantine but wrong for a shard router
+        re-encoding the surviving rows onto a new wire frame -- the
+        frame would carry every path of the original batch.  Here the
+        pool is rebuilt to exactly the paths the kept access rows
+        reference, and ``acc_path`` is remapped to the new indices.
+        Sequencing provenance is dropped: a routed sub-batch lives in
+        the *lane's* sequence domain, which the router assigns fresh.
+        """
+        out = self.compact(keep)
+        out.first_seq = out.seq_width = out.orig_rows = None
+        if out.acc_path.size:
+            used = np.unique(out.acc_path)
+            pool = self.pool()
+            out._pool = [pool[i] for i in used.tolist()]
+            out._pool_off = out._pool_blob = None
+            out.acc_path = np.searchsorted(
+                used, out.acc_path).astype(np.uint32)
+        else:
+            out._pool = []
+            out._pool_off = out._pool_blob = None
+        return out
+
+    def split_at_ts(self, cut_ts: int) -> tuple["EventBatch", "EventBatch"]:
+        """``(rows with ts < cut_ts, rows with ts >= cut_ts)``.
+
+        Rows are non-decreasing in ``ts`` (the batch ordering contract),
+        so this is the epoch split a shard router applies at a rebalance
+        cut: the two halves preserve row order and each prunes its pool.
+        """
+        k = int(np.searchsorted(self.ts, cut_ts, side="left"))
+        mask = np.zeros(self.n, dtype=bool)
+        mask[:k] = True
+        return self.subset(mask), self.subset(~mask)
+
     def drop_seq_prefix(self, k: int) -> "EventBatch":
         """Drop the first ``k`` rows (already-received duplicates).
 

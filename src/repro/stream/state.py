@@ -432,6 +432,37 @@ class IncrementalActivenessState:
             acc.scatter(atype, *columns)
         return acc.finalize(known_uids)
 
+    # -- shard restriction ---------------------------------------------
+
+    def restrict_users(self, keep_mask) -> int:
+        """Drop every user the fleet has migrated off this shard.
+
+        ``keep_mask`` maps an int64 uid array to a boolean keep mask
+        (shard routers pass ``ring.owner_mask``).  Both the settled
+        per-user series and the pending buffers are filtered, so a
+        donor shard that sheds users at a rebalance boundary folds
+        exactly the histories it still owns.  Returns the number of
+        users dropped.
+        """
+        dropped = 0
+        for tstate in self._types.values():
+            if tstate.users:
+                uids = np.fromiter(tstate.users, np.int64,
+                                   len(tstate.users))
+                gone = uids[~np.asarray(keep_mask(uids), dtype=bool)]
+                for u in gone.tolist():
+                    del tstate.users[u]
+                dropped += gone.size
+            if tstate.pend_uid:
+                uids = np.asarray(tstate.pend_uid, dtype=np.int64)
+                mask = np.asarray(keep_mask(uids), dtype=bool)
+                if not mask.all():
+                    idx = np.flatnonzero(mask).tolist()
+                    tstate.pend_uid = [tstate.pend_uid[i] for i in idx]
+                    tstate.pend_ts = [tstate.pend_ts[i] for i in idx]
+                    tstate.pend_imp = [tstate.pend_imp[i] for i in idx]
+        return dropped
+
     # -- snapshot / restore --------------------------------------------
 
     def snapshot_state(self) -> dict[ActivityType, tuple[np.ndarray,

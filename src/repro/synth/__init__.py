@@ -17,8 +17,10 @@ from .distributions import (
 from .files import FileTreeConfig, UserFiles, build_filesystem, generate_file_trees
 from .jobs import JobTraceConfig, generate_jobs, user_session_anchors
 from .pubs import PublicationConfig, generate_publications
+from .stream import generate_workspace_streamed
 from .titan import TitanConfig, TitanDataset, generate_dataset, ts_utc
-from .users import ARCHETYPES, Archetype, UserProfile, generate_users
+from .users import (ARCHETYPES, Archetype, UserProfile, generate_users,
+                    iter_profile_chunks)
 
 __all__ = [
     "AccessTraceConfig",
@@ -41,6 +43,8 @@ __all__ = [
     "user_session_anchors",
     "PublicationConfig",
     "generate_publications",
+    "generate_workspace_streamed",
+    "iter_profile_chunks",
     "TitanConfig",
     "TitanDataset",
     "generate_dataset",

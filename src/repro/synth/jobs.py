@@ -62,12 +62,18 @@ def user_session_anchors(profile: UserProfile, config: JobTraceConfig,
 
 
 def generate_jobs(profiles: list[UserProfile], config: JobTraceConfig,
-                  seed: int) -> list[JobRecord]:
-    """All job submissions across the population, time-sorted."""
+                  seed: int, *, job_id_start: int = 0) -> list[JobRecord]:
+    """All job submissions across ``profiles``, time-sorted.
+
+    ``job_id_start`` lets the chunked large-scale generator call this
+    per population slice while keeping ids globally sequential in
+    generation (uid) order: pass ``job_id_start + len(previous_chunk)``
+    for each following chunk.
+    """
     if config.trace_end <= config.trace_start:
         raise ValueError("trace_end must exceed trace_start")
     jobs: list[JobRecord] = []
-    job_id = 0
+    job_id = job_id_start
     max_dur = int(config.max_duration_hours * 3600)
     for profile in profiles:
         rng = spawn_rng(seed, "jobs", profile.uid)

@@ -16,7 +16,8 @@ from ..traces.schema import PublicationRecord
 from .distributions import spawn_rng, zipf_bounded
 from .users import UserProfile
 
-__all__ = ["PublicationConfig", "generate_publications"]
+__all__ = ["PublicationConfig", "LeadAuthor", "select_leads",
+           "author_pool", "emit_publications", "generate_publications"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,32 +31,53 @@ class PublicationConfig:
     max_coauthors: int = 7
 
 
-def generate_publications(profiles: list[UserProfile],
-                          config: PublicationConfig,
-                          seed: int) -> list[PublicationRecord]:
-    """Publication records, time-sorted, with Eq. (8)-ready author lists."""
-    if config.pub_end <= config.pub_start:
-        raise ValueError("pub_end must exceed pub_start")
-    rng = spawn_rng(seed, "pubs")
+@dataclass(frozen=True, slots=True)
+class LeadAuthor:
+    """What pub emission needs from a selected lead: identity and the
+    power-archetype flag that grants extra papers."""
 
-    # Lead authors: archetype publication propensity scaled by intensity.
-    leads: list[UserProfile] = []
+    uid: int
+    power: bool
+
+
+def select_leads(profiles: list[UserProfile],
+                 rng: np.random.Generator) -> list[LeadAuthor]:
+    """Draw lead authors from ``profiles`` (one uniform per profile).
+
+    Consumes the shared publication RNG strictly in profile order, so a
+    chunked caller feeding uid-ordered slices reproduces exactly the
+    leads a whole-population call selects.
+    """
+    leads: list[LeadAuthor] = []
     for profile in profiles:
         p = min(profile.archetype.pub_probability * profile.intensity, 0.95)
         if rng.uniform() < p:
-            leads.append(profile)
+            leads.append(LeadAuthor(profile.uid,
+                                    profile.archetype.name == "power"))
+    return leads
 
-    # Co-author pool weighted toward publication-active users.
-    pool_uids = np.asarray([p.uid for p in profiles], dtype=np.int64)
+
+def author_pool(profiles: list[UserProfile]) -> tuple[np.ndarray, np.ndarray]:
+    """Co-author pool slice: uids plus *unnormalized* draw weights.
+
+    Chunked callers concatenate slices and normalize once over the full
+    population before :func:`emit_publications`.
+    """
+    uids = np.asarray([p.uid for p in profiles], dtype=np.int64)
     weights = np.asarray(
         [0.2 + p.archetype.pub_probability * p.intensity for p in profiles])
-    weights /= weights.sum()
+    return uids, weights
 
+
+def emit_publications(leads: list[LeadAuthor], pool_uids: np.ndarray,
+                      weights: np.ndarray, config: PublicationConfig,
+                      rng: np.random.Generator) -> list[PublicationRecord]:
+    """Emit every lead's papers; ``weights`` must sum to 1."""
     pubs: list[PublicationRecord] = []
     pub_id = 0
     for lead in leads:
         n_pubs = int(rng.integers(1, 4))
-        if lead.archetype.name == "power":
+        if lead.power:
             n_pubs += int(rng.integers(0, 4))
         for _ in range(n_pubs):
             ts = int(rng.integers(config.pub_start, config.pub_end))
@@ -71,3 +93,16 @@ def generate_publications(profiles: list[UserProfile],
             pub_id += 1
     pubs.sort(key=lambda p: p.ts)
     return pubs
+
+
+def generate_publications(profiles: list[UserProfile],
+                          config: PublicationConfig,
+                          seed: int) -> list[PublicationRecord]:
+    """Publication records, time-sorted, with Eq. (8)-ready author lists."""
+    if config.pub_end <= config.pub_start:
+        raise ValueError("pub_end must exceed pub_start")
+    rng = spawn_rng(seed, "pubs")
+    leads = select_leads(profiles, rng)
+    pool_uids, weights = author_pool(profiles)
+    weights = weights / weights.sum()
+    return emit_publications(leads, pool_uids, weights, config, rng)

@@ -1,0 +1,207 @@
+"""Chunked large-scale workspace generation.
+
+``generate_dataset`` + ``save_workspace`` materialize the whole synthetic
+population -- every profile, file tree, job and access record -- before a
+byte is written, which tops out around a few tens of thousands of users.
+:func:`generate_workspace_streamed` produces the *same* workspace format
+at 100k-1M users on a laptop's worth of memory by generating the
+population in uid-ordered chunks and streaming each output:
+
+* ``users.txt.gz`` and the snapshot shards are appended chunk by chunk
+  through handles held open across the whole run;
+* jobs and accesses sort per chunk into gzipped spill files, then a
+  stable ``heapq.merge`` produces the globally time-sorted traces (per
+  chunk order is generation order, so stable-merge == the one global
+  stable sort the in-memory path performs);
+* publications need whole-population state (the co-author pool and its
+  draw weights), but only a few scalars per user -- those accumulate
+  across chunks and the papers are emitted in one bounded pass at the
+  end.
+
+Every per-user generator draws from a per-uid spawned RNG and the two
+shared RNG streams (users, pubs) are consumed strictly in uid order, so
+for populations whose user names stay fixed-width (n_users <= 100_000)
+the streamed workspace is **byte-identical** to the in-memory path --
+chunking changes the memory profile, never the dataset.  Above that the
+traces remain byte-identical and the snapshot holds the same record set
+(user names grow a digit, so the global path sort interleaves users
+differently across shard files; loads are order-independent either way).
+"""
+
+from __future__ import annotations
+
+import gzip
+import heapq
+import json
+import os
+import tempfile
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..traces.io import (access_line, atomic_output, job_line, user_line,
+                         write_publications)
+from ..vfs.snapshot import SnapshotRecord, SnapshotWriter
+from .apps import AccessTraceConfig, generate_accesses
+from .distributions import spawn_rng
+from .files import FileTreeConfig, generate_file_trees
+from .jobs import JobTraceConfig, generate_jobs
+from .pubs import (PublicationConfig, author_pool, emit_publications,
+                   select_leads)
+from .titan import TitanConfig
+from .users import iter_profile_chunks
+
+__all__ = ["generate_workspace_streamed"]
+
+#: Lines buffered between ``writelines`` calls on the merged outputs.
+_FLUSH_LINES = 8192
+
+
+def _iter_lines(path: str) -> Iterator[str]:
+    with gzip.open(path, "rt") as f:
+        yield from f
+
+
+def _merge_spills(paths: list[str], out_path: str,
+                  key: Callable[[str], int]) -> None:
+    """Stable-merge per-chunk sorted spill files into ``out_path``.
+
+    ``heapq.merge`` breaks key ties toward the earlier iterable and
+    preserves order within each, so merging uid-ordered chunks equals
+    the single stable sort the in-memory writers perform.
+    """
+    with atomic_output(out_path) as out:
+        buf: list[str] = []
+        for line in heapq.merge(*(_iter_lines(p) for p in paths), key=key):
+            buf.append(line)
+            if len(buf) >= _FLUSH_LINES:
+                out.writelines(buf)
+                buf.clear()
+        if buf:
+            out.writelines(buf)
+
+
+def _job_key(line: str) -> int:
+    return int(line.split("|", 3)[2])       # submit_ts
+
+
+def _access_key(line: str) -> int:
+    return int(line.split("|", 1)[0])       # ts
+
+
+def generate_workspace_streamed(config: TitanConfig | None, directory: str,
+                                *, chunk_users: int = 25_000,
+                                n_shards: int = 4,
+                                log: Callable[[str], None] | None = None,
+                                ) -> dict[str, int]:
+    """Generate ``config``'s workspace directly to disk, chunk by chunk.
+
+    Returns the same summary dict as ``TitanDataset.summary()``.
+    ``log``, when given, receives one progress line per chunk.
+    """
+    cfg = config or TitanConfig()
+    if chunk_users < 1:
+        raise ValueError("chunk_users must be >= 1")
+    os.makedirs(directory, exist_ok=True)
+
+    file_cfg = cfg.files or FileTreeConfig(snapshot_ts=cfg.snapshot_ts)
+    job_cfg = cfg.jobs or JobTraceConfig(trace_start=cfg.history_start,
+                                         trace_end=cfg.replay_end)
+    pub_cfg = cfg.pubs or PublicationConfig(pub_start=cfg.history_start,
+                                            pub_end=cfg.replay_end)
+    acc_cfg = cfg.accesses or AccessTraceConfig(replay_start=cfg.replay_start,
+                                                replay_end=cfg.replay_end)
+
+    totals = {"users": 0, "jobs": 0, "publications": 0, "accesses": 0,
+              "files": 0, "bytes": 0}
+    pubs_rng = spawn_rng(cfg.seed, "pubs")
+    leads = []
+    pool_uid_parts: list[np.ndarray] = []
+    pool_weight_parts: list[np.ndarray] = []
+    job_spills: list[str] = []
+    acc_spills: list[str] = []
+    job_id = 0
+
+    with tempfile.TemporaryDirectory(dir=directory,
+                                     prefix=".gen-spill-") as spill_dir, \
+            atomic_output(os.path.join(directory, "users.txt.gz")) as users_f, \
+            SnapshotWriter(os.path.join(directory, "snapshot"),
+                           n_shards) as snap:
+        chunks = iter_profile_chunks(cfg.n_users, cfg.seed,
+                                     created_ts=cfg.history_start,
+                                     replay_start=cfg.replay_start,
+                                     replay_end=cfg.replay_end,
+                                     chunk_users=chunk_users)
+        for ci, profiles in enumerate(chunks):
+            users_f.writelines(user_line(p.record) for p in profiles)
+            totals["users"] += len(profiles)
+
+            trees = generate_file_trees(profiles, file_cfg, cfg.seed)
+            for tree in trees:
+                # Per-user path order matches the global trie sort the
+                # in-memory save performs (user subtrees are contiguous).
+                for path, meta in sorted(zip(tree.paths, tree.metas)):
+                    snap.write(SnapshotRecord(path, meta.stripe_count,
+                                              meta.atime, meta.mtime,
+                                              meta.ctime, meta.uid,
+                                              size=meta.size))
+                    totals["bytes"] += meta.size
+                totals["files"] += len(tree.paths)
+
+            jobs = generate_jobs(profiles, job_cfg, cfg.seed,
+                                 job_id_start=job_id)
+            job_id += len(jobs)
+            totals["jobs"] += len(jobs)
+            spill = os.path.join(spill_dir, f"jobs-{ci:05d}.gz")
+            with gzip.open(spill, "wt", compresslevel=1) as f:
+                f.writelines(job_line(j) for j in jobs)
+            job_spills.append(spill)
+
+            accesses = generate_accesses(profiles, trees, acc_cfg, cfg.seed)
+            totals["accesses"] += len(accesses)
+            spill = os.path.join(spill_dir, f"apps-{ci:05d}.gz")
+            with gzip.open(spill, "wt", compresslevel=1) as f:
+                f.writelines(access_line(a) for a in accesses)
+            acc_spills.append(spill)
+
+            leads.extend(select_leads(profiles, pubs_rng))
+            uids, weights = author_pool(profiles)
+            pool_uid_parts.append(uids)
+            pool_weight_parts.append(weights)
+
+            if log is not None:
+                log(f"chunk {ci}: {totals['users']}/{cfg.n_users} users, "
+                    f"{totals['files']} files, {totals['jobs']} jobs, "
+                    f"{totals['accesses']} accesses")
+
+        if log is not None:
+            log(f"merging {len(job_spills)} job and {len(acc_spills)} "
+                "access spill files")
+        _merge_spills(job_spills, os.path.join(directory, "jobs.txt.gz"),
+                      _job_key)
+        _merge_spills(acc_spills, os.path.join(directory, "app_log.txt.gz"),
+                      _access_key)
+
+    pool_uids = np.concatenate(pool_uid_parts)
+    pool_weights = np.concatenate(pool_weight_parts)
+    pool_weights /= pool_weights.sum()
+    pubs = emit_publications(leads, pool_uids, pool_weights, pub_cfg,
+                             pubs_rng)
+    totals["publications"] = len(pubs)
+    write_publications(os.path.join(directory, "publications.txt.gz"), pubs)
+
+    meta = {
+        "format": "activedr-workspace/1",
+        "n_users": totals["users"],
+        "seed": cfg.seed,
+        "replay_start": cfg.replay_start,
+        "replay_end": cfg.replay_end,
+        "snapshot_ts": cfg.snapshot_ts,
+        "capacity_bytes": totals["bytes"],
+        "size_seed": cfg.seed,
+    }
+    meta_path = os.path.join(directory, "meta.json")
+    with open(f"{meta_path}.tmp", "w") as f:
+        json.dump(meta, f, indent=2)
+    os.replace(f"{meta_path}.tmp", meta_path)
+    return totals

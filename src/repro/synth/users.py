@@ -22,7 +22,8 @@ import numpy as np
 from ..traces.schema import UserRecord
 from .distributions import spawn_rng
 
-__all__ = ["Archetype", "ARCHETYPES", "UserProfile", "generate_users"]
+__all__ = ["Archetype", "ARCHETYPES", "UserProfile", "generate_users",
+           "iter_profile_chunks"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,15 +107,36 @@ def generate_users(n_users: int, seed: int, created_ts: int,
     between three months before the replay and one month before its end;
     all their activity follows the onset.
     """
+    profiles: list[UserProfile] = []
+    for chunk in iter_profile_chunks(n_users, seed, created_ts,
+                                     replay_start, replay_end,
+                                     chunk_users=n_users):
+        profiles.extend(chunk)
+    return profiles
+
+
+def iter_profile_chunks(n_users: int, seed: int, created_ts: int,
+                        replay_start: int, replay_end: int, *,
+                        chunk_users: int):
+    """Yield the population in uid-ordered chunks of ``chunk_users``.
+
+    The per-user draws come from one shared generator consumed strictly
+    in uid order, so the concatenation of all chunks is *identical* to a
+    single :func:`generate_users` call -- chunking changes memory shape,
+    never the population.  Only the archetype assignment vector (one
+    int per user) is materialized up front.
+    """
     if n_users < 1:
         raise ValueError("n_users must be >= 1")
+    if chunk_users < 1:
+        raise ValueError("chunk_users must be >= 1")
     rng = spawn_rng(seed, "users")
     fractions = np.asarray([a.fraction for a in ARCHETYPES])
     assignments = rng.choice(len(ARCHETYPES), size=n_users,
                              p=fractions / fractions.sum())
 
-    profiles: list[UserProfile] = []
     year_seconds = replay_end - replay_start
+    chunk: list[UserProfile] = []
     for uid in range(n_users):
         arche = ARCHETYPES[int(assignments[uid])]
         intensity = float(rng.lognormal(0.0, 0.6))
@@ -130,11 +152,15 @@ def generate_users(n_users: int, seed: int, created_ts: int,
             latest_start = max(replay_start + 1, replay_end - gap)
             start = int(rng.integers(replay_start, latest_start))
             hiatus_window = (start, min(start + gap, replay_end))
-        profiles.append(UserProfile(
+        chunk.append(UserProfile(
             record=UserRecord(uid, f"user{uid:05d}", created_ts),
             archetype=arche,
             intensity=intensity,
             hiatus_window=hiatus_window,
             onset_ts=onset_ts,
         ))
-    return profiles
+        if len(chunk) >= chunk_users:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

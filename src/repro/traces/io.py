@@ -42,6 +42,7 @@ from .schema import AppAccessRecord, JobRecord, PublicationRecord, UserRecord
 
 __all__ = [
     "atomic_output", "fsync_directory",
+    "user_line", "job_line", "access_line", "publication_line",
     "write_users", "read_users",
     "write_jobs", "read_jobs",
     "write_app_log", "read_app_log",
@@ -173,16 +174,39 @@ def _read(path: str, parse: Callable[[str], T],
             yield rec
 
 
+# The one-record line formatters are public so streaming writers (the
+# chunked large-scale generator) can emit the exact on-disk format
+# through their own incrementally held-open handles.
+
+def user_line(u: UserRecord) -> str:
+    if "|" in u.name or "\n" in u.name:
+        raise ValueError(f"user name {u.name!r} cannot contain '|' or "
+                         "newlines in the users trace format")
+    return f"{u.uid}|{u.name}|{u.created_ts}\n"
+
+
+def job_line(j: JobRecord) -> str:
+    return (f"{j.job_id}|{j.uid}|{j.submit_ts}|{j.start_ts}"
+            f"|{j.end_ts}|{j.num_nodes}|{j.cores_per_node}\n")
+
+
+def access_line(a: AppAccessRecord) -> str:
+    if "\n" in a.path:
+        raise ValueError(f"path {a.path!r} cannot contain newlines in "
+                         "the line-oriented app-log format")
+    return f"{a.ts}|{a.uid}|{a.op}|{a.path}\n"
+
+
+def publication_line(p: PublicationRecord) -> str:
+    return (f"{p.pub_id}|{p.ts}|{p.citations}|"
+            f"{','.join(str(u) for u in p.author_uids)}\n")
+
+
 # ---------------------------------------------------------------- users
 
 def write_users(path: str, users: Iterable[UserRecord], *,
                 wrap=None) -> int:
-    def fmt(u: UserRecord) -> str:
-        if "|" in u.name or "\n" in u.name:
-            raise ValueError(f"user name {u.name!r} cannot contain '|' or "
-                             "newlines in the users trace format")
-        return f"{u.uid}|{u.name}|{u.created_ts}\n"
-    return _write(path, users, fmt, wrap)
+    return _write(path, users, user_line, wrap)
 
 
 def read_users(path: str,
@@ -196,11 +220,7 @@ def read_users(path: str,
 # ---------------------------------------------------------------- jobs
 
 def write_jobs(path: str, jobs: Iterable[JobRecord], *, wrap=None) -> int:
-    return _write(
-        path, jobs,
-        lambda j: (f"{j.job_id}|{j.uid}|{j.submit_ts}|{j.start_ts}"
-                   f"|{j.end_ts}|{j.num_nodes}|{j.cores_per_node}\n"),
-        wrap)
+    return _write(path, jobs, job_line, wrap)
 
 
 def read_jobs(path: str,
@@ -216,12 +236,7 @@ def read_jobs(path: str,
 
 def write_app_log(path: str, accesses: Iterable[AppAccessRecord], *,
                   wrap=None) -> int:
-    def fmt(a: AppAccessRecord) -> str:
-        if "\n" in a.path:
-            raise ValueError(f"path {a.path!r} cannot contain newlines in "
-                             "the line-oriented app-log format")
-        return f"{a.ts}|{a.uid}|{a.op}|{a.path}\n"
-    return _write(path, accesses, fmt, wrap)
+    return _write(path, accesses, access_line, wrap)
 
 
 def read_app_log(path: str,
@@ -237,11 +252,7 @@ def read_app_log(path: str,
 
 def write_publications(path: str, pubs: Iterable[PublicationRecord], *,
                        wrap=None) -> int:
-    return _write(
-        path, pubs,
-        lambda p: (f"{p.pub_id}|{p.ts}|{p.citations}|"
-                   f"{','.join(str(u) for u in p.author_uids)}\n"),
-        wrap)
+    return _write(path, pubs, publication_line, wrap)
 
 
 def read_publications(path: str,

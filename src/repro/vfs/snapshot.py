@@ -171,7 +171,8 @@ def iter_snapshot(directory: str) -> Iterator[SnapshotRecord]:
 
 
 def load_filesystem(directory: str, *, size_seed: int = 2021,
-                    capacity_bytes: int | None = None) -> VirtualFileSystem:
+                    capacity_bytes: int | None = None,
+                    uid_filter=None) -> VirtualFileSystem:
     """Build a :class:`VirtualFileSystem` from a snapshot directory.
 
     Sizes are synthesized from stripe counts with a generator seeded by
@@ -179,6 +180,13 @@ def load_filesystem(directory: str, *, size_seed: int = 2021,
     on the same determinism to compare FLT and ActiveDR on equal ground).
     When ``capacity_bytes`` is ``None`` the loaded usage becomes the
     nominal capacity, matching the paper's experimental setup.
+
+    ``uid_filter`` (``uid -> bool``) keeps only the files of the owners
+    a shard worker is responsible for.  Size synthesis runs over the
+    *unfiltered* record sequence first, so a file gets the same
+    synthesized size whether it is loaded by one process or by N shard
+    workers each loading its own slice -- the fleet's per-file bytes
+    stay the union of a single-process load.
     """
     records = list(iter_snapshot(directory))
     rng = np.random.default_rng(size_seed)
@@ -187,6 +195,8 @@ def load_filesystem(directory: str, *, size_seed: int = 2021,
 
     fs = VirtualFileSystem()
     for rec, synth_size in zip(records, synthesized):
+        if uid_filter is not None and not uid_filter(rec.uid):
+            continue
         size = rec.size if rec.size >= 0 else int(synth_size)
         fs.add_file(rec.path, FileMeta(size, rec.atime, rec.mtime,
                                        rec.ctime, rec.uid, rec.stripe_count))

@@ -1,0 +1,141 @@
+"""Property tests for the consistent-hash shard ring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server import HashRing, splitmix64
+from repro.server.shard import batch_worker_masks
+from repro.stream import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
+                          BatchBuilder, StreamEvent)
+from repro.traces import AppAccessRecord, JobRecord, PublicationRecord
+
+UIDS = np.arange(20_000, dtype=np.int64)
+
+
+def test_splitmix64_deterministic_and_spread():
+    a = splitmix64(UIDS)
+    b = splitmix64(UIDS)
+    assert np.array_equal(a, b)
+    # A finalizer must not collide on small sequential inputs.
+    assert np.unique(a).size == UIDS.size
+
+
+def test_placement_deterministic_across_constructions():
+    r1 = HashRing(["s00", "s01", "s02"])
+    r2 = HashRing(["s02", "s00", "s01"])       # order must not matter
+    assert np.array_equal(r1.owner_indices(UIDS), r2.owner_indices(UIDS))
+    assert r1.digest() == r2.digest()
+
+
+def test_placement_roughly_balanced():
+    ring = HashRing([f"s{i:02d}" for i in range(4)])
+    owners = ring.owner_indices(UIDS)
+    counts = np.bincount(owners, minlength=4)
+    # 64 virtual points per shard keeps the imbalance moderate.
+    assert counts.min() > 0.5 * UIDS.size / 4
+    assert counts.max() < 1.7 * UIDS.size / 4
+
+
+def test_add_moves_only_to_new_shard_and_about_k_over_n():
+    ring = HashRing([f"s{i:02d}" for i in range(4)])
+    before = ring.owner_indices(UIDS)
+    before_names = [ring.shards[int(i)] for i in before]
+    grown = HashRing([f"s{i:02d}" for i in range(5)])
+    after_names = [grown.shards[int(i)] for i in grown.owner_indices(UIDS)]
+    moved = [i for i in range(UIDS.size)
+             if before_names[i] != after_names[i]]
+    # Every moved key landed on the new shard, none shuffled between
+    # surviving shards.
+    assert all(after_names[i] == "s04" for i in moved)
+    expected = UIDS.size / 5
+    assert 0.3 * expected <= len(moved) <= 2.0 * expected
+
+
+def test_remove_moves_only_departed_keys():
+    ring = HashRing([f"s{i:02d}" for i in range(5)])
+    before_names = [ring.shards[int(i)] for i in ring.owner_indices(UIDS)]
+    shrunk = HashRing([f"s{i:02d}" for i in range(5)])
+    shrunk.remove("s02")
+    after_names = [shrunk.shards[int(i)] for i in shrunk.owner_indices(UIDS)]
+    for b, a in zip(before_names, after_names):
+        if b != "s02":
+            assert a == b            # survivors keep every key they had
+    moved = sum(1 for b, a in zip(before_names, after_names) if b != a)
+    expected = UIDS.size / 5
+    assert 0.3 * expected <= moved <= 2.0 * expected
+
+
+def test_split_moves_only_donor_keys():
+    ring = HashRing(["s00", "s01"])
+    before_names = [ring.shards[int(i)] for i in ring.owner_indices(UIDS)]
+    new_ring = ring.split("s00", "s02")
+    after_names = [new_ring.shards[int(i)]
+                   for i in new_ring.owner_indices(UIDS)]
+    n_moved = 0
+    for b, a in zip(before_names, after_names):
+        if b == "s01":
+            assert a == "s01"        # the bystander shard is untouched
+        elif a != b:
+            assert b == "s00" and a == "s02"
+            n_moved += 1
+    # The split hands the new shard alternate donor points, so roughly
+    # half the donor's keys move.
+    donor_keys = before_names.count("s00")
+    assert 0.2 * donor_keys <= n_moved <= 0.8 * donor_keys
+    # Epoch values: the original ring is unchanged.
+    assert ring.shards == ["s00", "s01"]
+
+
+def test_split_rejects_unknown_and_duplicate_names():
+    ring = HashRing(["s00", "s01"])
+    with pytest.raises(ValueError):
+        ring.split("nope", "s02")
+    with pytest.raises(ValueError):
+        ring.split("s00", "s01")
+
+
+def test_serialization_round_trip_preserves_split_placement():
+    ring = HashRing(["s00", "s01"]).split("s00", "s02")
+    clone = HashRing.from_jsonable(ring.to_jsonable())
+    assert np.array_equal(ring.owner_indices(UIDS),
+                          clone.owner_indices(UIDS))
+    assert ring.digest() == clone.digest()
+    # A name-derived reconstruction would NOT reproduce a split ring:
+    # the explicit assignment is load-bearing.
+    assert HashRing(["s00", "s01", "s02"]).digest() != ring.digest()
+
+
+def test_member_mask_partitions_population():
+    ring = HashRing(["a", "b", "c"])
+    masks = [ring.member_mask(name, UIDS) for name in ring.shards]
+    total = np.zeros(UIDS.size, dtype=int)
+    for m in masks:
+        total += m.astype(int)
+    assert (total == 1).all()        # every uid owned exactly once
+
+
+def test_batch_worker_masks_route_rows_to_owners():
+    ring = HashRing(["w0", "w1"])
+    order = ["w0", "w1"]
+    events = [
+        StreamEvent(10, EVENT_JOB, JobRecord(1, 3, 10, 11, 12, 1, 16)),
+        StreamEvent(11, EVENT_ACCESS, AppAccessRecord(11, 7, "/f", "access")),
+        StreamEvent(12, EVENT_PUBLICATION,
+                    PublicationRecord(1, 12, [3, 7], 2)),
+    ]
+    builder = BatchBuilder()
+    builder.extend(events)
+    batch = builder.build()
+    masks = batch_worker_masks(batch, ring, order)
+    owner_of = {uid: ring.owner(uid) for uid in (3, 7)}
+    # Job row 0 (uid 3) and access row 1 (uid 7) each to one owner.
+    assert masks[order.index(owner_of[3]), 0]
+    assert masks[:, 0].sum() == 1
+    assert masks[order.index(owner_of[7]), 1]
+    assert masks[:, 1].sum() == 1
+    # The publication row reaches every worker owning an author.
+    expect = {owner_of[3], owner_of[7]}
+    got = {order[i] for i in range(2) if masks[i, 2]}
+    assert got == expect

@@ -1,0 +1,82 @@
+"""Chunked streaming generation must reproduce the in-memory workspace."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.cli.workspace import load_workspace, save_workspace
+from repro.synth import (TitanConfig, generate_dataset, generate_users,
+                         generate_workspace_streamed, iter_profile_chunks)
+
+
+def _gunzip(path: str) -> bytes:
+    with gzip.open(path, "rb") as f:
+        return f.read()
+
+
+def test_profile_chunks_concatenate_to_whole_population():
+    whole = generate_users(130, 5, created_ts=0, replay_start=1_000_000,
+                           replay_end=33_000_000)
+    chunked = [p for chunk in iter_profile_chunks(
+        130, 5, created_ts=0, replay_start=1_000_000,
+        replay_end=33_000_000, chunk_users=37) for p in chunk]
+    assert len(chunked) == len(whole)
+    for a, b in zip(whole, chunked):
+        assert a.record == b.record
+        assert a.archetype.name == b.archetype.name
+        assert a.intensity == b.intensity
+        assert a.hiatus_window == b.hiatus_window
+        assert a.onset_ts == b.onset_ts
+
+
+def test_streamed_workspace_is_byte_identical(tmp_path):
+    cfg = TitanConfig(n_users=120, seed=9)
+    mem_dir = str(tmp_path / "mem")
+    stream_dir = str(tmp_path / "stream")
+
+    dataset = generate_dataset(cfg)
+    save_workspace(dataset, mem_dir, n_shards=3)
+    summary = generate_workspace_streamed(cfg, stream_dir, chunk_users=31,
+                                          n_shards=3)
+    assert summary == dataset.summary()
+
+    for name in ("users.txt.gz", "jobs.txt.gz", "publications.txt.gz",
+                 "app_log.txt.gz"):
+        assert _gunzip(os.path.join(mem_dir, name)) == \
+            _gunzip(os.path.join(stream_dir, name)), name
+    mem_shards = sorted(os.listdir(os.path.join(mem_dir, "snapshot")))
+    stream_shards = sorted(os.listdir(os.path.join(stream_dir, "snapshot")))
+    assert mem_shards == stream_shards
+    for shard in mem_shards:
+        assert _gunzip(os.path.join(mem_dir, "snapshot", shard)) == \
+            _gunzip(os.path.join(stream_dir, "snapshot", shard)), shard
+    with open(os.path.join(mem_dir, "meta.json")) as f:
+        mem_meta = json.load(f)
+    with open(os.path.join(stream_dir, "meta.json")) as f:
+        stream_meta = json.load(f)
+    assert mem_meta == stream_meta
+
+
+def test_streamed_workspace_loads_and_validates(tmp_path):
+    out = str(tmp_path / "ws")
+    generate_workspace_streamed(TitanConfig(n_users=60, seed=3), out,
+                                chunk_users=25)
+    ws = load_workspace(out)
+    assert len(ws.users) == 60
+    assert ws.filesystem.file_count > 0
+    assert ws.replay_end > ws.replay_start
+    # Traces must be time-sorted after the spill merge.
+    job_ts = [j.submit_ts for j in ws.jobs]
+    assert job_ts == sorted(job_ts)
+    acc_ts = [a.ts for a in ws.accesses]
+    assert acc_ts == sorted(acc_ts)
+
+
+def test_chunk_users_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        generate_workspace_streamed(TitanConfig(n_users=10, seed=1),
+                                    str(tmp_path / "x"), chunk_users=0)

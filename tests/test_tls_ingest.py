@@ -1,0 +1,90 @@
+"""TLS on the ingest socket: encrypted publish, plaintext rejection."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import time
+
+import pytest
+
+from repro.server import SocketListener, publish_events
+from repro.server.ingest import _END
+from repro.server.protocol import (make_client_ssl_context,
+                                   make_server_ssl_context)
+from repro.stream import EVENT_JOB, EventBatch, StreamEvent
+from repro.traces import JobRecord
+
+
+@pytest.fixture(scope="module")
+def cert_pair(tmp_path_factory):
+    if shutil.which("openssl") is None:
+        pytest.skip("openssl not available to mint a test certificate")
+    d = tmp_path_factory.mktemp("tls")
+    cert, key = str(d / "cert.pem"), str(d / "key.pem")
+    subprocess.run(
+        ["openssl", "req", "-x509", "-newkey", "rsa:2048", "-nodes",
+         "-keyout", key, "-out", cert, "-days", "2",
+         "-subj", "/CN=activedr-test"],
+        check=True, capture_output=True)
+    return cert, key
+
+
+def _events(n):
+    return [StreamEvent(100 + i, EVENT_JOB,
+                        JobRecord(i, i % 7, 100 + i, 101 + i, 102 + i,
+                                  1, 16))
+            for i in range(n)]
+
+
+def _received_rows(listener):
+    src = listener.sources()[0]
+    rows = 0
+    while True:
+        entry = src.queue.get(timeout=30)
+        if entry is _END:
+            return rows
+        _seq, item = entry
+        rows += item.n if isinstance(item, EventBatch) else 1
+
+
+def test_publish_over_tls_with_pinned_ca(cert_pair):
+    cert, key = cert_pair
+    server_ctx = make_server_ssl_context(cert, key)
+    with SocketListener("127.0.0.1:0", expected={"jobs": 1},
+                        ssl_context=server_ctx) as listener:
+        sent = publish_events(
+            listener.address, "jobs", _events(50), batch_size=16,
+            ssl_context=make_client_ssl_context(cafile=cert))
+        assert sent == 50
+        assert _received_rows(listener) == 50
+    assert int(listener.tls_handshake_failures) == 0
+
+
+def test_plaintext_client_refused_by_tls_listener(cert_pair):
+    cert, key = cert_pair
+    server_ctx = make_server_ssl_context(cert, key)
+    with SocketListener("127.0.0.1:0", expected={"jobs": 1},
+                        ssl_context=server_ctx) as listener:
+        with pytest.raises(Exception):
+            publish_events(listener.address, "jobs", _events(5),
+                           batch_size=4)
+        # The refusal is counted (the server-side handshake fails in
+        # the reader thread, possibly after the client gave up) and
+        # nothing was admitted.
+        deadline = time.monotonic() + 30
+        while (int(listener.tls_handshake_failures) == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert int(listener.tls_handshake_failures) >= 1
+        assert int(listener.batch_rows_received) == 0
+
+
+def test_tls_client_against_plaintext_listener_fails(cert_pair):
+    cert, _key = cert_pair
+    with SocketListener("127.0.0.1:0", expected={"jobs": 1}) as listener:
+        with pytest.raises(Exception):
+            publish_events(listener.address, "jobs", _events(5),
+                           batch_size=4,
+                           ssl_context=make_client_ssl_context(cafile=cert))
+        assert int(listener.batch_rows_received) == 0
