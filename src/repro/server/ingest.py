@@ -431,22 +431,17 @@ class SocketListener:
                     int(self._active_connections) >= self.max_connections:
                 self.connections_refused += 1
                 self.busy_refusals += 1
-                try:
-                    conn.settimeout(1.0)
-                    if self.ssl_context is not None:
-                        conn = self.ssl_context.wrap_socket(
-                            conn, server_side=True)
-                    write_frame(conn, {
-                        "type": "error", "retryable": True,
-                        "reason": f"busy: {int(self._active_connections)} "
-                                  f"active connections (quota "
-                                  f"{self.max_connections})"})
-                except OSError:
-                    pass
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+                reason = (f"busy: {int(self._active_connections)} "
+                          f"active connections (quota "
+                          f"{self.max_connections})")
+                # The refusal still needs the server-side TLS handshake
+                # before the error frame can be written; hand it to a
+                # short-lived thread so a slow or hostile client cannot
+                # stall the accept loop (handshakes run off-loop, same
+                # as for accepted connections).
+                threading.Thread(
+                    target=self._refuse_busy, args=(conn, reason),
+                    name=f"refuse:{self.address}", daemon=True).start()
                 continue
             self._active_connections += 1
             self.connections_accepted += 1
@@ -455,6 +450,22 @@ class SocketListener:
                 name=f"producer:{self.address}", daemon=True)
             thread.start()
             self._threads.append(thread)
+
+    def _refuse_busy(self, conn: socket.socket, reason: str) -> None:
+        try:
+            conn.settimeout(1.0)
+            if self.ssl_context is not None:
+                conn = self.ssl_context.wrap_socket(
+                    conn, server_side=True)
+            write_frame(conn, {"type": "error", "retryable": True,
+                               "reason": reason})
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def _write(self, conn: socket.socket, obj: dict) -> bool:
         """Write one ack/error frame under the write deadline.

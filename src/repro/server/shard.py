@@ -317,18 +317,27 @@ def batch_worker_masks(batch: EventBatch, ring: HashRing,
         owners = remap[ring.owner_indices(batch.acc_uid)]
         masks[owners[kpos[arows]], arows] = True
     prows = np.flatnonzero(kinds == KIND_PUB_CODE)
-    if prows.size and batch.pub_auth.size:
-        off = batch.pub_auth_off
-        lens = np.diff(off)
-        owners = remap[ring.owner_indices(batch.pub_auth)]
-        starts = np.minimum(off[:-1], max(owners.size - 1, 0))
-        k = kpos[prows]
-        for wi in range(len(order)):
-            seg = np.logical_or.reduceat(owners == wi, starts)
-            seg[lens == 0] = False
-            hit = seg[k]
-            if hit.any():
-                masks[wi, prows[hit]] = True
+    if prows.size:
+        if batch.pub_auth.size:
+            off = batch.pub_auth_off
+            lens = np.diff(off)
+            owners = remap[ring.owner_indices(batch.pub_auth)]
+            starts = np.minimum(off[:-1], max(owners.size - 1, 0))
+            k = kpos[prows]
+            for wi in range(len(order)):
+                seg = np.logical_or.reduceat(owners == wi, starts)
+                seg[lens == 0] = False
+                hit = seg[k]
+                if hit.any():
+                    masks[wi, prows[hit]] = True
+        # An author-less publication row folds into no user's score,
+        # but a single-process serve still consumes it -- route it to
+        # uid 0's ring owner so fleet cursors and row counters match.
+        unrouted = ~masks[:, prows].any(axis=0)
+        if unrouted.any():
+            fallback = int(remap[ring.owner_indices(
+                np.zeros(1, dtype=np.int64))[0]])
+            masks[fallback, prows[unrouted]] = True
     return masks
 
 
@@ -337,11 +346,12 @@ def event_worker_indices(event: StreamEvent, ring: HashRing,
     """Positions in ``order`` of the workers that must see ``event``."""
     payload = event.payload
     if event.kind == EVENT_PUBLICATION:
-        uids = list(payload.author_uids)
+        # Author-less publications route to uid 0's owner (no score to
+        # fold, but consumption must match a single-process serve; same
+        # fallback as batch_worker_masks).
+        uids = list(payload.author_uids) or [0]
     else:
         uids = [payload.uid]
-    if not uids:
-        return []
     pos = {name: i for i, name in enumerate(order)}
     owners = ring.owner_indices(np.asarray(uids, dtype=np.int64))
     return sorted({pos[ring.shards[int(i)]] for i in owners})
@@ -1546,13 +1556,21 @@ class ShardFleet:
             entry["cut_ts"] = cut_ts
             new_ring = self.router.ring.split(donor, new_name)
             spec = self.worker_factory(new_name)
-            response = admin_request(donor_admin, {
+            split_request = {
                 "cmd": "shard-split",
                 "at_boundary": boundary,
                 "dest_dir": spec.checkpoint_dir,
                 "ring": new_ring.to_jsonable(),
                 "new_shard": new_name,
-            }, timeout=10.0)
+            }
+            # Snapshot the donor's spawn count BEFORE asking: a respawn
+            # between the ack and the snapshot would otherwise lose the
+            # queued split with no re-issue.  If the respawn instead
+            # races the ack, the re-issue below is redundant -- the
+            # donor dedupes an already-applied (boundary, dest) split.
+            split_spawn = self.spawn_counts.get(donor, 0)
+            response = admin_request(donor_admin, split_request,
+                                     timeout=10.0)
             if not response.get("ok"):
                 raise RuntimeError(f"donor {donor} refused the split: "
                                    f"{response.get('error')}")
@@ -1578,6 +1596,32 @@ class ShardFleet:
                             f"donor {donor} died (rc="
                             f"{report.final_returncode}) before writing "
                             f"the clone")
+                # Pending ops are deliberately not checkpointed: a
+                # donor that crashed after acking the split but before
+                # the boundary executed resumes WITHOUT the queued
+                # split, and the ring epoch has already flipped.
+                # Respawns are visible in spawn_counts -- re-issue the
+                # identical request to the new incarnation (idempotent:
+                # same boundary, same dest chain).
+                spawns = self.spawn_counts.get(donor, 0)
+                if spawns > split_spawn:
+                    try:
+                        response = admin_request(donor_admin,
+                                                 split_request,
+                                                 timeout=10.0)
+                    except Exception:  # noqa: BLE001 -- admin not up yet
+                        pass  # retry on the next poll tick
+                    else:
+                        if response.get("ok"):
+                            split_spawn = spawns
+                            self._log(
+                                f"rebalance: re-issued shard-split to "
+                                f"respawned donor {donor}")
+                        else:
+                            raise RuntimeError(
+                                f"respawned donor {donor} refused the "
+                                f"re-issued split: "
+                                f"{response.get('error')}")
                 time.sleep(0.25)
             if self._stop.is_set():
                 entry["status"] = "failed"

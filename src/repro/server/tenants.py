@@ -337,6 +337,11 @@ class MultiTenantService:
         # at the next boundary (deque appends/pops are atomic).
         self._pending_ops: deque = deque()
         self.op_log: list[dict] = []
+        # (at_boundary, dest_dir) of the newest applied shard split:
+        # the fleet re-issues the split request when the donor respawns
+        # mid-rebalance, and a re-issue racing the original ack can
+        # queue the op twice -- the duplicate must be a no-op.
+        self._last_applied_split: tuple | None = None
 
         if checkpoint_manager is not None:
             self.checkpoints: CheckpointManager | None = checkpoint_manager
@@ -474,6 +479,13 @@ class MultiTenantService:
             self._pending_ops.appendleft(item)
 
     def _apply_split(self, payload: Mapping) -> None:
+        key = (int(payload["at_boundary"]), payload["dest_dir"])
+        if key == self._last_applied_split:
+            # Duplicate of a split this incarnation already applied
+            # (fleet re-issue racing the original ack).  Applying it
+            # again would clone the already-narrowed donor state over
+            # the seed checkpoint in ``dest_dir``.
+            return
         extra = dict(payload["extra"])
         extra["shard_seed_pending"] = True
         dest = CheckpointManager(payload["dest_dir"])
@@ -487,6 +499,7 @@ class MultiTenantService:
             # after the split would resume with pre-split ownership.
             donor_extra = dict(payload["donor_extra"])
             self.manifest_extra = lambda: dict(donor_extra)
+        self._last_applied_split = key
 
     # ------------------------------------------------------------------
     # shard restriction (rebalance donor / seeded worker)
@@ -1326,9 +1339,18 @@ class MultiTenantService:
         service._next_boundary = int(manifest["next_boundary"])
         service._consumed = int(manifest["cursor"])
         service.resumed_ingest = manifest.get("ingest")
-        service.last_durable_ingest = manifest.get("ingest")
         service.resumed_seed_pending = bool(
             manifest.get("shard_seed_pending"))
+        # A rebalance clone's ingest section belongs to the DONOR's
+        # lane sequence domain.  Advertising it as *our* durable
+        # cursors (admin health -> fleet lane trim) would trim the
+        # seeded worker's fresh lanes -- whose seq domain starts at 1
+        # -- against the donor's much larger cursors, discarding
+        # retained rows that are not durable here yet.  Stay None
+        # until the first checkpoint written on our own chain.
+        service.last_durable_ingest = (
+            None if service.resumed_seed_pending
+            else manifest.get("ingest"))
         service.resumed_shard = manifest.get("shard")
         service.dropped_accesses = int(manifest["dropped_accesses"])
         saved_stats = dict(manifest.get("stats", {}))

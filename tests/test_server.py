@@ -449,6 +449,64 @@ def test_checkpoint_resume_is_bit_identical(dataset, compiled, events,
                              batch_result(dataset, compiled, spec))
 
 
+def test_seed_pending_resume_leaves_durable_ingest_unset(dataset, tmp_path):
+    """A rebalance clone must not advertise the donor's ingest cursors.
+
+    The clone's ``ingest`` section belongs to the DONOR's lane sequence
+    domain; if the seeded worker reported it as its own durable cursors
+    (admin health), the fleet would trim the worker's fresh resend
+    lanes -- whose seqs start at 1 -- against the donor's much larger
+    cursors and a kill -9 in that window would lose rows for good.
+    """
+    service = make_fleet(dataset, HETERO[:2])
+    service.ingest_snapshot = lambda consumed: {
+        "consumed": consumed,
+        "source_seqs": {"jobs": 5000, "access": 7000}}
+
+    def factory(spec):
+        return build_policy(spec, dataset)
+
+    own = CheckpointManager(str(tmp_path / "own"))
+    service.save_checkpoint(manager=own)
+    newest, failures = own.latest_verified()
+    assert newest and not failures
+    resumed = MultiTenantService.resume(newest, policy_factory=factory)
+    assert not resumed.resumed_seed_pending
+    # An own-chain checkpoint's cursors ARE durable here.
+    assert resumed.last_durable_ingest["source_seqs"]["jobs"] == 5000
+
+    clone = CheckpointManager(str(tmp_path / "clone"))
+    service.save_checkpoint(manager=clone,
+                            extra={"shard_seed_pending": True})
+    newest, failures = clone.latest_verified()
+    assert newest and not failures
+    seeded = MultiTenantService.resume(newest, policy_factory=factory)
+    assert seeded.resumed_seed_pending
+    assert seeded.resumed_ingest is not None   # CLI gates listener seeding
+    assert seeded.last_durable_ingest is None  # donor's domain, not ours
+
+
+def test_duplicate_split_request_applies_once(dataset, events, tmp_path):
+    """A re-issued shard split must not re-clone the narrowed donor.
+
+    The fleet re-sends ``shard-split`` when the donor respawns during a
+    rebalance; if the re-issue races the original ack both requests are
+    queued, and a second application would checkpoint the already-
+    restricted donor state over the seed clone in ``dest_dir``.
+    """
+    service = make_fleet(dataset, HETERO[:1])
+    dest = str(tmp_path / "seed")
+    payload = dict(at_boundary=1, dest_dir=dest,
+                   keep_mask=lambda uids: uids % 2 == 0)
+    service.request_split(**payload)
+    service.request_split(**payload)
+    service.run(iter(events))
+    splits = [e for e in service.op_log if e["op"] == "split"]
+    assert len(splits) == 2 and all(e["ok"] for e in splits)
+    # Exactly one clone checkpoint: the duplicate was a no-op.
+    assert len(glob.glob(os.path.join(dest, "checkpoint-*.npz"))) == 1
+
+
 def test_resume_refuses_fingerprint_drift(dataset, events, tmp_path):
     ckdir = str(tmp_path / "ck")
     service = make_fleet(dataset, HETERO[:2], checkpoint_dir=ckdir)

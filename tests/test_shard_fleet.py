@@ -175,3 +175,106 @@ def test_merge_tenant_results_keeps_tenants_separate():
     merged = merge_tenant_results([p0, p1])
     assert merged["a"].metrics.accesses.tolist() == [1, 0, 1, 0]
     assert merged["b"].metrics.accesses.tolist() == [0, 1, 0, 0]
+
+
+# ---------------------------------------------------------------------------
+# rebalance crash windows
+
+
+class _StubRouter:
+    """Just enough router surface for ShardFleet._run_rebalance."""
+
+    def __init__(self, ring):
+        self.ring = ring
+        self.rows_routed = {name: 0 for name in ring.shards}
+        self.max_watermark = 0
+        self.calls = []
+
+    def begin_rebalance(self, donor, cut_ts):
+        self.calls.append(("begin", donor, cut_ts))
+
+    def commit_rebalance(self, new_ring, cut_ts, new_worker, address):
+        self.calls.append(("commit", new_worker))
+
+    def abort_rebalance(self):
+        self.calls.append(("abort",))
+
+    def activate_worker(self, name):
+        self.calls.append(("activate", name))
+        return 0
+
+    def reopen_worker(self, name):
+        self.calls.append(("reopen", name))
+
+    def close(self):
+        pass
+
+
+def test_rebalance_reissues_split_to_respawned_donor(tmp_path, monkeypatch):
+    """Pending boundary ops are not checkpointed: when the donor
+    respawns during waiting-for-clone, the fleet must re-issue the
+    shard-split request to the new incarnation or the split is lost
+    (ring already flipped, pending rows buffered forever)."""
+    import sys
+    import time
+
+    from repro.server import shard as shard_mod
+    from repro.server.shard import ShardFleet, WorkerSpec
+
+    requests = []
+
+    def fake_admin_request(address, request, timeout=None):
+        requests.append(dict(request))
+        if request["cmd"] == "health":
+            return {"ok": True, "next_boundary": 1}
+        assert request["cmd"] == "shard-split"
+        return {"ok": True}
+
+    monkeypatch.setattr(shard_mod, "admin_request", fake_admin_request)
+
+    def make_spec(name):
+        ck = tmp_path / f"{name}-ck"
+        ck.mkdir(exist_ok=True)
+        return WorkerSpec(
+            name=name, ingest_address=f"127.0.0.1:{9000}",
+            admin_address=f"127.0.0.1:{9001}",
+            checkpoint_dir=str(ck),
+            result_path=str(tmp_path / f"{name}.json"),
+            command=[sys.executable, "-c", "pass"])
+
+    ring = HashRing(["s00"])
+    router = _StubRouter(ring)
+    fleet = ShardFleet(router, [make_spec("s00")],
+                       directory=str(tmp_path), replay_start=0, n_days=30,
+                       worker_factory=make_spec)
+    fleet.spawn_counts["s00"] = 1
+    try:
+        fleet.start_rebalance(donor="s00")
+
+        def wait_for(pred, what, deadline=20.0):
+            t0 = time.monotonic()
+            while not pred():
+                assert time.monotonic() - t0 < deadline, what
+                time.sleep(0.05)
+
+        def splits():
+            return [r for r in requests if r["cmd"] == "shard-split"]
+
+        wait_for(lambda: len(splits()) == 1, "original split request")
+        wait_for(lambda: fleet.rebalance_log()[0]["status"]
+                 == "waiting-for-clone", "waiting-for-clone phase")
+        # The donor's supervisor respawns it (crash before boundary B):
+        # its resumed incarnation has no queued split.
+        fleet.spawn_counts["s00"] = 2
+        wait_for(lambda: len(splits()) >= 2, "re-issued split request")
+        assert splits()[0] == splits()[1]   # identical request, re-sent
+        # The respawned donor executes the split: the clone appears and
+        # the rebalance completes.
+        clone_dir = fleet.specs["s01"].checkpoint_dir
+        (tmp_path / "s01-ck" / "checkpoint-00000001.npz").write_bytes(b"x")
+        assert clone_dir == str(tmp_path / "s01-ck")
+        wait_for(lambda: fleet.rebalance_log()[0]["status"] == "done",
+                 "rebalance completion")
+        assert ("activate", "s01") in router.calls
+    finally:
+        fleet.stop()

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.server import HashRing, splitmix64
-from repro.server.shard import batch_worker_masks
+from repro.server.shard import batch_worker_masks, event_worker_indices
 from repro.stream import (EVENT_ACCESS, EVENT_JOB, EVENT_PUBLICATION,
                           BatchBuilder, StreamEvent)
 from repro.traces import AppAccessRecord, JobRecord, PublicationRecord
@@ -139,3 +139,36 @@ def test_batch_worker_masks_route_rows_to_owners():
     expect = {owner_of[3], owner_of[7]}
     got = {order[i] for i in range(2) if masks[i, 2]}
     assert got == expect
+
+
+def test_author_less_publication_routes_to_deterministic_fallback():
+    # An author-less publication folds into no user's score, but a
+    # single-process serve still consumes the row: the fleet must route
+    # it somewhere (exactly once, deterministically) or cursors and the
+    # summary identity check diverge.  The fallback is uid 0's owner.
+    ring = HashRing(["w0", "w1"])
+    order = ["w0", "w1"]
+    fallback = order.index(ring.owner(0))
+    events = [
+        StreamEvent(10, EVENT_PUBLICATION, PublicationRecord(1, 10, [], 2)),
+        StreamEvent(11, EVENT_PUBLICATION,
+                    PublicationRecord(2, 11, [3], 1)),
+    ]
+    builder = BatchBuilder()
+    builder.extend(events)
+    batch = builder.build()
+    masks = batch_worker_masks(batch, ring, order)
+    assert masks[fallback, 0] and masks[:, 0].sum() == 1
+    # The authored row is untouched by the fallback path.
+    assert masks[order.index(ring.owner(3)), 1]
+    assert masks[:, 1].sum() == 1
+
+    # Same when the batch carries no author table at all.
+    builder = BatchBuilder()
+    builder.extend(events[:1])
+    batch = builder.build()
+    masks = batch_worker_masks(batch, ring, order)
+    assert masks[fallback, 0] and masks.sum() == 1
+
+    # The v1 single-event path agrees with the batch path.
+    assert event_worker_indices(events[0], ring, order) == [fallback]

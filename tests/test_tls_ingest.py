@@ -10,8 +10,9 @@ import pytest
 
 from repro.server import SocketListener, publish_events
 from repro.server.ingest import _END
-from repro.server.protocol import (make_client_ssl_context,
-                                   make_server_ssl_context)
+from repro.server.protocol import (FrameReader, connect_socket,
+                                   make_client_ssl_context,
+                                   make_server_ssl_context, write_frame)
 from repro.stream import EVENT_JOB, EventBatch, StreamEvent
 from repro.traces import JobRecord
 
@@ -78,6 +79,48 @@ def test_plaintext_client_refused_by_tls_listener(cert_pair):
             time.sleep(0.05)
         assert int(listener.tls_handshake_failures) >= 1
         assert int(listener.batch_rows_received) == 0
+
+
+def test_busy_refusal_over_tls_does_not_block_accepts(cert_pair):
+    """Refusing over-quota clients must not stall the accept loop.
+
+    The busy refusal needs a server-side TLS handshake before the error
+    frame can be written; it runs in a short-lived thread, so clients
+    that never start their handshake cannot serialize accepts.
+    """
+    cert, key = cert_pair
+    server_ctx = make_server_ssl_context(cert, key)
+    client_ctx = make_client_ssl_context(cafile=cert)
+    with SocketListener("127.0.0.1:0", expected={"jobs": 1},
+                        ssl_context=server_ctx,
+                        max_connections=1) as listener:
+        hog = connect_socket(listener.address, timeout=10.0,
+                             ssl_context=client_ctx)
+        try:
+            write_frame(hog, {"type": "hello", "protocol": 1,
+                              "source": "jobs", "producer": "hog"})
+            assert FrameReader(hog).read()["type"] == "ok"
+            # Three clients connect but never speak TLS: each refusal
+            # handshake stalls for its full 1s timeout.
+            stalled = [connect_socket(listener.address, timeout=10.0)
+                       for _ in range(3)]
+            # A polite TLS client still gets its busy frame promptly;
+            # were the stalled handshakes run on the accept loop this
+            # would take > 3s.
+            t0 = time.monotonic()
+            polite = connect_socket(listener.address, timeout=10.0,
+                                    ssl_context=client_ctx)
+            err = FrameReader(polite).read()
+            elapsed = time.monotonic() - t0
+            assert err["type"] == "error" and err["retryable"]
+            assert "busy" in err["reason"]
+            assert elapsed < 2.5
+            polite.close()
+            for s in stalled:
+                s.close()
+            assert int(listener.busy_refusals) >= 4
+        finally:
+            hog.close()
 
 
 def test_tls_client_against_plaintext_listener_fails(cert_pair):
